@@ -1,0 +1,51 @@
+// Fault-tolerance extension bench (paper §9 future work): Omega, cost and
+// lost messages versus VM mean-time-between-failures, comparing the
+// adaptive global heuristic (which re-allocates around crashes) against
+// the static deployment (which bleeds capacity it never replaces).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dds;
+  using namespace dds::bench;
+
+  printHeader("Faults",
+              "recovery under VM crashes: adaptive vs static (10 msg/s, "
+              "4 h)");
+
+  const Dataflow df = makePaperDataflow();
+  TextTable table({"MTBF(h)", "policy", "failures", "omega", "met",
+                   "lost-msgs", "cost$"});
+  std::vector<std::vector<double>> csv;
+  for (const double mtbf : {0.0, 8.0, 4.0, 2.0, 1.0}) {
+    for (const auto kind :
+         {SchedulerKind::GlobalAdaptive, SchedulerKind::GlobalStatic}) {
+      ExperimentConfig cfg;
+      cfg.horizon_s = 4.0 * kSecondsPerHour;
+      cfg.mean_rate = 10.0;
+      cfg.vm_mtbf_hours = mtbf;
+      cfg.seed = 2013;
+      const auto r = SimulationEngine(df, cfg).run(kind);
+      table.addRow({mtbf == 0.0 ? "none" : TextTable::num(mtbf, 0),
+                    r.scheduler_name, std::to_string(r.vm_failures),
+                    TextTable::num(r.average_omega), constraintMark(r),
+                    TextTable::num(r.messages_lost, 0),
+                    TextTable::num(r.total_cost, 2)});
+      csv.push_back({mtbf,
+                     kind == SchedulerKind::GlobalAdaptive ? 1.0 : 0.0,
+                     static_cast<double>(r.vm_failures), r.average_omega,
+                     r.constraint_met ? 1.0 : 0.0, r.messages_lost,
+                     r.total_cost});
+    }
+  }
+  printTableAndCsv(table,
+                   {"mtbf_h", "adaptive", "failures", "omega", "met",
+                    "lost", "cost"},
+                   csv);
+
+  std::cout << "Reading: as crashes become frequent the static deployment's "
+               "throughput\ncollapses (dead capacity is never replaced), "
+               "while the adaptive heuristic\nre-allocates within an "
+               "interval and holds the constraint until failures\noutpace "
+               "recovery.\n";
+  return 0;
+}

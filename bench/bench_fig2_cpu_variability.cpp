@@ -1,0 +1,81 @@
+// Fig. 2 reproduction: "Variations in VM CPU performance in a private IaaS
+// cloud" — the observed-to-rated CPU coefficient of several VMs over a
+// four-day window, plus each VM's relative deviation from its mean.
+//
+// The paper plots FutureGrid measurements; we print the synthetic
+// FutureGrid-like traces the evaluation replays (see DESIGN.md for the
+// substitution rationale). Output: per-VM summary statistics and an
+// hourly-downsampled series.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dds;
+  using namespace dds::bench;
+
+  printHeader("Fig. 2", "VM CPU performance variability over 4 days");
+
+  constexpr int kVms = 3;
+  constexpr SimTime kDuration = 4.0 * 24.0 * kSecondsPerHour;
+  constexpr SimTime kProbe = 300.0;  // 5-minute monitoring probes
+
+  Rng rng(2013);
+  const auto pool = generateTracePool(cpuTraceParams(), kVms, kDuration,
+                                      kProbe, rng);
+
+  TextTable summary({"vm", "mean", "stddev", "cv%", "min", "max",
+                     "max-rel-dev%"});
+  std::vector<std::vector<double>> csv_rows;
+  for (int v = 0; v < kVms; ++v) {
+    const auto s = pool[static_cast<std::size_t>(v)].stats();
+    const double max_rel_dev =
+        std::max(s.max() - s.mean(), s.mean() - s.min()) / s.mean() * 100.0;
+    summary.addRow({"vm-" + std::to_string(v), TextTable::num(s.mean()),
+                    TextTable::num(s.stddev()),
+                    TextTable::num(s.cv() * 100.0, 1),
+                    TextTable::num(s.min()), TextTable::num(s.max()),
+                    TextTable::num(max_rel_dev, 1)});
+    csv_rows.push_back({static_cast<double>(v), s.mean(), s.stddev(),
+                        s.cv() * 100.0, s.min(), s.max(), max_rel_dev});
+  }
+  printTableAndCsv(summary,
+                   {"vm", "mean", "stddev", "cv_pct", "min", "max",
+                    "max_rel_dev_pct"},
+                   csv_rows);
+
+  // Hourly series for plotting (one row per hour, one column per VM).
+  std::cout << "Hourly CPU coefficient series (4 days):\n";
+  std::cout << "CSV2:hour,vm0,vm1,vm2\n";
+  for (int h = 0; h < 4 * 24; ++h) {
+    const SimTime t = h * kSecondsPerHour;
+    std::cout << "CSV2:" << h;
+    for (int v = 0; v < kVms; ++v) {
+      std::cout << ',' << pool[static_cast<std::size_t>(v)].at(t);
+    }
+    std::cout << '\n';
+  }
+
+  // Temporal structure: the degradations are *sustained*, not white noise
+  // — the property that makes runtime adaptation worthwhile.
+  std::cout << "\nTemporal structure (per VM):\n";
+  TextTable structure({"vm", "lag-1 autocorr", "decorrelation(min)",
+                       "frac < 0.9", "frac < 0.7"});
+  for (int v = 0; v < kVms; ++v) {
+    const auto& t = pool[static_cast<std::size_t>(v)];
+    structure.addRow(
+        {"vm-" + std::to_string(v),
+         TextTable::num(autocorrelation(t, 1)),
+         TextTable::num(static_cast<double>(decorrelationLag(t)) * kProbe /
+                            60.0,
+                        0),
+         TextTable::num(fractionBelow(t, 0.9)),
+         TextTable::num(fractionBelow(t, 0.7))});
+  }
+  std::cout << structure.render();
+
+  std::cout << "\nPaper claim: VM CPU performance fluctuates around the "
+               "rated mean with high\nvariations (multi-tenancy, placement, "
+               "commodity hardware). The synthetic\ntraces show the same "
+               "character: several-percent CV with >10% worst-case\n"
+               "relative deviations.\n";
+  return 0;
+}

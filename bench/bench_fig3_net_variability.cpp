@@ -1,0 +1,59 @@
+// Fig. 3 reproduction: "Variations in network performance between a pair
+// of VMs in a private IaaS cloud" — inter-VM latency and available
+// bandwidth over the same four-day window.
+//
+// We report the replayed latency (ms, base 1 ms x coefficient) and
+// bandwidth (Mbps, rated 100 Mbps x coefficient) between one VM pair.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dds;
+  using namespace dds::bench;
+
+  printHeader("Fig. 3",
+              "network latency & bandwidth variability between a VM pair");
+
+  constexpr SimTime kDuration = 4.0 * 24.0 * kSecondsPerHour;
+  constexpr SimTime kProbe = 300.0;
+
+  Rng rng(1312);
+  const auto lat =
+      generateTrace(latencyTraceParams(), kDuration, kProbe, rng);
+  const auto bw =
+      generateTrace(bandwidthTraceParams(), kDuration, kProbe, rng);
+
+  const auto ls = lat.stats();
+  const auto bs = bw.stats();
+  TextTable summary({"metric", "mean", "stddev", "cv%", "min", "max"});
+  summary.addRow({"latency (ms)",
+                  TextTable::num(ls.mean() * MonitoringService::kBaseLatencyMs),
+                  TextTable::num(ls.stddev()),
+                  TextTable::num(ls.cv() * 100.0, 1),
+                  TextTable::num(ls.min()), TextTable::num(ls.max())});
+  summary.addRow({"bandwidth (Mbps)", TextTable::num(bs.mean() * 100.0, 1),
+                  TextTable::num(bs.stddev() * 100.0, 1),
+                  TextTable::num(bs.cv() * 100.0, 1),
+                  TextTable::num(bs.min() * 100.0, 1),
+                  TextTable::num(bs.max() * 100.0, 1)});
+  printTableAndCsv(
+      summary, {"metric", "mean", "stddev", "cv_pct", "min", "max"},
+      {{0.0, ls.mean(), ls.stddev(), ls.cv() * 100.0, ls.min(), ls.max()},
+       {1.0, bs.mean() * 100.0, bs.stddev() * 100.0, bs.cv() * 100.0,
+        bs.min() * 100.0, bs.max() * 100.0}});
+
+  std::cout << "Hourly series (latency_ms, bandwidth_mbps):\n";
+  std::cout << "CSV2:hour,latency_ms,bandwidth_mbps\n";
+  for (int h = 0; h < 4 * 24; ++h) {
+    const SimTime t = h * kSecondsPerHour;
+    std::cout << "CSV2:" << h << ','
+              << lat.at(t) * MonitoringService::kBaseLatencyMs << ','
+              << bw.at(t) * 100.0 << '\n';
+  }
+
+  std::cout << "\nPaper claim: networking between VM pairs shows latency "
+               "spikes and bandwidth\ndips over time (data-center traffic, "
+               "collocation). The replayed traces show\nlatency excursions "
+               "of several x the base and bandwidth dipping well below\n"
+               "the rated 100 Mbps.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 7 reproduction: local vs global adaptive heuristics under
+// *data-rate variability* with stable infrastructure ("a local cluster or
+// an exclusive private cloud where the prospect of multi-tenancy is
+// limited") — Theta and Omega across the rate sweep.
+//
+// Paper claim: both heuristics meet the Omega constraint within
+// eps <= 0.05; the global heuristic's Theta is better above ~10 msg/s,
+// the local one does better at the low end (global over-estimates the
+// downstream effect of small rate changes and under-reacts).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dds;
+  using namespace dds::bench;
+
+  printHeader("Fig. 7",
+              "local vs global adaptive, data-rate variability only");
+
+  const Dataflow df = makePaperDataflow();
+  TextTable table({"rate", "policy", "omega", "met", "gamma", "cost$",
+                   "theta"});
+  std::vector<std::vector<double>> csv;
+  for (const double rate : paperRates()) {
+    for (const auto kind :
+         {SchedulerKind::LocalAdaptive, SchedulerKind::GlobalAdaptive}) {
+      ExperimentConfig cfg;
+      cfg.horizon_s = 4.0 * kSecondsPerHour;
+      cfg.mean_rate = rate;
+      cfg.profile = ProfileKind::PeriodicWave;
+      cfg.infra_variability = false;
+      cfg.seed = 2013;
+      const auto r = SimulationEngine(df, cfg).run(kind);
+      table.addRow({TextTable::num(rate, 0), r.scheduler_name,
+                    TextTable::num(r.average_omega), constraintMark(r),
+                    TextTable::num(r.average_gamma),
+                    TextTable::num(r.total_cost, 2),
+                    TextTable::num(r.theta)});
+      csv.push_back({rate,
+                     kind == SchedulerKind::LocalAdaptive ? 0.0 : 1.0,
+                     r.average_omega, r.constraint_met ? 1.0 : 0.0,
+                     r.average_gamma, r.total_cost, r.theta});
+    }
+  }
+  printTableAndCsv(
+      table, {"rate", "policy", "omega", "met", "gamma", "cost", "theta"},
+      csv);
+
+  std::cout << "Paper claim: under fluctuating input rates both adaptive "
+               "heuristics satisfy\nOmega >= 0.7 - 0.05; global yields "
+               "higher Theta for rates above ~10 msg/s,\nlocal is "
+               "competitive or better below that.\n";
+  return 0;
+}

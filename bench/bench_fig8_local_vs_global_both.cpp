@@ -1,0 +1,52 @@
+// Fig. 8 reproduction: local vs global adaptive heuristics when *both*
+// the input data rate and the cloud infrastructure vary — the public-cloud
+// scenario the paper targets.
+//
+// Paper claim: the qualitative ordering of Fig. 7 carries over — both
+// heuristics keep the throughput constraint; global leads on Theta at
+// high rates where wrong local actions (e.g., a needlessly acquired VM
+// billed for a full hour) are the most expensive.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dds;
+  using namespace dds::bench;
+
+  printHeader("Fig. 8",
+              "local vs global adaptive, data + infrastructure variability");
+
+  const Dataflow df = makePaperDataflow();
+  TextTable table({"rate", "policy", "omega", "met", "gamma", "cost$",
+                   "theta"});
+  std::vector<std::vector<double>> csv;
+  for (const double rate : paperRates()) {
+    for (const auto kind :
+         {SchedulerKind::LocalAdaptive, SchedulerKind::GlobalAdaptive}) {
+      ExperimentConfig cfg;
+      cfg.horizon_s = 4.0 * kSecondsPerHour;
+      cfg.mean_rate = rate;
+      cfg.profile = ProfileKind::RandomWalk;
+      cfg.infra_variability = true;
+      cfg.seed = 2013;
+      const auto r = SimulationEngine(df, cfg).run(kind);
+      table.addRow({TextTable::num(rate, 0), r.scheduler_name,
+                    TextTable::num(r.average_omega), constraintMark(r),
+                    TextTable::num(r.average_gamma),
+                    TextTable::num(r.total_cost, 2),
+                    TextTable::num(r.theta)});
+      csv.push_back({rate,
+                     kind == SchedulerKind::LocalAdaptive ? 0.0 : 1.0,
+                     r.average_omega, r.constraint_met ? 1.0 : 0.0,
+                     r.average_gamma, r.total_cost, r.theta});
+    }
+  }
+  printTableAndCsv(
+      table, {"rate", "policy", "omega", "met", "gamma", "cost", "theta"},
+      csv);
+
+  std::cout << "Paper claim: with both variability sources active, the "
+               "continuous heuristics\nstill satisfy the constraint; "
+               "global's informed (downstream-aware) decisions\navoid "
+               "reversal penalties and win on Theta at higher rates.\n";
+  return 0;
+}

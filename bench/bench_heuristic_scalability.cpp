@@ -1,0 +1,120 @@
+// Heuristic decision-latency micro-benchmark (google-benchmark).
+//
+// The paper argues (§7) that "fast heuristics are better suited than slow
+// optimal solutions" for continuous adaptation, and scales its graph "to
+// 10's of alternates and 100's of VMs". This bench measures the wall time
+// of the two decision procedures — initial deployment (Alg. 1) and one
+// runtime adaptation step (Alg. 2) — as the dataflow grows, plus the
+// brute-force search on the small graph for contrast.
+#include <benchmark/benchmark.h>
+
+#include "dds/dds.hpp"
+
+namespace {
+
+using namespace dds;
+
+struct Env {
+  explicit Env(Dataflow graph)
+      : df(std::move(graph)), cloud(awsCatalog2013()),
+        replayer(TraceReplayer::ideal()), mon(cloud, replayer) {}
+  Dataflow df;
+  CloudProvider cloud;
+  TraceReplayer replayer;
+  MonitoringService mon;
+
+  SchedulerEnv schedEnv() {
+    SchedulerEnv e;
+    e.dataflow = &df;
+    e.cloud = &cloud;
+    e.monitor = &mon;
+    e.omega_target = 0.7;
+    e.epsilon = 0.05;
+    return e;
+  }
+};
+
+Dataflow graphOfSize(int layers, int width) {
+  Rng rng(99);
+  return makeLayeredDataflow(static_cast<std::size_t>(layers),
+                             static_cast<std::size_t>(width), 3, rng);
+}
+
+void BM_InitialDeployment(benchmark::State& state) {
+  const auto layers = static_cast<int>(state.range(0));
+  const auto width = static_cast<int>(state.range(1));
+  const Dataflow df = graphOfSize(layers, width);
+  for (auto _ : state) {
+    Env env{graphOfSize(layers, width)};
+    HeuristicScheduler sched(env.schedEnv(), Strategy::Global);
+    benchmark::DoNotOptimize(sched.deploy(10.0));
+  }
+  state.SetLabel(std::to_string(df.peCount()) + " PEs, " +
+                 std::to_string(df.totalAlternateCount()) + " alternates");
+}
+BENCHMARK(BM_InitialDeployment)
+    ->Args({3, 2})
+    ->Args({4, 4})
+    ->Args({6, 6})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AdaptationStep(benchmark::State& state) {
+  const auto layers = static_cast<int>(state.range(0));
+  const auto width = static_cast<int>(state.range(1));
+  Env env{graphOfSize(layers, width)};
+  HeuristicScheduler sched(env.schedEnv(), Strategy::Global);
+  Deployment dep = sched.deploy(10.0);
+  DataflowSimulator sim(env.df, env.cloud, env.mon, {});
+  IntervalMetrics last = sim.step(0, 10.0, dep);
+  ObservedState st;
+  st.interval = 2;
+  st.now = 120.0;
+  st.input_rate = 14.0;  // mild surge to trigger real work
+  st.average_omega = 0.6;
+  st.last_interval = &last;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.adapt(st, dep));
+  }
+  state.SetLabel(std::to_string(env.df.peCount()) + " PEs");
+}
+BENCHMARK(BM_AdaptationStep)
+    ->Args({3, 2})
+    ->Args({4, 4})
+    ->Args({6, 6})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BruteForceSmallGraph(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    Env env{makePaperDataflow()};
+    BruteForceScheduler sched(env.schedEnv(), 0.01, kSecondsPerHour);
+    benchmark::DoNotOptimize(sched.deploy(rate));
+  }
+}
+BENCHMARK(BM_BruteForceSmallGraph)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(5)  // higher rates exceed the search-space cap (paper: "takes
+              // prohibitively long"), so the sweep stops here
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorStep(benchmark::State& state) {
+  const auto layers = static_cast<int>(state.range(0));
+  Env env{graphOfSize(layers, layers)};
+  HeuristicScheduler sched(env.schedEnv(), Strategy::Global);
+  Deployment dep = sched.deploy(10.0);
+  DataflowSimulator sim(env.df, env.cloud, env.mon, {});
+  IntervalIndex i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step(i++, 10.0, dep));
+  }
+  state.SetLabel(std::to_string(env.df.peCount()) + " PEs");
+}
+BENCHMARK(BM_SimulatorStep)->Arg(3)->Arg(5)->Arg(8)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Message-latency bench on the discrete-event simulator: the processing-
+// latency QoS dimension the paper's introduction motivates ("the penalty
+// of high processing latencies during the high data rate period").
+// Compares end-to-end latency percentiles of the local and global
+// adaptive heuristics, plus a fixed over/under-provisioned deployment,
+// under a wave workload on the Fig. 1 dataflow.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dds;
+
+struct LatencyRow {
+  std::string label;
+  EventSimResult result;
+};
+
+EventSimResult runPolicy(const Dataflow& df, Strategy strategy,
+                         bool adaptive, double rate,
+                         double queue_sla_s = 0.0) {
+  CloudProvider cloud(awsCatalog2013());
+  TraceReplayer replayer = TraceReplayer::futureGridLike(2013);
+  MonitoringService mon(cloud, replayer);
+  SchedulerEnv env;
+  env.dataflow = &df;
+  env.cloud = &cloud;
+  env.monitor = &mon;
+  HeuristicOptions opts;
+  opts.adaptive = adaptive;
+  opts.max_queue_delay_s = queue_sla_s;
+  HeuristicScheduler sched(env, strategy, opts);
+
+  EventSimConfig cfg;
+  cfg.horizon_s = 30.0 * kSecondsPerMinute;
+  cfg.seed = 7;
+  EventSimulator sim(df, cloud, mon, cfg);
+  PeriodicWaveRate profile(rate, 0.4 * rate, 30.0 * kSecondsPerMinute,
+                           -3.14159265358979 / 2.0);
+  Deployment dep = sched.deploy(profile.rate(0.0));
+  return sim.run(profile, std::move(dep), adaptive ? &sched : nullptr);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dds;
+  using namespace dds::bench;
+
+  printHeader("Latency",
+              "end-to-end message latency (event-level simulation, "
+              "10 msg/s wave, 30 min)");
+
+  const Dataflow df = makePaperDataflow();
+  const double rate = 10.0;
+  std::vector<LatencyRow> rows;
+  rows.push_back({"global adaptive",
+                  runPolicy(df, Strategy::Global, true, rate)});
+  rows.push_back({"local adaptive",
+                  runPolicy(df, Strategy::Local, true, rate)});
+  rows.push_back({"global static",
+                  runPolicy(df, Strategy::Global, false, rate)});
+  rows.push_back({"global + 60s SLA",
+                  runPolicy(df, Strategy::Global, true, rate, 60.0)});
+
+  TextTable table({"policy", "delivered", "omega", "lat-mean(s)",
+                   "lat-p50(s)", "lat-p95(s)", "lat-p99(s)"});
+  for (const auto& row : rows) {
+    const auto& r = row.result;
+    table.addRow(
+        {row.label, std::to_string(r.messages_delivered),
+         TextTable::num(r.intervals.averageOmega()),
+         TextTable::num(r.latency.mean()),
+         r.latency_samples.empty() ? "-"
+                                   : TextTable::num(r.latencyPercentile(50)),
+         r.latency_samples.empty() ? "-"
+                                   : TextTable::num(r.latencyPercentile(95)),
+         r.latency_samples.empty()
+             ? "-"
+             : TextTable::num(r.latencyPercentile(99))});
+  }
+  std::cout << table.render() << '\n';
+
+  std::cout << "Reading: the adaptive policies keep the latency tail "
+               "bounded through the wave\npeak by scaling ahead of the "
+               "backlog; an under-provisioned static run shows\nthe "
+               "queueing blow-up the paper's introduction warns about.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints (a) a human-readable aligned table and (b) the same
+// rows as `CSV:`-prefixed lines so plotting scripts can scrape the output.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dds/dds.hpp"
+
+namespace dds::bench {
+
+inline void printHeader(const std::string& figure,
+                        const std::string& caption) {
+  std::cout << "==================================================\n"
+            << figure << ": " << caption << '\n'
+            << "==================================================\n";
+}
+
+inline void printTableAndCsv(const TextTable& table,
+                             const std::vector<std::string>& csv_header,
+                             const std::vector<std::vector<double>>& rows) {
+  std::cout << table.render() << '\n';
+  std::ostringstream os;
+  os << "CSV:";
+  for (std::size_t i = 0; i < csv_header.size(); ++i) {
+    os << (i ? "," : "") << csv_header[i];
+  }
+  std::cout << os.str() << '\n';
+  for (const auto& row : rows) {
+    std::ostringstream line;
+    line << "CSV:";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      line << (i ? "," : "") << row[i];
+    }
+    std::cout << line.str() << '\n';
+  }
+  std::cout << '\n';
+}
+
+/// The §8 data-rate sweep (2..50 msg/s).
+inline std::vector<double> paperRates() {
+  return {2.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0};
+}
+
+/// A short marker so shape claims can be eyeballed in the text output.
+inline std::string constraintMark(const ExperimentResult& r) {
+  return r.constraint_met ? "yes" : "NO";
+}
+
+}  // namespace dds::bench

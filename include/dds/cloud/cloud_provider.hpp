@@ -1,0 +1,73 @@
+// The elastic IaaS provider (paper §4).
+//
+// Tracks every VM instance ever acquired (R(t)), supports elastic
+// acquire/release, and accrues cost with the commercial-cloud billing rule:
+// usage is rounded up to the next hour boundary, and a started hour is
+// charged in full even if the VM is released earlier.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "dds/cloud/resource_class.hpp"
+#include "dds/cloud/vm_instance.hpp"
+#include "dds/common/ids.hpp"
+#include "dds/common/time.hpp"
+
+namespace dds {
+
+/// Owns the resource catalog and the full VM instance history of one run.
+class CloudProvider {
+ public:
+  explicit CloudProvider(ResourceCatalog catalog)
+      : catalog_(std::move(catalog)) {}
+
+  [[nodiscard]] const ResourceCatalog& catalog() const { return catalog_; }
+
+  /// Start a new VM of the given class at time `t`; returns its id.
+  VmId acquire(ResourceClassId cls, SimTime t);
+
+  /// Stop a VM at time `t`. All of its cores must have been released first
+  /// (the scheduler migrates PEs away before shutdown).
+  void release(VmId id, SimTime t);
+
+  [[nodiscard]] const VmInstance& instance(VmId id) const {
+    DDS_REQUIRE(id.value() < instances_.size(), "unknown VM id");
+    return instances_[id.value()];
+  }
+
+  [[nodiscard]] VmInstance& instance(VmId id) {
+    DDS_REQUIRE(id.value() < instances_.size(), "unknown VM id");
+    return instances_[id.value()];
+  }
+
+  /// Total VMs ever acquired (|R(t)| including stopped ones).
+  [[nodiscard]] std::size_t instanceCount() const {
+    return instances_.size();
+  }
+
+  /// Ids of VMs still running.
+  [[nodiscard]] std::vector<VmId> activeVms() const;
+
+  /// Billed cost of one instance up to time `t` (mu_i[t], §4): the number
+  /// of started hours between t_start and min(t_off, t), times the class
+  /// hourly price. Zero before the VM starts.
+  [[nodiscard]] double instanceCost(VmId id, SimTime t) const;
+
+  /// Total accumulated cost across all instances up to time `t`.
+  [[nodiscard]] double accumulatedCost(SimTime t) const;
+
+  /// Seconds until `vm`'s next paid hour boundary at time `t`. Releasing a
+  /// VM just before a boundary wastes the least of what is already paid;
+  /// the runtime heuristics use this to time scale-in decisions.
+  [[nodiscard]] SimTime timeToNextHourBoundary(VmId id, SimTime t) const;
+
+  /// Number of whole started hours billed for `vm` up to `t`.
+  [[nodiscard]] int billedHours(VmId id, SimTime t) const;
+
+ private:
+  ResourceCatalog catalog_;
+  std::vector<VmInstance> instances_;
+};
+
+}  // namespace dds

@@ -1,0 +1,72 @@
+// Data-center placement model (paper §4).
+//
+// "Different VM instances of the same resource class show different
+// performance due to placement ... There is no control over or knowledge
+// of the actual VM placement within the data center and, consequently,
+// the network connection behavior between the VMs."
+//
+// PlacementModel assigns every VM a rack deterministically (the tenant
+// cannot choose or observe it directly — only its network effects).
+// VM pairs in the same rack enjoy higher bandwidth and lower latency than
+// cross-rack pairs; the MonitoringService composes these factors with the
+// temporal trace coefficients, giving the full "over time and space"
+// variability the paper describes.
+#pragma once
+
+#include <cstdint>
+
+#include "dds/common/error.hpp"
+#include "dds/common/ids.hpp"
+
+namespace dds {
+
+/// Rack-level network locality factors.
+struct PlacementConfig {
+  int racks = 4;                    ///< racks in the (virtual) data center.
+  double same_rack_bandwidth = 2.0; ///< bandwidth factor within a rack.
+  double same_rack_latency = 0.5;   ///< latency factor within a rack.
+  double cross_rack_bandwidth = 1.0;
+  double cross_rack_latency = 1.0;
+
+  void validate() const {
+    DDS_REQUIRE(racks >= 1, "need at least one rack");
+    DDS_REQUIRE(same_rack_bandwidth > 0.0 && cross_rack_bandwidth > 0.0,
+                "bandwidth factors must be positive");
+    DDS_REQUIRE(same_rack_latency > 0.0 && cross_rack_latency > 0.0,
+                "latency factors must be positive");
+  }
+};
+
+/// Deterministic rack assignment plus pairwise network factors.
+class PlacementModel {
+ public:
+  PlacementModel(PlacementConfig config, std::uint64_t seed);
+
+  /// Rack of `vm`, in [0, racks). Pure function of (seed, vm id) — stable
+  /// across queries and runs.
+  [[nodiscard]] int rackOf(VmId vm) const;
+
+  [[nodiscard]] bool sameRack(VmId a, VmId b) const {
+    return rackOf(a) == rackOf(b);
+  }
+
+  /// Multiplier applied to the observed bandwidth between two VMs.
+  [[nodiscard]] double bandwidthFactor(VmId a, VmId b) const {
+    return sameRack(a, b) ? config_.same_rack_bandwidth
+                          : config_.cross_rack_bandwidth;
+  }
+
+  /// Multiplier applied to the observed latency between two VMs.
+  [[nodiscard]] double latencyFactor(VmId a, VmId b) const {
+    return sameRack(a, b) ? config_.same_rack_latency
+                          : config_.cross_rack_latency;
+  }
+
+  [[nodiscard]] const PlacementConfig& config() const { return config_; }
+
+ private:
+  PlacementConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dds

@@ -1,0 +1,61 @@
+// Strongly-typed integer identifiers.
+//
+// Processing elements, alternates and VM instances are all referred to by
+// dense indices; wrapping them in distinct types prevents the classic
+// "passed a VM id where a PE id was expected" bug at compile time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace dds {
+
+/// A strongly-typed wrapper around a dense 32-bit index.
+/// `Tag` is an empty struct that distinguishes id families.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  value_type value_ = 0;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag> id) {
+  return os << id.value();
+}
+
+struct PeIdTag {};
+struct AlternateIdTag {};
+struct VmIdTag {};
+struct ResourceClassIdTag {};
+
+/// Identifies a processing element within one dataflow.
+using PeId = StrongId<PeIdTag>;
+/// Identifies an alternate implementation within one processing element.
+using AlternateId = StrongId<AlternateIdTag>;
+/// Identifies a VM instance within one CloudProvider (never reused).
+using VmId = StrongId<VmIdTag>;
+/// Identifies a resource class within one catalog.
+using ResourceClassId = StrongId<ResourceClassIdTag>;
+
+}  // namespace dds
+
+namespace std {
+template <typename Tag>
+struct hash<dds::StrongId<Tag>> {
+  size_t operator()(dds::StrongId<Tag> id) const noexcept {
+    return std::hash<typename dds::StrongId<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,34 @@
+// Fixed-width console table rendering for the benchmark harness.
+//
+// Every figure-reproduction bench prints its series as an aligned text
+// table (plus CSV lines) so the output can be read in a terminal and also
+// scraped by plotting scripts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dds {
+
+/// Accumulates rows of string cells and renders an aligned table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Render with column padding and a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dds

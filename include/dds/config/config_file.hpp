@@ -1,0 +1,72 @@
+// Key-value experiment configuration files for the ddsim CLI.
+//
+// Format: one `key = value` pair per line, `#` comments, blank lines
+// ignored. Keys are free-form strings; typed getters convert on access.
+//
+//   # experiment.conf
+//   graph        = paper           # paper | chain | diamond
+//   scheduler    = global,local    # any comma list of policy names
+//   mean_rate    = 10
+//   profile      = wave            # constant | wave | random-walk
+//   horizon_h    = 2
+//   infra_variability = true
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dds/core/experiment.hpp"
+
+namespace dds {
+
+/// A parsed key-value configuration.
+class KeyValueConfig {
+ public:
+  /// Parse from text; throws IoError on malformed lines.
+  static KeyValueConfig parse(const std::string& text);
+
+  /// Load from a file; throws IoError when unreadable.
+  static KeyValueConfig load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters with defaults; throw PreconditionError when the value
+  /// exists but cannot be converted.
+  [[nodiscard]] std::string getString(const std::string& key,
+                                      const std::string& fallback) const;
+  [[nodiscard]] double getDouble(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] std::int64_t getInt(const std::string& key,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] bool getBool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated list (whitespace trimmed); empty when absent.
+  [[nodiscard]] std::vector<std::string> getList(
+      const std::string& key) const;
+
+  /// Keys present in the file (sorted) — used to reject typos.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// The experiment an ddsim config describes.
+struct CliExperiment {
+  ExperimentConfig config;
+  std::string graph = "paper";  ///< paper | chain | diamond
+  std::vector<SchedulerKind> schedulers;
+  std::string output_csv;  ///< empty = no CSV dump
+};
+
+/// Translate a parsed config into an experiment. Unknown keys, graphs,
+/// profiles or scheduler names throw PreconditionError with the offender
+/// named.
+[[nodiscard]] CliExperiment experimentFromConfig(const KeyValueConfig& kv);
+
+/// Parse one scheduler name ("global", "local-static", ...). Throws on
+/// unknown names.
+[[nodiscard]] SchedulerKind schedulerKindFromName(const std::string& name);
+
+}  // namespace dds

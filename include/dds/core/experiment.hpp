@@ -1,0 +1,99 @@
+// Experiment configuration and results — the public surface the examples
+// and the benchmark harness drive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dds/common/time.hpp"
+#include "dds/metrics/run_metrics.hpp"
+#include "dds/sim/simulator.hpp"
+#include "dds/workload/rate_profile.hpp"
+
+namespace dds {
+
+/// Which §8 policy an experiment runs.
+enum class SchedulerKind {
+  LocalAdaptive,        ///< local heuristic with continuous re-deployment.
+  GlobalAdaptive,       ///< global heuristic with continuous re-deployment.
+  LocalStatic,          ///< local heuristic, deploy once.
+  GlobalStatic,         ///< global heuristic, deploy once.
+  LocalAdaptiveNoDyn,   ///< local, adaptive, alternates fixed (no dynamism).
+  GlobalAdaptiveNoDyn,  ///< global, adaptive, alternates fixed.
+  BruteForceStatic,     ///< exhaustive static optimal (small graphs only).
+  ReactiveBaseline,     ///< queue-threshold autoscaler (related work).
+  AnnealingStatic,      ///< simulated-annealing static planner.
+};
+
+[[nodiscard]] std::string toString(SchedulerKind kind);
+
+/// Which simulator executes the run.
+enum class SimBackend {
+  Fluid,  ///< steady-state per-interval rates (fast; the §8 default).
+  Event,  ///< message-level discrete events (adds latency percentiles).
+};
+
+[[nodiscard]] std::string toString(SimBackend backend);
+
+/// One experiment run's knobs (§8.1-8.2 defaults).
+struct ExperimentConfig {
+  SimTime horizon_s = 1.0 * kSecondsPerHour;  ///< optimization period T.
+  SimTime interval_s = 60.0;                  ///< adaptation interval.
+  double mean_rate = 5.0;                     ///< msgs/s (2..50 in §8).
+  ProfileKind profile = ProfileKind::Constant;
+  bool infra_variability = false;  ///< replay FutureGrid-like traces?
+  std::uint64_t seed = 42;
+  double omega_target = 0.7;  ///< Omega-hat (§8.2).
+  double epsilon = 0.05;      ///< tolerance (§8.2).
+  double msg_size_bytes = 100.0e3;
+  IntervalIndex alternate_period = 2;  ///< n_a for Alg. 2.
+  IntervalIndex resource_period = 1;   ///< n_r for Alg. 2.
+  /// Negative means "derive sigma from the §8.2 pricing expectation".
+  double sigma_override = -1.0;
+  /// Mean time between failures per VM, hours; 0 disables fault injection
+  /// (§9 future work: fault tolerance via re-allocation and alternates).
+  double vm_mtbf_hours = 0.0;
+  /// EWMA weight for the monitoring probes the schedulers plan against;
+  /// 1.0 = react to raw instantaneous probes (the default behaviour).
+  double power_smoothing_alpha = 1.0;
+  /// Racks in the simulated data center; 0 disables spatial placement
+  /// effects (every VM pair sees the same rated network).
+  int placement_racks = 0;
+  /// Resource-class catalog: "m1" (the §8.1 default), "m3", or "mixed".
+  std::string catalog = "m1";
+  /// Buy the cheapest-per-power class instead of Alg. 1's largest-first
+  /// (an improvement that matters on mixed-generation catalogs).
+  bool cheapest_class_acquisition = false;
+  /// Simulator backend. The event backend additionally reports end-to-end
+  /// latency percentiles; fault injection is fluid-only for now.
+  SimBackend backend = SimBackend::Fluid;
+  /// Queue-delay SLA for the heuristic schedulers (seconds; 0 disables):
+  /// any PE whose backlog would take longer than this to drain triggers a
+  /// scale-out sized to drain it — bounds latency, costs capacity.
+  double max_queue_delay_s = 0.0;
+
+  void validate() const;
+};
+
+/// Summary of a run, plus the full interval series.
+struct ExperimentResult {
+  std::string scheduler_name;
+  RunResult run;
+  double sigma = 0.0;
+  double average_omega = 0.0;
+  double average_gamma = 0.0;
+  double total_cost = 0.0;
+  double theta = 0.0;
+  bool constraint_met = false;
+  int peak_vms = 0;
+  int peak_cores = 0;
+  int vm_failures = 0;          ///< crashes injected during the run.
+  double messages_lost = 0.0;   ///< queued messages lost to crashes.
+  /// Filled by the event backend only (zero under the fluid backend):
+  std::size_t messages_delivered = 0;
+  double latency_mean_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+};
+
+}  // namespace dds

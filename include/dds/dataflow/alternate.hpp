@@ -1,0 +1,36 @@
+// Alternate implementations of a processing element (paper §3, Def. 2).
+//
+// Each alternate p_i^j carries three metrics:
+//  * value      — f(p_i^j), the user-defined value function (e.g. the F1
+//                 score of a classifier implementation). The *relative*
+//                 value gamma = f / max_j f is computed by the owning PE.
+//  * cost       — c_i^j, core-seconds needed to process one message on a
+//                 "standard" CPU core (pi = 1).
+//  * selectivity— s_i^j, output messages produced per input message.
+#pragma once
+
+#include <string>
+
+#include "dds/common/error.hpp"
+
+namespace dds {
+
+/// One alternate implementation of a processing element.
+struct Alternate {
+  std::string name;
+  double value = 1.0;          ///< f(p): user-defined value, > 0.
+  double cost_core_sec = 1.0;  ///< c: core-seconds per message, > 0.
+  double selectivity = 1.0;    ///< s: output msgs per input msg, > 0.
+
+  /// Throws PreconditionError unless all metrics are positive and finite.
+  void validate() const {
+    DDS_REQUIRE(!name.empty(), "alternate needs a name");
+    DDS_REQUIRE(value > 0.0, "alternate value must be positive: " + name);
+    DDS_REQUIRE(cost_core_sec > 0.0,
+                "alternate cost must be positive: " + name);
+    DDS_REQUIRE(selectivity > 0.0,
+                "alternate selectivity must be positive: " + name);
+  }
+};
+
+}  // namespace dds

@@ -1,0 +1,80 @@
+// Processing elements (paper §3, Def. 1-2).
+//
+// A PE is a long-running task in the continuous dataflow. In a *dynamic*
+// dataflow every PE owns one or more alternates; exactly one alternate is
+// active during any adaptation interval (the activation schedule lives in
+// the Deployment, not here — the model types are immutable).
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "dds/common/error.hpp"
+#include "dds/common/ids.hpp"
+#include "dds/dataflow/alternate.hpp"
+
+namespace dds {
+
+/// An immutable PE definition: a name plus its set of alternates.
+class ProcessingElement {
+ public:
+  ProcessingElement(PeId id, std::string name, std::vector<Alternate> alts)
+      : id_(id), name_(std::move(name)), alternates_(std::move(alts)) {
+    DDS_REQUIRE(!name_.empty(), "PE needs a name");
+    DDS_REQUIRE(!alternates_.empty(), "PE needs at least one alternate: " + name_);
+    max_value_ = 0.0;
+    for (const auto& a : alternates_) {
+      a.validate();
+      max_value_ = std::max(max_value_, a.value);
+    }
+  }
+
+  [[nodiscard]] PeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] std::size_t alternateCount() const {
+    return alternates_.size();
+  }
+
+  [[nodiscard]] const Alternate& alternate(AlternateId a) const {
+    DDS_REQUIRE(a.value() < alternates_.size(),
+                "alternate index out of range for PE " + name_);
+    return alternates_[a.value()];
+  }
+
+  [[nodiscard]] const std::vector<Alternate>& alternates() const {
+    return alternates_;
+  }
+
+  /// Relative value gamma = f(p^j) / max_j f(p^j), in (0, 1].
+  [[nodiscard]] double relativeValue(AlternateId a) const {
+    return alternate(a).value / max_value_;
+  }
+
+  /// The alternate with the highest value (ties: lowest index).
+  [[nodiscard]] AlternateId bestValueAlternate() const {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < alternates_.size(); ++j) {
+      if (alternates_[j].value > alternates_[best].value) best = j;
+    }
+    return AlternateId(static_cast<AlternateId::value_type>(best));
+  }
+
+  /// The alternate with the lowest value (used for MinApplicationValue).
+  [[nodiscard]] AlternateId worstValueAlternate() const {
+    std::size_t worst = 0;
+    for (std::size_t j = 1; j < alternates_.size(); ++j) {
+      if (alternates_[j].value < alternates_[worst].value) worst = j;
+    }
+    return AlternateId(static_cast<AlternateId::value_type>(worst));
+  }
+
+ private:
+  PeId id_;
+  std::string name_;
+  std::vector<Alternate> alternates_;
+  double max_value_ = 1.0;
+};
+
+}  // namespace dds

@@ -1,0 +1,41 @@
+// Ready-made dataflow graphs used by the evaluation, examples and tests.
+#pragma once
+
+#include <cstddef>
+
+#include "dds/common/rng.hpp"
+#include "dds/dataflow/dataflow.hpp"
+
+namespace dds {
+
+/// The paper's Fig. 1 abstract dataflow: E1 -> {E2, E3} -> E4 where E1/E4
+/// have a single alternate and E2/E3 have two alternates each with
+/// different value/cost/selectivity trade-offs. This is the graph the
+/// entire SC'13 evaluation (§8) runs on.
+[[nodiscard]] Dataflow makePaperDataflow();
+
+/// A linear pipeline of `length` PEs, each with `alternates_per_pe`
+/// alternates whose cost decreases and value decreases with the index.
+[[nodiscard]] Dataflow makeChainDataflow(std::size_t length,
+                                         std::size_t alternates_per_pe);
+
+/// A diamond: src -> {a, b} -> sink, all single-alternate. Exercises
+/// and-split / multi-merge rate propagation with no dynamism.
+[[nodiscard]] Dataflow makeDiamondDataflow();
+
+/// A layered random DAG for scalability benchmarks: `layers` layers of
+/// `width` PEs, each PE connected to 1..width PEs of the next layer, each
+/// with `alternates_per_pe` alternates with randomized metrics.
+[[nodiscard]] Dataflow makeLayeredDataflow(std::size_t layers,
+                                           std::size_t width,
+                                           std::size_t alternates_per_pe,
+                                           Rng& rng);
+
+/// An aggregation tree: `leaves` input PEs reduce through fan_in-ary
+/// aggregation stages (selectivity 1/fan_in per stage) down to a single
+/// output root — the many-sensors-one-dashboard topology. Each aggregator
+/// has a precise and a sampling alternate.
+[[nodiscard]] Dataflow makeAggregationTreeDataflow(std::size_t leaves,
+                                                   std::size_t fan_in);
+
+}  // namespace dds

@@ -1,0 +1,68 @@
+// VM failure injection (paper §9 future work: "we also plan to
+// investigate the application of dynamic tasks to support enhanced fault
+// tolerance and recovery mechanisms in continuous dataflow").
+//
+// Each VM instance gets an exponentially distributed lifetime drawn
+// deterministically from (seed, vm id) — independent of query order, so
+// whole runs stay reproducible. When a VM dies:
+//  * its cores vanish (the scheduler's next adaptation sees the capacity
+//    loss and re-allocates — the recovery mechanism);
+//  * the share of each hosted PE's buffered messages proportional to its
+//    cores on the dead VM is lost (stateless PEs lose only queued input);
+//  * billing stops at the crash (providers do not charge dead instances
+//    past the failure; the started hour is still paid).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dds/cloud/cloud_provider.hpp"
+#include "dds/common/ids.hpp"
+#include "dds/common/time.hpp"
+
+namespace dds {
+
+/// Failure-model knobs.
+struct FaultConfig {
+  /// Mean time between failures per VM, hours; <= 0 disables failures.
+  double vm_mtbf_hours = 0.0;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] bool enabled() const { return vm_mtbf_hours > 0.0; }
+};
+
+/// One queued-message loss caused by a crash.
+struct BacklogLoss {
+  PeId pe;
+  double fraction = 0.0;  ///< share of the PE's backlog that is gone.
+};
+
+/// What one crash did.
+struct FailureEvent {
+  VmId vm;
+  SimTime time;
+  std::vector<BacklogLoss> losses;
+};
+
+/// Deterministic per-VM lifetime oracle plus the crash procedure.
+class FailureInjector {
+ public:
+  explicit FailureInjector(FaultConfig config);
+
+  /// The absolute simulation time at which `vm` (started at `t_start`)
+  /// will fail. Pure function of (seed, vm id, t_start).
+  [[nodiscard]] SimTime deathTime(VmId vm, SimTime t_start) const;
+
+  /// Crash every active VM whose death time falls at or before `now`:
+  /// frees their cores, releases them, and reports per-PE backlog-loss
+  /// fractions for the caller to apply to its simulator.
+  [[nodiscard]] std::vector<FailureEvent> injectUpTo(CloudProvider& cloud,
+                                                     SimTime now) const;
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace dds

@@ -1,0 +1,92 @@
+// QoS metrics and the optimization objective (paper §3, §6).
+//
+// Per interval t the system observes:
+//  * Omega(t) — relative application throughput (Def. 4), in (0, 1];
+//  * Gamma(t) — normalized application value (Def. 3), in (0, 1];
+//  * mu(t)    — cumulative dollar cost of all VM instances so far (§4).
+// Over the optimization period: Omega-bar and Gamma-bar are interval means,
+// mu is the final cumulative cost, and the profit objective is
+// Theta = Gamma-bar − sigma · mu, maximized subject to Omega-bar >= Omega-hat.
+#pragma once
+
+#include <vector>
+
+#include "dds/common/error.hpp"
+#include "dds/common/time.hpp"
+
+namespace dds {
+
+/// Per-PE observations for one interval; consumed by the runtime
+/// adaptation heuristics (bottleneck detection) and by tests.
+struct PeIntervalStats {
+  double arrival_rate = 0.0;    ///< msgs/s arriving on input ports.
+  double offered_rate = 0.0;    ///< arrival plus backlog pressure, msgs/s.
+  double processed_rate = 0.0;  ///< msgs/s actually processed.
+  double output_rate = 0.0;     ///< msgs/s emitted downstream.
+  double capacity_rate = 0.0;   ///< msgs/s the allocated cores could do.
+  double relative_throughput = 1.0;  ///< Omega_i = processed / offered.
+  double backlog_msgs = 0.0;    ///< queued messages at interval end.
+  int allocated_cores = 0;
+};
+
+/// Everything measured during one adaptation interval.
+struct IntervalMetrics {
+  IntervalIndex index = 0;
+  SimTime start = 0.0;
+  double input_rate = 0.0;       ///< external msgs/s during the interval.
+  double omega = 1.0;            ///< Def. 4.
+  double gamma = 1.0;            ///< Def. 3.
+  double cost_cumulative = 0.0;  ///< mu at interval end, dollars.
+  int active_vms = 0;
+  int allocated_cores = 0;
+  std::vector<PeIntervalStats> pe_stats;  ///< indexed by PeId.
+};
+
+/// The full time series of one experiment run plus derived aggregates.
+class RunResult {
+ public:
+  void add(IntervalMetrics m) { intervals_.push_back(std::move(m)); }
+
+  [[nodiscard]] const std::vector<IntervalMetrics>& intervals() const {
+    return intervals_;
+  }
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+
+  /// Omega-bar: mean relative throughput over the period.
+  [[nodiscard]] double averageOmega() const;
+
+  /// Gamma-bar: mean normalized value over the period.
+  [[nodiscard]] double averageGamma() const;
+
+  /// mu: total dollar cost at the end of the period.
+  [[nodiscard]] double totalCost() const;
+
+  /// Theta = Gamma-bar − sigma · mu.
+  [[nodiscard]] double theta(double sigma) const {
+    return averageGamma() - sigma * totalCost();
+  }
+
+  /// Whether Omega-bar >= omega_hat − epsilon (§8.2's necessary check).
+  [[nodiscard]] bool meetsThroughputConstraint(double omega_hat,
+                                               double epsilon) const {
+    return averageOmega() >= omega_hat - epsilon;
+  }
+
+ private:
+  std::vector<IntervalMetrics> intervals_;
+};
+
+/// The user's value-vs-cost equivalence factor (§6):
+///   sigma = (MaxAppValue − MinAppValue) /
+///           (AcceptableCost@MaxVal − AcceptableCost@MinVal).
+[[nodiscard]] double equivalenceFactor(double max_value, double min_value,
+                                       double cost_at_max,
+                                       double cost_at_min);
+
+/// The §8.2 pricing expectation for the Fig. 1 dataflow: acceptable cost at
+/// maximum value is $4/hour at 2 msg/s, scaling linearly to $100/hour at
+/// 50 msg/s, accrued over the horizon. Returns that dollar amount.
+[[nodiscard]] double evaluationAcceptableCost(double data_rate_msgs_per_s,
+                                              SimTime horizon_s);
+
+}  // namespace dds

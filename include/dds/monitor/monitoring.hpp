@@ -1,0 +1,88 @@
+// The monitoring framework (paper §4).
+//
+// "To gauge the current behavior of the virtualized cloud resource, we
+// presume a monitoring framework that periodically and noninvasively
+// probes the performance of the cloud VMs and their network connectivity."
+//
+// MonitoringService answers two families of questions:
+//  * rated*     — the deployment-time assumption: every VM performs at its
+//                 class's rated spec and inter-VM bandwidth is the rated
+//                 100 Mbps (paper §8.1).
+//  * observed*  — the runtime truth: rated spec multiplied by the replayed
+//                 trace coefficient for that VM (pair) at that time.
+// Colocation (same VM) is modelled as in-memory transfer: zero latency,
+// infinite bandwidth (§4).
+#pragma once
+
+#include <limits>
+
+#include "dds/cloud/cloud_provider.hpp"
+#include "dds/cloud/placement_model.hpp"
+#include "dds/common/ids.hpp"
+#include "dds/common/time.hpp"
+#include "dds/trace/trace_replayer.hpp"
+
+namespace dds {
+
+/// Read-only performance oracle over the cloud, backed by trace replay.
+class MonitoringService {
+ public:
+  /// Nominal one-way latency between distinct VMs before the coefficient
+  /// is applied.
+  static constexpr double kBaseLatencyMs = 1.0;
+
+  MonitoringService(const CloudProvider& cloud, TraceReplayer& replayer,
+                    const PlacementModel* placement = nullptr)
+      : cloud_(&cloud), replayer_(&replayer), placement_(placement) {}
+
+  /// Rated normalized power (pi) of one core of `vm`'s class.
+  [[nodiscard]] double ratedCorePower(VmId vm) const {
+    return cloud_->instance(vm).spec().core_speed;
+  }
+
+  /// Observed normalized power of `vm`'s cores at time `t`.
+  [[nodiscard]] double observedCorePower(VmId vm, SimTime t) const {
+    return ratedCorePower(vm) * replayer_->cpuCoeff(vm, t);
+  }
+
+  /// Rated bandwidth between two VMs: min of the two NICs' rated Mbps;
+  /// infinite when `a == b` (in-memory).
+  [[nodiscard]] double ratedBandwidthMbps(VmId a, VmId b) const {
+    if (a == b) return std::numeric_limits<double>::infinity();
+    return std::min(cloud_->instance(a).spec().bandwidth_mbps,
+                    cloud_->instance(b).spec().bandwidth_mbps);
+  }
+
+  /// Observed bandwidth between two VMs at time `t` (beta_ij(t)):
+  /// rated spec x temporal trace coefficient x spatial placement factor.
+  [[nodiscard]] double observedBandwidthMbps(VmId a, VmId b,
+                                             SimTime t) const {
+    if (a == b) return std::numeric_limits<double>::infinity();
+    const double spatial =
+        placement_ != nullptr ? placement_->bandwidthFactor(a, b) : 1.0;
+    return ratedBandwidthMbps(a, b) * replayer_->bandwidthCoeff(a, b, t) *
+           spatial;
+  }
+
+  /// Observed one-way latency in milliseconds (lambda_ij(t)); zero when
+  /// colocated.
+  [[nodiscard]] double observedLatencyMs(VmId a, VmId b, SimTime t) const {
+    if (a == b) return 0.0;
+    const double spatial =
+        placement_ != nullptr ? placement_->latencyFactor(a, b) : 1.0;
+    return kBaseLatencyMs * replayer_->latencyCoeff(a, b, t) * spatial;
+  }
+
+  [[nodiscard]] const CloudProvider& cloud() const { return *cloud_; }
+
+  [[nodiscard]] const PlacementModel* placement() const {
+    return placement_;
+  }
+
+ private:
+  const CloudProvider* cloud_;
+  TraceReplayer* replayer_;
+  const PlacementModel* placement_ = nullptr;
+};
+
+}  // namespace dds

@@ -1,0 +1,91 @@
+// Dynamic paths (paper §9 future work): alternates at subgraph granularity.
+//
+// "As future work, we propose to extend the concept of dynamic tasks to
+// dynamic paths. This will further allow for alternate implementations at
+// coarser granularities, such as a subset of the application graph."
+//
+// A DynamicPathApplication is a dataflow with one *path group*: a region
+// between a split PE and a merge PE that can be realized by any of several
+// subgraph variants (e.g. "single deep model" vs "filter + light model
+// cascade"). Each variant materializes into an ordinary Dataflow, so the
+// whole §7 machinery applies unchanged; selection among variants reuses
+// the alternate-selection idea at path granularity — rank by aggregate
+// value against aggregate (selectivity-weighted) cost.
+//
+// Selection here is a deployment-time decision, mirroring how §7.1 treats
+// the initial alternate choice; switching whole paths live would need
+// subgraph state migration, which stays future work (as in the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dds/dataflow/dataflow.hpp"
+#include "dds/sched/alternate_selection.hpp"
+
+namespace dds {
+
+/// One subgraph variant of a path group.
+struct PathVariant {
+  struct FragmentPe {
+    std::string name;
+    std::vector<Alternate> alternates;
+  };
+
+  std::string name;
+  std::vector<FragmentPe> pes;
+  /// Directed edges between fragment PEs, as indices into `pes`.
+  std::vector<std::pair<std::size_t, std::size_t>> internal_edges;
+  /// Fragment PEs that receive the split PE's output.
+  std::vector<std::size_t> entries;
+  /// Fragment PEs that feed the merge PE.
+  std::vector<std::size_t> exits;
+
+  void validate() const;
+};
+
+/// A dataflow with a replaceable region between two boundary PEs.
+class DynamicPathApplication {
+ public:
+  /// @param head  PEs upstream of the group, in pipeline order (>= 1);
+  ///              the last one is the split point.
+  /// @param tail  PEs downstream of the group, in pipeline order (>= 1);
+  ///              the first one is the merge point.
+  DynamicPathApplication(std::string name,
+                         std::vector<PathVariant::FragmentPe> head,
+                         std::vector<PathVariant::FragmentPe> tail,
+                         std::vector<PathVariant> variants);
+
+  [[nodiscard]] std::size_t variantCount() const { return variants_.size(); }
+  [[nodiscard]] const PathVariant& variant(std::size_t i) const;
+
+  /// Build the concrete dataflow for variant `i`. PE ids are assigned
+  /// head-first, then fragment, then tail.
+  [[nodiscard]] Dataflow materialize(std::size_t i) const;
+
+  /// Aggregate relative value of a variant: the mean over its fragment
+  /// PEs of their best alternate's relative value (== 1 each), weighted
+  /// against the *best variant's* mean raw value — mirrors gamma.
+  [[nodiscard]] double variantValue(std::size_t i) const;
+
+  /// Aggregate cost of a variant: the selectivity-weighted sum of its
+  /// fragment PEs' chosen-alternate costs (the same downstream-cost DP
+  /// the global strategy uses, §7.1), per message entering the group.
+  [[nodiscard]] double variantCost(std::size_t i, Strategy strategy) const;
+
+  /// Rank variants by value/cost ratio (Alg. 1's rule lifted to paths)
+  /// and return the winner's index.
+  [[nodiscard]] std::size_t selectVariant(Strategy strategy) const;
+
+ private:
+  std::string name_;
+  std::vector<PathVariant::FragmentPe> head_;
+  std::vector<PathVariant::FragmentPe> tail_;
+  std::vector<PathVariant> variants_;
+};
+
+/// A ready-made example: a two-stage analytics region that can run as a
+/// single heavyweight model or as a filter + lightweight model cascade.
+[[nodiscard]] DynamicPathApplication makeCascadePathApplication();
+
+}  // namespace dds

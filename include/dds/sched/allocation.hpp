@@ -1,0 +1,139 @@
+// Core/VM allocation machinery shared by the deployment and runtime
+// heuristics (paper §7, Alg. 1 resource-allocation stage, Table 1).
+//
+// The allocation problem is a variable-sized bin-packing: PEs demand
+// normalized core power (rate * cost per message), VMs of different
+// classes supply cores of different speeds at different prices. The
+// toolkit provides:
+//  * throughput projection — the steady-state Omega a candidate allocation
+//    would deliver (used both as the stopping rule for incremental
+//    allocation and as the safety check for scale-in);
+//  * INCREMENTAL_ALLOCATION — one core per PE in forward-BFS order for
+//    colocation, then cores to the worst bottleneck until the constraint
+//    holds;
+//  * scale-in, RepackPE and iterative free-VM repacking for the global
+//    strategy;
+//  * empty-VM release policies (immediate vs at the paid hour boundary).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dds/cloud/cloud_provider.hpp"
+#include "dds/dataflow/dataflow.hpp"
+#include "dds/monitor/monitoring.hpp"
+#include "dds/sched/alternate_selection.hpp"
+#include "dds/sched/scheduler.hpp"
+#include "dds/sim/deployment.hpp"
+
+namespace dds {
+
+/// Per-core normalized power of a VM, either rated (deployment time) or
+/// observed via monitoring (runtime).
+using CorePowerFn = std::function<double(VmId)>;
+
+[[nodiscard]] CorePowerFn ratedCorePowerFn(const CloudProvider& cloud);
+[[nodiscard]] CorePowerFn observedCorePowerFn(const MonitoringService& mon,
+                                              SimTime t);
+
+/// Steady-state throughput a given power allocation would achieve.
+struct ThroughputProjection {
+  double omega = 1.0;                  ///< projected application Omega.
+  std::vector<double> pe_omega;        ///< per-PE power / required-power.
+  std::vector<double> required_power;  ///< demand vector, by PeId.
+};
+
+/// Project Omega for `pe_power` (normalized power per PE, by PeId) at the
+/// given input rate and alternate choices. Pure function of its inputs.
+[[nodiscard]] ThroughputProjection projectThroughput(
+    const Dataflow& df, const Deployment& deployment, double input_rate,
+    const std::vector<double>& pe_power);
+
+/// Mutating allocation operations over one cloud provider.
+class ResourceAllocator {
+ public:
+  /// When may an empty VM be shut down (§7.2)?
+  enum class ReleasePolicy {
+    Immediate,       ///< as soon as it empties (the local strategy).
+    AtHourBoundary,  ///< only when its paid hour is about to lapse (global).
+  };
+
+  /// Which class a fresh VM acquisition picks.
+  enum class AcquisitionPolicy {
+    LargestFirst,   ///< Alg. 1's "VMClasses.First" — the biggest class.
+    CheapestPower,  ///< best $/power-unit (ties: larger) — an improvement
+                    ///< over the paper for menus mixing generations.
+  };
+
+  ResourceAllocator(const Dataflow& df, CloudProvider& cloud,
+                    double omega_target,
+                    AcquisitionPolicy acquisition =
+                        AcquisitionPolicy::LargestFirst);
+
+  /// Normalized power currently allocated to each PE, by PeId.
+  [[nodiscard]] std::vector<double> allocatedPower(
+      const CorePowerFn& power) const;
+
+  /// Give every PE at least one core, walking PEs in forward BFS order and
+  /// filling the most recent VM first so dataflow neighbours colocate
+  /// (Alg. 1 lines 13-20). Acquires largest-class VMs on demand.
+  void ensureMinimumCores(SimTime now);
+
+  /// Incrementally add cores to the current bottleneck until the
+  /// projection meets the target (Alg. 1 lines 21-25). Local scope demands
+  /// every PE's own relative throughput reach the target; Global scope
+  /// stops as soon as the *application* Omega does — fewer cores, but it
+  /// requires graph-wide information. `target` defaults to the
+  /// constructor's omega target; initial deployment passes 1.0 (provision
+  /// for the full estimated demand, since the estimate is all it has).
+  /// `measured_arrivals`, when given, replaces the graph-propagated
+  /// expected arrival rates as the per-PE demand basis (msgs/s, by PeId).
+  /// The *local* strategy passes the last interval's measurements — it
+  /// only has local information, so upstream changes reach its view of
+  /// downstream PEs one interval late (the paper's cascade penalty). The
+  /// global strategy predicts arrivals through the graph instead.
+  void scaleOut(const Deployment& deployment, double input_rate,
+                const CorePowerFn& power, SimTime now, Strategy scope,
+                double target = -1.0,
+                const std::vector<double>* measured_arrivals = nullptr);
+
+  /// Remove surplus cores while the projection stays at or above
+  /// `floor_omega`; never leaves a PE without a core. Returns migration
+  /// events for PEs that lost their last core on some VM (their buffered
+  /// messages move over the network, §5).
+  [[nodiscard]] std::vector<MigrationEvent> scaleIn(
+      const Deployment& deployment, double input_rate,
+      const CorePowerFn& power, Strategy scope, double floor_omega,
+      const std::vector<double>* measured_arrivals = nullptr);
+
+  /// RepackPE (Table 1): move each sole-tenant PE from an oversized VM to
+  /// the cheapest class that still covers its demand.
+  void repackPes(const Deployment& deployment, double input_rate,
+                 const CorePowerFn& power, SimTime now);
+
+  /// Iterative repacking (Table 1): repeatedly try to empty the least
+  /// loaded VM by relocating its cores onto free cores of equal or faster
+  /// speed elsewhere; stop when no VM can be emptied.
+  void repackFreeVms(const CorePowerFn& power);
+
+  /// Shut down VMs with no allocated cores according to `policy`; returns
+  /// how many were released. `interval_s` is the adaptation interval (the
+  /// boundary-release lookahead window).
+  int releaseEmptyVms(ReleasePolicy policy, SimTime now, SimTime interval_s);
+
+ private:
+  /// Acquire a fresh VM according to the acquisition policy.
+  VmId acquireNew(SimTime now);
+
+  /// One more core for `pe`: prefer VMs already hosting it, then VMs
+  /// hosting a graph neighbour, then any free core, then a fresh
+  /// largest-class VM (when `allow_acquire`). Returns success.
+  bool allocateCoreForPe(PeId pe, SimTime now, bool allow_acquire);
+
+  const Dataflow* df_;
+  CloudProvider* cloud_;
+  double omega_target_;
+  AcquisitionPolicy acquisition_;
+};
+
+}  // namespace dds

@@ -1,0 +1,48 @@
+// Alternate selection and cost functions (paper §7, Table 1).
+//
+// Both heuristics rank a PE's alternates by value-to-cost ratio; they
+// differ in GetCostOfAlternate:
+//  * Local  — the alternate's own processing cost c (core-sec/msg).
+//  * Global — c plus the load it induces downstream: an upstream alternate
+//    with higher selectivity multiplies the input rate of every successor,
+//    so its effective cost is c + s * sum of successors' downstream costs,
+//    computed by dynamic programming over the graph in reverse BFS order
+//    rooted at the output PEs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dds/dataflow/dataflow.hpp"
+#include "dds/sim/deployment.hpp"
+
+namespace dds {
+
+/// Which §7 strategy variant a heuristic runs.
+enum class Strategy { Local, Global };
+
+[[nodiscard]] std::string toString(Strategy s);
+
+/// Downstream cost of every PE given the currently chosen alternates:
+/// dc(P) = c(P) + s(P) * sum over successors of dc(succ). Indexed by PeId.
+[[nodiscard]] std::vector<double> downstreamCosts(const Dataflow& df,
+                                                  const Deployment& choices);
+
+/// GetCostOfAlternate (Table 1) for one candidate alternate of `pe`,
+/// given `succ_costs` = downstreamCosts(...) under the current choices.
+[[nodiscard]] double alternateCost(Strategy strategy, const Dataflow& df,
+                                   PeId pe, const Alternate& candidate,
+                                   const std::vector<double>& succ_costs);
+
+/// The alternate-selection stage of initial deployment (Alg. 1 lines 2-11):
+/// pick, for every PE, the alternate with the highest relative-value to
+/// cost ratio. The global strategy walks the graph in reverse BFS order so
+/// each PE sees its successors' already-chosen downstream costs.
+void selectInitialAlternates(Strategy strategy, const Dataflow& df,
+                             Deployment& deployment);
+
+/// The no-dynamism baseline (§8.1): fix every PE to its best-value
+/// alternate; alternate selection is removed as an optimization decision.
+void selectBestValueAlternates(const Dataflow& df, Deployment& deployment);
+
+}  // namespace dds

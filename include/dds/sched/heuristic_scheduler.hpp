@@ -1,0 +1,89 @@
+// The paper's deployment and runtime-adaptation heuristics (§7, Alg. 1-2).
+//
+// One class covers the whole §8 evaluation matrix:
+//  * Strategy::Local / Strategy::Global — the Table 1 function variants;
+//  * adaptive on/off — continuous re-deployment vs the static baselines;
+//  * use_dynamism on/off — whether alternate selection participates as an
+//    optimization decision (§8.2's "without application dynamism" runs the
+//    best-value alternate, fixed).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "dds/sched/allocation.hpp"
+#include "dds/sched/alternate_selection.hpp"
+#include "dds/sched/scheduler.hpp"
+
+namespace dds {
+
+/// Tuning knobs for HeuristicScheduler.
+struct HeuristicOptions {
+  bool adaptive = true;      ///< run Alg. 2 at runtime (vs static deploy).
+  bool use_dynamism = true;  ///< alternate selection as a control knob.
+  /// Alternate-selection stage period, in intervals (§7.2 runs the two
+  /// stages at different cadences to balance value against cost).
+  IntervalIndex alternate_period = 2;
+  /// Resource-allocation stage period, in intervals.
+  IntervalIndex resource_period = 1;
+  /// Ablation: disable the global strategy's deployment-time repacking
+  /// (RepackPE + iterative repacking, Table 1).
+  bool enable_repacking = true;
+  /// Ablation: force a VM release policy instead of the strategy default
+  /// (local = immediate, global = at the paid hour boundary).
+  std::optional<ResourceAllocator::ReleasePolicy> release_policy_override;
+  /// Acquisition policy for fresh VMs; the paper's Alg. 1 always buys the
+  /// largest class, which backfires on menus mixing price-per-power tiers.
+  ResourceAllocator::AcquisitionPolicy acquisition =
+      ResourceAllocator::AcquisitionPolicy::LargestFirst;
+  /// Latency SLA: when > 0, any PE whose queued backlog would take longer
+  /// than this to drain triggers a scale-out sized to drain it within the
+  /// SLA — the processing-latency QoS dimension of the paper's intro.
+  /// 0 disables the check (throughput-only adaptation, the paper's Alg. 2).
+  double max_queue_delay_s = 0.0;
+};
+
+/// Local/global deployment + adaptation heuristic (Alg. 1 + Alg. 2).
+class HeuristicScheduler final : public Scheduler {
+ public:
+  HeuristicScheduler(SchedulerEnv env, Strategy strategy,
+                     HeuristicOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] Deployment deploy(double estimated_input_rate) override;
+
+  std::vector<MigrationEvent> adapt(const ObservedState& state,
+                                    Deployment& deployment) override;
+
+ private:
+  /// Alg. 2 alternate-selection phase. Builds the feasible set from the
+  /// observed instantaneous throughput (underprovisioned -> alternates
+  /// needing at most the active one's cost; overprovisioned -> at least),
+  /// ranks by value/cost under the strategy, switches to the best that
+  /// fits in the currently free resources.
+  void alternatePhase(const ObservedState& state, Deployment& deployment);
+
+  /// Alg. 2 resource re-deployment phase: incremental scale-out when the
+  /// throughput constraint is in danger, scale-in plus (policy-dependent)
+  /// empty-VM release when comfortably over-provisioned.
+  std::vector<MigrationEvent> resourcePhase(const ObservedState& state,
+                                            Deployment& deployment);
+
+  /// Core-power estimator for the runtime phases: the EWMA probe history
+  /// when the environment provides one, raw observed power otherwise.
+  [[nodiscard]] CorePowerFn runtimePowerFn(SimTime now) const;
+
+  /// Per-PE arrival rates as the *local* strategy sees them: last
+  /// interval's measured per-PE arrival rates.
+  /// Before any measurement exists it falls back to the graph prediction.
+  [[nodiscard]] std::vector<double> measuredArrivals(
+      const ObservedState& state, const Deployment& deployment) const;
+
+  SchedulerEnv env_;
+  Strategy strategy_;
+  HeuristicOptions options_;
+  ResourceAllocator allocator_;
+};
+
+}  // namespace dds

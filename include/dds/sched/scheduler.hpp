@@ -1,0 +1,90 @@
+// Scheduler interface (paper §5-7).
+//
+// A Scheduler makes the two families of decisions the optimization problem
+// (§6) exposes as control parameters:
+//  * deploy()  — before t0: pick the initial alternate A_i^j for every PE,
+//                acquire VMs, and allocate cores, based on the *estimated*
+//                input rate and rated VM performance;
+//  * adapt()   — at the start of each interval: react to the observed input
+//                rates and observed VM performance by switching alternates,
+//                scaling cores in/out, acquiring/releasing VMs.
+// Schedulers mutate the CloudProvider (the core-allocation ledger) and the
+// Deployment (active alternates) directly; queue state belongs to the
+// simulator, so VM releases that strand buffered messages are reported as
+// MigrationEvents for the engine to apply.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dds/cloud/cloud_provider.hpp"
+#include "dds/common/time.hpp"
+#include "dds/dataflow/dataflow.hpp"
+#include "dds/metrics/run_metrics.hpp"
+#include "dds/monitor/monitoring.hpp"
+#include "dds/monitor/probe_history.hpp"
+#include "dds/sim/deployment.hpp"
+#include "dds/sim/simulator.hpp"
+
+namespace dds {
+
+/// Everything a scheduler needs to see and touch, wired once per run.
+struct SchedulerEnv {
+  const Dataflow* dataflow = nullptr;
+  CloudProvider* cloud = nullptr;
+  const MonitoringService* monitor = nullptr;
+  /// Optional EWMA probe history; when set, runtime phases plan against
+  /// smoothed core-power estimates instead of raw instantaneous probes.
+  const ProbeHistory* probes = nullptr;
+  SimConfig sim_config;
+  double omega_target = 0.7;  ///< Omega-hat, the §8.2 default.
+  double epsilon = 0.05;      ///< throughput tolerance (§8.2).
+
+  void validate() const {
+    DDS_REQUIRE(dataflow != nullptr, "scheduler env needs a dataflow");
+    DDS_REQUIRE(cloud != nullptr, "scheduler env needs a cloud provider");
+    DDS_REQUIRE(monitor != nullptr, "scheduler env needs monitoring");
+    DDS_REQUIRE(omega_target > 0.0 && omega_target <= 1.0,
+                "omega target out of range");
+    DDS_REQUIRE(epsilon >= 0.0 && epsilon < 1.0, "epsilon out of range");
+  }
+};
+
+/// What the monitoring framework reported for the last interval.
+struct ObservedState {
+  IntervalIndex interval = 0;   ///< the interval about to start.
+  SimTime now = 0.0;            ///< its start time.
+  double input_rate = 0.0;      ///< observed external rate, msgs/s.
+  double average_omega = 1.0;   ///< Omega-bar so far (constraint tracker).
+  const IntervalMetrics* last_interval = nullptr;  ///< may be null at t0.
+};
+
+/// Buffered messages stranded on a released VM; the engine forwards this
+/// to DataflowSimulator::migrateBacklog.
+struct MigrationEvent {
+  PeId pe;
+  double backlog_fraction = 0.0;
+};
+
+/// Abstract deployment + runtime-adaptation policy.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Initial deployment before t0 (paper Alg. 1). Returns the alternate
+  /// assignment; VM/core state is left in the CloudProvider.
+  [[nodiscard]] virtual Deployment deploy(double estimated_input_rate) = 0;
+
+  /// Runtime adaptation at the start of an interval (paper Alg. 2).
+  /// Static policies keep the default no-op.
+  virtual std::vector<MigrationEvent> adapt(const ObservedState& state,
+                                            Deployment& deployment) {
+    (void)state;
+    (void)deployment;
+    return {};
+  }
+};
+
+}  // namespace dds

@@ -1,0 +1,39 @@
+// Shared machinery for static planners (brute force, annealing): given an
+// alternate combination and a VM multiset, decide feasibility, assign
+// cores greedily, price the plan and materialize it onto the cloud.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dds/cloud/cloud_provider.hpp"
+#include "dds/common/time.hpp"
+#include "dds/dataflow/dataflow.hpp"
+#include "dds/sim/deployment.hpp"
+
+namespace dds::static_planning {
+
+/// Cores one PE takes from each resource class: [pe][class] -> cores.
+using Assignment = std::vector<std::vector<int>>;
+
+/// Greedy packing: PEs in decreasing demand order take cores from the
+/// fastest class with remaining cores until covered (at least one core
+/// each). Returns nullopt when the pool runs dry.
+[[nodiscard]] std::optional<Assignment> tryAssign(
+    const ResourceCatalog& catalog, const std::vector<int>& vm_counts,
+    const std::vector<double>& demand);
+
+/// Dollar price of running `vm_counts` for `horizon_hours` whole hours.
+[[nodiscard]] double multisetCost(const ResourceCatalog& catalog,
+                                  const std::vector<int>& vm_counts,
+                                  double horizon_hours);
+
+/// Mean relative value of a deployment's active alternates (Gamma).
+[[nodiscard]] double deploymentGamma(const Dataflow& df,
+                                     const Deployment& deployment);
+
+/// Acquire the multiset at t=0 and hand each PE its assigned cores.
+void materialize(CloudProvider& cloud, const std::vector<int>& vm_counts,
+                 const Assignment& assignment);
+
+}  // namespace dds::static_planning

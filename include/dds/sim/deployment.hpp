@@ -1,0 +1,76 @@
+// Deployment state: which alternate is active per PE, plus views over the
+// cloud's core-allocation ledger (paper §5).
+//
+// The authoritative record of *which cores belong to which PE* lives in the
+// VmInstance ledgers inside CloudProvider — there is exactly one owner per
+// core, so keeping it in one place avoids divergence. Deployment adds the
+// remaining control variable: the active alternate A_i^j(t) for every PE.
+#pragma once
+
+#include <vector>
+
+#include "dds/cloud/cloud_provider.hpp"
+#include "dds/common/ids.hpp"
+#include "dds/dataflow/dataflow.hpp"
+#include "dds/monitor/monitoring.hpp"
+
+namespace dds {
+
+/// The per-PE active-alternate assignment (sum_j A_i^j(t) = 1, §3).
+class Deployment {
+ public:
+  explicit Deployment(const Dataflow& df) {
+    alternate_counts_.reserve(df.peCount());
+    for (const auto& pe : df.pes()) {
+      alternate_counts_.push_back(pe.alternateCount());
+    }
+    active_.assign(df.peCount(), AlternateId(0));
+  }
+
+  [[nodiscard]] std::size_t peCount() const { return active_.size(); }
+
+  [[nodiscard]] AlternateId activeAlternate(PeId pe) const {
+    DDS_REQUIRE(pe.value() < active_.size(), "PE id out of range");
+    return active_[pe.value()];
+  }
+
+  void setActiveAlternate(PeId pe, AlternateId alt) {
+    DDS_REQUIRE(pe.value() < active_.size(), "PE id out of range");
+    DDS_REQUIRE(alt.value() < alternate_counts_[pe.value()],
+                "alternate id out of range for PE");
+    active_[pe.value()] = alt;
+  }
+
+ private:
+  std::vector<AlternateId> active_;
+  std::vector<std::size_t> alternate_counts_;
+};
+
+/// Cores a PE holds on one VM.
+struct VmCores {
+  VmId vm;
+  int cores = 0;
+};
+
+/// All (VM, core-count) pairs for `pe`, over active VMs only.
+[[nodiscard]] std::vector<VmCores> peCores(const CloudProvider& cloud,
+                                           PeId pe);
+
+/// Total cores allocated to `pe` across active VMs.
+[[nodiscard]] int totalCores(const CloudProvider& cloud, PeId pe);
+
+/// Sum of rated core power (pi per core) allocated to `pe`.
+[[nodiscard]] double ratedPowerOf(const CloudProvider& cloud, PeId pe);
+
+/// Sum of observed core power allocated to `pe` at time `t`.
+[[nodiscard]] double observedPowerOf(const CloudProvider& cloud,
+                                     const MonitoringService& mon, PeId pe,
+                                     SimTime t);
+
+/// Whether the two PEs share at least one VM (in-memory edge, §4).
+[[nodiscard]] bool areColocated(const CloudProvider& cloud, PeId a, PeId b);
+
+/// Total cores allocated to any PE across active VMs.
+[[nodiscard]] int totalAllocatedCores(const CloudProvider& cloud);
+
+}  // namespace dds

@@ -1,0 +1,34 @@
+// Human-readable deployment inspection.
+//
+// Renders the current VM/core layout and per-PE allocation so examples,
+// the CLI and debugging sessions can see *where* everything runs:
+//
+//   vm-0  m1.xlarge  $0.48/h  [E1|E2|E2|E3]
+//   vm-1  m1.small   $0.06/h  [E4]
+//   PE E2 (e2-fast): 2 cores, rated power 4.0, on 1 VM
+#pragma once
+
+#include <string>
+
+#include "dds/cloud/cloud_provider.hpp"
+#include "dds/dataflow/dataflow.hpp"
+#include "dds/sim/deployment.hpp"
+
+namespace dds {
+
+/// One line per active VM showing which PE owns each core slot.
+[[nodiscard]] std::string renderVmLayout(const Dataflow& df,
+                                         const CloudProvider& cloud);
+
+/// One line per PE: active alternate, core count, rated power, VM spread.
+[[nodiscard]] std::string renderPeAllocations(const Dataflow& df,
+                                              const CloudProvider& cloud,
+                                              const Deployment& deployment);
+
+/// Both sections plus a cost line — the full snapshot.
+[[nodiscard]] std::string renderDeployment(const Dataflow& df,
+                                           const CloudProvider& cloud,
+                                           const Deployment& deployment,
+                                           SimTime now);
+
+}  // namespace dds

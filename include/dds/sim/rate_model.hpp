@@ -1,0 +1,35 @@
+// Steady-state rate propagation through the dataflow graph.
+//
+// With and-split / multi-merge edge semantics (§3), under *infinite*
+// processing capacity, every PE's arrival rate is fully determined by the
+// external input rate and the active alternates' selectivities:
+//   arrival(input PE) = external rate
+//   output(P)         = arrival(P) * selectivity(active alternate of P)
+//   arrival(P)        = sum over predecessors u of output(u)
+// These expected rates drive both the schedulers' capacity planning and
+// the denominator of the relative-throughput metric (Def. 4).
+#pragma once
+
+#include <vector>
+
+#include "dds/dataflow/dataflow.hpp"
+#include "dds/sim/deployment.hpp"
+
+namespace dds {
+
+/// Expected arrival rate (msgs/s) at each PE, indexed by PeId, assuming
+/// infinite capacity everywhere.
+[[nodiscard]] std::vector<double> expectedArrivalRates(
+    const Dataflow& df, const Deployment& deployment, double input_rate);
+
+/// Expected output rate (msgs/s) of each PE = arrival * selectivity.
+[[nodiscard]] std::vector<double> expectedOutputRates(
+    const Dataflow& df, const Deployment& deployment, double input_rate);
+
+/// Required normalized core power per PE to keep up with the expected
+/// arrival rates: power_i = arrival_i * cost(active alternate of P_i).
+/// This is the demand vector the bin-packing heuristics pack into VMs.
+[[nodiscard]] std::vector<double> requiredCorePower(
+    const Dataflow& df, const Deployment& deployment, double input_rate);
+
+}  // namespace dds

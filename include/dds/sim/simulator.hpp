@@ -1,0 +1,79 @@
+// Fluid (rate-based) execution simulator for a deployed dynamic dataflow.
+//
+// SUBSTITUTION (see DESIGN.md): the paper evaluates its heuristics on an
+// in-house IaaS simulator replaying real performance traces, not on a real
+// deployment. We implement the equivalent: each adaptation interval is
+// simulated in steady state —
+//  * each PE processes up to capacity = sum over allocated cores of the
+//    observed core power, divided by the active alternate's cost;
+//  * unprocessed messages accumulate in a backlog queue and drain later
+//    (local queue buffering, §5);
+//  * inter-VM edges are capped by observed network bandwidth given the
+//    ~100 KB message size (§8.1); colocated flows are in-memory and free;
+//  * releasing a VM migrates its share of pending messages, which arrive
+//    one interval later (network cost of migration, §5).
+// The step() result carries Omega(t) (Def. 4), Gamma(t) (Def. 3) and the
+// cumulative dollar cost, plus per-PE stats for the adaptation heuristics.
+#pragma once
+
+#include <vector>
+
+#include "dds/cloud/cloud_provider.hpp"
+#include "dds/common/time.hpp"
+#include "dds/dataflow/dataflow.hpp"
+#include "dds/metrics/run_metrics.hpp"
+#include "dds/monitor/monitoring.hpp"
+#include "dds/sim/deployment.hpp"
+
+namespace dds {
+
+/// Simulation constants for one run.
+struct SimConfig {
+  double msg_size_bytes = 100.0e3;  ///< ~100 KB/msg (§8.1).
+  SimTime interval_s = 60.0;        ///< adaptation interval length.
+
+  /// Messages/s a link of `mbps` megabits/s can carry at this msg size.
+  [[nodiscard]] double linkMsgsPerSec(double mbps) const {
+    return mbps * 1.0e6 / (msg_size_bytes * 8.0);
+  }
+};
+
+/// Stateful per-run simulator; owns the backlog queues.
+class DataflowSimulator {
+ public:
+  DataflowSimulator(const Dataflow& df, const CloudProvider& cloud,
+                    const MonitoringService& mon, SimConfig cfg);
+
+  /// Simulate interval `index` with the given external input rate applied
+  /// to every input PE, under the given deployment. Advances queue state.
+  [[nodiscard]] IntervalMetrics step(IntervalIndex index, double input_rate,
+                                     const Deployment& deployment);
+
+  /// Messages queued at `pe` right now.
+  [[nodiscard]] double backlog(PeId pe) const {
+    DDS_REQUIRE(pe.value() < backlog_.size(), "PE id out of range");
+    return backlog_[pe.value()];
+  }
+
+  /// Sum of all queued messages.
+  [[nodiscard]] double totalBacklog() const;
+
+  /// Move `fraction` of `pe`'s backlog into transit: those messages are
+  /// unavailable this interval and arrive at the start of the next one.
+  /// Called when the scheduler releases a VM hosting `pe` (§5).
+  void migrateBacklog(PeId pe, double fraction);
+
+  /// Permanently drop `fraction` of `pe`'s backlog (a VM crash took the
+  /// buffered messages with it). Returns the number of messages lost.
+  double dropBacklog(PeId pe, double fraction);
+
+ private:
+  const Dataflow* df_;
+  const CloudProvider* cloud_;
+  const MonitoringService* mon_;
+  SimConfig cfg_;
+  std::vector<double> backlog_;     ///< msgs queued per PE.
+  std::vector<double> in_transit_;  ///< msgs arriving next interval per PE.
+};
+
+}  // namespace dds

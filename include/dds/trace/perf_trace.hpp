@@ -1,0 +1,71 @@
+// Performance trace time series (paper §4, §8.1, Figs. 2-3).
+//
+// A PerfTrace is a uniformly sampled series of performance coefficients
+// (dimensionless multipliers around 1.0) such as the observed-to-rated CPU
+// speed ratio of a VM, or the observed-to-rated bandwidth ratio between a
+// VM pair. Traces are replayed cyclically: queries beyond the trace length
+// wrap around, matching the paper's replay of a 4-day window.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dds/common/error.hpp"
+#include "dds/common/stats.hpp"
+#include "dds/common/time.hpp"
+
+namespace dds {
+
+/// A uniformly sampled, cyclically replayed coefficient series.
+class PerfTrace {
+ public:
+  PerfTrace(std::vector<double> samples, SimTime sample_period_s)
+      : samples_(std::move(samples)), period_(sample_period_s) {
+    DDS_REQUIRE(!samples_.empty(), "trace needs at least one sample");
+    DDS_REQUIRE(period_ > 0.0, "sample period must be positive");
+    for (double v : samples_) {
+      DDS_REQUIRE(v >= 0.0, "trace samples must be non-negative");
+    }
+  }
+
+  /// A flat trace with a single value (the no-variability scenario).
+  static PerfTrace constant(double value) { return PerfTrace({value}, 1.0); }
+
+  [[nodiscard]] std::size_t sampleCount() const { return samples_.size(); }
+  [[nodiscard]] SimTime samplePeriod() const { return period_; }
+  [[nodiscard]] SimTime duration() const {
+    return static_cast<SimTime>(samples_.size()) * period_;
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const {
+    return samples_;
+  }
+
+  /// Value at absolute time `t` (>= 0), wrapping past the trace end.
+  /// Nearest-sample (zero-order hold) semantics.
+  [[nodiscard]] double at(SimTime t) const {
+    DDS_REQUIRE(t >= 0.0, "trace time must be non-negative");
+    const auto idx =
+        static_cast<std::size_t>(t / period_) % samples_.size();
+    return samples_[idx];
+  }
+
+  /// Value at time `offset + t`, wrapping. Used by the replayer, which
+  /// assigns each VM a random window into a shared trace (§8.1).
+  [[nodiscard]] double atOffset(SimTime offset, SimTime t) const {
+    return at(offset + t);
+  }
+
+  /// Descriptive statistics over all samples (Figs. 2-3 summaries).
+  [[nodiscard]] RunningStats stats() const {
+    RunningStats s;
+    for (double v : samples_) s.add(v);
+    return s;
+  }
+
+ private:
+  std::vector<double> samples_;
+  SimTime period_;
+};
+
+}  // namespace dds

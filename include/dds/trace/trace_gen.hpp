@@ -1,0 +1,58 @@
+// Synthetic cloud-performance trace generation.
+//
+// SUBSTITUTION (see DESIGN.md): the paper replays 4-day CPU and network
+// traces gathered on the FutureGrid private cloud (Figs. 2-3). Those traces
+// are not public, so we synthesize traces with the characteristics the
+// paper describes: fluctuation around the rated mean from multi-tenant
+// interference (AR(1) jitter), slow diurnal drift, and abrupt level shifts
+// when a noisy neighbour arrives or leaves. The heuristics only observe
+// traces through the monitoring interface, so matching these statistical
+// features preserves the experimental behaviour.
+#pragma once
+
+#include <vector>
+
+#include "dds/common/rng.hpp"
+#include "dds/common/time.hpp"
+#include "dds/trace/perf_trace.hpp"
+
+namespace dds {
+
+/// Knobs for one synthetic coefficient trace.
+struct TraceGenParams {
+  double mean = 1.0;          ///< long-run mean coefficient.
+  double jitter_sd = 0.04;    ///< innovation std-dev of the AR(1) jitter.
+  double jitter_ar = 0.9;     ///< AR(1) pole in [0, 1).
+  double diurnal_amplitude = 0.05;  ///< amplitude of the 24 h sinusoid.
+  double shift_probability = 0.002;  ///< per-sample chance of a level shift.
+  double shift_sd = 0.12;    ///< magnitude std-dev of a level shift.
+  double min_value = 0.4;    ///< clamp floor (coefficients stay positive).
+  double max_value = 1.3;    ///< clamp ceiling.
+
+  void validate() const;
+};
+
+/// Parameters matching the paper's CPU-performance observations (Fig. 2):
+/// coefficients near 1.0 with ~5-15% relative deviation and occasional
+/// sustained degradations.
+[[nodiscard]] TraceGenParams cpuTraceParams();
+
+/// Parameters for inter-VM latency coefficients (Fig. 3, left): spikier
+/// than CPU, with heavier shifts.
+[[nodiscard]] TraceGenParams latencyTraceParams();
+
+/// Parameters for inter-VM bandwidth coefficients (Fig. 3, right): dips
+/// below rated bandwidth under contention, never above ~rated.
+[[nodiscard]] TraceGenParams bandwidthTraceParams();
+
+/// Generate one trace of `duration_s / sample_period_s` samples.
+[[nodiscard]] PerfTrace generateTrace(const TraceGenParams& params,
+                                      SimTime duration_s,
+                                      SimTime sample_period_s, Rng& rng);
+
+/// Generate a pool of independent traces (one per physical placement).
+[[nodiscard]] std::vector<PerfTrace> generateTracePool(
+    const TraceGenParams& params, std::size_t count, SimTime duration_s,
+    SimTime sample_period_s, Rng& rng);
+
+}  // namespace dds

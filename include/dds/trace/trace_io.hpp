@@ -1,0 +1,26 @@
+// CSV persistence for performance traces.
+//
+// Lets users replay real traces gathered from their own cloud (the paper's
+// FutureGrid setup) instead of the synthetic generator: gather coefficient
+// samples, store them as `time_s,coefficient` CSV, and load them here.
+#pragma once
+
+#include <string>
+
+#include "dds/trace/perf_trace.hpp"
+
+namespace dds {
+
+/// Serialize a trace as CSV with columns `time_s,coefficient`.
+[[nodiscard]] std::string traceToCsv(const PerfTrace& trace);
+
+/// Parse a trace from CSV produced by traceToCsv (or hand-gathered data
+/// with the same columns). Sample period is inferred from the first two
+/// rows; rows must be uniformly spaced. Throws IoError on malformed input.
+[[nodiscard]] PerfTrace traceFromCsv(const std::string& text);
+
+/// Convenience file wrappers.
+void saveTrace(const std::string& path, const PerfTrace& trace);
+[[nodiscard]] PerfTrace loadTrace(const std::string& path);
+
+}  // namespace dds

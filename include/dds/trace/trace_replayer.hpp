@@ -1,0 +1,71 @@
+// Trace replay over live VM instances (paper §8.1).
+//
+// "For individual experimental runs, we assign a random time period from
+// the traces for each active VM to replay. We then multiply that
+// coefficient with the rated performance of the active VM to obtain its
+// instantaneous runtime performance."
+//
+// The replayer owns pools of CPU / latency / bandwidth coefficient traces
+// and deterministically assigns each VM (or VM pair) a trace plus a random
+// replay offset the first time it is queried. Multiplying by rated specs
+// is the MonitoringService's job.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dds/common/ids.hpp"
+#include "dds/common/rng.hpp"
+#include "dds/common/time.hpp"
+#include "dds/trace/perf_trace.hpp"
+#include "dds/trace/trace_gen.hpp"
+
+namespace dds {
+
+/// Deterministic per-VM and per-VM-pair coefficient source.
+class TraceReplayer {
+ public:
+  TraceReplayer(std::vector<PerfTrace> cpu_pool,
+                std::vector<PerfTrace> latency_pool,
+                std::vector<PerfTrace> bandwidth_pool, std::uint64_t seed);
+
+  /// A replayer whose every coefficient is exactly 1.0 (no variability).
+  static TraceReplayer ideal();
+
+  /// Pools generated with the FutureGrid-like parameters from trace_gen.
+  /// `duration_s` should cover the longest experiment (traces wrap).
+  static TraceReplayer futureGridLike(std::uint64_t seed,
+                                      SimTime duration_s = 4.0 * 24.0 *
+                                                           kSecondsPerHour,
+                                      SimTime sample_period_s = 300.0,
+                                      std::size_t pool_size = 8);
+
+  /// Observed-to-rated CPU speed coefficient for one VM at time `t`.
+  [[nodiscard]] double cpuCoeff(VmId vm, SimTime t);
+
+  /// Observed-to-nominal latency coefficient between two distinct VMs.
+  [[nodiscard]] double latencyCoeff(VmId a, VmId b, SimTime t);
+
+  /// Observed-to-rated bandwidth coefficient between two distinct VMs.
+  [[nodiscard]] double bandwidthCoeff(VmId a, VmId b, SimTime t);
+
+ private:
+  struct Assignment {
+    std::size_t trace_index;
+    SimTime offset;
+  };
+
+  Assignment assign(const std::vector<PerfTrace>& pool);
+  static std::uint64_t pairKey(VmId a, VmId b);
+
+  std::vector<PerfTrace> cpu_pool_;
+  std::vector<PerfTrace> latency_pool_;
+  std::vector<PerfTrace> bandwidth_pool_;
+  Rng rng_;
+  std::unordered_map<VmId, Assignment> cpu_assignments_;
+  std::unordered_map<std::uint64_t, Assignment> latency_assignments_;
+  std::unordered_map<std::uint64_t, Assignment> bandwidth_assignments_;
+};
+
+}  // namespace dds

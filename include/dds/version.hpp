@@ -1,0 +1,13 @@
+// Library version.
+#pragma once
+
+namespace dds {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+/// "major.minor.patch" of this build of the library.
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace dds

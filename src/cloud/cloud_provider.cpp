@@ -1,0 +1,56 @@
+#include "dds/cloud/cloud_provider.hpp"
+
+#include <algorithm>
+
+namespace dds {
+
+VmId CloudProvider::acquire(ResourceClassId cls, SimTime t) {
+  DDS_REQUIRE(t >= 0.0, "acquire time must be non-negative");
+  const VmId id(static_cast<VmId::value_type>(instances_.size()));
+  instances_.emplace_back(id, cls, catalog_.at(cls), t);
+  return id;
+}
+
+void CloudProvider::release(VmId id, SimTime t) {
+  VmInstance& vm = instance(id);
+  DDS_REQUIRE(vm.allocatedCoreCount() == 0,
+              "release requires all cores to be freed first");
+  vm.shutdown(t);
+}
+
+std::vector<VmId> CloudProvider::activeVms() const {
+  std::vector<VmId> out;
+  for (const auto& vm : instances_) {
+    if (vm.isActive()) out.push_back(vm.id());
+  }
+  return out;
+}
+
+int CloudProvider::billedHours(VmId id, SimTime t) const {
+  const VmInstance& vm = instance(id);
+  const SimTime end = std::min(vm.offTime(), t);
+  if (end <= vm.startTime()) return 0;
+  const double hours = (end - vm.startTime()) / kSecondsPerHour;
+  return static_cast<int>(std::ceil(hours - 1e-12));
+}
+
+double CloudProvider::instanceCost(VmId id, SimTime t) const {
+  return static_cast<double>(billedHours(id, t)) *
+         instance(id).spec().price_per_hour;
+}
+
+double CloudProvider::accumulatedCost(SimTime t) const {
+  double total = 0.0;
+  for (const auto& vm : instances_) total += instanceCost(vm.id(), t);
+  return total;
+}
+
+SimTime CloudProvider::timeToNextHourBoundary(VmId id, SimTime t) const {
+  const VmInstance& vm = instance(id);
+  DDS_REQUIRE(t >= vm.startTime(), "time precedes VM start");
+  const double elapsed = t - vm.startTime();
+  const double into_hour = std::fmod(elapsed, kSecondsPerHour);
+  return into_hour == 0.0 ? 0.0 : kSecondsPerHour - into_hour;
+}
+
+}  // namespace dds

@@ -1,0 +1,25 @@
+#include "dds/cloud/placement_model.hpp"
+
+namespace dds {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PlacementModel::PlacementModel(PlacementConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  config_.validate();
+}
+
+int PlacementModel::rackOf(VmId vm) const {
+  const std::uint64_t h = splitmix64(seed_ ^ (0x9d2c5680ull + vm.value()));
+  return static_cast<int>(h % static_cast<std::uint64_t>(config_.racks));
+}
+
+}  // namespace dds

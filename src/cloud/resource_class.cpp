@@ -1,0 +1,88 @@
+#include "dds/cloud/resource_class.hpp"
+
+namespace dds {
+
+ResourceCatalog::ResourceCatalog(std::vector<ResourceClass> classes)
+    : classes_(std::move(classes)) {
+  DDS_REQUIRE(!classes_.empty(), "catalog needs at least one class");
+  for (const auto& c : classes_) c.validate();
+}
+
+ResourceClassId ResourceCatalog::largest() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < classes_.size(); ++i) {
+    const double pi = classes_[i].totalPower();
+    const double pb = classes_[best].totalPower();
+    if (pi > pb ||
+        (pi == pb && classes_[i].price_per_hour <
+                         classes_[best].price_per_hour)) {
+      best = i;
+    }
+  }
+  return ResourceClassId(static_cast<ResourceClassId::value_type>(best));
+}
+
+ResourceClassId ResourceCatalog::smallestFitting(double core_power) const {
+  DDS_REQUIRE(core_power >= 0.0, "core power must be non-negative");
+  bool found = false;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].totalPower() + 1e-12 < core_power) continue;
+    if (!found ||
+        classes_[i].price_per_hour < classes_[best].price_per_hour ||
+        (classes_[i].price_per_hour == classes_[best].price_per_hour &&
+         classes_[i].totalPower() < classes_[best].totalPower())) {
+      best = i;
+      found = true;
+    }
+  }
+  return found ? ResourceClassId(
+                     static_cast<ResourceClassId::value_type>(best))
+               : largest();
+}
+
+ResourceClassId ResourceCatalog::byName(const std::string& name) const {
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].name == name) {
+      return ResourceClassId(static_cast<ResourceClassId::value_type>(i));
+    }
+  }
+  throw PreconditionError("no such resource class: " + name);
+}
+
+ResourceCatalog awsCatalog2013() {
+  return ResourceCatalog({
+      {"m1.small", 1, 1.0, 100.0, 0.06},
+      {"m1.medium", 1, 2.0, 100.0, 0.12},
+      {"m1.large", 2, 2.0, 100.0, 0.24},
+      {"m1.xlarge", 4, 2.0, 100.0, 0.48},
+  });
+}
+
+ResourceCatalog awsCatalogSecondGen2013() {
+  // 13 / 26 ECU over 4 / 8 cores; ~$0.077 per unit of power vs m1's $0.06.
+  return ResourceCatalog({
+      {"m3.xlarge", 4, 3.25, 100.0, 1.00},
+      {"m3.2xlarge", 8, 3.25, 100.0, 2.00},
+  });
+}
+
+ResourceCatalog awsCatalogMixed2013() {
+  return ResourceCatalog({
+      {"m1.small", 1, 1.0, 100.0, 0.06},
+      {"m1.medium", 1, 2.0, 100.0, 0.12},
+      {"m1.large", 2, 2.0, 100.0, 0.24},
+      {"m1.xlarge", 4, 2.0, 100.0, 0.48},
+      {"m3.xlarge", 4, 3.25, 100.0, 1.00},
+      {"m3.2xlarge", 8, 3.25, 100.0, 2.00},
+  });
+}
+
+ResourceCatalog catalogByName(const std::string& name) {
+  if (name == "m1") return awsCatalog2013();
+  if (name == "m3") return awsCatalogSecondGen2013();
+  if (name == "mixed") return awsCatalogMixed2013();
+  throw PreconditionError("unknown catalog: " + name);
+}
+
+}  // namespace dds

@@ -1,0 +1,222 @@
+#include "dds/config/config_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "dds/common/error.hpp"
+
+namespace dds {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+KeyValueConfig KeyValueConfig::parse(const std::string& text) {
+  KeyValueConfig cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      std::ostringstream os;
+      os << "config line " << line_no << ": expected 'key = value'";
+      throw IoError(os.str());
+    }
+    const std::string key = trim(trimmed.substr(0, eq));
+    const std::string value = trim(trimmed.substr(eq + 1));
+    if (key.empty()) {
+      std::ostringstream os;
+      os << "config line " << line_no << ": empty key";
+      throw IoError(os.str());
+    }
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+KeyValueConfig KeyValueConfig::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+bool KeyValueConfig::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string KeyValueConfig::getString(const std::string& key,
+                                      const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double KeyValueConfig::getDouble(const std::string& key,
+                                 double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  double out = 0.0;
+  const auto& s = it->second;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  DDS_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+              "config key '" + key + "' is not a number: " + s);
+  return out;
+}
+
+std::int64_t KeyValueConfig::getInt(const std::string& key,
+                                    std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::int64_t out = 0;
+  const auto& s = it->second;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  DDS_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+              "config key '" + key + "' is not an integer: " + s);
+  return out;
+}
+
+bool KeyValueConfig::getBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  throw PreconditionError("config key '" + key +
+                          "' is not a boolean: " + it->second);
+}
+
+std::vector<std::string> KeyValueConfig::getList(
+    const std::string& key) const {
+  std::vector<std::string> out;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return out;
+  std::istringstream in(it->second);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const std::string t = trim(item);
+    if (!t.empty()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::string> KeyValueConfig::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+SchedulerKind schedulerKindFromName(const std::string& name) {
+  for (const auto kind :
+       {SchedulerKind::LocalAdaptive, SchedulerKind::GlobalAdaptive,
+        SchedulerKind::LocalStatic, SchedulerKind::GlobalStatic,
+        SchedulerKind::LocalAdaptiveNoDyn,
+        SchedulerKind::GlobalAdaptiveNoDyn, SchedulerKind::BruteForceStatic,
+        SchedulerKind::ReactiveBaseline, SchedulerKind::AnnealingStatic}) {
+    if (toString(kind) == name) return kind;
+  }
+  throw PreconditionError("unknown scheduler name: " + name);
+}
+
+CliExperiment experimentFromConfig(const KeyValueConfig& kv) {
+  static const std::vector<std::string> kKnownKeys = {
+      "graph",        "chain_length",   "scheduler",
+      "mean_rate",    "profile",        "horizon_h",
+      "interval_s",   "infra_variability", "seed",
+      "omega_target", "epsilon",        "msg_size_kb",
+      "alternate_period", "resource_period", "sigma",
+      "vm_mtbf_h",    "output_csv", "catalog", "placement_racks",
+      "power_smoothing_alpha", "backend", "max_queue_delay_s"};
+  for (const auto& key : kv.keys()) {
+    DDS_REQUIRE(std::find(kKnownKeys.begin(), kKnownKeys.end(), key) !=
+                    kKnownKeys.end(),
+                "unknown config key: " + key);
+  }
+
+  CliExperiment ex;
+  ex.graph = kv.getString("graph", "paper");
+  DDS_REQUIRE(ex.graph == "paper" || ex.graph == "chain" ||
+                  ex.graph == "diamond",
+              "unknown graph: " + ex.graph);
+
+  ExperimentConfig& cfg = ex.config;
+  cfg.mean_rate = kv.getDouble("mean_rate", cfg.mean_rate);
+  cfg.horizon_s = kv.getDouble("horizon_h", 1.0) * kSecondsPerHour;
+  cfg.interval_s = kv.getDouble("interval_s", cfg.interval_s);
+  cfg.infra_variability =
+      kv.getBool("infra_variability", cfg.infra_variability);
+  cfg.seed = static_cast<std::uint64_t>(
+      kv.getInt("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.omega_target = kv.getDouble("omega_target", cfg.omega_target);
+  cfg.epsilon = kv.getDouble("epsilon", cfg.epsilon);
+  cfg.msg_size_bytes =
+      kv.getDouble("msg_size_kb", cfg.msg_size_bytes / 1000.0) * 1000.0;
+  cfg.alternate_period = kv.getInt("alternate_period", cfg.alternate_period);
+  cfg.resource_period = kv.getInt("resource_period", cfg.resource_period);
+  cfg.sigma_override = kv.getDouble("sigma", cfg.sigma_override);
+  cfg.vm_mtbf_hours = kv.getDouble("vm_mtbf_h", cfg.vm_mtbf_hours);
+  cfg.catalog = kv.getString("catalog", cfg.catalog);
+  cfg.placement_racks =
+      static_cast<int>(kv.getInt("placement_racks", cfg.placement_racks));
+  cfg.power_smoothing_alpha =
+      kv.getDouble("power_smoothing_alpha", cfg.power_smoothing_alpha);
+  cfg.max_queue_delay_s =
+      kv.getDouble("max_queue_delay_s", cfg.max_queue_delay_s);
+
+  const std::string profile = kv.getString("profile", "constant");
+  if (profile == "constant") {
+    cfg.profile = ProfileKind::Constant;
+  } else if (profile == "wave") {
+    cfg.profile = ProfileKind::PeriodicWave;
+  } else if (profile == "random-walk") {
+    cfg.profile = ProfileKind::RandomWalk;
+  } else if (profile == "spike") {
+    cfg.profile = ProfileKind::Spike;
+  } else {
+    throw PreconditionError("unknown profile: " + profile);
+  }
+
+  const std::string backend = kv.getString("backend", "fluid");
+  if (backend == "fluid") {
+    cfg.backend = SimBackend::Fluid;
+  } else if (backend == "event") {
+    cfg.backend = SimBackend::Event;
+  } else {
+    throw PreconditionError("unknown backend: " + backend);
+  }
+
+  auto names = kv.getList("scheduler");
+  if (names.empty()) names = {"global"};
+  for (const auto& name : names) {
+    ex.schedulers.push_back(schedulerKindFromName(name));
+  }
+  ex.output_csv = kv.getString("output_csv", "");
+  cfg.validate();
+  return ex;
+}
+
+}  // namespace dds

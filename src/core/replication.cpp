@@ -1,0 +1,25 @@
+#include "dds/core/replication.hpp"
+
+namespace dds {
+
+ReplicatedResult runReplicated(const Dataflow& dataflow,
+                               ExperimentConfig base, SchedulerKind kind,
+                               std::size_t runs) {
+  DDS_REQUIRE(runs >= 1, "need at least one run");
+  ReplicatedResult out;
+  out.runs = runs;
+  for (std::size_t i = 0; i < runs; ++i) {
+    ExperimentConfig cfg = base;
+    cfg.seed = base.seed + i;
+    const auto r = SimulationEngine(dataflow, cfg).run(kind);
+    out.scheduler_name = r.scheduler_name;
+    out.omega.add(r.average_omega);
+    out.gamma.add(r.average_gamma);
+    out.cost.add(r.total_cost);
+    out.theta.add(r.theta);
+    if (!r.constraint_met) ++out.constraint_violations;
+  }
+  return out;
+}
+
+}  // namespace dds

@@ -1,0 +1,50 @@
+#include "dds/core/report.hpp"
+
+namespace dds {
+
+CsvTable intervalSeriesCsv(const RunResult& run) {
+  CsvTable t;
+  t.header = {"interval", "start_s",  "input_rate", "omega",
+              "gamma",    "cost_usd", "active_vms", "cores"};
+  t.rows.reserve(run.intervals().size());
+  for (const auto& m : run.intervals()) {
+    t.rows.push_back({static_cast<double>(m.index), m.start, m.input_rate,
+                      m.omega, m.gamma, m.cost_cumulative,
+                      static_cast<double>(m.active_vms),
+                      static_cast<double>(m.allocated_cores)});
+  }
+  return t;
+}
+
+CsvTable summaryCsv(std::span<const ExperimentResult> results) {
+  CsvTable t;
+  t.header = {"omega",     "gamma",    "cost_usd",  "theta",
+              "met",       "peak_vms", "peak_cores", "failures",
+              "lost_msgs", "sigma"};
+  t.rows.reserve(results.size());
+  for (const auto& r : results) {
+    t.rows.push_back({r.average_omega, r.average_gamma, r.total_cost,
+                      r.theta, r.constraint_met ? 1.0 : 0.0,
+                      static_cast<double>(r.peak_vms),
+                      static_cast<double>(r.peak_cores),
+                      static_cast<double>(r.vm_failures), r.messages_lost,
+                      r.sigma});
+  }
+  return t;
+}
+
+TextTable summaryTable(std::span<const ExperimentResult> results) {
+  TextTable table({"scheduler", "omega", "met", "gamma", "cost$", "theta",
+                   "peak-VMs", "failures"});
+  for (const auto& r : results) {
+    table.addRow({r.scheduler_name, TextTable::num(r.average_omega),
+                  r.constraint_met ? "yes" : "NO",
+                  TextTable::num(r.average_gamma),
+                  TextTable::num(r.total_cost, 2), TextTable::num(r.theta),
+                  std::to_string(r.peak_vms),
+                  std::to_string(r.vm_failures)});
+  }
+  return table;
+}
+
+}  // namespace dds

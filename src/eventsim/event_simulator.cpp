@@ -1,0 +1,320 @@
+#include "dds/eventsim/event_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dds/common/time.hpp"
+#include "dds/sim/rate_model.hpp"
+
+namespace dds {
+
+void EventSimConfig::validate() const {
+  DDS_REQUIRE(msg_size_bytes > 0.0, "message size must be positive");
+  DDS_REQUIRE(interval_s > 0.0, "interval must be positive");
+  DDS_REQUIRE(horizon_s >= interval_s, "horizon shorter than one interval");
+  DDS_REQUIRE(max_latency_samples > 0, "latency sample cap must be > 0");
+}
+
+double EventSimResult::latencyPercentile(double p) const {
+  DDS_REQUIRE(!latency_samples.empty(), "no latency samples recorded");
+  return percentile(latency_samples, p);
+}
+
+PeId EventSimResult::worstQueueingPe() const {
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < pe_queue_wait.size(); ++i) {
+    if (pe_queue_wait[i].mean() > pe_queue_wait[worst].mean()) worst = i;
+  }
+  return PeId(static_cast<PeId::value_type>(worst));
+}
+
+EventSimulator::EventSimulator(const Dataflow& df, CloudProvider& cloud,
+                               const MonitoringService& mon,
+                               EventSimConfig cfg)
+    : df_(&df), cloud_(&cloud), mon_(&mon), cfg_(cfg) {
+  cfg_.validate();
+}
+
+void EventSimulator::dispatchIdleCores(PeId pe, SimTime now,
+                                       const Deployment& dep) {
+  PeState& st = pe_state_[pe.value()];
+  if (st.queue.empty()) return;
+  const auto& alt = df_->pe(pe).alternate(dep.activeAlternate(pe));
+  for (const auto& vc : peCores(*cloud_, pe)) {
+    const VmInstance& vm = cloud_->instance(vc.vm);
+    if (vc.vm.value() >= core_busy_.size()) {
+      core_busy_.resize(vc.vm.value() + 1);
+    }
+    auto& busy = core_busy_[vc.vm.value()];
+    if (busy.size() < static_cast<std::size_t>(vm.coreCount())) {
+      busy.resize(static_cast<std::size_t>(vm.coreCount()), false);
+    }
+    for (int c = 0; c < vm.coreCount() && !st.queue.empty(); ++c) {
+      const auto owner = vm.coreOwner(c);
+      if (!owner.has_value() || *owner != pe) continue;
+      if (busy[static_cast<std::size_t>(c)]) continue;
+      // Claim the core and start the message at the head of the queue.
+      busy[static_cast<std::size_t>(c)] = true;
+      const Message msg = st.queue.front();
+      st.queue.pop_front();
+      result_.pe_queue_wait[pe.value()].add(now - msg.enqueued);
+      const double speed = mon_->observedCorePower(vc.vm, now);
+      const double service =
+          speed > 0.0 ? alt.cost_core_sec / speed
+                      : std::numeric_limits<double>::infinity();
+      completions_.push({now + service, pe, vc.vm, c, msg});
+    }
+    if (st.queue.empty()) break;
+  }
+}
+
+void EventSimulator::enqueueAt(PeId pe, Message msg, SimTime now,
+                               const Deployment& dep) {
+  msg.enqueued = now;
+  pe_state_[pe.value()].queue.push_back(msg);
+  ++pe_state_[pe.value()].arrivals_in_interval;
+  dispatchIdleCores(pe, now, dep);
+}
+
+void EventSimulator::deliverDownstream(PeId from, VmId from_vm,
+                                       const Message& msg, SimTime now,
+                                       const Deployment& dep) {
+  // And-split: every successor receives a copy. The copy keeps the
+  // original creation time so end-to-end latency spans the whole path.
+  for (const PeId succ : df_->successors(from)) {
+    // Network cost from the producing VM to the successor's best VM;
+    // colocated flows are in-memory (§4).
+    double delay = 0.0;
+    bool colocated = false;
+    double best_mbps = 0.0;
+    for (const auto& vc : peCores(*cloud_, succ)) {
+      if (vc.vm == from_vm) {
+        colocated = true;
+        break;
+      }
+      best_mbps = std::max(
+          best_mbps, mon_->observedBandwidthMbps(from_vm, vc.vm, now));
+    }
+    if (!colocated && best_mbps > 0.0) {
+      // Route over the best-connected target VM: one-way latency plus the
+      // serialization time of a ~100 KB message at the observed bandwidth.
+      for (const auto& vc : peCores(*cloud_, succ)) {
+        if (mon_->observedBandwidthMbps(from_vm, vc.vm, now) == best_mbps) {
+          delay = mon_->observedLatencyMs(from_vm, vc.vm, now) / 1000.0 +
+                  cfg_.msg_size_bytes * 8.0 / (best_mbps * 1.0e6);
+          break;
+        }
+      }
+    }
+    if (delay <= 0.0) {
+      enqueueAt(succ, msg, now, dep);
+    } else {
+      Message copy = msg;
+      deliveries_.push({now + delay, succ, copy});
+    }
+  }
+}
+
+EventSimResult EventSimulator::run(const RateProfile& profile,
+                                   Deployment deployment,
+                                   Scheduler* scheduler) {
+  const std::size_t n = df_->peCount();
+  pe_state_.assign(n, {});
+  core_busy_.clear();
+  completions_ = {};
+  deliveries_ = {};
+  result_ = {};
+  result_.pe_queue_wait.assign(n, RunningStats{});
+  rng_ = Rng(cfg_.seed);
+
+  const IntervalClock clock(cfg_.interval_s, cfg_.horizon_s);
+  SimConfig fluid_cfg;
+  fluid_cfg.msg_size_bytes = cfg_.msg_size_bytes;
+  fluid_cfg.interval_s = cfg_.interval_s;
+
+  double omega_sum = 0.0;
+  IntervalMetrics last{};
+  // Messages pulled out of queues by a migration, due back at a deadline.
+  std::vector<std::pair<SimTime, std::pair<PeId, std::deque<Message>>>>
+      in_transit;
+
+  for (IntervalIndex i = 0; i < clock.intervalCount(); ++i) {
+    const SimTime t0 = clock.startOf(i);
+    const SimTime t1 = clock.endOf(i);
+
+    if (i > 0 && scheduler != nullptr) {
+      ObservedState st;
+      st.interval = i;
+      st.now = t0;
+      st.input_rate = profile.rate(clock.startOf(i - 1));
+      st.average_omega = omega_sum / static_cast<double>(i);
+      st.last_interval = &last;
+      for (const MigrationEvent& ev : scheduler->adapt(st, deployment)) {
+        // Pull the migrated share out of the queue; it lands back at the
+        // start of the next interval (network transfer, §5).
+        auto& queue = pe_state_[ev.pe.value()].queue;
+        const auto take = static_cast<std::size_t>(
+            std::llround(static_cast<double>(queue.size()) *
+                         ev.backlog_fraction));
+        std::deque<Message> moved;
+        for (std::size_t k = 0; k < take && !queue.empty(); ++k) {
+          moved.push_back(queue.back());
+          queue.pop_back();
+        }
+        if (!moved.empty()) {
+          in_transit.push_back({t1, {ev.pe, std::move(moved)}});
+        }
+      }
+    }
+
+    // Deliver any migrated messages whose transfer completed by t0.
+    for (auto it = in_transit.begin(); it != in_transit.end();) {
+      if (it->first <= t0) {
+        auto& [pe, msgs] = it->second;
+        auto& queue = pe_state_[pe.value()].queue;
+        for (Message m : msgs) {
+          m.enqueued = t0;
+          queue.push_back(m);
+        }
+        dispatchIdleCores(pe, t0, deployment);
+        it = in_transit.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    for (auto& st : pe_state_) {
+      st.arrivals_in_interval = 0;
+      st.processed_in_interval = 0;
+      st.emitted_in_interval = 0;
+    }
+
+    // Piecewise-constant arrival rate within the interval.
+    const double rate = profile.rate(t0);
+    SimTime next_arrival = std::numeric_limits<SimTime>::infinity();
+    if (rate > 0.0) {
+      next_arrival =
+          t0 + (cfg_.poisson_arrivals ? rng_.exponential(rate) : 1.0 / rate);
+    }
+
+    // Drain events in time order until the interval ends.
+    while (true) {
+      const SimTime completion_time =
+          completions_.empty() ? std::numeric_limits<SimTime>::infinity()
+                               : completions_.top().time;
+      const SimTime delivery_time =
+          deliveries_.empty() ? std::numeric_limits<SimTime>::infinity()
+                              : deliveries_.top().time;
+      const SimTime next_time =
+          std::min({next_arrival, completion_time, delivery_time});
+      if (next_time >= t1) break;
+
+      if (next_arrival <= completion_time &&
+          next_arrival <= delivery_time) {
+        // External message enters every input PE (same stream fan-in as
+        // the fluid model).
+        ++result_.messages_injected;
+        for (const PeId in : df_->inputs()) {
+          enqueueAt(in, Message{next_arrival, next_arrival}, next_arrival,
+                    deployment);
+        }
+        next_arrival += cfg_.poisson_arrivals ? rng_.exponential(rate)
+                                              : 1.0 / rate;
+      } else if (delivery_time <= completion_time) {
+        const Delivery arriving = deliveries_.top();
+        deliveries_.pop();
+        enqueueAt(arriving.pe, arriving.msg, arriving.time, deployment);
+      } else {
+        const Completion done = completions_.top();
+        completions_.pop();
+        // Free the physical core (ownership may have changed during
+        // adaptation; the busy flag is positional, so this stays correct).
+        if (done.vm.value() < core_busy_.size()) {
+          auto& busy = core_busy_[done.vm.value()];
+          if (static_cast<std::size_t>(done.core) < busy.size()) {
+            busy[static_cast<std::size_t>(done.core)] = false;
+          }
+        }
+        PeState& st = pe_state_[done.pe.value()];
+        ++st.processed_in_interval;
+
+        const auto& alt =
+            df_->pe(done.pe).alternate(deployment.activeAlternate(done.pe));
+        if (df_->isOutput(done.pe)) {
+          const double latency = done.time - done.msg.created;
+          result_.latency.add(latency);
+          ++result_.messages_delivered;
+          if (result_.latency_samples.size() < cfg_.max_latency_samples) {
+            result_.latency_samples.push_back(latency);
+          }
+        }
+        // Selectivity as credit so fractional ratios average out exactly.
+        st.selectivity_credit += alt.selectivity;
+        while (st.selectivity_credit >= 1.0 - 1e-12) {
+          st.selectivity_credit -= 1.0;
+          ++st.emitted_in_interval;
+          deliverDownstream(done.pe, done.vm, done.msg, done.time,
+                            deployment);
+        }
+        dispatchIdleCores(done.pe, done.time, deployment);
+      }
+    }
+
+    // Interval metrics, same shape as the fluid simulator's.
+    IntervalMetrics m;
+    m.index = i;
+    m.start = t0;
+    m.input_rate = rate;
+    m.pe_stats.resize(n);
+    const auto expected =
+        expectedOutputRates(*df_, deployment, rate);
+    double omega_acc = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      const PeId pe(static_cast<PeId::value_type>(p));
+      PeIntervalStats& ps = m.pe_stats[p];
+      const PeState& st = pe_state_[p];
+      const double dt = cfg_.interval_s;
+      ps.arrival_rate = static_cast<double>(st.arrivals_in_interval) / dt;
+      ps.processed_rate =
+          static_cast<double>(st.processed_in_interval) / dt;
+      ps.output_rate = static_cast<double>(st.emitted_in_interval) / dt;
+      ps.offered_rate =
+          ps.arrival_rate + static_cast<double>(st.queue.size()) / dt;
+      ps.backlog_msgs = static_cast<double>(st.queue.size());
+      ps.allocated_cores = totalCores(*cloud_, pe);
+      const auto& alt = df_->pe(pe).alternate(deployment.activeAlternate(pe));
+      ps.capacity_rate =
+          observedPowerOf(*cloud_, *mon_, pe, clock.midOf(i)) /
+          alt.cost_core_sec;
+      const double offered_msgs =
+          static_cast<double>(st.arrivals_in_interval + st.queue.size());
+      ps.relative_throughput =
+          offered_msgs > 0.0
+              ? static_cast<double>(st.processed_in_interval) / offered_msgs
+              : 1.0;
+    }
+    for (const PeId o : df_->outputs()) {
+      const double exp_rate = expected[o.value()];
+      const double ratio =
+          exp_rate > 0.0 ? m.pe_stats[o.value()].output_rate / exp_rate
+                         : 1.0;
+      omega_acc += std::clamp(ratio, 0.0, 1.0);
+    }
+    m.omega = omega_acc / static_cast<double>(df_->outputs().size());
+    double gamma_acc = 0.0;
+    for (const auto& pe : df_->pes()) {
+      gamma_acc += pe.relativeValue(deployment.activeAlternate(pe.id()));
+    }
+    m.gamma = gamma_acc / static_cast<double>(n);
+    m.cost_cumulative = cloud_->accumulatedCost(t1);
+    m.active_vms = static_cast<int>(cloud_->activeVms().size());
+    m.allocated_cores = totalAllocatedCores(*cloud_);
+
+    omega_sum += m.omega;
+    last = m;
+    result_.intervals.add(std::move(m));
+  }
+  return std::move(result_);
+}
+
+}  // namespace dds

@@ -1,0 +1,81 @@
+#include "dds/faults/failure_injector.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "dds/common/error.hpp"
+#include "dds/sim/deployment.hpp"
+
+namespace dds {
+namespace {
+
+/// SplitMix64 — a well-mixed hash so each (seed, vm) pair yields an
+/// independent uniform draw regardless of query order.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FailureInjector::FailureInjector(FaultConfig config) : config_(config) {}
+
+SimTime FailureInjector::deathTime(VmId vm, SimTime t_start) const {
+  if (!config_.enabled()) {
+    return std::numeric_limits<SimTime>::infinity();
+  }
+  const std::uint64_t h =
+      splitmix64(config_.seed ^ (0x51ed2701ull + vm.value()) * 0x2545f491ull);
+  // Uniform in (0, 1]; never exactly zero so log() is finite.
+  const double u =
+      (static_cast<double>(h >> 11) + 1.0) / 9007199254740993.0;
+  const double lifetime_s =
+      -std::log(u) * config_.vm_mtbf_hours * kSecondsPerHour;
+  return t_start + lifetime_s;
+}
+
+std::vector<FailureEvent> FailureInjector::injectUpTo(CloudProvider& cloud,
+                                                      SimTime now) const {
+  std::vector<FailureEvent> events;
+  if (!config_.enabled()) return events;
+
+  for (const VmId id : cloud.activeVms()) {
+    VmInstance& vm = cloud.instance(id);
+    const SimTime death = deathTime(id, vm.startTime());
+    if (death > now) continue;
+
+    FailureEvent ev;
+    ev.vm = id;
+    ev.time = death;
+    // Which PEs lose how much: the share of each PE's total cores that
+    // lived on the dead VM approximates its share of queued messages.
+    for (int c = 0; c < vm.coreCount(); ++c) {
+      const auto owner = vm.coreOwner(c);
+      if (!owner.has_value()) continue;
+      bool seen = false;
+      for (const auto& loss : ev.losses) {
+        if (loss.pe == *owner) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      const int on_vm = vm.coresOwnedBy(*owner);
+      const int total = totalCores(cloud, *owner);
+      DDS_ENSURE(total >= on_vm, "core ledger inconsistent");
+      ev.losses.push_back(
+          {*owner, static_cast<double>(on_vm) / static_cast<double>(total)});
+    }
+    // Crash: cores vanish, billing stops at the failure time.
+    for (const auto& loss : ev.losses) {
+      vm.releaseAllCoresOf(loss.pe);
+    }
+    cloud.release(id, std::max(death, vm.startTime()));
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+}  // namespace dds

@@ -1,0 +1,42 @@
+#include "dds/metrics/run_metrics.hpp"
+
+namespace dds {
+
+double RunResult::averageOmega() const {
+  if (intervals_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& m : intervals_) s += m.omega;
+  return s / static_cast<double>(intervals_.size());
+}
+
+double RunResult::averageGamma() const {
+  if (intervals_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& m : intervals_) s += m.gamma;
+  return s / static_cast<double>(intervals_.size());
+}
+
+double RunResult::totalCost() const {
+  return intervals_.empty() ? 0.0 : intervals_.back().cost_cumulative;
+}
+
+double equivalenceFactor(double max_value, double min_value,
+                         double cost_at_max, double cost_at_min) {
+  DDS_REQUIRE(max_value > min_value,
+              "max application value must exceed min");
+  DDS_REQUIRE(cost_at_max > cost_at_min,
+              "acceptable cost at max value must exceed cost at min value");
+  return (max_value - min_value) / (cost_at_max - cost_at_min);
+}
+
+double evaluationAcceptableCost(double data_rate_msgs_per_s,
+                                SimTime horizon_s) {
+  DDS_REQUIRE(data_rate_msgs_per_s > 0.0, "data rate must be positive");
+  DDS_REQUIRE(horizon_s > 0.0, "horizon must be positive");
+  // $4/hour at 2 msg/s scaling linearly to $100/hour at 50 msg/s (§8.2).
+  const double dollars_per_hour =
+      4.0 + (100.0 - 4.0) / (50.0 - 2.0) * (data_rate_msgs_per_s - 2.0);
+  return dollars_per_hour * horizon_s / kSecondsPerHour;
+}
+
+}  // namespace dds

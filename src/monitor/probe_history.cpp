@@ -1,0 +1,31 @@
+#include "dds/monitor/probe_history.hpp"
+
+namespace dds {
+
+ProbeHistory::ProbeHistory(const MonitoringService& monitor, double alpha)
+    : monitor_(&monitor), alpha_(alpha) {
+  DDS_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+}
+
+void ProbeHistory::probe(SimTime t) {
+  DDS_REQUIRE(t >= last_probe_, "probe times must be non-decreasing");
+  last_probe_ = t;
+  ++probes_;
+  for (const VmId vm : monitor_->cloud().activeVms()) {
+    const double observed = monitor_->observedCorePower(vm, t);
+    const auto it = smoothed_.find(vm);
+    if (it == smoothed_.end()) {
+      smoothed_.emplace(vm, observed);
+    } else {
+      it->second = alpha_ * observed + (1.0 - alpha_) * it->second;
+    }
+  }
+}
+
+double ProbeHistory::smoothedCorePower(VmId vm) const {
+  const auto it = smoothed_.find(vm);
+  if (it != smoothed_.end()) return it->second;
+  return monitor_->ratedCorePower(vm);
+}
+
+}  // namespace dds

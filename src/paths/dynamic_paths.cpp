@@ -1,0 +1,176 @@
+#include "dds/paths/dynamic_paths.hpp"
+
+#include <algorithm>
+
+namespace dds {
+
+void PathVariant::validate() const {
+  DDS_REQUIRE(!name.empty(), "path variant needs a name");
+  DDS_REQUIRE(!pes.empty(), "path variant needs at least one PE");
+  DDS_REQUIRE(!entries.empty(), "path variant needs an entry PE");
+  DDS_REQUIRE(!exits.empty(), "path variant needs an exit PE");
+  for (const auto& pe : pes) {
+    DDS_REQUIRE(!pe.alternates.empty(),
+                "fragment PE needs at least one alternate: " + pe.name);
+    for (const auto& a : pe.alternates) a.validate();
+  }
+  for (const auto& [from, to] : internal_edges) {
+    DDS_REQUIRE(from < pes.size() && to < pes.size(),
+                "internal edge index out of range in variant " + name);
+  }
+  for (const std::size_t e : entries) {
+    DDS_REQUIRE(e < pes.size(), "entry index out of range");
+  }
+  for (const std::size_t e : exits) {
+    DDS_REQUIRE(e < pes.size(), "exit index out of range");
+  }
+}
+
+DynamicPathApplication::DynamicPathApplication(
+    std::string name, std::vector<PathVariant::FragmentPe> head,
+    std::vector<PathVariant::FragmentPe> tail,
+    std::vector<PathVariant> variants)
+    : name_(std::move(name)),
+      head_(std::move(head)),
+      tail_(std::move(tail)),
+      variants_(std::move(variants)) {
+  DDS_REQUIRE(!name_.empty(), "application needs a name");
+  DDS_REQUIRE(!head_.empty(), "need at least one PE before the path group");
+  DDS_REQUIRE(!tail_.empty(), "need at least one PE after the path group");
+  DDS_REQUIRE(!variants_.empty(), "need at least one path variant");
+  for (const auto& v : variants_) v.validate();
+}
+
+const PathVariant& DynamicPathApplication::variant(std::size_t i) const {
+  DDS_REQUIRE(i < variants_.size(), "variant index out of range");
+  return variants_[i];
+}
+
+Dataflow DynamicPathApplication::materialize(std::size_t i) const {
+  const PathVariant& v = variant(i);
+  DataflowBuilder b(name_ + "+" + v.name);
+
+  std::vector<PeId> head_ids;
+  for (const auto& pe : head_) {
+    head_ids.push_back(b.addPe(pe.name, pe.alternates));
+  }
+  for (std::size_t k = 0; k + 1 < head_ids.size(); ++k) {
+    b.addEdge(head_ids[k], head_ids[k + 1]);
+  }
+
+  std::vector<PeId> frag_ids;
+  for (const auto& pe : v.pes) {
+    frag_ids.push_back(b.addPe(v.name + "/" + pe.name, pe.alternates));
+  }
+  for (const auto& [from, to] : v.internal_edges) {
+    b.addEdge(frag_ids[from], frag_ids[to]);
+  }
+
+  std::vector<PeId> tail_ids;
+  for (const auto& pe : tail_) {
+    tail_ids.push_back(b.addPe(pe.name, pe.alternates));
+  }
+  for (std::size_t k = 0; k + 1 < tail_ids.size(); ++k) {
+    b.addEdge(tail_ids[k], tail_ids[k + 1]);
+  }
+
+  for (const std::size_t e : v.entries) {
+    b.addEdge(head_ids.back(), frag_ids[e]);
+  }
+  for (const std::size_t e : v.exits) {
+    b.addEdge(frag_ids[e], tail_ids.front());
+  }
+  return std::move(b).build();
+}
+
+double DynamicPathApplication::variantValue(std::size_t i) const {
+  // Raw value of a variant = mean best-alternate value of its PEs; the
+  // relative (gamma-like) value normalizes against the best variant.
+  auto raw = [this](std::size_t k) {
+    const PathVariant& v = variants_[k];
+    double sum = 0.0;
+    for (const auto& pe : v.pes) {
+      double best = 0.0;
+      for (const auto& a : pe.alternates) best = std::max(best, a.value);
+      sum += best;
+    }
+    return sum / static_cast<double>(v.pes.size());
+  };
+  double best_raw = 0.0;
+  for (std::size_t k = 0; k < variants_.size(); ++k) {
+    best_raw = std::max(best_raw, raw(k));
+  }
+  return raw(i) / best_raw;
+}
+
+double DynamicPathApplication::variantCost(std::size_t i,
+                                           Strategy strategy) const {
+  // Build the variant's concrete graph and run the same selection +
+  // downstream-cost DP the §7.1 heuristics use; the variant's cost is the
+  // per-entry-message downstream cost summed over its entry PEs.
+  const Dataflow df = materialize(i);
+  Deployment choices(df);
+  selectInitialAlternates(strategy, df, choices);
+  const auto dc = downstreamCosts(df, choices);
+
+  const PathVariant& v = variant(i);
+  const std::size_t frag_base = head_.size();
+  double cost = 0.0;
+  for (const std::size_t e : v.entries) {
+    cost += dc[frag_base + e];
+  }
+  if (strategy == Strategy::Local) {
+    // Local has no downstream DP: just sum the fragment PEs' own costs.
+    cost = 0.0;
+    for (std::size_t k = 0; k < v.pes.size(); ++k) {
+      const PeId id(static_cast<PeId::value_type>(frag_base + k));
+      cost += df.pe(id)
+                  .alternate(choices.activeAlternate(id))
+                  .cost_core_sec;
+    }
+  }
+  return cost;
+}
+
+std::size_t DynamicPathApplication::selectVariant(Strategy strategy) const {
+  std::size_t best = 0;
+  double best_ratio = -1.0;
+  for (std::size_t i = 0; i < variants_.size(); ++i) {
+    const double ratio = variantValue(i) / variantCost(i, strategy);
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = i;
+    }
+  }
+  return best;
+}
+
+DynamicPathApplication makeCascadePathApplication() {
+  std::vector<PathVariant::FragmentPe> head = {
+      {"ingest", {{"parse", 1.0, 2.0, 1.0}}},
+  };
+  std::vector<PathVariant::FragmentPe> tail = {
+      {"publish", {{"emit", 1.0, 1.0, 1.0}}},
+  };
+
+  PathVariant deep;
+  deep.name = "deep-model";
+  deep.pes = {{"deep", {{"deep-net", 0.95, 10.0, 1.0}}}};
+  deep.entries = {0};
+  deep.exits = {0};
+
+  PathVariant cascade;
+  cascade.name = "cascade";
+  // A cheap filter drops 60% of messages, then a light model handles the
+  // rest: lower aggregate value, much lower aggregate cost.
+  cascade.pes = {{"filter", {{"gate", 0.9, 1.5, 0.4}}},
+                 {"light", {{"light-net", 0.75, 4.0, 1.0}}}};
+  cascade.internal_edges = {{0, 1}};
+  cascade.entries = {0};
+  cascade.exits = {1};
+
+  return DynamicPathApplication("cascade-app", std::move(head),
+                                std::move(tail), {deep, cascade});
+}
+
+}  // namespace dds

@@ -1,0 +1,513 @@
+#include "dds/sched/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "dds/sim/rate_model.hpp"
+
+namespace dds {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Active VM ids, cheapest-to-query helper.
+std::vector<VmId> activeVmIds(const CloudProvider& cloud) {
+  return cloud.activeVms();
+}
+
+bool hostsPe(const VmInstance& vm, PeId pe) {
+  return vm.coresOwnedBy(pe) > 0;
+}
+
+bool hostsNeighbor(const Dataflow& df, const VmInstance& vm, PeId pe) {
+  for (const PeId u : df.predecessors(pe)) {
+    if (hostsPe(vm, u)) return true;
+  }
+  for (const PeId v : df.successors(pe)) {
+    if (hostsPe(vm, v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CorePowerFn ratedCorePowerFn(const CloudProvider& cloud) {
+  return [&cloud](VmId vm) {
+    return cloud.instance(vm).spec().core_speed;
+  };
+}
+
+CorePowerFn observedCorePowerFn(const MonitoringService& mon, SimTime t) {
+  return [&mon, t](VmId vm) { return mon.observedCorePower(vm, t); };
+}
+
+ThroughputProjection projectThroughput(const Dataflow& df,
+                                       const Deployment& deployment,
+                                       double input_rate,
+                                       const std::vector<double>& pe_power) {
+  DDS_REQUIRE(pe_power.size() == df.peCount(),
+              "power vector does not match dataflow");
+  ThroughputProjection proj;
+  proj.required_power = requiredCorePower(df, deployment, input_rate);
+  proj.pe_omega.resize(df.peCount(), 1.0);
+
+  // Finite-capacity steady-state propagation (planning ignores network
+  // caps; the simulator applies them when the plan actually runs).
+  std::vector<double> out(df.peCount(), 0.0);
+  for (const PeId pe : df.topologicalOrder()) {
+    const std::size_t i = pe.value();
+    double arrival = 0.0;
+    if (df.isInput(pe)) {
+      arrival = input_rate;
+    } else {
+      for (const PeId u : df.predecessors(pe)) arrival += out[u.value()];
+    }
+    const auto& alt = df.pe(pe).alternate(deployment.activeAlternate(pe));
+    const double cap = pe_power[i] / alt.cost_core_sec;
+    out[i] = std::min(arrival, cap) * alt.selectivity;
+    proj.pe_omega[i] = proj.required_power[i] > kEps
+                           ? std::min(1.0, pe_power[i] /
+                                               proj.required_power[i])
+                           : 1.0;
+  }
+
+  const auto expected = expectedOutputRates(df, deployment, input_rate);
+  double omega_sum = 0.0;
+  for (const PeId o : df.outputs()) {
+    const double exp_rate = expected[o.value()];
+    const double ratio = exp_rate > kEps ? out[o.value()] / exp_rate : 1.0;
+    omega_sum += std::clamp(ratio, 0.0, 1.0);
+  }
+  proj.omega = omega_sum / static_cast<double>(df.outputs().size());
+  return proj;
+}
+
+ResourceAllocator::ResourceAllocator(const Dataflow& df, CloudProvider& cloud,
+                                     double omega_target,
+                                     AcquisitionPolicy acquisition)
+    : df_(&df),
+      cloud_(&cloud),
+      omega_target_(omega_target),
+      acquisition_(acquisition) {
+  DDS_REQUIRE(omega_target > 0.0 && omega_target <= 1.0,
+              "omega target out of range");
+}
+
+std::vector<double> ResourceAllocator::allocatedPower(
+    const CorePowerFn& power) const {
+  std::vector<double> pw(df_->peCount(), 0.0);
+  for (const VmId id : activeVmIds(*cloud_)) {
+    const VmInstance& vm = cloud_->instance(id);
+    const double per_core = power(id);
+    for (int c = 0; c < vm.coreCount(); ++c) {
+      if (const auto owner = vm.coreOwner(c)) {
+        pw[owner->value()] += per_core;
+      }
+    }
+  }
+  return pw;
+}
+
+VmId ResourceAllocator::acquireNew(SimTime now) {
+  const ResourceCatalog& catalog = cloud_->catalog();
+  if (acquisition_ == AcquisitionPolicy::LargestFirst) {
+    return cloud_->acquire(catalog.largest(), now);
+  }
+  // CheapestPower: best dollars per unit of rated power; ties go to the
+  // larger class (fewer VMs, better colocation).
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < catalog.size(); ++c) {
+    const auto& cand = catalog.at(
+        ResourceClassId(static_cast<ResourceClassId::value_type>(c)));
+    const auto& cur = catalog.at(
+        ResourceClassId(static_cast<ResourceClassId::value_type>(best)));
+    const double cand_rate = cand.price_per_hour / cand.totalPower();
+    const double cur_rate = cur.price_per_hour / cur.totalPower();
+    if (cand_rate < cur_rate - kEps ||
+        (std::abs(cand_rate - cur_rate) <= kEps &&
+         cand.totalPower() > cur.totalPower())) {
+      best = c;
+    }
+  }
+  return cloud_->acquire(
+      ResourceClassId(static_cast<ResourceClassId::value_type>(best)), now);
+}
+
+bool ResourceAllocator::allocateCoreForPe(PeId pe, SimTime now,
+                                          bool allow_acquire) {
+  // Rank free-core VMs: colocate with itself, then with graph neighbours,
+  // then anywhere; prefer faster cores, then tighter packing.
+  std::optional<VmId> best;
+  int best_rank = -1;
+  double best_speed = -1.0;
+  int best_free = std::numeric_limits<int>::max();
+  for (const VmId id : activeVmIds(*cloud_)) {
+    const VmInstance& vm = cloud_->instance(id);
+    if (vm.freeCoreCount() == 0) continue;
+    int rank = 0;
+    if (hostsPe(vm, pe)) {
+      rank = 2;
+    } else if (hostsNeighbor(*df_, vm, pe)) {
+      rank = 1;
+    }
+    const double speed = vm.spec().core_speed;
+    const int free = vm.freeCoreCount();
+    const bool better =
+        rank > best_rank ||
+        (rank == best_rank &&
+         (speed > best_speed || (speed == best_speed && free < best_free)));
+    if (better) {
+      best = id;
+      best_rank = rank;
+      best_speed = speed;
+      best_free = free;
+    }
+  }
+  if (!best.has_value()) {
+    if (!allow_acquire) return false;
+    best = acquireNew(now);
+  }
+  cloud_->instance(*best).allocateCore(pe);
+  return true;
+}
+
+void ResourceAllocator::ensureMinimumCores(SimTime now) {
+  // Alg. 1 lines 13-20: walk PEs in forward BFS order, filling the most
+  // recently touched VM first so dataflow neighbours land together.
+  std::optional<VmId> last_vm;
+  for (const PeId pe : df_->forwardBfsFromInputs()) {
+    if (totalCores(*cloud_, pe) > 0) continue;
+    if (!last_vm.has_value() ||
+        cloud_->instance(*last_vm).freeCoreCount() == 0) {
+      // Reuse any active VM with spare cores before acquiring a new one.
+      last_vm.reset();
+      for (const VmId id : activeVmIds(*cloud_)) {
+        if (cloud_->instance(id).freeCoreCount() > 0) {
+          last_vm = id;
+          break;
+        }
+      }
+      if (!last_vm.has_value()) last_vm = acquireNew(now);
+    }
+    cloud_->instance(*last_vm).allocateCore(pe);
+  }
+}
+
+namespace {
+
+/// Per-PE demand (normalized core power): measured arrivals when given,
+/// graph-propagated expected arrivals otherwise.
+std::vector<double> demandVector(const Dataflow& df,
+                                 const Deployment& deployment,
+                                 double input_rate,
+                                 const std::vector<double>* measured) {
+  if (measured == nullptr) {
+    return requiredCorePower(df, deployment, input_rate);
+  }
+  DDS_REQUIRE(measured->size() == df.peCount(),
+              "measured arrival vector does not match dataflow");
+  std::vector<double> required(*measured);
+  for (const auto& pe : df.pes()) {
+    required[pe.id().value()] *=
+        pe.alternate(deployment.activeAlternate(pe.id())).cost_core_sec;
+  }
+  return required;
+}
+
+std::vector<double> perPeOmega(const std::vector<double>& power,
+                               const std::vector<double>& required) {
+  std::vector<double> out(power.size(), 1.0);
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    if (required[i] > kEps) {
+      out[i] = std::min(1.0, power[i] / required[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void ResourceAllocator::scaleOut(const Deployment& deployment,
+                                 double input_rate, const CorePowerFn& power,
+                                 SimTime now, Strategy scope, double target,
+                                 const std::vector<double>* measured_arrivals) {
+  if (target < 0.0) target = omega_target_;
+  DDS_REQUIRE(target <= 1.0, "scale-out target cannot exceed 1");
+  const auto required =
+      demandVector(*df_, deployment, input_rate, measured_arrivals);
+
+  // Convergence bound: the demand is finite, every added core contributes
+  // at least the slowest catalog core's power.
+  double min_speed = std::numeric_limits<double>::infinity();
+  for (const auto& cls : cloud_->catalog().classes()) {
+    min_speed = std::min(min_speed, cls.core_speed);
+  }
+  double total_required = 0.0;
+  for (double r : required) total_required += r;
+  if (measured_arrivals != nullptr) {
+    // Measured and expected demand can differ; bound on their sum.
+    for (double r : requiredCorePower(*df_, deployment, input_rate)) {
+      total_required += r;
+    }
+  }
+  // The observed per-core power can sit well below rated (trace floor is
+  // ~0.4x), so allow proportionally more iterations than the rated bound.
+  const auto max_iters =
+      4 * static_cast<std::size_t>(total_required / min_speed) +
+      4 * df_->peCount() + 64;
+
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    const auto pw = allocatedPower(power);
+    // Deficit of each PE against its target; the most negative deficit is
+    // the bottleneck. A PE at its saturation point (pe_omega == 1) cannot
+    // be improved and never counts as a deficit.
+    std::vector<double> deficit(df_->peCount(), 0.0);
+    bool satisfied = true;
+    if (scope == Strategy::Global) {
+      // Graph-wide projection at predicted rates: allocate only while the
+      // *application* omega trails the target.
+      const auto proj =
+          projectThroughput(*df_, deployment, input_rate, pw);
+      satisfied = proj.omega >= target - kEps;
+      for (std::size_t i = 0; i < deficit.size(); ++i) {
+        deficit[i] = proj.pe_omega[i] - 1.0;
+      }
+    } else {
+      // Local view: each PE against its own (possibly stale) measured
+      // demand. Only the input PEs throttle to the constraint; every
+      // downstream PE is sized to serve what actually arrives — otherwise
+      // per-stage throttling would compound (0.7^depth at the sink).
+      const auto pe_omega = perPeOmega(pw, required);
+      for (std::size_t i = 0; i < pe_omega.size(); ++i) {
+        const PeId pe(static_cast<PeId::value_type>(i));
+        const double pe_target = df_->isInput(pe) ? target : 1.0;
+        deficit[i] = pe_omega[i] - pe_target;
+        if (deficit[i] < -kEps) satisfied = false;
+      }
+    }
+    if (satisfied) return;
+
+    const auto bottleneck_it =
+        std::min_element(deficit.begin(), deficit.end());
+    if (*bottleneck_it >= -kEps) return;  // nothing left to improve
+    const PeId bottleneck(static_cast<PeId::value_type>(
+        std::distance(deficit.begin(), bottleneck_it)));
+    if (!allocateCoreForPe(bottleneck, now, /*allow_acquire=*/true)) return;
+  }
+  throw InvariantError(
+      "incremental allocation failed to converge within its bound");
+}
+
+std::vector<MigrationEvent> ResourceAllocator::scaleIn(
+    const Deployment& deployment, double input_rate,
+    const CorePowerFn& power, Strategy scope, double floor_omega,
+    const std::vector<double>* measured_arrivals) {
+  std::vector<MigrationEvent> migrations;
+  const auto required =
+      demandVector(*df_, deployment, input_rate, measured_arrivals);
+  const int initial_cores = totalAllocatedCores(*cloud_);
+  for (int iter = 0; iter < initial_cores; ++iter) {
+    const auto pw = allocatedPower(power);
+
+    // Candidate = the PE with the largest surplus whose core removal keeps
+    // the (scope-dependent) projection at or above the floor. The core we
+    // give up is the one on the PE's least-loaded VM, so removals
+    // concentrate and eventually empty whole VMs.
+    struct Candidate {
+      PeId pe{0};
+      VmId vm{0};
+      double surplus = 0.0;
+    };
+    std::optional<Candidate> best;
+    for (const auto& element : df_->pes()) {
+      const PeId pe = element.id();
+      const auto cores = peCores(*cloud_, pe);
+      int count = 0;
+      for (const auto& vc : cores) count += vc.cores;
+      if (count <= 1) continue;  // every PE keeps at least one core
+
+      // Least-loaded hosting VM.
+      std::optional<VmId> victim;
+      int victim_load = std::numeric_limits<int>::max();
+      for (const auto& vc : cores) {
+        const int load = cloud_->instance(vc.vm).allocatedCoreCount();
+        if (load < victim_load) {
+          victim_load = load;
+          victim = vc.vm;
+        }
+      }
+      std::vector<double> pw2 = pw;
+      pw2[pe.value()] -= power(*victim);
+      bool ok;
+      if (scope == Strategy::Global) {
+        ok = projectThroughput(*df_, deployment, input_rate, pw2).omega >=
+             floor_omega - kEps;
+      } else {
+        const double req = required[pe.value()];
+        const double pe_floor = df_->isInput(pe) ? floor_omega : 1.0;
+        ok = req <= kEps || pw2[pe.value()] / req >= pe_floor - kEps;
+      }
+      if (!ok) continue;
+      const double surplus =
+          pw[pe.value()] / std::max(required[pe.value()], kEps);
+      if (!best.has_value() || surplus > best->surplus) {
+        best = Candidate{pe, *victim, surplus};
+      }
+    }
+    if (!best.has_value()) break;
+
+    VmInstance& vm = cloud_->instance(best->vm);
+    const int before_on_vm = vm.coresOwnedBy(best->pe);
+    const int before_total = totalCores(*cloud_, best->pe);
+    vm.releaseCoreOf(best->pe);
+    if (before_on_vm == 1 && before_total > 1) {
+      // The PE lost its last core on this VM: its share of buffered
+      // messages moves to its remaining hosts over the network.
+      migrations.push_back(
+          {best->pe, 1.0 / static_cast<double>(before_total)});
+    }
+  }
+  return migrations;
+}
+
+void ResourceAllocator::repackPes(const Deployment& deployment,
+                                  double input_rate, const CorePowerFn& power,
+                                  SimTime now) {
+  const auto required = requiredCorePower(*df_, deployment, input_rate);
+  for (const auto& element : df_->pes()) {
+    const PeId pe = element.id();
+    const auto cores = peCores(*cloud_, pe);
+    for (const auto& vc : cores) {
+      VmInstance& vm = cloud_->instance(vc.vm);
+      if (vm.allocatedCoreCount() != vc.cores) continue;  // not sole tenant
+
+      double other_power = 0.0;
+      for (const auto& other : cores) {
+        if (other.vm != vc.vm) {
+          other_power +=
+              static_cast<double>(other.cores) * power(other.vm);
+        }
+      }
+      const bool needs_core_elsewhere = (cores.size() == 1);
+      const double residual =
+          std::max(required[pe.value()] - other_power, 0.0);
+      if (residual <= kEps && !needs_core_elsewhere) {
+        // Fully covered elsewhere: just vacate this VM.
+        vm.releaseAllCoresOf(pe);
+        continue;
+      }
+      const ResourceClassId target_cls =
+          cloud_->catalog().smallestFitting(std::max(residual, kEps));
+      const ResourceClass& target_spec = cloud_->catalog().at(target_cls);
+      if (target_spec.price_per_hour >= vm.spec().price_per_hour) continue;
+
+      const int needed_cores = std::max(
+          1, static_cast<int>(
+                 std::ceil(residual / target_spec.core_speed - kEps)));
+      DDS_ENSURE(needed_cores <= target_spec.cores,
+                 "smallestFitting returned an undersized class");
+      const VmId fresh = cloud_->acquire(target_cls, now);
+      for (int c = 0; c < needed_cores; ++c) {
+        cloud_->instance(fresh).allocateCore(pe);
+      }
+      cloud_->instance(vc.vm).releaseAllCoresOf(pe);
+      break;  // this PE's layout changed; re-visit others first
+    }
+  }
+}
+
+void ResourceAllocator::repackFreeVms(const CorePowerFn& power) {
+  (void)power;  // relocation feasibility is decided on rated core speeds
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    // Lightest-loaded active VM first.
+    auto ids = activeVmIds(*cloud_);
+    std::sort(ids.begin(), ids.end(), [this](VmId a, VmId b) {
+      return cloud_->instance(a).allocatedCoreCount() <
+             cloud_->instance(b).allocatedCoreCount();
+    });
+    for (const VmId source_id : ids) {
+      VmInstance& source = cloud_->instance(source_id);
+      const int used = source.allocatedCoreCount();
+      if (used == 0) continue;
+
+      // Feasibility: every used core needs a free slot of >= speed on some
+      // other active VM. Slots are interchangeable within a VM.
+      struct Slot {
+        VmId vm;
+        double speed;
+        int free;
+      };
+      std::vector<Slot> slots;
+      for (const VmId other_id : ids) {
+        if (other_id == source_id) continue;
+        const VmInstance& other = cloud_->instance(other_id);
+        // Only already-used VMs may receive cores: each move then strictly
+        // reduces the number of non-empty VMs, which guarantees this loop
+        // terminates (no ping-ponging cores between two VMs).
+        if (other.allocatedCoreCount() == 0) continue;
+        if (other.freeCoreCount() > 0) {
+          slots.push_back(
+              {other_id, other.spec().core_speed, other.freeCoreCount()});
+        }
+      }
+      // Fill from the slowest adequate slots so fast cores stay available.
+      std::sort(slots.begin(), slots.end(),
+                [](const Slot& a, const Slot& b) { return a.speed < b.speed; });
+      const double need_speed = source.spec().core_speed;
+      std::vector<std::pair<VmId, int>> plan;  // target VM, cores to take
+      int remaining = used;
+      for (auto& slot : slots) {
+        if (slot.speed + kEps < need_speed) continue;
+        const int take = std::min(remaining, slot.free);
+        if (take > 0) {
+          plan.emplace_back(slot.vm, take);
+          remaining -= take;
+        }
+        if (remaining == 0) break;
+      }
+      if (remaining > 0) continue;  // cannot empty this VM
+
+      // Execute: move owners core by core.
+      std::vector<PeId> owners;
+      for (int c = 0; c < source.coreCount(); ++c) {
+        if (const auto owner = source.coreOwner(c)) owners.push_back(*owner);
+      }
+      auto plan_it = plan.begin();
+      int taken_here = 0;
+      for (const PeId owner : owners) {
+        source.releaseCoreOf(owner);
+        cloud_->instance(plan_it->first).allocateCore(owner);
+        if (++taken_here == plan_it->second) {
+          ++plan_it;
+          taken_here = 0;
+        }
+      }
+      moved = true;
+      break;  // layout changed; recompute ordering
+    }
+  }
+}
+
+int ResourceAllocator::releaseEmptyVms(ReleasePolicy policy, SimTime now,
+                                       SimTime interval_s) {
+  int released = 0;
+  for (const VmId id : activeVmIds(*cloud_)) {
+    const VmInstance& vm = cloud_->instance(id);
+    if (vm.allocatedCoreCount() > 0) continue;
+    if (policy == ReleasePolicy::AtHourBoundary) {
+      // Keep the VM while its current (already paid) hour still has time
+      // left — it can absorb a future scale-out for free. Release it just
+      // before the next hour starts getting billed.
+      if (cloud_->timeToNextHourBoundary(id, now) > interval_s) continue;
+    }
+    cloud_->release(id, now);
+    ++released;
+  }
+  return released;
+}
+
+}  // namespace dds

@@ -1,0 +1,84 @@
+#include "dds/sched/alternate_selection.hpp"
+
+namespace dds {
+
+std::string toString(Strategy s) {
+  return s == Strategy::Local ? "local" : "global";
+}
+
+std::vector<double> downstreamCosts(const Dataflow& df,
+                                    const Deployment& choices) {
+  std::vector<double> dc(df.peCount(), 0.0);
+  // Reverse topological order guarantees successors are computed first
+  // (reverse BFS from outputs would miss ordering between layers that BFS
+  // visits at the same depth; reverse-topo is the safe DP order).
+  const auto& topo = df.topologicalOrder();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const PeId pe = *it;
+    const auto& alt = df.pe(pe).alternate(choices.activeAlternate(pe));
+    double succ_sum = 0.0;
+    for (const PeId s : df.successors(pe)) succ_sum += dc[s.value()];
+    dc[pe.value()] = alt.cost_core_sec + alt.selectivity * succ_sum;
+  }
+  return dc;
+}
+
+double alternateCost(Strategy strategy, const Dataflow& df, PeId pe,
+                     const Alternate& candidate,
+                     const std::vector<double>& succ_costs) {
+  if (strategy == Strategy::Local) return candidate.cost_core_sec;
+  double succ_sum = 0.0;
+  for (const PeId s : df.successors(pe)) succ_sum += succ_costs[s.value()];
+  return candidate.cost_core_sec + candidate.selectivity * succ_sum;
+}
+
+namespace {
+
+AlternateId bestRatioAlternate(Strategy strategy, const Dataflow& df,
+                               PeId pe,
+                               const std::vector<double>& succ_costs) {
+  const ProcessingElement& element = df.pe(pe);
+  std::size_t best = 0;
+  double best_ratio = -1.0;
+  for (std::size_t j = 0; j < element.alternateCount(); ++j) {
+    const AlternateId alt_id(static_cast<AlternateId::value_type>(j));
+    const double cost = alternateCost(strategy, df, pe,
+                                      element.alternate(alt_id), succ_costs);
+    const double ratio = element.relativeValue(alt_id) / cost;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = j;
+    }
+  }
+  return AlternateId(static_cast<AlternateId::value_type>(best));
+}
+
+}  // namespace
+
+void selectInitialAlternates(Strategy strategy, const Dataflow& df,
+                             Deployment& deployment) {
+  if (strategy == Strategy::Local) {
+    // Local decisions are independent per PE.
+    for (const auto& pe : df.pes()) {
+      deployment.setActiveAlternate(
+          pe.id(), bestRatioAlternate(strategy, df, pe.id(), {}));
+    }
+    return;
+  }
+  // Global: choose outputs-first so every PE ranks its alternates against
+  // the downstream costs of already-decided successors.
+  const auto& topo = df.topologicalOrder();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const auto succ_costs = downstreamCosts(df, deployment);
+    deployment.setActiveAlternate(
+        *it, bestRatioAlternate(strategy, df, *it, succ_costs));
+  }
+}
+
+void selectBestValueAlternates(const Dataflow& df, Deployment& deployment) {
+  for (const auto& pe : df.pes()) {
+    deployment.setActiveAlternate(pe.id(), pe.bestValueAlternate());
+  }
+}
+
+}  // namespace dds

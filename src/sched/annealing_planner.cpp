@@ -1,0 +1,144 @@
+#include "dds/sched/annealing_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "dds/common/rng.hpp"
+#include "dds/sched/static_planning.hpp"
+#include "dds/sim/rate_model.hpp"
+
+namespace dds {
+namespace {
+
+/// One candidate plan: alternates plus VM multiset.
+struct Plan {
+  std::vector<AlternateId> alternates;
+  std::vector<int> vm_counts;
+};
+
+}  // namespace
+
+AnnealingScheduler::AnnealingScheduler(SchedulerEnv env, double sigma,
+                                       SimTime horizon_s,
+                                       AnnealingOptions options)
+    : env_(env), sigma_(sigma), horizon_s_(horizon_s), options_(options) {
+  env_.validate();
+  DDS_REQUIRE(sigma >= 0.0, "sigma must be non-negative");
+  DDS_REQUIRE(horizon_s > 0.0, "horizon must be positive");
+  options_.validate();
+}
+
+Deployment AnnealingScheduler::deploy(double estimated_input_rate) {
+  DDS_REQUIRE(estimated_input_rate >= 0.0,
+              "estimated input rate must be non-negative");
+  const Dataflow& df = *env_.dataflow;
+  const ResourceCatalog& catalog = env_.cloud->catalog();
+  const std::size_t n_pes = df.peCount();
+  const std::size_t n_classes = catalog.size();
+  const double horizon_hours = std::ceil(horizon_s_ / kSecondsPerHour);
+  Rng rng(options_.seed);
+
+  // Demand (constraint-scaled) and greedy feasibility for a plan; returns
+  // Theta, or -inf when the multiset cannot host the demand.
+  auto evaluate = [&](const Plan& plan, Deployment& dep_out,
+                      static_planning::Assignment* assignment_out) {
+    for (std::size_t i = 0; i < n_pes; ++i) {
+      dep_out.setActiveAlternate(PeId(static_cast<PeId::value_type>(i)),
+                                 plan.alternates[i]);
+    }
+    auto demand = requiredCorePower(df, dep_out, estimated_input_rate);
+    for (double& d : demand) d *= env_.omega_target;
+    auto assignment =
+        static_planning::tryAssign(catalog, plan.vm_counts, demand);
+    if (!assignment.has_value()) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    if (assignment_out != nullptr) *assignment_out = std::move(*assignment);
+    const double cost = static_planning::multisetCost(
+        catalog, plan.vm_counts, horizon_hours);
+    return static_planning::deploymentGamma(df, dep_out) - sigma_ * cost;
+  };
+
+  // Seed plan: cheapest-per-value alternates are unknown yet, so start
+  // from alternate 0 everywhere and enough largest-class VMs to host the
+  // whole demand (always feasible).
+  Plan current;
+  current.alternates.assign(n_pes, AlternateId(0));
+  current.vm_counts.assign(n_classes, 0);
+  {
+    Deployment probe(df);
+    auto demand = requiredCorePower(df, probe, estimated_input_rate);
+    double total = 0.0;
+    for (double& d : demand) {
+      d *= env_.omega_target;
+      total += d;
+    }
+    const ResourceClassId largest = catalog.largest();
+    const auto need = static_cast<int>(
+        std::ceil(total / catalog.at(largest).totalPower()));
+    current.vm_counts[largest.value()] =
+        std::max(need, static_cast<int>((n_pes + 3) / 4)) + 1;
+  }
+
+  Deployment scratch(df);
+  double current_theta = evaluate(current, scratch, nullptr);
+  DDS_ENSURE(std::isfinite(current_theta),
+             "annealing seed plan must be feasible");
+
+  Plan best = current;
+  double best_theta = current_theta;
+  double temperature = options_.initial_temperature;
+
+  for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
+    Plan candidate = current;
+    // Move: 50% flip an alternate (if any PE has >1), 50% nudge a VM count.
+    const bool flip_alternate = rng.chance(0.5);
+    if (flip_alternate) {
+      const auto pe = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(n_pes) - 1));
+      const auto n_alts = df.pe(PeId(static_cast<PeId::value_type>(pe)))
+                              .alternateCount();
+      if (n_alts > 1) {
+        auto next = candidate.alternates[pe].value();
+        next = (next + 1 +
+                static_cast<AlternateId::value_type>(rng.uniformInt(
+                    0, static_cast<std::int64_t>(n_alts) - 2))) %
+               static_cast<AlternateId::value_type>(n_alts);
+        candidate.alternates[pe] = AlternateId(next);
+      }
+    } else {
+      const auto cls = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(n_classes) - 1));
+      const int delta = rng.chance(0.5) ? 1 : -1;
+      candidate.vm_counts[cls] =
+          std::max(0, candidate.vm_counts[cls] + delta);
+    }
+
+    const double candidate_theta = evaluate(candidate, scratch, nullptr);
+    const double delta_theta = candidate_theta - current_theta;
+    const bool accept =
+        std::isfinite(candidate_theta) &&
+        (delta_theta >= 0.0 ||
+         rng.uniform(0.0, 1.0) < std::exp(delta_theta / temperature));
+    if (accept) {
+      current = std::move(candidate);
+      current_theta = candidate_theta;
+      if (current_theta > best_theta) {
+        best = current;
+        best_theta = current_theta;
+      }
+    }
+    temperature *= options_.cooling;
+  }
+
+  Deployment deployment(df);
+  static_planning::Assignment assignment;
+  best_theta_ = evaluate(best, deployment, &assignment);
+  DDS_ENSURE(std::isfinite(best_theta_), "best plan must stay feasible");
+  static_planning::materialize(*env_.cloud, best.vm_counts, assignment);
+  return deployment;
+}
+
+}  // namespace dds

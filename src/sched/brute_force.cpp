@@ -1,0 +1,137 @@
+#include "dds/sched/brute_force.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <optional>
+
+#include "dds/sched/static_planning.hpp"
+#include "dds/sim/rate_model.hpp"
+
+namespace dds {
+
+BruteForceScheduler::BruteForceScheduler(SchedulerEnv env, double sigma,
+                                         SimTime horizon_s,
+                                         std::size_t max_combinations)
+    : env_(env),
+      sigma_(sigma),
+      horizon_s_(horizon_s),
+      max_combinations_(max_combinations) {
+  env_.validate();
+  DDS_REQUIRE(sigma >= 0.0, "sigma must be non-negative");
+  DDS_REQUIRE(horizon_s > 0.0, "horizon must be positive");
+  DDS_REQUIRE(max_combinations >= 1, "combination cap must be positive");
+}
+
+Deployment BruteForceScheduler::deploy(double estimated_input_rate) {
+  DDS_REQUIRE(estimated_input_rate >= 0.0,
+              "estimated input rate must be non-negative");
+  const Dataflow& df = *env_.dataflow;
+  const ResourceCatalog& catalog = env_.cloud->catalog();
+  const std::size_t n_pes = df.peCount();
+  const std::size_t n_classes = catalog.size();
+  const double horizon_hours = std::ceil(horizon_s_ / kSecondsPerHour);
+  plans_examined_ = 0;
+
+  struct Best {
+    double theta = -std::numeric_limits<double>::infinity();
+    Deployment deployment;
+    std::vector<int> vm_counts;
+    static_planning::Assignment assignment;
+  };
+  std::optional<Best> best;
+
+  // Odometer over alternate combinations.
+  Deployment dep(df);
+  std::vector<std::size_t> combo(n_pes, 0);
+  bool combos_left = true;
+  while (combos_left) {
+    for (std::size_t i = 0; i < n_pes; ++i) {
+      dep.setActiveAlternate(
+          PeId(static_cast<PeId::value_type>(i)),
+          AlternateId(static_cast<AlternateId::value_type>(combo[i])));
+    }
+    // Provision to exactly the throughput constraint: meeting
+    // Omega >= Omega-hat at the boundary minimizes cost and thus
+    // maximizes Theta under the no-variability assumption.
+    auto demand = requiredCorePower(df, dep, estimated_input_rate);
+    for (double& d : demand) d *= env_.omega_target;
+    const double total_demand =
+        std::accumulate(demand.begin(), demand.end(), 0.0);
+    const double gamma = static_planning::deploymentGamma(df, dep);
+
+    // Per-class count bounds: enough of any single class to host the whole
+    // demand (plus one for core-count granularity).
+    std::vector<int> bounds(n_classes);
+    for (std::size_t c = 0; c < n_classes; ++c) {
+      const auto& cls = catalog.at(
+          ResourceClassId(static_cast<ResourceClassId::value_type>(c)));
+      const int by_power =
+          static_cast<int>(std::ceil(total_demand / cls.totalPower()));
+      const int by_cores = static_cast<int>(
+          (n_pes + static_cast<std::size_t>(cls.cores) - 1) /
+          static_cast<std::size_t>(cls.cores));
+      bounds[c] = std::max(by_power, by_cores) + 1;
+    }
+
+    // Odometer over VM multisets.
+    std::vector<int> counts(n_classes, 0);
+    bool multisets_left = true;
+    while (multisets_left) {
+      if (++plans_examined_ > max_combinations_) {
+        throw SearchSpaceTooLarge(
+            "brute-force search exceeded its combination cap; this static "
+            "optimal is only tractable for small graphs and data rates");
+      }
+      double total_power = 0.0;
+      int total_cores = 0;
+      for (std::size_t c = 0; c < n_classes; ++c) {
+        const auto& cls = catalog.at(
+            ResourceClassId(static_cast<ResourceClassId::value_type>(c)));
+        total_power += counts[c] * cls.totalPower();
+        total_cores += counts[c] * cls.cores;
+      }
+      const double cost =
+          static_planning::multisetCost(catalog, counts, horizon_hours);
+      const double theta = gamma - sigma_ * cost;
+      const bool worth_checking =
+          total_power + 1e-9 >= total_demand &&
+          total_cores >= static_cast<int>(n_pes) &&
+          (!best.has_value() || theta > best->theta);
+      if (worth_checking) {
+        if (auto assignment =
+                static_planning::tryAssign(catalog, counts, demand)) {
+          best = Best{theta, dep, counts, std::move(*assignment)};
+        }
+      }
+      // Advance the multiset odometer.
+      std::size_t pos = 0;
+      while (pos < n_classes) {
+        if (++counts[pos] <= bounds[pos]) break;
+        counts[pos] = 0;
+        ++pos;
+      }
+      multisets_left = pos < n_classes;
+    }
+
+    // Advance the alternate odometer.
+    std::size_t pos = 0;
+    while (pos < n_pes) {
+      if (++combo[pos] <
+          df.pe(PeId(static_cast<PeId::value_type>(pos))).alternateCount()) {
+        break;
+      }
+      combo[pos] = 0;
+      ++pos;
+    }
+    combos_left = pos < n_pes;
+  }
+
+  DDS_ENSURE(best.has_value(), "brute force found no feasible plan");
+  static_planning::materialize(*env_.cloud, best->vm_counts,
+                               best->assignment);
+  return best->deployment;
+}
+
+}  // namespace dds

@@ -1,0 +1,274 @@
+#include "dds/sched/heuristic_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dds/sim/rate_model.hpp"
+
+namespace dds {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Free (unallocated) normalized core power across active VMs.
+double freeCorePower(const CloudProvider& cloud, const CorePowerFn& power) {
+  double total = 0.0;
+  for (const VmId id : cloud.activeVms()) {
+    const VmInstance& vm = cloud.instance(id);
+    total += static_cast<double>(vm.freeCoreCount()) * power(id);
+  }
+  return total;
+}
+
+}  // namespace
+
+HeuristicScheduler::HeuristicScheduler(SchedulerEnv env, Strategy strategy,
+                                       HeuristicOptions options)
+    : env_(env),
+      strategy_(strategy),
+      options_(options),
+      allocator_(*env.dataflow, *env.cloud, env.omega_target,
+                 options.acquisition) {
+  env_.validate();
+  DDS_REQUIRE(options_.alternate_period >= 1,
+              "alternate period must be at least one interval");
+  DDS_REQUIRE(options_.resource_period >= 1,
+              "resource period must be at least one interval");
+}
+
+std::string HeuristicScheduler::name() const {
+  std::string n = toString(strategy_);
+  if (!options_.adaptive) n += "-static";
+  if (!options_.use_dynamism) n += "-nodyn";
+  return n;
+}
+
+Deployment HeuristicScheduler::deploy(double estimated_input_rate) {
+  DDS_REQUIRE(estimated_input_rate >= 0.0,
+              "estimated input rate must be non-negative");
+  const Dataflow& df = *env_.dataflow;
+  Deployment deployment(df);
+
+  // Alternate-selection stage (Alg. 1 lines 2-11).
+  if (options_.use_dynamism) {
+    selectInitialAlternates(strategy_, df, deployment);
+  } else {
+    selectBestValueAlternates(df, deployment);
+  }
+
+  // Resource-allocation stage (Alg. 1 lines 12-27). Deployment plans with
+  // rated performance and provisions for the full estimated demand
+  // (target 1.0): the input rate is only an estimate, and a static run
+  // has no second chance. The runtime phases later shed the surplus down
+  // to the Omega-hat constraint.
+  const CorePowerFn rated = ratedCorePowerFn(*env_.cloud);
+  allocator_.ensureMinimumCores(0.0);
+  allocator_.scaleOut(deployment, estimated_input_rate, rated, 0.0,
+                      strategy_, /*target=*/1.0);
+  if (strategy_ == Strategy::Global && options_.enable_repacking) {
+    allocator_.repackPes(deployment, estimated_input_rate, rated, 0.0);
+    allocator_.repackFreeVms(rated);
+  }
+  // VMs emptied by repacking were acquired this instant: releasing at t=0
+  // is free under hour-rounded billing for either strategy.
+  allocator_.releaseEmptyVms(ResourceAllocator::ReleasePolicy::Immediate,
+                             0.0, env_.sim_config.interval_s);
+  return deployment;
+}
+
+std::vector<MigrationEvent> HeuristicScheduler::adapt(
+    const ObservedState& state, Deployment& deployment) {
+  if (!options_.adaptive || state.interval == 0) return {};
+  if (options_.use_dynamism &&
+      state.interval % options_.alternate_period == 0) {
+    alternatePhase(state, deployment);
+  }
+  if (state.interval % options_.resource_period == 0) {
+    return resourcePhase(state, deployment);
+  }
+  return {};
+}
+
+CorePowerFn HeuristicScheduler::runtimePowerFn(SimTime now) const {
+  if (env_.probes != nullptr && env_.probes->probeCount() > 0) {
+    return [probes = env_.probes](VmId vm) {
+      return probes->smoothedCorePower(vm);
+    };
+  }
+  return observedCorePowerFn(*env_.monitor, now);
+}
+
+std::vector<double> HeuristicScheduler::measuredArrivals(
+    const ObservedState& state, const Deployment& deployment) const {
+  const Dataflow& df = *env_.dataflow;
+  const std::size_t n = df.peCount();
+  if (state.last_interval == nullptr ||
+      state.last_interval->pe_stats.size() != n) {
+    return expectedArrivalRates(df, deployment, state.input_rate);
+  }
+  std::vector<double> arrivals(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Measured *data rates* (§4's monitoring), not queue-drain pressure:
+    // provisioning against backlog drain would amplify every transient.
+    arrivals[i] = state.last_interval->pe_stats[i].arrival_rate;
+  }
+  // The sources measure their input streams directly, so a rate change is
+  // visible at the input PEs immediately; it reaches the local view of
+  // downstream PEs only as it propagates, one interval at a time.
+  for (const PeId in : df.inputs()) {
+    arrivals[in.value()] = std::max(arrivals[in.value()], state.input_rate);
+  }
+  return arrivals;
+}
+
+void HeuristicScheduler::alternatePhase(const ObservedState& state,
+                                        Deployment& deployment) {
+  const Dataflow& df = *env_.dataflow;
+  const double omega_t =
+      state.last_interval != nullptr ? state.last_interval->omega : 1.0;
+  const double omega_hat = env_.omega_target;
+  const double epsilon = env_.epsilon;
+  const bool underprovisioned = omega_t <= omega_hat;
+  const bool overprovisioned = omega_t >= omega_hat + epsilon;
+  if (!underprovisioned && !overprovisioned) return;  // inside the band
+
+  const CorePowerFn power = runtimePowerFn(state.now);
+  // The global strategy predicts each PE's load by propagating the
+  // observed input rate through the graph; the local strategy only knows
+  // what each PE actually saw last interval.
+  const auto arrivals = (strategy_ == Strategy::Local)
+                            ? measuredArrivals(state, deployment)
+                            : expectedArrivalRates(df, deployment,
+                                                   state.input_rate);
+  const auto allocated = allocator_.allocatedPower(power);
+  double available = freeCorePower(*env_.cloud, power);
+
+  for (const auto& element : df.pes()) {
+    const PeId pe = element.id();
+    const AlternateId active_id = deployment.activeAlternate(pe);
+    const Alternate& active = element.alternate(active_id);
+
+    // Feasible set (Alg. 2 lines 4-15): when behind on throughput only
+    // alternates at most as expensive as the active one are candidates
+    // (they raise throughput); when comfortably ahead, only alternates at
+    // least as expensive (they can raise value).
+    struct Ranked {
+      AlternateId id;
+      double ratio;
+      double needed_power;
+    };
+    std::vector<Ranked> feasible;
+    const auto succ_costs = strategy_ == Strategy::Global
+                                ? downstreamCosts(df, deployment)
+                                : std::vector<double>{};
+    for (std::size_t j = 0; j < element.alternateCount(); ++j) {
+      const AlternateId alt_id(static_cast<AlternateId::value_type>(j));
+      if (alt_id == active_id) continue;
+      const Alternate& alt = element.alternate(alt_id);
+      const bool candidate =
+          underprovisioned ? alt.cost_core_sec <= active.cost_core_sec
+                           : alt.cost_core_sec >= active.cost_core_sec;
+      if (!candidate) continue;
+      const double cost =
+          alternateCost(strategy_, df, pe, alt, succ_costs);
+      feasible.push_back({alt_id, element.relativeValue(alt_id) / cost,
+                          arrivals[pe.value()] * alt.cost_core_sec});
+    }
+    std::sort(feasible.begin(), feasible.end(),
+              [](const Ranked& a, const Ranked& b) {
+                return a.ratio > b.ratio;
+              });
+
+    // Switch to the best-ranked feasible alternate (Alg. 2 lines 16-22).
+    // Downgrades (the underprovisioned branch) always go through: a
+    // cheaper-per-message alternate raises throughput on the *current*
+    // allocation even before the resource phase reacts. Upgrades must fit
+    // in what the PE already holds plus the free capacity.
+    for (const Ranked& r : feasible) {
+      const double extra = r.needed_power - allocated[pe.value()];
+      if (underprovisioned || extra <= available + kEps) {
+        deployment.setActiveAlternate(pe, r.id);
+        available -= std::max(std::min(extra, available), 0.0);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<MigrationEvent> HeuristicScheduler::resourcePhase(
+    const ObservedState& state, Deployment& deployment) {
+  const double omega_hat = env_.omega_target;
+  const double epsilon = env_.epsilon;
+  const double omega_bar = state.average_omega;
+  const double omega_t =
+      state.last_interval != nullptr ? state.last_interval->omega : 1.0;
+  const CorePowerFn power = runtimePowerFn(state.now);
+
+  // Local decisions are based on per-PE measurements only (one interval
+  // stale for anything an upstream change is about to cause).
+  std::vector<double> measured;
+  const std::vector<double>* measured_ptr = nullptr;
+  if (strategy_ == Strategy::Local) {
+    measured = measuredArrivals(state, deployment);
+    measured_ptr = &measured;
+  }
+
+  std::vector<MigrationEvent> migrations;
+  // Latency SLA (optional): a queue that would take longer than the SLA
+  // to drain is a breach even while Omega looks healthy (draining clamps
+  // the throughput ratio at 1). Size capacity to drain within the SLA.
+  bool latency_breach = false;
+  if (options_.max_queue_delay_s > 0.0 && state.last_interval != nullptr &&
+      state.last_interval->pe_stats.size() == env_.dataflow->peCount()) {
+    bool breach = false;
+    std::vector<double> drain_demand(env_.dataflow->peCount(), 0.0);
+    for (std::size_t i = 0; i < drain_demand.size(); ++i) {
+      const auto& st = state.last_interval->pe_stats[i];
+      drain_demand[i] =
+          st.arrival_rate + st.backlog_msgs / options_.max_queue_delay_s;
+      const double wait = st.capacity_rate > 0.0
+                              ? st.backlog_msgs / st.capacity_rate
+                              : (st.backlog_msgs > 0.0
+                                     ? std::numeric_limits<double>::infinity()
+                                     : 0.0);
+      if (wait > options_.max_queue_delay_s) breach = true;
+    }
+    if (breach) {
+      latency_breach = true;
+      // Per-PE sizing is the right shape for queue draining regardless of
+      // strategy — each backlog lives at one PE.
+      allocator_.scaleOut(deployment, state.input_rate, power, state.now,
+                          Strategy::Local, 1.0, &drain_demand);
+    }
+  }
+
+  // §7.2: scale out when the average throughput so far trails the
+  // constraint. The instantaneous check supplements it so a sudden rate or
+  // performance drop is answered this interval, not after the long-run
+  // average has decayed below the threshold.
+  if (omega_bar < omega_hat || omega_t < omega_hat - epsilon) {
+    allocator_.scaleOut(deployment, state.input_rate, power, state.now,
+                        strategy_, -1.0, measured_ptr);
+  } else if (!latency_breach && omega_bar > omega_hat + epsilon &&
+             omega_t > omega_hat + epsilon) {
+    // (scale-in yields to an active latency breach: stripping the cores
+    // that were just added to drain a queue would ping-pong forever)
+    // Over-provisioned: shed cores while the projection stays safely above
+    // the constraint (half the tolerance is kept as hysteresis margin).
+    migrations = allocator_.scaleIn(deployment, state.input_rate, power,
+                                    strategy_, omega_hat + 0.5 * epsilon,
+                                    measured_ptr);
+  }
+
+  // The local strategy acts on local knowledge and releases an empty VM as
+  // soon as it sees one; the global strategy knows the hour is already
+  // paid for and keeps the VM around for reuse until the hour lapses.
+  const auto policy = options_.release_policy_override.value_or(
+      strategy_ == Strategy::Local
+          ? ResourceAllocator::ReleasePolicy::Immediate
+          : ResourceAllocator::ReleasePolicy::AtHourBoundary);
+  allocator_.releaseEmptyVms(policy, state.now, env_.sim_config.interval_s);
+  return migrations;
+}
+
+}  // namespace dds

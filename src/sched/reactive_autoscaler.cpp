@@ -1,0 +1,94 @@
+#include "dds/sched/reactive_autoscaler.hpp"
+
+#include "dds/sched/alternate_selection.hpp"
+
+namespace dds {
+
+ReactiveAutoscaler::ReactiveAutoscaler(SchedulerEnv env,
+                                       ReactiveOptions options)
+    : env_(env),
+      options_(options),
+      allocator_(*env.dataflow, *env.cloud, env.omega_target),
+      idle_streak_(env.dataflow == nullptr ? 0 : env.dataflow->peCount(),
+                   0) {
+  env_.validate();
+  options_.validate();
+}
+
+Deployment ReactiveAutoscaler::deploy(double estimated_input_rate) {
+  DDS_REQUIRE(estimated_input_rate >= 0.0,
+              "estimated input rate must be non-negative");
+  (void)estimated_input_rate;  // no model: the estimate cannot be used
+  Deployment deployment(*env_.dataflow);
+  // No notion of alternates as a control: run the best-value code.
+  selectBestValueAlternates(*env_.dataflow, deployment);
+  // Cold start: one core per PE, growth is purely reactive.
+  allocator_.ensureMinimumCores(0.0);
+  return deployment;
+}
+
+std::vector<MigrationEvent> ReactiveAutoscaler::adapt(
+    const ObservedState& state, Deployment& deployment) {
+  (void)deployment;  // alternates never change
+  if (state.last_interval == nullptr ||
+      state.last_interval->pe_stats.size() != idle_streak_.size()) {
+    return {};
+  }
+  const Dataflow& df = *env_.dataflow;
+  std::vector<MigrationEvent> migrations;
+
+  for (const auto& element : df.pes()) {
+    const PeId pe = element.id();
+    const auto& st = state.last_interval->pe_stats[pe.value()];
+    const int cores = totalCores(*env_.cloud, pe);
+    if (cores == 0) continue;
+    const double backlog_per_core =
+        st.backlog_msgs / static_cast<double>(cores);
+
+    if (backlog_per_core > options_.backlog_hi_per_core) {
+      // Pressure: one more core, wherever it fits (acquire when needed).
+      idle_streak_[pe.value()] = 0;
+      for (const VmId id : env_.cloud->activeVms()) {
+        VmInstance& vm = env_.cloud->instance(id);
+        if (vm.freeCoreCount() > 0) {
+          vm.allocateCore(pe);
+          goto next_pe;  // grew on an existing VM
+        }
+      }
+      env_.cloud
+          ->instance(env_.cloud->acquire(env_.cloud->catalog().largest(),
+                                         state.now))
+          .allocateCore(pe);
+    } else if (backlog_per_core < options_.backlog_lo_per_core &&
+               st.relative_throughput >= 1.0 - 1e-9) {
+      if (++idle_streak_[pe.value()] >= options_.cooldown_intervals &&
+          cores > 1) {
+        // Idle long enough: drop one core from the least-loaded host VM.
+        idle_streak_[pe.value()] = 0;
+        const auto hosts = peCores(*env_.cloud, pe);
+        const VmCores* victim = &hosts.front();
+        for (const auto& vc : hosts) {
+          if (env_.cloud->instance(vc.vm).allocatedCoreCount() <
+              env_.cloud->instance(victim->vm).allocatedCoreCount()) {
+            victim = &vc;
+          }
+        }
+        env_.cloud->instance(victim->vm).releaseCoreOf(pe);
+        if (victim->cores == 1) {
+          migrations.push_back(
+              {pe, 1.0 / static_cast<double>(cores)});
+        }
+      }
+    } else {
+      idle_streak_[pe.value()] = 0;
+    }
+  next_pe:;
+  }
+
+  // No billing awareness: empty VMs go back immediately.
+  allocator_.releaseEmptyVms(ResourceAllocator::ReleasePolicy::Immediate,
+                             state.now, env_.sim_config.interval_s);
+  return migrations;
+}
+
+}  // namespace dds

@@ -1,0 +1,119 @@
+#include "dds/sched/static_planning.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dds::static_planning {
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+std::optional<Assignment> tryAssign(const ResourceCatalog& catalog,
+                                    const std::vector<int>& vm_counts,
+                                    const std::vector<double>& demand) {
+  const std::size_t n_classes = catalog.size();
+  DDS_REQUIRE(vm_counts.size() == n_classes,
+              "vm_counts does not match catalog");
+  std::vector<int> free_cores(n_classes);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    free_cores[c] =
+        vm_counts[c] *
+        catalog.at(ResourceClassId(static_cast<ResourceClassId::value_type>(c)))
+            .cores;
+  }
+  // Class order: fastest cores first.
+  std::vector<std::size_t> class_order(n_classes);
+  std::iota(class_order.begin(), class_order.end(), 0u);
+  std::sort(class_order.begin(), class_order.end(),
+            [&catalog](std::size_t a, std::size_t b) {
+              return catalog
+                         .at(ResourceClassId(
+                             static_cast<ResourceClassId::value_type>(a)))
+                         .core_speed >
+                     catalog
+                         .at(ResourceClassId(
+                             static_cast<ResourceClassId::value_type>(b)))
+                         .core_speed;
+            });
+
+  std::vector<std::size_t> pe_order(demand.size());
+  std::iota(pe_order.begin(), pe_order.end(), 0u);
+  std::sort(pe_order.begin(), pe_order.end(),
+            [&demand](std::size_t a, std::size_t b) {
+              return demand[a] > demand[b];
+            });
+
+  Assignment assignment(demand.size(), std::vector<int>(n_classes, 0));
+  for (const std::size_t pe : pe_order) {
+    double covered = 0.0;
+    int cores_taken = 0;
+    for (const std::size_t c : class_order) {
+      const double speed =
+          catalog
+              .at(ResourceClassId(static_cast<ResourceClassId::value_type>(c)))
+              .core_speed;
+      while (free_cores[c] > 0 &&
+             (covered + kEps < demand[pe] || cores_taken == 0)) {
+        --free_cores[c];
+        ++assignment[pe][c];
+        ++cores_taken;
+        covered += speed;
+      }
+      if (covered + kEps >= demand[pe] && cores_taken > 0) break;
+    }
+    if (covered + kEps < demand[pe] || cores_taken == 0) {
+      return std::nullopt;
+    }
+  }
+  return assignment;
+}
+
+double multisetCost(const ResourceCatalog& catalog,
+                    const std::vector<int>& vm_counts,
+                    double horizon_hours) {
+  double cost = 0.0;
+  for (std::size_t c = 0; c < vm_counts.size(); ++c) {
+    cost +=
+        vm_counts[c] *
+        catalog.at(ResourceClassId(static_cast<ResourceClassId::value_type>(c)))
+            .price_per_hour *
+        horizon_hours;
+  }
+  return cost;
+}
+
+double deploymentGamma(const Dataflow& df, const Deployment& deployment) {
+  double gamma = 0.0;
+  for (const auto& pe : df.pes()) {
+    gamma += pe.relativeValue(deployment.activeAlternate(pe.id()));
+  }
+  return gamma / static_cast<double>(df.peCount());
+}
+
+void materialize(CloudProvider& cloud, const std::vector<int>& vm_counts,
+                 const Assignment& assignment) {
+  const std::size_t n_classes = vm_counts.size();
+  std::vector<std::vector<VmId>> vms_by_class(n_classes);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    for (int k = 0; k < vm_counts[c]; ++k) {
+      vms_by_class[c].push_back(cloud.acquire(
+          ResourceClassId(static_cast<ResourceClassId::value_type>(c)), 0.0));
+    }
+  }
+  for (std::size_t pe = 0; pe < assignment.size(); ++pe) {
+    for (std::size_t c = 0; c < n_classes; ++c) {
+      int remaining = assignment[pe][c];
+      for (const VmId vm_id : vms_by_class[c]) {
+        VmInstance& vm = cloud.instance(vm_id);
+        while (remaining > 0 && vm.freeCoreCount() > 0) {
+          vm.allocateCore(PeId(static_cast<PeId::value_type>(pe)));
+          --remaining;
+        }
+        if (remaining == 0) break;
+      }
+      DDS_ENSURE(remaining == 0, "materialization ran out of cores");
+    }
+  }
+}
+
+}  // namespace dds::static_planning

@@ -1,0 +1,49 @@
+#include "dds/sim/rate_model.hpp"
+
+namespace dds {
+
+std::vector<double> expectedArrivalRates(const Dataflow& df,
+                                         const Deployment& deployment,
+                                         double input_rate) {
+  DDS_REQUIRE(input_rate >= 0.0, "input rate must be non-negative");
+  DDS_REQUIRE(deployment.peCount() == df.peCount(),
+              "deployment does not match dataflow");
+  std::vector<double> arrival(df.peCount(), 0.0);
+  for (const PeId pe : df.topologicalOrder()) {
+    if (df.isInput(pe)) {
+      arrival[pe.value()] = input_rate;
+    } else {
+      double sum = 0.0;
+      for (const PeId u : df.predecessors(pe)) {
+        const auto& alt = df.pe(u).alternate(deployment.activeAlternate(u));
+        sum += arrival[u.value()] * alt.selectivity;
+      }
+      arrival[pe.value()] = sum;
+    }
+  }
+  return arrival;
+}
+
+std::vector<double> expectedOutputRates(const Dataflow& df,
+                                        const Deployment& deployment,
+                                        double input_rate) {
+  auto rates = expectedArrivalRates(df, deployment, input_rate);
+  for (const auto& pe : df.pes()) {
+    const auto& alt = pe.alternate(deployment.activeAlternate(pe.id()));
+    rates[pe.id().value()] *= alt.selectivity;
+  }
+  return rates;
+}
+
+std::vector<double> requiredCorePower(const Dataflow& df,
+                                      const Deployment& deployment,
+                                      double input_rate) {
+  auto power = expectedArrivalRates(df, deployment, input_rate);
+  for (const auto& pe : df.pes()) {
+    const auto& alt = pe.alternate(deployment.activeAlternate(pe.id()));
+    power[pe.id().value()] *= alt.cost_core_sec;
+  }
+  return power;
+}
+
+}  // namespace dds

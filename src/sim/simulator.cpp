@@ -1,0 +1,184 @@
+#include "dds/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dds/sim/rate_model.hpp"
+
+namespace dds {
+namespace {
+
+/// How much of edge (u -> v)'s flow can actually be delivered per second.
+/// The fraction of u's processing power on VMs that also host v moves
+/// in-memory (uncapped); the rest crosses the network and is capped by the
+/// observed bandwidth from each of u's VMs to the nearest of v's VMs.
+double deliverableRate(double flow_rate, PeId u, PeId v,
+                       const CloudProvider& cloud,
+                       const MonitoringService& mon, const SimConfig& cfg,
+                       SimTime t) {
+  if (flow_rate <= 0.0) return 0.0;
+  const auto u_cores = peCores(cloud, u);
+  const auto v_cores = peCores(cloud, v);
+  if (u_cores.empty() || v_cores.empty()) {
+    // An unplaced endpoint cannot move data; deliver nothing.
+    return 0.0;
+  }
+
+  double total_power = 0.0;
+  double colocated_power = 0.0;
+  double remote_cap_msgs = 0.0;
+  for (const auto& uc : u_cores) {
+    const double p = static_cast<double>(uc.cores) *
+                     mon.observedCorePower(uc.vm, t);
+    total_power += p;
+    bool colocated = false;
+    double best_mbps = 0.0;
+    for (const auto& vc : v_cores) {
+      if (vc.vm == uc.vm) {
+        colocated = true;
+        break;
+      }
+      best_mbps =
+          std::max(best_mbps, mon.observedBandwidthMbps(uc.vm, vc.vm, t));
+    }
+    if (colocated) {
+      colocated_power += p;
+    } else {
+      remote_cap_msgs += cfg.linkMsgsPerSec(best_mbps);
+    }
+  }
+  if (total_power <= 0.0) return flow_rate;  // degenerate: treat as local
+  const double colocated_fraction = colocated_power / total_power;
+  const double local_part = flow_rate * colocated_fraction;
+  const double remote_part = flow_rate - local_part;
+  return local_part + std::min(remote_part, remote_cap_msgs);
+}
+
+}  // namespace
+
+DataflowSimulator::DataflowSimulator(const Dataflow& df,
+                                     const CloudProvider& cloud,
+                                     const MonitoringService& mon,
+                                     SimConfig cfg)
+    : df_(&df),
+      cloud_(&cloud),
+      mon_(&mon),
+      cfg_(cfg),
+      backlog_(df.peCount(), 0.0),
+      in_transit_(df.peCount(), 0.0) {
+  DDS_REQUIRE(cfg_.msg_size_bytes > 0.0, "message size must be positive");
+  DDS_REQUIRE(cfg_.interval_s > 0.0, "interval length must be positive");
+}
+
+double DataflowSimulator::totalBacklog() const {
+  double total = 0.0;
+  for (double b : backlog_) total += b;
+  return total;
+}
+
+void DataflowSimulator::migrateBacklog(PeId pe, double fraction) {
+  DDS_REQUIRE(pe.value() < backlog_.size(), "PE id out of range");
+  DDS_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+              "migration fraction out of range");
+  const double moved = backlog_[pe.value()] * fraction;
+  backlog_[pe.value()] -= moved;
+  in_transit_[pe.value()] += moved;
+}
+
+double DataflowSimulator::dropBacklog(PeId pe, double fraction) {
+  DDS_REQUIRE(pe.value() < backlog_.size(), "PE id out of range");
+  DDS_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+              "drop fraction out of range");
+  const double dropped = backlog_[pe.value()] * fraction;
+  backlog_[pe.value()] -= dropped;
+  return dropped;
+}
+
+IntervalMetrics DataflowSimulator::step(IntervalIndex index,
+                                        double input_rate,
+                                        const Deployment& deployment) {
+  DDS_REQUIRE(input_rate >= 0.0, "input rate must be non-negative");
+  DDS_REQUIRE(deployment.peCount() == df_->peCount(),
+              "deployment does not match dataflow");
+  const SimTime dt = cfg_.interval_s;
+  const SimTime t_start = static_cast<SimTime>(index) * dt;
+  const SimTime t_mid = t_start + 0.5 * dt;
+  const std::size_t n = df_->peCount();
+
+  IntervalMetrics m;
+  m.index = index;
+  m.start = t_start;
+  m.input_rate = input_rate;
+  m.pe_stats.resize(n);
+
+  std::vector<double> output_rate(n, 0.0);
+  for (const PeId pe : df_->topologicalOrder()) {
+    const std::size_t i = pe.value();
+    PeIntervalStats& st = m.pe_stats[i];
+
+    // Arrivals: external feed for inputs, bandwidth-capped upstream flows
+    // otherwise (multi-merge interleaves all incoming edges).
+    double arrival = 0.0;
+    if (df_->isInput(pe)) {
+      arrival = input_rate;
+    } else {
+      for (const PeId u : df_->predecessors(pe)) {
+        arrival += deliverableRate(output_rate[u.value()], u, pe, *cloud_,
+                                   *mon_, cfg_, t_mid);
+      }
+    }
+    st.arrival_rate = arrival;
+
+    // Queue dynamics: this interval's work is new arrivals plus queued
+    // backlog plus any migrated messages that completed their transfer.
+    const double available_msgs =
+        arrival * dt + backlog_[i] + in_transit_[i];
+    in_transit_[i] = 0.0;
+    st.offered_rate = available_msgs / dt;
+
+    const auto& alt = df_->pe(pe).alternate(deployment.activeAlternate(pe));
+    const double power = observedPowerOf(*cloud_, *mon_, pe, t_mid);
+    const double capacity_rate = power / alt.cost_core_sec;
+    st.capacity_rate = capacity_rate;
+    st.allocated_cores = totalCores(*cloud_, pe);
+
+    const double processed_msgs =
+        std::min(available_msgs, capacity_rate * dt);
+    backlog_[i] = available_msgs - processed_msgs;
+    st.processed_rate = processed_msgs / dt;
+    st.backlog_msgs = backlog_[i];
+    st.relative_throughput =
+        available_msgs > 0.0 ? processed_msgs / available_msgs : 1.0;
+
+    output_rate[i] = processed_msgs * alt.selectivity / dt;
+    st.output_rate = output_rate[i];
+  }
+
+  // Omega(t), Def. 4: mean over output PEs of observed / expected output
+  // rate, where "expected" assumes infinite capacity at the current input
+  // rate and alternates. Clamped to (0, 1].
+  const auto expected = expectedOutputRates(*df_, deployment, input_rate);
+  double omega_sum = 0.0;
+  for (const PeId o : df_->outputs()) {
+    const double exp_rate = expected[o.value()];
+    const double ratio =
+        exp_rate > 0.0 ? output_rate[o.value()] / exp_rate : 1.0;
+    omega_sum += std::clamp(ratio, 0.0, 1.0);
+  }
+  m.omega = omega_sum / static_cast<double>(df_->outputs().size());
+
+  // Gamma(t), Def. 3: mean relative value of the active alternates.
+  double gamma_sum = 0.0;
+  for (const auto& pe : df_->pes()) {
+    gamma_sum += pe.relativeValue(deployment.activeAlternate(pe.id()));
+  }
+  m.gamma = gamma_sum / static_cast<double>(n);
+
+  m.cost_cumulative = cloud_->accumulatedCost(t_start + dt);
+  m.active_vms = static_cast<int>(cloud_->activeVms().size());
+  m.allocated_cores = totalAllocatedCores(*cloud_);
+  return m;
+}
+
+}  // namespace dds

@@ -1,0 +1,105 @@
+#include "dds/trace/trace_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace dds {
+
+void TraceGenParams::validate() const {
+  DDS_REQUIRE(mean > 0.0, "trace mean must be positive");
+  DDS_REQUIRE(jitter_sd >= 0.0, "jitter sd must be non-negative");
+  DDS_REQUIRE(jitter_ar >= 0.0 && jitter_ar < 1.0,
+              "AR coefficient must be in [0, 1)");
+  DDS_REQUIRE(diurnal_amplitude >= 0.0, "diurnal amplitude non-negative");
+  DDS_REQUIRE(shift_probability >= 0.0 && shift_probability <= 1.0,
+              "shift probability out of range");
+  DDS_REQUIRE(shift_sd >= 0.0, "shift sd non-negative");
+  DDS_REQUIRE(min_value >= 0.0 && min_value < max_value,
+              "clamp range invalid");
+}
+
+TraceGenParams cpuTraceParams() {
+  TraceGenParams p;
+  p.mean = 0.97;  // observed speed sits slightly below rated on average
+  p.jitter_sd = 0.04;
+  p.jitter_ar = 0.9;
+  p.diurnal_amplitude = 0.04;
+  p.shift_probability = 0.003;
+  p.shift_sd = 0.18;  // noisy-neighbour arrivals cause sustained drops
+  p.min_value = 0.40;
+  p.max_value = 1.10;
+  return p;
+}
+
+TraceGenParams latencyTraceParams() {
+  TraceGenParams p;
+  p.mean = 1.0;
+  p.jitter_sd = 0.10;
+  p.jitter_ar = 0.7;
+  p.diurnal_amplitude = 0.05;
+  p.shift_probability = 0.004;
+  p.shift_sd = 0.5;
+  p.min_value = 0.5;
+  p.max_value = 6.0;
+  return p;
+}
+
+TraceGenParams bandwidthTraceParams() {
+  TraceGenParams p;
+  p.mean = 0.9;  // observed bandwidth sits a little below rated
+  p.jitter_sd = 0.06;
+  p.jitter_ar = 0.85;
+  p.diurnal_amplitude = 0.05;
+  p.shift_probability = 0.003;
+  p.shift_sd = 0.20;
+  p.min_value = 0.25;
+  p.max_value = 1.05;
+  return p;
+}
+
+PerfTrace generateTrace(const TraceGenParams& params, SimTime duration_s,
+                        SimTime sample_period_s, Rng& rng) {
+  params.validate();
+  DDS_REQUIRE(duration_s > 0.0, "trace duration must be positive");
+  DDS_REQUIRE(sample_period_s > 0.0, "sample period must be positive");
+  const auto n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(duration_s / sample_period_s));
+
+  std::vector<double> samples;
+  samples.reserve(n);
+  double jitter = 0.0;
+  double shift = 0.0;
+  // Stationary innovation scaling keeps the jitter variance independent of
+  // the AR pole, so `jitter_sd` is the marginal std-dev users dial in.
+  const double innovation_sd =
+      params.jitter_sd * std::sqrt(1.0 - params.jitter_ar * params.jitter_ar);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SimTime t = static_cast<SimTime>(i) * sample_period_s;
+    jitter = params.jitter_ar * jitter + rng.normal(0.0, innovation_sd);
+    if (rng.chance(params.shift_probability)) {
+      shift = rng.normal(0.0, params.shift_sd);
+    }
+    const double diurnal =
+        params.diurnal_amplitude *
+        std::sin(2.0 * std::numbers::pi * t / (24.0 * kSecondsPerHour));
+    const double v = params.mean + jitter + shift + diurnal;
+    samples.push_back(std::clamp(v, params.min_value, params.max_value));
+  }
+  return PerfTrace(std::move(samples), sample_period_s);
+}
+
+std::vector<PerfTrace> generateTracePool(const TraceGenParams& params,
+                                         std::size_t count,
+                                         SimTime duration_s,
+                                         SimTime sample_period_s, Rng& rng) {
+  DDS_REQUIRE(count >= 1, "pool needs at least one trace");
+  std::vector<PerfTrace> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.push_back(generateTrace(params, duration_s, sample_period_s, rng));
+  }
+  return pool;
+}
+
+}  // namespace dds

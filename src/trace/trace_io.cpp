@@ -1,0 +1,60 @@
+#include "dds/trace/trace_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "dds/common/csv.hpp"
+#include "dds/common/error.hpp"
+
+namespace dds {
+
+std::string traceToCsv(const PerfTrace& trace) {
+  CsvTable table;
+  table.header = {"time_s", "coefficient"};
+  table.rows.reserve(trace.sampleCount());
+  for (std::size_t i = 0; i < trace.sampleCount(); ++i) {
+    table.rows.push_back({static_cast<double>(i) * trace.samplePeriod(),
+                          trace.samples()[i]});
+  }
+  return formatCsv(table);
+}
+
+PerfTrace traceFromCsv(const std::string& text) {
+  const CsvTable table = parseCsv(text);
+  const auto times = table.column("time_s");
+  const auto values = table.column("coefficient");
+  if (times.empty()) throw IoError("trace CSV has no rows");
+
+  SimTime period = 1.0;
+  if (times.size() >= 2) {
+    period = times[1] - times[0];
+    if (period <= 0.0) throw IoError("trace CSV times are not increasing");
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      const double expected = times[0] + static_cast<double>(i) * period;
+      if (std::abs(times[i] - expected) > 1e-6 * period) {
+        std::ostringstream os;
+        os << "trace CSV is not uniformly sampled at row " << i;
+        throw IoError(os.str());
+      }
+    }
+  }
+  return PerfTrace(values, period);
+}
+
+void saveTrace(const std::string& path, const PerfTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write trace file: " + path);
+  out << traceToCsv(trace);
+  if (!out) throw IoError("error while writing trace file: " + path);
+}
+
+PerfTrace loadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open trace file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return traceFromCsv(buffer.str());
+}
+
+}  // namespace dds

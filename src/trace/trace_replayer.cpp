@@ -1,0 +1,76 @@
+#include "dds/trace/trace_replayer.hpp"
+
+#include <algorithm>
+
+namespace dds {
+
+TraceReplayer::TraceReplayer(std::vector<PerfTrace> cpu_pool,
+                             std::vector<PerfTrace> latency_pool,
+                             std::vector<PerfTrace> bandwidth_pool,
+                             std::uint64_t seed)
+    : cpu_pool_(std::move(cpu_pool)),
+      latency_pool_(std::move(latency_pool)),
+      bandwidth_pool_(std::move(bandwidth_pool)),
+      rng_(seed) {
+  DDS_REQUIRE(!cpu_pool_.empty(), "CPU trace pool is empty");
+  DDS_REQUIRE(!latency_pool_.empty(), "latency trace pool is empty");
+  DDS_REQUIRE(!bandwidth_pool_.empty(), "bandwidth trace pool is empty");
+}
+
+TraceReplayer TraceReplayer::ideal() {
+  return TraceReplayer({PerfTrace::constant(1.0)},
+                       {PerfTrace::constant(1.0)},
+                       {PerfTrace::constant(1.0)}, 0);
+}
+
+TraceReplayer TraceReplayer::futureGridLike(std::uint64_t seed,
+                                            SimTime duration_s,
+                                            SimTime sample_period_s,
+                                            std::size_t pool_size) {
+  Rng rng(seed);
+  auto cpu = generateTracePool(cpuTraceParams(), pool_size, duration_s,
+                               sample_period_s, rng);
+  auto lat = generateTracePool(latencyTraceParams(), pool_size, duration_s,
+                               sample_period_s, rng);
+  auto bw = generateTracePool(bandwidthTraceParams(), pool_size, duration_s,
+                              sample_period_s, rng);
+  return TraceReplayer(std::move(cpu), std::move(lat), std::move(bw),
+                       seed ^ 0xabcdef1234567890ull);
+}
+
+TraceReplayer::Assignment TraceReplayer::assign(
+    const std::vector<PerfTrace>& pool) {
+  const auto idx = static_cast<std::size_t>(
+      rng_.uniformInt(0, static_cast<std::int64_t>(pool.size()) - 1));
+  const SimTime offset = rng_.uniform(0.0, pool[idx].duration());
+  return {idx, offset};
+}
+
+std::uint64_t TraceReplayer::pairKey(VmId a, VmId b) {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b).value());
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b).value());
+  return (hi << 32) | lo;
+}
+
+double TraceReplayer::cpuCoeff(VmId vm, SimTime t) {
+  auto [it, inserted] = cpu_assignments_.try_emplace(vm);
+  if (inserted) it->second = assign(cpu_pool_);
+  return cpu_pool_[it->second.trace_index].atOffset(it->second.offset, t);
+}
+
+double TraceReplayer::latencyCoeff(VmId a, VmId b, SimTime t) {
+  DDS_REQUIRE(a != b, "latency between a VM and itself is zero by model");
+  auto [it, inserted] = latency_assignments_.try_emplace(pairKey(a, b));
+  if (inserted) it->second = assign(latency_pool_);
+  return latency_pool_[it->second.trace_index].atOffset(it->second.offset, t);
+}
+
+double TraceReplayer::bandwidthCoeff(VmId a, VmId b, SimTime t) {
+  DDS_REQUIRE(a != b, "bandwidth between a VM and itself is infinite");
+  auto [it, inserted] = bandwidth_assignments_.try_emplace(pairKey(a, b));
+  if (inserted) it->second = assign(bandwidth_pool_);
+  return bandwidth_pool_[it->second.trace_index].atOffset(it->second.offset,
+                                                          t);
+}
+
+}  // namespace dds

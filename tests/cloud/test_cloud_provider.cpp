@@ -1,0 +1,143 @@
+#include "dds/cloud/cloud_provider.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds {
+namespace {
+
+CloudProvider makeCloud() { return CloudProvider(awsCatalog2013()); }
+
+TEST(CloudProvider, AcquireCreatesActiveInstance) {
+  auto cloud = makeCloud();
+  const VmId id = cloud.acquire(ResourceClassId(0), 100.0);
+  EXPECT_EQ(cloud.instanceCount(), 1u);
+  const auto& vm = cloud.instance(id);
+  EXPECT_TRUE(vm.isActive());
+  EXPECT_DOUBLE_EQ(vm.startTime(), 100.0);
+  EXPECT_EQ(vm.spec().name, "m1.small");
+}
+
+TEST(CloudProvider, IdsAreDenseAndNeverReused) {
+  auto cloud = makeCloud();
+  const VmId a = cloud.acquire(ResourceClassId(0), 0.0);
+  const VmId b = cloud.acquire(ResourceClassId(1), 0.0);
+  cloud.release(a, 10.0);
+  const VmId c = cloud.acquire(ResourceClassId(0), 20.0);
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(c.value(), 2u);
+  EXPECT_EQ(cloud.instanceCount(), 3u);
+}
+
+TEST(CloudProvider, ActiveVmsExcludesReleased) {
+  auto cloud = makeCloud();
+  const VmId a = cloud.acquire(ResourceClassId(0), 0.0);
+  const VmId b = cloud.acquire(ResourceClassId(0), 0.0);
+  cloud.release(a, 50.0);
+  const auto active = cloud.activeVms();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], b);
+}
+
+TEST(CloudProvider, ReleaseWithAllocatedCoresThrows) {
+  auto cloud = makeCloud();
+  const VmId id = cloud.acquire(ResourceClassId(0), 0.0);
+  cloud.instance(id).allocateCore(PeId(1));
+  EXPECT_THROW(cloud.release(id, 10.0), PreconditionError);
+  cloud.instance(id).releaseAllCoresOf(PeId(1));
+  EXPECT_NO_THROW(cloud.release(id, 10.0));
+}
+
+TEST(CloudProvider, DoubleReleaseThrows) {
+  auto cloud = makeCloud();
+  const VmId id = cloud.acquire(ResourceClassId(0), 0.0);
+  cloud.release(id, 10.0);
+  EXPECT_THROW(cloud.release(id, 20.0), PreconditionError);
+}
+
+TEST(CloudProvider, UnknownVmIdThrows) {
+  auto cloud = makeCloud();
+  EXPECT_THROW((void)cloud.instance(VmId(0)), PreconditionError);
+  EXPECT_THROW((void)cloud.instanceCost(VmId(3), 10.0), PreconditionError);
+}
+
+// --- billing (paper §4: rounded up to the hour, started hour charged) ---
+
+TEST(Billing, ZeroBeforeAndAtStart) {
+  auto cloud = makeCloud();
+  const VmId id = cloud.acquire(ResourceClassId(0), 1000.0);
+  EXPECT_DOUBLE_EQ(cloud.instanceCost(id, 500.0), 0.0);
+  EXPECT_DOUBLE_EQ(cloud.instanceCost(id, 1000.0), 0.0);
+  EXPECT_EQ(cloud.billedHours(id, 1000.0), 0);
+}
+
+TEST(Billing, PartialHourChargedInFull) {
+  auto cloud = makeCloud();
+  const VmId id = cloud.acquire(ResourceClassId(0), 0.0);  // $0.06/h
+  EXPECT_DOUBLE_EQ(cloud.instanceCost(id, 60.0), 0.06);
+  EXPECT_DOUBLE_EQ(cloud.instanceCost(id, 3599.0), 0.06);
+}
+
+TEST(Billing, ExactHourBoundaryChargesOneHour) {
+  auto cloud = makeCloud();
+  const VmId id = cloud.acquire(ResourceClassId(0), 0.0);
+  EXPECT_EQ(cloud.billedHours(id, 3600.0), 1);
+  EXPECT_EQ(cloud.billedHours(id, 3600.0 + 1.0), 2);
+}
+
+TEST(Billing, ReleasedVmStopsAccruing) {
+  auto cloud = makeCloud();
+  const VmId id = cloud.acquire(ResourceClassId(1), 0.0);  // $0.12/h
+  cloud.release(id, 1800.0);
+  EXPECT_DOUBLE_EQ(cloud.instanceCost(id, 1800.0), 0.12);
+  // Cost is frozen after shutdown even as time advances.
+  EXPECT_DOUBLE_EQ(cloud.instanceCost(id, 100000.0), 0.12);
+}
+
+TEST(Billing, InstantReleaseIsFree) {
+  auto cloud = makeCloud();
+  const VmId id = cloud.acquire(ResourceClassId(3), 500.0);
+  cloud.release(id, 500.0);
+  EXPECT_DOUBLE_EQ(cloud.instanceCost(id, 10000.0), 0.0);
+}
+
+TEST(Billing, AccumulatedCostSumsInstances) {
+  auto cloud = makeCloud();
+  cloud.acquire(ResourceClassId(0), 0.0);      // small  $0.06
+  cloud.acquire(ResourceClassId(3), 0.0);      // xlarge $0.48
+  const VmId c = cloud.acquire(ResourceClassId(1), 0.0);  // medium $0.12
+  cloud.release(c, 10.0);
+  // After 90 min: small 2h=0.12, xlarge 2h=0.96, medium 1h=0.12.
+  EXPECT_DOUBLE_EQ(cloud.accumulatedCost(5400.0), 0.12 + 0.96 + 0.12);
+}
+
+TEST(Billing, TimeToNextHourBoundary) {
+  auto cloud = makeCloud();
+  const VmId id = cloud.acquire(ResourceClassId(0), 100.0);
+  EXPECT_DOUBLE_EQ(cloud.timeToNextHourBoundary(id, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(cloud.timeToNextHourBoundary(id, 160.0), 3540.0);
+  EXPECT_DOUBLE_EQ(cloud.timeToNextHourBoundary(id, 100.0 + 3600.0), 0.0);
+  EXPECT_DOUBLE_EQ(cloud.timeToNextHourBoundary(id, 100.0 + 3601.0),
+                   3599.0);
+  EXPECT_THROW((void)cloud.timeToNextHourBoundary(id, 50.0),
+               PreconditionError);
+}
+
+class BillingMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BillingMonotoneTest, CostIsMonotoneInTime) {
+  auto cloud = makeCloud();
+  const VmId id = cloud.acquire(ResourceClassId(2), GetParam());
+  double prev = 0.0;
+  for (double t = GetParam(); t < GetParam() + 6 * 3600.0; t += 137.0) {
+    const double c = cloud.instanceCost(id, t);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StartTimes, BillingMonotoneTest,
+                         ::testing::Values(0.0, 59.0, 3600.0, 7777.0));
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,98 @@
+#include "dds/cloud/resource_class.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds {
+namespace {
+
+TEST(ResourceClass, ValidateAcceptsSaneSpec) {
+  const ResourceClass c{"ok", 2, 1.5, 100.0, 0.12};
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_DOUBLE_EQ(c.totalPower(), 3.0);
+}
+
+TEST(ResourceClass, ValidateRejectsBadSpecs) {
+  EXPECT_THROW((ResourceClass{"", 1, 1.0, 100.0, 0.1}.validate()),
+               PreconditionError);
+  EXPECT_THROW((ResourceClass{"x", 0, 1.0, 100.0, 0.1}.validate()),
+               PreconditionError);
+  EXPECT_THROW((ResourceClass{"x", 1, 0.0, 100.0, 0.1}.validate()),
+               PreconditionError);
+  EXPECT_THROW((ResourceClass{"x", 1, 1.0, 0.0, 0.1}.validate()),
+               PreconditionError);
+  EXPECT_THROW((ResourceClass{"x", 1, 1.0, 100.0, -0.1}.validate()),
+               PreconditionError);
+}
+
+TEST(ResourceCatalog, RejectsEmptyCatalog) {
+  EXPECT_THROW(ResourceCatalog({}), PreconditionError);
+}
+
+TEST(ResourceCatalog, Aws2013HasFourM1Classes) {
+  const auto cat = awsCatalog2013();
+  ASSERT_EQ(cat.size(), 4u);
+  EXPECT_EQ(cat.at(ResourceClassId(0)).name, "m1.small");
+  EXPECT_EQ(cat.at(ResourceClassId(3)).name, "m1.xlarge");
+}
+
+TEST(ResourceCatalog, Aws2013PriceScalesWithPower) {
+  const auto cat = awsCatalog2013();
+  // 2013 m1.* pricing was linear in ECU: $0.06 per unit of power.
+  for (const auto& cls : cat.classes()) {
+    EXPECT_NEAR(cls.price_per_hour / cls.totalPower(), 0.06, 1e-9)
+        << cls.name;
+  }
+}
+
+TEST(ResourceCatalog, LargestIsXlarge) {
+  const auto cat = awsCatalog2013();
+  EXPECT_EQ(cat.at(cat.largest()).name, "m1.xlarge");
+}
+
+TEST(ResourceCatalog, LargestPrefersCheaperOnPowerTie) {
+  const ResourceCatalog cat({{"pricey", 2, 1.0, 100.0, 0.5},
+                             {"cheap", 2, 1.0, 100.0, 0.2}});
+  EXPECT_EQ(cat.at(cat.largest()).name, "cheap");
+}
+
+TEST(ResourceCatalog, SmallestFittingPicksCheapestAdequate) {
+  const auto cat = awsCatalog2013();
+  // 0.5 power fits in m1.small (power 1) — the cheapest class.
+  EXPECT_EQ(cat.at(cat.smallestFitting(0.5)).name, "m1.small");
+  // 1.5 power needs m1.medium (power 2).
+  EXPECT_EQ(cat.at(cat.smallestFitting(1.5)).name, "m1.medium");
+  // 3.0 power needs m1.large (power 4).
+  EXPECT_EQ(cat.at(cat.smallestFitting(3.0)).name, "m1.large");
+  // 6.0 needs m1.xlarge (power 8).
+  EXPECT_EQ(cat.at(cat.smallestFitting(6.0)).name, "m1.xlarge");
+}
+
+TEST(ResourceCatalog, SmallestFittingExactBoundaryFits) {
+  const auto cat = awsCatalog2013();
+  EXPECT_EQ(cat.at(cat.smallestFitting(1.0)).name, "m1.small");
+  EXPECT_EQ(cat.at(cat.smallestFitting(2.0)).name, "m1.medium");
+}
+
+TEST(ResourceCatalog, SmallestFittingFallsBackToLargest) {
+  const auto cat = awsCatalog2013();
+  EXPECT_EQ(cat.at(cat.smallestFitting(100.0)).name, "m1.xlarge");
+}
+
+TEST(ResourceCatalog, SmallestFittingRejectsNegativeDemand) {
+  const auto cat = awsCatalog2013();
+  EXPECT_THROW((void)cat.smallestFitting(-1.0), PreconditionError);
+}
+
+TEST(ResourceCatalog, ByNameFindsAndThrows) {
+  const auto cat = awsCatalog2013();
+  EXPECT_EQ(cat.at(cat.byName("m1.large")).cores, 2);
+  EXPECT_THROW((void)cat.byName("m7.turbo"), PreconditionError);
+}
+
+TEST(ResourceCatalog, AtRejectsOutOfRange) {
+  const auto cat = awsCatalog2013();
+  EXPECT_THROW((void)cat.at(ResourceClassId(4)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,78 @@
+#include "dds/cloud/vm_instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds {
+namespace {
+
+VmInstance makeVm(int cores = 4) {
+  return VmInstance(VmId(0), ResourceClassId(3),
+                    ResourceClass{"test", cores, 2.0, 100.0, 0.48}, 0.0);
+}
+
+TEST(VmInstance, StartsActiveWithAllCoresFree) {
+  const auto vm = makeVm();
+  EXPECT_TRUE(vm.isActive());
+  EXPECT_EQ(vm.coreCount(), 4);
+  EXPECT_EQ(vm.freeCoreCount(), 4);
+  EXPECT_EQ(vm.allocatedCoreCount(), 0);
+}
+
+TEST(VmInstance, AllocateAssignsOwnership) {
+  auto vm = makeVm();
+  const int idx = vm.allocateCore(PeId(7));
+  EXPECT_GE(idx, 0);
+  EXPECT_EQ(vm.freeCoreCount(), 3);
+  ASSERT_TRUE(vm.coreOwner(idx).has_value());
+  EXPECT_EQ(*vm.coreOwner(idx), PeId(7));
+  EXPECT_EQ(vm.coresOwnedBy(PeId(7)), 1);
+  EXPECT_EQ(vm.coresOwnedBy(PeId(8)), 0);
+}
+
+TEST(VmInstance, AllocateUntilFullThenThrows) {
+  auto vm = makeVm(2);
+  vm.allocateCore(PeId(1));
+  vm.allocateCore(PeId(2));
+  EXPECT_EQ(vm.freeCoreCount(), 0);
+  EXPECT_THROW(vm.allocateCore(PeId(3)), PreconditionError);
+}
+
+TEST(VmInstance, ReleaseCoreOfFreesOne) {
+  auto vm = makeVm();
+  vm.allocateCore(PeId(1));
+  vm.allocateCore(PeId(1));
+  const int freed = vm.releaseCoreOf(PeId(1));
+  EXPECT_GE(freed, 0);
+  EXPECT_EQ(vm.coresOwnedBy(PeId(1)), 1);
+  EXPECT_EQ(vm.freeCoreCount(), 3);
+}
+
+TEST(VmInstance, ReleaseCoreOfUnknownPeThrows) {
+  auto vm = makeVm();
+  EXPECT_THROW(vm.releaseCoreOf(PeId(9)), PreconditionError);
+}
+
+TEST(VmInstance, ReleaseAllCoresOf) {
+  auto vm = makeVm();
+  vm.allocateCore(PeId(1));
+  vm.allocateCore(PeId(2));
+  vm.allocateCore(PeId(1));
+  EXPECT_EQ(vm.releaseAllCoresOf(PeId(1)), 2);
+  EXPECT_EQ(vm.coresOwnedBy(PeId(1)), 0);
+  EXPECT_EQ(vm.coresOwnedBy(PeId(2)), 1);
+  EXPECT_EQ(vm.releaseAllCoresOf(PeId(1)), 0);  // idempotent
+}
+
+TEST(VmInstance, CoreOwnerOutOfRangeThrows) {
+  const auto vm = makeVm(2);
+  EXPECT_THROW((void)vm.coreOwner(-1), PreconditionError);
+  EXPECT_THROW((void)vm.coreOwner(2), PreconditionError);
+}
+
+TEST(VmInstance, OffTimeInfiniteWhileActive) {
+  const auto vm = makeVm();
+  EXPECT_EQ(vm.offTime(), std::numeric_limits<SimTime>::infinity());
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,40 @@
+#include "dds/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds {
+namespace {
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(DDS_REQUIRE(1 + 1 == 2, "math"));
+}
+
+TEST(Error, RequireThrowsPreconditionError) {
+  EXPECT_THROW(DDS_REQUIRE(false, "boom"), PreconditionError);
+}
+
+TEST(Error, EnsureThrowsInvariantError) {
+  EXPECT_THROW(DDS_ENSURE(false, "broken"), InvariantError);
+}
+
+TEST(Error, MessageCarriesExpressionAndContext) {
+  try {
+    DDS_REQUIRE(2 > 3, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 > 3"), std::string::npos);
+    EXPECT_NE(msg.find("custom context"), std::string::npos);
+    EXPECT_NE(msg.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyMapsToStandardExceptions) {
+  // Callers that only know <stdexcept> can still catch everything.
+  EXPECT_THROW(throw PreconditionError("x"), std::invalid_argument);
+  EXPECT_THROW(throw InvariantError("x"), std::logic_error);
+  EXPECT_THROW(throw IoError("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,54 @@
+#include "dds/common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace dds {
+namespace {
+
+TEST(StrongId, DefaultConstructsToZero) {
+  EXPECT_EQ(PeId{}.value(), 0u);
+  EXPECT_EQ(VmId{}.value(), 0u);
+}
+
+TEST(StrongId, StoresValue) {
+  const PeId id(42);
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongId, EqualityComparesValues) {
+  EXPECT_EQ(PeId(3), PeId(3));
+  EXPECT_NE(PeId(3), PeId(4));
+}
+
+TEST(StrongId, OrderingComparesValues) {
+  EXPECT_LT(PeId(1), PeId(2));
+  EXPECT_GT(VmId(9), VmId(3));
+  EXPECT_LE(AlternateId(5), AlternateId(5));
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<PeId, VmId>);
+  static_assert(!std::is_same_v<AlternateId, ResourceClassId>);
+}
+
+TEST(StrongId, StreamsAsNumber) {
+  std::ostringstream os;
+  os << PeId(7);
+  EXPECT_EQ(os.str(), "7");
+}
+
+TEST(StrongId, HashableInUnorderedContainers) {
+  std::unordered_set<VmId> set;
+  set.insert(VmId(1));
+  set.insert(VmId(2));
+  set.insert(VmId(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(VmId(2)));
+  EXPECT_FALSE(set.contains(VmId(3)));
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,112 @@
+#include "dds/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dds/common/stats.hpp"
+
+namespace dds {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntStaysInClosedRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.uniformInt(0, 9);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 9);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 9);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng rng(99);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, NormalWithZeroSdIsConstant) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.normal(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ChanceExtremesAreDeterministic) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialHasExpectedMean) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  // The fork advanced the parent; child and parent should now differ.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(42), b(42);
+  Rng ca = a.fork(), cb = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(Rng, RejectsInvalidArguments) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), PreconditionError);
+  EXPECT_THROW((void)rng.uniformInt(5, 4), PreconditionError);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), PreconditionError);
+  EXPECT_THROW((void)rng.chance(1.5), PreconditionError);
+  EXPECT_THROW((void)rng.chance(-0.1), PreconditionError);
+  EXPECT_THROW((void)rng.exponential(0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dds

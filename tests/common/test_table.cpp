@@ -1,0 +1,55 @@
+#include "dds/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dds/common/error.hpp"
+
+namespace dds {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"name", "value"});
+  t.addRow({"x", "1"});
+  t.addRow({"longer", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlignToWidestCell) {
+  TextTable t({"a"});
+  t.addRow({"wide-cell"});
+  const std::string out = t.render();
+  // Header line should be padded to the width of "wide-cell".
+  const auto first_newline = out.find('\n');
+  EXPECT_EQ(first_newline, std::string{"wide-cell"}.size());
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), PreconditionError);
+  EXPECT_THROW(t.addRow({"1", "2", "3"}), PreconditionError);
+}
+
+TEST(TextTable, TracksRowCount) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.rowCount(), 0u);
+  t.addRow({"1"});
+  t.addRow({"2"});
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 3), "1.235");
+  EXPECT_EQ(TextTable::num(2.0, 1), "2.0");
+  EXPECT_EQ(TextTable::num(-0.5, 2), "-0.50");
+}
+
+}  // namespace
+}  // namespace dds

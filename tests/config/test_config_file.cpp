@@ -1,0 +1,152 @@
+#include "dds/config/config_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace dds {
+namespace {
+
+TEST(KeyValueConfig, ParsesPairsCommentsAndBlanks) {
+  const auto kv = KeyValueConfig::parse(
+      "# header comment\n"
+      "mean_rate = 12.5\n"
+      "\n"
+      "graph= paper   # trailing comment\n"
+      "infra_variability =true\n");
+  EXPECT_TRUE(kv.has("mean_rate"));
+  EXPECT_DOUBLE_EQ(kv.getDouble("mean_rate", 0.0), 12.5);
+  EXPECT_EQ(kv.getString("graph", ""), "paper");
+  EXPECT_TRUE(kv.getBool("infra_variability", false));
+  EXPECT_FALSE(kv.has("absent"));
+}
+
+TEST(KeyValueConfig, FallbacksWhenAbsent) {
+  const auto kv = KeyValueConfig::parse("a = 1\n");
+  EXPECT_DOUBLE_EQ(kv.getDouble("missing", 7.5), 7.5);
+  EXPECT_EQ(kv.getInt("missing", 3), 3);
+  EXPECT_EQ(kv.getString("missing", "x"), "x");
+  EXPECT_TRUE(kv.getBool("missing", true));
+  EXPECT_TRUE(kv.getList("missing").empty());
+}
+
+TEST(KeyValueConfig, RejectsMalformedLines) {
+  EXPECT_THROW((void)KeyValueConfig::parse("no equals sign\n"), IoError);
+  EXPECT_THROW((void)KeyValueConfig::parse("= value\n"), IoError);
+}
+
+TEST(KeyValueConfig, RejectsBadConversions) {
+  const auto kv = KeyValueConfig::parse(
+      "num = abc\nint = 1.5\nflag = maybe\n");
+  EXPECT_THROW((void)kv.getDouble("num", 0.0), PreconditionError);
+  EXPECT_THROW((void)kv.getInt("int", 0), PreconditionError);
+  EXPECT_THROW((void)kv.getBool("flag", false), PreconditionError);
+}
+
+TEST(KeyValueConfig, BoolSynonyms) {
+  const auto kv = KeyValueConfig::parse(
+      "a = yes\nb = ON\nc = 0\nd = False\n");
+  EXPECT_TRUE(kv.getBool("a", false));
+  EXPECT_TRUE(kv.getBool("b", false));
+  EXPECT_FALSE(kv.getBool("c", true));
+  EXPECT_FALSE(kv.getBool("d", true));
+}
+
+TEST(KeyValueConfig, ListsSplitOnCommas) {
+  const auto kv = KeyValueConfig::parse("s = global, local ,brute-force-static\n");
+  const auto items = kv.getList("s");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], "global");
+  EXPECT_EQ(items[1], "local");
+  EXPECT_EQ(items[2], "brute-force-static");
+}
+
+TEST(KeyValueConfig, LastDuplicateWins) {
+  const auto kv = KeyValueConfig::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(kv.getInt("k", 0), 2);
+}
+
+TEST(KeyValueConfig, LoadMissingFileThrows) {
+  EXPECT_THROW((void)KeyValueConfig::load("/no/such/file.conf"), IoError);
+}
+
+TEST(SchedulerKindFromName, RoundTripsEveryKind) {
+  for (const auto kind :
+       {SchedulerKind::LocalAdaptive, SchedulerKind::GlobalAdaptive,
+        SchedulerKind::LocalStatic, SchedulerKind::GlobalStatic,
+        SchedulerKind::LocalAdaptiveNoDyn,
+        SchedulerKind::GlobalAdaptiveNoDyn,
+        SchedulerKind::BruteForceStatic,
+        SchedulerKind::ReactiveBaseline}) {
+    EXPECT_EQ(schedulerKindFromName(toString(kind)), kind);
+  }
+  EXPECT_THROW((void)schedulerKindFromName("quantum"), PreconditionError);
+}
+
+TEST(ExperimentFromConfig, AppliesValuesAndDefaults) {
+  const auto kv = KeyValueConfig::parse(
+      "graph = chain\n"
+      "chain_length = 6\n"
+      "scheduler = local, global\n"
+      "mean_rate = 25\n"
+      "profile = random-walk\n"
+      "horizon_h = 3\n"
+      "omega_target = 0.8\n"
+      "vm_mtbf_h = 12\n");
+  const auto ex = experimentFromConfig(kv);
+  EXPECT_EQ(ex.graph, "chain");
+  ASSERT_EQ(ex.schedulers.size(), 2u);
+  EXPECT_EQ(ex.schedulers[0], SchedulerKind::LocalAdaptive);
+  EXPECT_EQ(ex.schedulers[1], SchedulerKind::GlobalAdaptive);
+  EXPECT_DOUBLE_EQ(ex.config.mean_rate, 25.0);
+  EXPECT_EQ(ex.config.profile, ProfileKind::RandomWalk);
+  EXPECT_DOUBLE_EQ(ex.config.horizon_s, 3.0 * kSecondsPerHour);
+  EXPECT_DOUBLE_EQ(ex.config.omega_target, 0.8);
+  EXPECT_DOUBLE_EQ(ex.config.vm_mtbf_hours, 12.0);
+  // Untouched defaults survive.
+  EXPECT_DOUBLE_EQ(ex.config.interval_s, 60.0);
+}
+
+TEST(ExperimentFromConfig, DefaultsToGlobalScheduler) {
+  const auto ex = experimentFromConfig(KeyValueConfig::parse("graph=paper\n"));
+  ASSERT_EQ(ex.schedulers.size(), 1u);
+  EXPECT_EQ(ex.schedulers[0], SchedulerKind::GlobalAdaptive);
+}
+
+TEST(ExperimentFromConfig, RejectsUnknownKeysGraphsProfiles) {
+  EXPECT_THROW(
+      (void)experimentFromConfig(KeyValueConfig::parse("grpah = paper\n")),
+      PreconditionError);
+  EXPECT_THROW(
+      (void)experimentFromConfig(KeyValueConfig::parse("graph = torus\n")),
+      PreconditionError);
+  EXPECT_THROW((void)experimentFromConfig(
+                   KeyValueConfig::parse("profile = bursty\n")),
+               PreconditionError);
+  EXPECT_THROW((void)experimentFromConfig(
+                   KeyValueConfig::parse("scheduler = alien\n")),
+               PreconditionError);
+}
+
+TEST(ExperimentFromConfig, ValidatesResultingConfig) {
+  EXPECT_THROW((void)experimentFromConfig(
+                   KeyValueConfig::parse("mean_rate = -3\n")),
+               PreconditionError);
+}
+
+TEST(ExperimentFromConfig, ShippedExampleConfParses) {
+  // Keep tools/example.conf working as documentation.
+  const auto path = std::filesystem::path(__FILE__)
+                        .parent_path()
+                        .parent_path()
+                        .parent_path() /
+                    "tools" / "example.conf";
+  const auto ex = experimentFromConfig(KeyValueConfig::load(path.string()));
+  EXPECT_EQ(ex.graph, "paper");
+  EXPECT_EQ(ex.schedulers.size(), 4u);
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,177 @@
+#include "dds/core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dds/dataflow/standard_graphs.hpp"
+
+namespace dds {
+namespace {
+
+ExperimentConfig quickConfig() {
+  ExperimentConfig cfg;
+  cfg.horizon_s = 10.0 * kSecondsPerMinute;
+  cfg.interval_s = 60.0;
+  cfg.mean_rate = 5.0;
+  return cfg;
+}
+
+TEST(SchedulerKindToString, AllNamed) {
+  EXPECT_EQ(toString(SchedulerKind::LocalAdaptive), "local");
+  EXPECT_EQ(toString(SchedulerKind::GlobalAdaptive), "global");
+  EXPECT_EQ(toString(SchedulerKind::LocalStatic), "local-static");
+  EXPECT_EQ(toString(SchedulerKind::GlobalStatic), "global-static");
+  EXPECT_EQ(toString(SchedulerKind::LocalAdaptiveNoDyn), "local-nodyn");
+  EXPECT_EQ(toString(SchedulerKind::GlobalAdaptiveNoDyn), "global-nodyn");
+  EXPECT_EQ(toString(SchedulerKind::BruteForceStatic), "brute-force-static");
+  EXPECT_EQ(toString(SchedulerKind::ReactiveBaseline), "reactive-autoscaler");
+  EXPECT_EQ(toString(SchedulerKind::AnnealingStatic), "annealing-static");
+}
+
+TEST(ExperimentConfig, ValidatesFields) {
+  ExperimentConfig cfg = quickConfig();
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.mean_rate = 0.0;
+  EXPECT_THROW(cfg.validate(), PreconditionError);
+  cfg = quickConfig();
+  cfg.interval_s = cfg.horizon_s * 2.0;
+  EXPECT_THROW(cfg.validate(), PreconditionError);
+  cfg = quickConfig();
+  cfg.omega_target = 1.5;
+  EXPECT_THROW(cfg.validate(), PreconditionError);
+  cfg = quickConfig();
+  cfg.resource_period = 0;
+  EXPECT_THROW(cfg.validate(), PreconditionError);
+}
+
+TEST(DeriveSigma, PositiveAndRateSensitive) {
+  const Dataflow df = makePaperDataflow();
+  const double lo = deriveSigma(df, 2.0, kSecondsPerHour);
+  const double hi = deriveSigma(df, 50.0, kSecondsPerHour);
+  EXPECT_GT(lo, 0.0);
+  EXPECT_GT(hi, 0.0);
+  // Higher rates come with a larger acceptable budget, so a dollar matters
+  // less: sigma shrinks as the rate grows.
+  EXPECT_LT(hi, lo);
+}
+
+TEST(DeriveSigma, HandlesNoDynamismGraphs) {
+  const Dataflow df = makeDiamondDataflow();  // single-alternate PEs
+  EXPECT_GT(deriveSigma(df, 5.0, kSecondsPerHour), 0.0);
+}
+
+TEST(Engine, RunProducesOneMetricPerInterval) {
+  const Dataflow df = makePaperDataflow();
+  const SimulationEngine engine(df, quickConfig());
+  const auto r = engine.run(SchedulerKind::GlobalAdaptive);
+  EXPECT_EQ(r.run.intervals().size(), 10u);
+  EXPECT_EQ(r.scheduler_name, "global");
+  EXPECT_GT(r.total_cost, 0.0);
+  EXPECT_GT(r.average_gamma, 0.0);
+  EXPECT_LE(r.average_gamma, 1.0);
+  EXPECT_GT(r.average_omega, 0.0);
+  EXPECT_LE(r.average_omega, 1.0);
+  EXPECT_GE(r.peak_vms, 1);
+  EXPECT_GE(r.peak_cores, 4);  // one core per PE minimum
+}
+
+TEST(Engine, SigmaOverrideWins) {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg = quickConfig();
+  cfg.sigma_override = 0.123;
+  const SimulationEngine engine(df, cfg);
+  EXPECT_DOUBLE_EQ(engine.sigma(), 0.123);
+  const auto r = engine.run(SchedulerKind::LocalStatic);
+  EXPECT_DOUBLE_EQ(r.sigma, 0.123);
+  EXPECT_NEAR(r.theta, r.average_gamma - 0.123 * r.total_cost, 1e-12);
+}
+
+TEST(Engine, DeterministicForSameSeed) {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg = quickConfig();
+  cfg.infra_variability = true;
+  cfg.profile = ProfileKind::RandomWalk;
+  const SimulationEngine engine(df, cfg);
+  const auto a = engine.run(SchedulerKind::GlobalAdaptive);
+  const auto b = engine.run(SchedulerKind::GlobalAdaptive);
+  EXPECT_DOUBLE_EQ(a.average_omega, b.average_omega);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  EXPECT_DOUBLE_EQ(a.theta, b.theta);
+}
+
+TEST(Engine, SeedChangesVariableRuns) {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg = quickConfig();
+  cfg.infra_variability = true;
+  cfg.profile = ProfileKind::RandomWalk;
+  cfg.horizon_s = 30.0 * kSecondsPerMinute;
+  const auto a = SimulationEngine(df, cfg).run(SchedulerKind::LocalAdaptive);
+  cfg.seed = 777;
+  const auto b = SimulationEngine(df, cfg).run(SchedulerKind::LocalAdaptive);
+  // Different seeds -> different traces and walks -> different outcomes.
+  EXPECT_NE(a.average_omega, b.average_omega);
+}
+
+TEST(Engine, AdaptiveMeetsConstraintUnderStableConditions) {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg = quickConfig();
+  cfg.horizon_s = kSecondsPerHour;
+  for (const auto kind :
+       {SchedulerKind::LocalAdaptive, SchedulerKind::GlobalAdaptive}) {
+    const auto r = SimulationEngine(df, cfg).run(kind);
+    EXPECT_TRUE(r.constraint_met) << toString(kind) << " omega "
+                                  << r.average_omega;
+  }
+}
+
+TEST(Engine, CostCumulativeIsNonDecreasing) {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg = quickConfig();
+  cfg.horizon_s = kSecondsPerHour;
+  cfg.profile = ProfileKind::PeriodicWave;
+  const auto r = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
+  double prev = 0.0;
+  for (const auto& m : r.run.intervals()) {
+    EXPECT_GE(m.cost_cumulative, prev);
+    prev = m.cost_cumulative;
+  }
+  EXPECT_NEAR(r.total_cost, prev, 1e-9);
+}
+
+TEST(Engine, BruteForceRunsOnSmallConfig) {
+  const Dataflow df = makePaperDataflow();
+  const auto r =
+      SimulationEngine(df, quickConfig()).run(SchedulerKind::BruteForceStatic);
+  EXPECT_EQ(r.scheduler_name, "brute-force-static");
+  EXPECT_TRUE(r.constraint_met);
+}
+
+class EngineAllKindsTest : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(EngineAllKindsTest, EveryKindCompletesAndReportsSaneMetrics) {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg = quickConfig();
+  cfg.infra_variability = true;
+  cfg.profile = ProfileKind::PeriodicWave;
+  const auto r = SimulationEngine(df, cfg).run(GetParam());
+  EXPECT_EQ(r.scheduler_name, toString(GetParam()));
+  EXPECT_GE(r.average_omega, 0.0);
+  EXPECT_LE(r.average_omega, 1.0);
+  EXPECT_GT(r.average_gamma, 0.0);
+  EXPECT_LE(r.average_gamma, 1.0);
+  EXPECT_GT(r.total_cost, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, EngineAllKindsTest,
+    ::testing::Values(SchedulerKind::LocalAdaptive,
+                      SchedulerKind::GlobalAdaptive,
+                      SchedulerKind::LocalStatic,
+                      SchedulerKind::GlobalStatic,
+                      SchedulerKind::LocalAdaptiveNoDyn,
+                      SchedulerKind::GlobalAdaptiveNoDyn,
+                      SchedulerKind::BruteForceStatic,
+                      SchedulerKind::ReactiveBaseline,
+                      SchedulerKind::AnnealingStatic));
+
+}  // namespace
+}  // namespace dds

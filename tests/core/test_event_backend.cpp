@@ -1,0 +1,83 @@
+// Engine runs through the discrete-event backend.
+#include <gtest/gtest.h>
+
+#include "dds/config/config_file.hpp"
+#include "dds/core/engine.hpp"
+#include "dds/dataflow/standard_graphs.hpp"
+
+namespace dds {
+namespace {
+
+ExperimentConfig eventConfig() {
+  ExperimentConfig cfg;
+  cfg.horizon_s = 20.0 * kSecondsPerMinute;
+  cfg.mean_rate = 5.0;
+  cfg.backend = SimBackend::Event;
+  return cfg;
+}
+
+TEST(EventBackend, ToStringNames) {
+  EXPECT_EQ(toString(SimBackend::Fluid), "fluid");
+  EXPECT_EQ(toString(SimBackend::Event), "event");
+}
+
+TEST(EventBackend, FillsLatencyFields) {
+  const Dataflow df = makePaperDataflow();
+  const auto r =
+      SimulationEngine(df, eventConfig()).run(SchedulerKind::GlobalAdaptive);
+  EXPECT_GT(r.messages_delivered, 0u);
+  EXPECT_GT(r.latency_mean_s, 0.0);
+  EXPECT_GE(r.latency_p95_s, r.latency_mean_s * 0.5);
+  EXPECT_GE(r.latency_p99_s, r.latency_p95_s);
+  EXPECT_EQ(r.run.intervals().size(), 20u);
+}
+
+TEST(EventBackend, FluidBackendLeavesLatencyZero) {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg = eventConfig();
+  cfg.backend = SimBackend::Fluid;
+  const auto r =
+      SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
+  EXPECT_EQ(r.messages_delivered, 0u);
+  EXPECT_DOUBLE_EQ(r.latency_mean_s, 0.0);
+}
+
+TEST(EventBackend, BackendsAgreeOnThroughputShape) {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg = eventConfig();
+  cfg.horizon_s = kSecondsPerHour;
+  const auto event =
+      SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
+  cfg.backend = SimBackend::Fluid;
+  const auto fluid =
+      SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
+  EXPECT_NEAR(event.average_omega, fluid.average_omega, 0.12);
+  EXPECT_TRUE(event.constraint_met);
+}
+
+TEST(EventBackend, StaticPolicyRunsWithoutAdaptation) {
+  const Dataflow df = makePaperDataflow();
+  const auto r =
+      SimulationEngine(df, eventConfig()).run(SchedulerKind::GlobalStatic);
+  EXPECT_EQ(r.scheduler_name, "global-static");
+  EXPECT_GT(r.messages_delivered, 0u);
+}
+
+TEST(EventBackend, RejectsFaultInjection) {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg = eventConfig();
+  cfg.vm_mtbf_hours = 2.0;
+  EXPECT_THROW(SimulationEngine(df, cfg), PreconditionError);
+}
+
+TEST(EventBackend, ConfigFileSelectsBackend) {
+  const auto ex = experimentFromConfig(
+      KeyValueConfig::parse("backend = event\nmean_rate = 4\n"));
+  EXPECT_EQ(ex.config.backend, SimBackend::Event);
+  EXPECT_THROW((void)experimentFromConfig(
+                   KeyValueConfig::parse("backend = quantum\n")),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,59 @@
+#include "dds/core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dds/core/engine.hpp"
+#include "dds/dataflow/standard_graphs.hpp"
+
+namespace dds {
+namespace {
+
+ExperimentResult sampleResult() {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg;
+  cfg.horizon_s = 10.0 * kSecondsPerMinute;
+  cfg.mean_rate = 5.0;
+  return SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
+}
+
+TEST(Report, IntervalSeriesHasOneRowPerInterval) {
+  const auto r = sampleResult();
+  const auto csv = intervalSeriesCsv(r.run);
+  EXPECT_EQ(csv.header.size(), 8u);
+  EXPECT_EQ(csv.rows.size(), r.run.intervals().size());
+  // Columns line up with the metric series.
+  const auto omega_col = csv.column("omega");
+  for (std::size_t i = 0; i < omega_col.size(); ++i) {
+    EXPECT_DOUBLE_EQ(omega_col[i], r.run.intervals()[i].omega);
+  }
+  // Round-trips through the CSV text layer.
+  const auto parsed = parseCsv(formatCsv(csv));
+  EXPECT_EQ(parsed.rows.size(), csv.rows.size());
+}
+
+TEST(Report, SummaryCsvOneRowPerResult) {
+  const auto a = sampleResult();
+  const std::vector<ExperimentResult> results = {a, a};
+  const auto csv = summaryCsv(results);
+  ASSERT_EQ(csv.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(csv.column("theta")[0], a.theta);
+  EXPECT_DOUBLE_EQ(csv.column("cost_usd")[1], a.total_cost);
+}
+
+TEST(Report, SummaryTableNamesSchedulers) {
+  const auto a = sampleResult();
+  const std::vector<ExperimentResult> results = {a};
+  const auto table = summaryTable(results);
+  EXPECT_EQ(table.rowCount(), 1u);
+  EXPECT_NE(table.render().find("global"), std::string::npos);
+}
+
+TEST(Report, EmptyInputsProduceEmptyTables) {
+  const RunResult empty_run;
+  EXPECT_TRUE(intervalSeriesCsv(empty_run).rows.empty());
+  EXPECT_TRUE(summaryCsv({}).rows.empty());
+  EXPECT_EQ(summaryTable({}).rowCount(), 0u);
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,91 @@
+#include "dds/dataflow/processing_element.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dds/dataflow/alternate.hpp"
+
+namespace dds {
+namespace {
+
+ProcessingElement makePe() {
+  return ProcessingElement(PeId(0), "classify",
+                           {{"accurate", 0.9, 0.3, 1.0},
+                            {"fast", 0.6, 0.1, 0.8},
+                            {"mid", 0.75, 0.2, 0.9}});
+}
+
+TEST(Alternate, ValidateAcceptsPositiveMetrics) {
+  const Alternate a{"ok", 0.5, 0.1, 1.2};
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Alternate, ValidateRejectsBadMetrics) {
+  EXPECT_THROW((Alternate{"", 1.0, 0.1, 1.0}.validate()), PreconditionError);
+  EXPECT_THROW((Alternate{"v", 0.0, 0.1, 1.0}.validate()), PreconditionError);
+  EXPECT_THROW((Alternate{"c", 1.0, 0.0, 1.0}.validate()), PreconditionError);
+  EXPECT_THROW((Alternate{"s", 1.0, 0.1, 0.0}.validate()), PreconditionError);
+  EXPECT_THROW((Alternate{"n", -1.0, 0.1, 1.0}.validate()),
+               PreconditionError);
+}
+
+TEST(ProcessingElement, ExposesAlternates) {
+  const auto pe = makePe();
+  EXPECT_EQ(pe.name(), "classify");
+  EXPECT_EQ(pe.alternateCount(), 3u);
+  EXPECT_EQ(pe.alternate(AlternateId(1)).name, "fast");
+}
+
+TEST(ProcessingElement, RelativeValueNormalizesToBest) {
+  const auto pe = makePe();
+  // gamma = f / max f; max f is 0.9 here.
+  EXPECT_DOUBLE_EQ(pe.relativeValue(AlternateId(0)), 1.0);
+  EXPECT_NEAR(pe.relativeValue(AlternateId(1)), 0.6 / 0.9, 1e-12);
+  EXPECT_NEAR(pe.relativeValue(AlternateId(2)), 0.75 / 0.9, 1e-12);
+}
+
+TEST(ProcessingElement, RelativeValueInUnitInterval) {
+  const auto pe = makePe();
+  for (std::size_t j = 0; j < pe.alternateCount(); ++j) {
+    const double g =
+        pe.relativeValue(AlternateId(static_cast<std::uint32_t>(j)));
+    EXPECT_GT(g, 0.0);
+    EXPECT_LE(g, 1.0);
+  }
+}
+
+TEST(ProcessingElement, BestAndWorstValueAlternates) {
+  const auto pe = makePe();
+  EXPECT_EQ(pe.bestValueAlternate(), AlternateId(0));
+  EXPECT_EQ(pe.worstValueAlternate(), AlternateId(1));
+}
+
+TEST(ProcessingElement, BestValueTieBreaksToLowestIndex) {
+  const ProcessingElement pe(PeId(0), "tie",
+                             {{"a", 1.0, 0.1, 1.0}, {"b", 1.0, 0.2, 1.0}});
+  EXPECT_EQ(pe.bestValueAlternate(), AlternateId(0));
+  EXPECT_EQ(pe.worstValueAlternate(), AlternateId(0));
+}
+
+TEST(ProcessingElement, SingleAlternateHasUnitValue) {
+  const ProcessingElement pe(PeId(0), "solo", {{"only", 0.3, 0.1, 1.0}});
+  EXPECT_DOUBLE_EQ(pe.relativeValue(AlternateId(0)), 1.0);
+}
+
+TEST(ProcessingElement, RejectsEmptyAlternates) {
+  EXPECT_THROW(ProcessingElement(PeId(0), "none", {}), PreconditionError);
+}
+
+TEST(ProcessingElement, RejectsInvalidAlternate) {
+  EXPECT_THROW(
+      ProcessingElement(PeId(0), "bad", {{"neg", -1.0, 0.1, 1.0}}),
+      PreconditionError);
+}
+
+TEST(ProcessingElement, AlternateIndexOutOfRangeThrows) {
+  const auto pe = makePe();
+  EXPECT_THROW((void)pe.alternate(AlternateId(3)), PreconditionError);
+  EXPECT_THROW((void)pe.relativeValue(AlternateId(7)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,151 @@
+#include "dds/dataflow/standard_graphs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds {
+namespace {
+
+TEST(PaperDataflow, MatchesFig1Shape) {
+  const Dataflow df = makePaperDataflow();
+  EXPECT_EQ(df.peCount(), 4u);
+  EXPECT_EQ(df.edgeCount(), 4u);
+  ASSERT_EQ(df.inputs().size(), 1u);
+  ASSERT_EQ(df.outputs().size(), 1u);
+  // E1 fans out to both E2 and E3 (and-split), E4 merges them.
+  const PeId e1 = df.inputs()[0];
+  const PeId e4 = df.outputs()[0];
+  EXPECT_EQ(df.successors(e1).size(), 2u);
+  EXPECT_EQ(df.predecessors(e4).size(), 2u);
+}
+
+TEST(PaperDataflow, MiddlePesHaveTwoAlternates) {
+  const Dataflow df = makePaperDataflow();
+  EXPECT_EQ(df.pe(PeId(0)).alternateCount(), 1u);  // E1
+  EXPECT_EQ(df.pe(PeId(1)).alternateCount(), 2u);  // E2
+  EXPECT_EQ(df.pe(PeId(2)).alternateCount(), 2u);  // E3
+  EXPECT_EQ(df.pe(PeId(3)).alternateCount(), 1u);  // E4
+  EXPECT_EQ(df.totalAlternateCount(), 6u);
+}
+
+TEST(PaperDataflow, FastAlternatesAreCheaperAndLowerValue) {
+  const Dataflow df = makePaperDataflow();
+  for (const PeId id : {PeId(1), PeId(2)}) {
+    const auto& accurate = df.pe(id).alternate(AlternateId(0));
+    const auto& fast = df.pe(id).alternate(AlternateId(1));
+    EXPECT_LT(fast.cost_core_sec, accurate.cost_core_sec);
+    EXPECT_LT(fast.value, accurate.value);
+  }
+}
+
+TEST(ChainDataflow, HasRequestedLength) {
+  const Dataflow df = makeChainDataflow(5, 2);
+  EXPECT_EQ(df.peCount(), 5u);
+  EXPECT_EQ(df.edgeCount(), 4u);
+  EXPECT_EQ(df.inputs().size(), 1u);
+  EXPECT_EQ(df.outputs().size(), 1u);
+  for (const auto& pe : df.pes()) EXPECT_EQ(pe.alternateCount(), 2u);
+}
+
+TEST(ChainDataflow, SinglePeChainIsBothInputAndOutput) {
+  const Dataflow df = makeChainDataflow(1, 1);
+  EXPECT_EQ(df.peCount(), 1u);
+  EXPECT_TRUE(df.isInput(PeId(0)));
+  EXPECT_TRUE(df.isOutput(PeId(0)));
+}
+
+TEST(ChainDataflow, RejectsZeroLengthOrZeroAlternates) {
+  EXPECT_THROW((void)makeChainDataflow(0, 1), PreconditionError);
+  EXPECT_THROW((void)makeChainDataflow(3, 0), PreconditionError);
+}
+
+TEST(DiamondDataflow, ShapeAndSelectivity) {
+  const Dataflow df = makeDiamondDataflow();
+  EXPECT_EQ(df.peCount(), 4u);
+  // Branch "b" doubles the rate (selectivity 2).
+  EXPECT_DOUBLE_EQ(df.pe(PeId(2)).alternate(AlternateId(0)).selectivity,
+                   2.0);
+}
+
+class LayeredDataflowTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(LayeredDataflowTest, ValidDagOfExpectedSize) {
+  const auto [layers, width, alts] = GetParam();
+  Rng rng(7);
+  const Dataflow df = makeLayeredDataflow(layers, width, alts, rng);
+  // Source and sink layers are single PEs; middle layers have `width`.
+  const std::size_t expected =
+      2 + (layers - 2) * width;
+  EXPECT_EQ(df.peCount(), expected);
+  EXPECT_EQ(df.inputs().size(), 1u);
+  EXPECT_EQ(df.outputs().size(), 1u);
+  EXPECT_EQ(df.topologicalOrder().size(), df.peCount());
+  for (const auto& pe : df.pes()) EXPECT_EQ(pe.alternateCount(), alts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LayeredDataflowTest,
+    ::testing::Values(std::tuple{2, 1, 1}, std::tuple{3, 2, 2},
+                      std::tuple{4, 3, 3}, std::tuple{6, 5, 2},
+                      std::tuple{10, 8, 4}));
+
+TEST(LayeredDataflow, DeterministicForSameRngSeed) {
+  Rng a(11), b(11);
+  const Dataflow x = makeLayeredDataflow(4, 3, 2, a);
+  const Dataflow y = makeLayeredDataflow(4, 3, 2, b);
+  EXPECT_EQ(x.peCount(), y.peCount());
+  EXPECT_EQ(x.edgeCount(), y.edgeCount());
+  for (std::size_t i = 0; i < x.peCount(); ++i) {
+    const PeId id(static_cast<PeId::value_type>(i));
+    ASSERT_EQ(x.successors(id).size(), y.successors(id).size());
+    EXPECT_DOUBLE_EQ(x.pe(id).alternate(AlternateId(0)).cost_core_sec,
+                     y.pe(id).alternate(AlternateId(0)).cost_core_sec);
+  }
+}
+
+TEST(LayeredDataflow, RejectsDegenerateShapes) {
+  Rng rng(1);
+  EXPECT_THROW((void)makeLayeredDataflow(1, 3, 1, rng), PreconditionError);
+  EXPECT_THROW((void)makeLayeredDataflow(3, 0, 1, rng), PreconditionError);
+  EXPECT_THROW((void)makeLayeredDataflow(3, 3, 0, rng), PreconditionError);
+}
+
+TEST(AggregationTree, BinaryTreeShape) {
+  const Dataflow df = makeAggregationTreeDataflow(4, 2);
+  // 4 leaves + 2 + 1 aggregators + dashboard = 8 PEs.
+  EXPECT_EQ(df.peCount(), 8u);
+  EXPECT_EQ(df.inputs().size(), 4u);
+  EXPECT_EQ(df.outputs().size(), 1u);
+}
+
+TEST(AggregationTree, SelectivityReducesRate) {
+  const Dataflow df = makeAggregationTreeDataflow(4, 2);
+  // Every aggregator halves the rate.
+  for (const auto& pe : df.pes()) {
+    if (pe.name().rfind("agg-", 0) == 0) {
+      EXPECT_DOUBLE_EQ(pe.alternate(AlternateId(0)).selectivity, 0.5);
+      EXPECT_EQ(pe.alternateCount(), 2u);
+    }
+  }
+}
+
+TEST(AggregationTree, UnevenLeafCountStillReduces) {
+  const Dataflow df = makeAggregationTreeDataflow(5, 3);
+  EXPECT_EQ(df.inputs().size(), 5u);
+  EXPECT_EQ(df.outputs().size(), 1u);
+  EXPECT_EQ(df.topologicalOrder().size(), df.peCount());
+}
+
+TEST(AggregationTree, SingleLeafIsDegenerate) {
+  const Dataflow df = makeAggregationTreeDataflow(1, 2);
+  EXPECT_EQ(df.peCount(), 1u);
+}
+
+TEST(AggregationTree, RejectsBadShape) {
+  EXPECT_THROW((void)makeAggregationTreeDataflow(0, 2), PreconditionError);
+  EXPECT_THROW((void)makeAggregationTreeDataflow(4, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dds

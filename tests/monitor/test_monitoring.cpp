@@ -1,0 +1,84 @@
+#include "dds/monitor/monitoring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds {
+namespace {
+
+struct Fixture {
+  CloudProvider cloud{awsCatalog2013()};
+  TraceReplayer ideal = TraceReplayer::ideal();
+};
+
+TEST(Monitoring, RatedCorePowerMatchesClassSpec) {
+  Fixture f;
+  MonitoringService mon(f.cloud, f.ideal);
+  const VmId small = f.cloud.acquire(f.cloud.catalog().byName("m1.small"), 0.0);
+  const VmId xl = f.cloud.acquire(f.cloud.catalog().byName("m1.xlarge"), 0.0);
+  EXPECT_DOUBLE_EQ(mon.ratedCorePower(small), 1.0);
+  EXPECT_DOUBLE_EQ(mon.ratedCorePower(xl), 2.0);
+}
+
+TEST(Monitoring, ObservedEqualsRatedUnderIdealReplay) {
+  Fixture f;
+  MonitoringService mon(f.cloud, f.ideal);
+  const VmId vm = f.cloud.acquire(ResourceClassId(1), 0.0);
+  EXPECT_DOUBLE_EQ(mon.observedCorePower(vm, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(mon.observedCorePower(vm, 7200.0), 2.0);
+}
+
+TEST(Monitoring, ObservedScalesWithTraceCoefficient) {
+  CloudProvider cloud(awsCatalog2013());
+  TraceReplayer degraded({PerfTrace::constant(0.5)},
+                         {PerfTrace::constant(1.0)},
+                         {PerfTrace::constant(1.0)}, 0);
+  MonitoringService mon(cloud, degraded);
+  const VmId vm = cloud.acquire(ResourceClassId(1), 0.0);  // rated 2.0
+  EXPECT_DOUBLE_EQ(mon.observedCorePower(vm, 100.0), 1.0);
+}
+
+TEST(Monitoring, ColocatedTransfersAreFree) {
+  Fixture f;
+  MonitoringService mon(f.cloud, f.ideal);
+  const VmId vm = f.cloud.acquire(ResourceClassId(0), 0.0);
+  EXPECT_TRUE(std::isinf(mon.ratedBandwidthMbps(vm, vm)));
+  EXPECT_TRUE(std::isinf(mon.observedBandwidthMbps(vm, vm, 50.0)));
+  EXPECT_DOUBLE_EQ(mon.observedLatencyMs(vm, vm, 50.0), 0.0);
+}
+
+TEST(Monitoring, RatedBandwidthIsPairwiseMin) {
+  CloudProvider cloud(ResourceCatalog({
+      {"slow-nic", 1, 1.0, 50.0, 0.1},
+      {"fast-nic", 1, 1.0, 1000.0, 0.2},
+  }));
+  TraceReplayer ideal = TraceReplayer::ideal();
+  MonitoringService mon(cloud, ideal);
+  const VmId a = cloud.acquire(ResourceClassId(0), 0.0);
+  const VmId b = cloud.acquire(ResourceClassId(1), 0.0);
+  EXPECT_DOUBLE_EQ(mon.ratedBandwidthMbps(a, b), 50.0);
+}
+
+TEST(Monitoring, ObservedBandwidthAppliesCoefficient) {
+  CloudProvider cloud(awsCatalog2013());
+  TraceReplayer dip({PerfTrace::constant(1.0)}, {PerfTrace::constant(1.0)},
+                    {PerfTrace::constant(0.4)}, 0);
+  MonitoringService mon(cloud, dip);
+  const VmId a = cloud.acquire(ResourceClassId(0), 0.0);
+  const VmId b = cloud.acquire(ResourceClassId(0), 0.0);
+  EXPECT_DOUBLE_EQ(mon.observedBandwidthMbps(a, b, 10.0), 40.0);
+}
+
+TEST(Monitoring, LatencyUsesBaseTimesCoefficient) {
+  CloudProvider cloud(awsCatalog2013());
+  TraceReplayer spike({PerfTrace::constant(1.0)},
+                      {PerfTrace::constant(3.0)},
+                      {PerfTrace::constant(1.0)}, 0);
+  MonitoringService mon(cloud, spike);
+  const VmId a = cloud.acquire(ResourceClassId(0), 0.0);
+  const VmId b = cloud.acquire(ResourceClassId(0), 0.0);
+  EXPECT_DOUBLE_EQ(mon.observedLatencyMs(a, b, 10.0),
+                   MonitoringService::kBaseLatencyMs * 3.0);
+}
+
+}  // namespace
+}  // namespace dds

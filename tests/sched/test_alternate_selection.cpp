@@ -1,0 +1,126 @@
+#include "dds/sched/alternate_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dds/dataflow/standard_graphs.hpp"
+
+namespace dds {
+namespace {
+
+TEST(StrategyToString, Names) {
+  EXPECT_EQ(toString(Strategy::Local), "local");
+  EXPECT_EQ(toString(Strategy::Global), "global");
+}
+
+TEST(DownstreamCosts, SinkCostIsItsOwn) {
+  const Dataflow df = makePaperDataflow();
+  const Deployment dep(df);
+  const auto dc = downstreamCosts(df, dep);
+  // E4 has no successors: dc = its own cost.
+  EXPECT_DOUBLE_EQ(dc[3], 3.2);
+}
+
+TEST(DownstreamCosts, PropagatesWithSelectivity) {
+  const Dataflow df = makePaperDataflow();
+  const Deployment dep(df);  // accurate alternates everywhere
+  const auto dc = downstreamCosts(df, dep);
+  // E2: c=8.0, s=1.0, successor E4 dc=3.2 -> 11.2.
+  EXPECT_DOUBLE_EQ(dc[1], 8.0 + 1.0 * 3.2);
+  // E3: c=12.0, s=1.2 -> 12.0 + 1.2*3.2 = 15.84.
+  EXPECT_NEAR(dc[2], 15.84, 1e-12);
+  // E1: c=2.0, s=1.0, successors E2+E3 -> 2.0 + (11.2 + 15.84).
+  EXPECT_NEAR(dc[0], 2.0 + 11.2 + 15.84, 1e-12);
+}
+
+TEST(DownstreamCosts, ReflectsActiveAlternates) {
+  const Dataflow df = makePaperDataflow();
+  Deployment dep(df);
+  dep.setActiveAlternate(PeId(1), AlternateId(1));  // e2-fast: c=4.0, s=0.8
+  const auto dc = downstreamCosts(df, dep);
+  EXPECT_NEAR(dc[1], 4.0 + 0.8 * 3.2, 1e-12);
+}
+
+TEST(AlternateCost, LocalIsOwnCost) {
+  const Dataflow df = makePaperDataflow();
+  const Alternate cand{"x", 1.0, 0.42, 1.5};
+  EXPECT_DOUBLE_EQ(alternateCost(Strategy::Local, df, PeId(1), cand, {}),
+                   0.42);
+}
+
+TEST(AlternateCost, GlobalAddsDownstreamScaledBySelectivity) {
+  const Dataflow df = makePaperDataflow();
+  const Deployment dep(df);
+  const auto dc = downstreamCosts(df, dep);
+  const Alternate cand{"x", 1.0, 0.42, 1.5};
+  // PE 1's only successor is E4 (dc = 3.2).
+  EXPECT_NEAR(alternateCost(Strategy::Global, df, PeId(1), cand, dc),
+              0.42 + 1.5 * 3.2, 1e-12);
+}
+
+TEST(SelectInitial, LocalPicksBestValuePerCostRatio) {
+  const Dataflow df = makePaperDataflow();
+  Deployment dep(df);
+  selectInitialAlternates(Strategy::Local, df, dep);
+  // E2: accurate gamma/c = 1/8; fast = 0.7/4 -> fast wins.
+  EXPECT_EQ(dep.activeAlternate(PeId(1)), AlternateId(1));
+  // E3: accurate 1/12; fast 0.6/4.8 = 0.125 -> fast wins.
+  EXPECT_EQ(dep.activeAlternate(PeId(2)), AlternateId(1));
+}
+
+TEST(SelectInitial, GlobalAccountsForDownstreamLoad) {
+  // Craft a PE whose cheap alternate has huge selectivity: locally it wins,
+  // globally the induced downstream load makes it lose.
+  DataflowBuilder b("sel");
+  const PeId a = b.addPe("amp", {{"lean", 1.0, 0.10, 1.0},
+                                 {"flood", 0.95, 0.08, 10.0}});
+  const PeId c = b.addPe("heavy", {{"h", 1.0, 1.0, 1.0}});
+  b.addEdge(a, c);
+  const Dataflow df = std::move(b).build();
+
+  Deployment local_dep(df);
+  selectInitialAlternates(Strategy::Local, df, local_dep);
+  // Local: flood ratio 0.95/0.08 > lean 1.0/0.10 -> flood.
+  EXPECT_EQ(local_dep.activeAlternate(a), AlternateId(1));
+
+  Deployment global_dep(df);
+  selectInitialAlternates(Strategy::Global, df, global_dep);
+  // Global: lean 1.0/(0.1+1*1) = 0.909 vs flood 0.95/(0.08+10*1) = 0.094.
+  EXPECT_EQ(global_dep.activeAlternate(a), AlternateId(0));
+}
+
+TEST(SelectInitial, SingleAlternatePesUntouched) {
+  const Dataflow df = makePaperDataflow();
+  for (const auto strategy : {Strategy::Local, Strategy::Global}) {
+    Deployment dep(df);
+    selectInitialAlternates(strategy, df, dep);
+    EXPECT_EQ(dep.activeAlternate(PeId(0)), AlternateId(0));
+    EXPECT_EQ(dep.activeAlternate(PeId(3)), AlternateId(0));
+  }
+}
+
+TEST(SelectBestValue, PicksHighestValueEverywhere) {
+  const Dataflow df = makePaperDataflow();
+  Deployment dep(df);
+  dep.setActiveAlternate(PeId(1), AlternateId(1));
+  selectBestValueAlternates(df, dep);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(dep.activeAlternate(PeId(i)), AlternateId(0));
+  }
+}
+
+TEST(SelectInitial, GlobalOnChainIsStableUnderRecomputation) {
+  const Dataflow df = makeChainDataflow(6, 3);
+  Deployment dep(df);
+  selectInitialAlternates(Strategy::Global, df, dep);
+  // Re-running the selection with the chosen alternates must be a fixed
+  // point: the DP used the final choices for every successor.
+  Deployment again = dep;
+  selectInitialAlternates(Strategy::Global, df, again);
+  for (std::size_t i = 0; i < df.peCount(); ++i) {
+    const PeId id(static_cast<PeId::value_type>(i));
+    EXPECT_EQ(again.activeAlternate(id), dep.activeAlternate(id));
+  }
+}
+
+}  // namespace
+}  // namespace dds

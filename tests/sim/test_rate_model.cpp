@@ -1,0 +1,123 @@
+#include "dds/sim/rate_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dds/dataflow/standard_graphs.hpp"
+
+namespace dds {
+namespace {
+
+TEST(RateModel, PaperGraphArrivalsWithAccurateAlternates) {
+  const Dataflow df = makePaperDataflow();
+  const Deployment dep(df);  // alternate 0 everywhere
+  // E1 sel 1.0 -> E2 and E3 each see 10. E2 sel 1.0 gives 10, E3 sel 1.2
+  // gives 12; E4 merges 10 + 12 = 22.
+  const auto arrivals = expectedArrivalRates(df, dep, 10.0);
+  EXPECT_DOUBLE_EQ(arrivals[0], 10.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 10.0);
+  EXPECT_DOUBLE_EQ(arrivals[2], 10.0);
+  EXPECT_DOUBLE_EQ(arrivals[3], 22.0);
+}
+
+TEST(RateModel, AlternateSwitchChangesDownstreamRates) {
+  const Dataflow df = makePaperDataflow();
+  Deployment dep(df);
+  dep.setActiveAlternate(PeId(1), AlternateId(1));  // e2-fast, sel 0.8
+  dep.setActiveAlternate(PeId(2), AlternateId(1));  // e3-fast, sel 1.0
+  const auto arrivals = expectedArrivalRates(df, dep, 10.0);
+  EXPECT_DOUBLE_EQ(arrivals[3], 8.0 + 10.0);
+}
+
+TEST(RateModel, OutputRatesApplyOwnSelectivity) {
+  const Dataflow df = makePaperDataflow();
+  const Deployment dep(df);
+  const auto out = expectedOutputRates(df, dep, 10.0);
+  EXPECT_DOUBLE_EQ(out[0], 10.0);  // E1 sel 1.0
+  EXPECT_DOUBLE_EQ(out[2], 12.0);  // E3 sel 1.2
+  EXPECT_DOUBLE_EQ(out[3], 22.0);  // E4 sel 1.0 on 22 arrivals
+}
+
+TEST(RateModel, SelectivityCompoundsAlongChains) {
+  DataflowBuilder b("amplify");
+  const PeId a = b.addPe("a", {{"a", 1.0, 0.1, 2.0}});
+  const PeId c = b.addPe("b", {{"b", 1.0, 0.1, 3.0}});
+  const PeId d = b.addPe("c", {{"c", 1.0, 0.1, 1.0}});
+  b.addEdge(a, c);
+  b.addEdge(c, d);
+  const Dataflow df = std::move(b).build();
+  const Deployment dep(df);
+  const auto arrivals = expectedArrivalRates(df, dep, 5.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 10.0);  // 5 * 2
+  EXPECT_DOUBLE_EQ(arrivals[2], 30.0);  // 10 * 3
+}
+
+TEST(RateModel, AndSplitDuplicatesToEachSuccessor) {
+  const Dataflow df = makeDiamondDataflow();
+  const Deployment dep(df);
+  const auto arrivals = expectedArrivalRates(df, dep, 4.0);
+  // src (sel 1) duplicates the full stream to both branches.
+  EXPECT_DOUBLE_EQ(arrivals[1], 4.0);
+  EXPECT_DOUBLE_EQ(arrivals[2], 4.0);
+  // sink multi-merges: a gives 4, b (sel 2) gives 8.
+  EXPECT_DOUBLE_EQ(arrivals[3], 12.0);
+}
+
+TEST(RateModel, ZeroInputRateGivesAllZeros) {
+  const Dataflow df = makePaperDataflow();
+  const Deployment dep(df);
+  for (const double r : expectedArrivalRates(df, dep, 0.0)) {
+    EXPECT_DOUBLE_EQ(r, 0.0);
+  }
+}
+
+TEST(RateModel, RequiredPowerIsRateTimesCost) {
+  const Dataflow df = makePaperDataflow();
+  const Deployment dep(df);
+  const auto power = requiredCorePower(df, dep, 10.0);
+  EXPECT_DOUBLE_EQ(power[0], 10.0 * 2.0);
+  EXPECT_DOUBLE_EQ(power[1], 10.0 * 8.0);
+  EXPECT_DOUBLE_EQ(power[2], 10.0 * 12.0);
+  EXPECT_DOUBLE_EQ(power[3], 22.0 * 3.2);
+}
+
+TEST(RateModel, RequiredPowerScalesLinearlyWithRate) {
+  const Dataflow df = makePaperDataflow();
+  const Deployment dep(df);
+  const auto p1 = requiredCorePower(df, dep, 5.0);
+  const auto p2 = requiredCorePower(df, dep, 10.0);
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_NEAR(p2[i], 2.0 * p1[i], 1e-12);
+  }
+}
+
+TEST(RateModel, RejectsNegativeRateAndMismatchedDeployment) {
+  const Dataflow df = makePaperDataflow();
+  const Deployment dep(df);
+  EXPECT_THROW((void)expectedArrivalRates(df, dep, -1.0),
+               PreconditionError);
+  const Dataflow other = makeDiamondDataflow();
+  // Note: both graphs have four PEs, so build one with a different count.
+  const Dataflow chain = makeChainDataflow(2, 1);
+  const Deployment short_dep(chain);
+  EXPECT_THROW((void)expectedArrivalRates(df, short_dep, 1.0),
+               PreconditionError);
+}
+
+class RateLinearityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateLinearityTest, ArrivalsScaleWithInput) {
+  const Dataflow df = makePaperDataflow();
+  const Deployment dep(df);
+  const double k = GetParam();
+  const auto base = expectedArrivalRates(df, dep, 1.0);
+  const auto scaled = expectedArrivalRates(df, dep, k);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(scaled[i], k * base[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateLinearityTest,
+                         ::testing::Values(2.0, 5.0, 10.0, 25.0, 50.0));
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,64 @@
+#include "dds/trace/perf_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds {
+namespace {
+
+TEST(PerfTrace, BasicAccessors) {
+  const PerfTrace t({1.0, 0.8, 1.2}, 10.0);
+  EXPECT_EQ(t.sampleCount(), 3u);
+  EXPECT_DOUBLE_EQ(t.samplePeriod(), 10.0);
+  EXPECT_DOUBLE_EQ(t.duration(), 30.0);
+}
+
+TEST(PerfTrace, AtUsesZeroOrderHold) {
+  const PerfTrace t({1.0, 2.0, 3.0}, 10.0);
+  EXPECT_DOUBLE_EQ(t.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(9.9), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(25.0), 3.0);
+}
+
+TEST(PerfTrace, AtWrapsPastDuration) {
+  const PerfTrace t({1.0, 2.0}, 5.0);
+  EXPECT_DOUBLE_EQ(t.at(10.0), 1.0);   // exactly one full cycle
+  EXPECT_DOUBLE_EQ(t.at(16.0), 2.0);   // 16 mod 10 = 6 -> second sample
+  EXPECT_DOUBLE_EQ(t.at(1000.0), 1.0);
+}
+
+TEST(PerfTrace, AtOffsetShiftsOrigin) {
+  const PerfTrace t({1.0, 2.0, 3.0}, 10.0);
+  EXPECT_DOUBLE_EQ(t.atOffset(10.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.atOffset(10.0, 10.0), 3.0);
+  EXPECT_DOUBLE_EQ(t.atOffset(25.0, 10.0), 1.0);  // 35 mod 30 = 5 -> idx 0
+}
+
+TEST(PerfTrace, ConstantFactory) {
+  const auto t = PerfTrace::constant(0.75);
+  EXPECT_DOUBLE_EQ(t.at(0.0), 0.75);
+  EXPECT_DOUBLE_EQ(t.at(1e7), 0.75);
+}
+
+TEST(PerfTrace, StatsSummarizeSamples) {
+  const PerfTrace t({1.0, 2.0, 3.0}, 1.0);
+  const auto s = t.stats();
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(PerfTrace, RejectsInvalidConstruction) {
+  EXPECT_THROW(PerfTrace({}, 1.0), PreconditionError);
+  EXPECT_THROW(PerfTrace({1.0}, 0.0), PreconditionError);
+  EXPECT_THROW(PerfTrace({-0.5}, 1.0), PreconditionError);
+}
+
+TEST(PerfTrace, RejectsNegativeQueryTime) {
+  const PerfTrace t({1.0}, 1.0);
+  EXPECT_THROW((void)t.at(-1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,148 @@
+#include "dds/trace/trace_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dds/common/stats.hpp"
+
+namespace dds {
+namespace {
+
+TEST(TraceGen, ProducesRequestedSampleCount) {
+  Rng rng(1);
+  const auto t = generateTrace(cpuTraceParams(), 3600.0, 60.0, rng);
+  EXPECT_EQ(t.sampleCount(), 60u);
+  EXPECT_DOUBLE_EQ(t.samplePeriod(), 60.0);
+}
+
+TEST(TraceGen, DeterministicForSameSeed) {
+  Rng a(5), b(5);
+  const auto x = generateTrace(cpuTraceParams(), 3600.0, 60.0, a);
+  const auto y = generateTrace(cpuTraceParams(), 3600.0, 60.0, b);
+  ASSERT_EQ(x.sampleCount(), y.sampleCount());
+  for (std::size_t i = 0; i < x.sampleCount(); ++i) {
+    EXPECT_DOUBLE_EQ(x.samples()[i], y.samples()[i]);
+  }
+}
+
+TEST(TraceGen, SamplesStayWithinClamp) {
+  Rng rng(9);
+  const auto p = cpuTraceParams();
+  const auto t = generateTrace(p, 4 * 24 * 3600.0, 300.0, rng);
+  for (const double v : t.samples()) {
+    EXPECT_GE(v, p.min_value);
+    EXPECT_LE(v, p.max_value);
+  }
+}
+
+TEST(TraceGen, CpuTraceHasPaperLikeVariability) {
+  // Fig. 2's narrative: CPU coefficients fluctuate around the rated mean
+  // with noticeable (several percent) relative deviation.
+  Rng rng(42);
+  const auto t =
+      generateTrace(cpuTraceParams(), 4 * 24 * 3600.0, 300.0, rng);
+  const auto s = t.stats();
+  EXPECT_NEAR(s.mean(), 1.0, 0.1);
+  EXPECT_GT(s.cv(), 0.02);   // visible variability...
+  EXPECT_LT(s.cv(), 0.25);   // ...but not noise.
+  EXPECT_LT(s.min(), 0.95);  // real degradations occur.
+}
+
+TEST(TraceGen, BandwidthTraceSitsBelowRated) {
+  Rng rng(42);
+  const auto t =
+      generateTrace(bandwidthTraceParams(), 24 * 3600.0, 300.0, rng);
+  const auto s = t.stats();
+  EXPECT_LT(s.mean(), 1.0);
+  EXPECT_LE(s.max(), bandwidthTraceParams().max_value);
+}
+
+TEST(TraceGen, LatencyTraceHasSpikes) {
+  Rng rng(42);
+  const auto t =
+      generateTrace(latencyTraceParams(), 4 * 24 * 3600.0, 300.0, rng);
+  // Latency is the spikiest series in Fig. 3: expect excursions well above
+  // the mean at some point over four days.
+  EXPECT_GT(t.stats().max(), 1.3);
+}
+
+TEST(TraceGen, ZeroNoiseParamsGiveFlatTrace) {
+  TraceGenParams p;
+  p.jitter_sd = 0.0;
+  p.diurnal_amplitude = 0.0;
+  p.shift_probability = 0.0;
+  Rng rng(1);
+  const auto t = generateTrace(p, 600.0, 60.0, rng);
+  for (const double v : t.samples()) EXPECT_DOUBLE_EQ(v, p.mean);
+}
+
+TEST(TraceGen, DiurnalOnlyTraceOscillatesWith24hPeriod) {
+  TraceGenParams p;
+  p.jitter_sd = 0.0;
+  p.shift_probability = 0.0;
+  p.diurnal_amplitude = 0.1;
+  Rng rng(1);
+  const auto t = generateTrace(p, 48 * 3600.0, 3600.0, rng);
+  // Peak near hour 6 (quarter period), trough near hour 18.
+  EXPECT_NEAR(t.samples()[6], 1.1, 0.01);
+  EXPECT_NEAR(t.samples()[18], 0.9, 0.01);
+  // 24 hours apart the value repeats.
+  EXPECT_NEAR(t.samples()[6], t.samples()[30], 1e-9);
+}
+
+TEST(TraceGen, PoolGeneratesDistinctTraces) {
+  Rng rng(3);
+  const auto pool =
+      generateTracePool(cpuTraceParams(), 4, 3600.0, 60.0, rng);
+  ASSERT_EQ(pool.size(), 4u);
+  // Different draws should not be byte-identical.
+  bool all_same = true;
+  for (std::size_t i = 0; i < pool[0].sampleCount(); ++i) {
+    if (pool[0].samples()[i] != pool[1].samples()[i]) {
+      all_same = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(all_same);
+}
+
+TEST(TraceGen, ParamValidation) {
+  TraceGenParams p;
+  p.mean = 0.0;
+  EXPECT_THROW(p.validate(), PreconditionError);
+  p = {};
+  p.jitter_ar = 1.0;
+  EXPECT_THROW(p.validate(), PreconditionError);
+  p = {};
+  p.shift_probability = 1.5;
+  EXPECT_THROW(p.validate(), PreconditionError);
+  p = {};
+  p.min_value = 2.0;
+  p.max_value = 1.0;
+  EXPECT_THROW(p.validate(), PreconditionError);
+}
+
+TEST(TraceGen, RejectsBadDurations) {
+  Rng rng(1);
+  EXPECT_THROW((void)generateTrace(cpuTraceParams(), 0.0, 60.0, rng),
+               PreconditionError);
+  EXPECT_THROW((void)generateTrace(cpuTraceParams(), 60.0, 0.0, rng),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)generateTracePool(cpuTraceParams(), 0, 60.0, 60.0, rng),
+      PreconditionError);
+}
+
+class TraceGenSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceGenSeedTest, MeanStaysCalibratedAcrossSeeds) {
+  Rng rng(GetParam());
+  const auto t =
+      generateTrace(cpuTraceParams(), 4 * 24 * 3600.0, 300.0, rng);
+  EXPECT_NEAR(t.stats().mean(), 1.0, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceGenSeedTest,
+                         ::testing::Values(1u, 7u, 13u, 99u, 12345u));
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,77 @@
+#include "dds/trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dds/common/error.hpp"
+#include "dds/trace/trace_gen.hpp"
+
+namespace dds {
+namespace {
+
+TEST(TraceIo, RoundTripsThroughCsvText) {
+  const PerfTrace original({1.0, 0.9, 1.1, 0.95}, 300.0);
+  const auto restored = traceFromCsv(traceToCsv(original));
+  ASSERT_EQ(restored.sampleCount(), original.sampleCount());
+  EXPECT_DOUBLE_EQ(restored.samplePeriod(), original.samplePeriod());
+  for (std::size_t i = 0; i < original.sampleCount(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.samples()[i], original.samples()[i]);
+  }
+}
+
+TEST(TraceIo, RoundTripsGeneratedTrace) {
+  Rng rng(4);
+  const auto original = generateTrace(cpuTraceParams(), 7200.0, 60.0, rng);
+  const auto restored = traceFromCsv(traceToCsv(original));
+  ASSERT_EQ(restored.sampleCount(), original.sampleCount());
+  for (std::size_t i = 0; i < original.sampleCount(); ++i) {
+    EXPECT_NEAR(restored.samples()[i], original.samples()[i], 1e-9);
+  }
+}
+
+TEST(TraceIo, SingleSampleDefaultsPeriod) {
+  const auto t = traceFromCsv("time_s,coefficient\n0,0.8\n");
+  EXPECT_EQ(t.sampleCount(), 1u);
+  EXPECT_DOUBLE_EQ(t.samples()[0], 0.8);
+}
+
+TEST(TraceIo, RejectsNonUniformSampling) {
+  EXPECT_THROW(
+      (void)traceFromCsv("time_s,coefficient\n0,1\n60,1\n180,1\n"),
+      IoError);
+}
+
+TEST(TraceIo, RejectsDecreasingTimes) {
+  EXPECT_THROW((void)traceFromCsv("time_s,coefficient\n60,1\n0,1\n"),
+               IoError);
+}
+
+TEST(TraceIo, RejectsMissingColumns) {
+  EXPECT_THROW((void)traceFromCsv("a,b\n1,2\n"), PreconditionError);
+}
+
+TEST(TraceIo, RejectsEmptyTable) {
+  EXPECT_THROW((void)traceFromCsv("time_s,coefficient\n"), IoError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "dds_trace_test.csv")
+          .string();
+  const PerfTrace original({0.7, 1.3}, 60.0);
+  saveTrace(path, original);
+  const auto restored = loadTrace(path);
+  ASSERT_EQ(restored.sampleCount(), 2u);
+  EXPECT_DOUBLE_EQ(restored.samples()[1], 1.3);
+  EXPECT_DOUBLE_EQ(restored.samplePeriod(), 60.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)loadTrace("/no/such/trace.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace dds

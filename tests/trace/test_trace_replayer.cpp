@@ -1,0 +1,97 @@
+#include "dds/trace/trace_replayer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dds {
+namespace {
+
+TEST(TraceReplayer, IdealReturnsUnityEverywhere) {
+  auto r = TraceReplayer::ideal();
+  EXPECT_DOUBLE_EQ(r.cpuCoeff(VmId(0), 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.cpuCoeff(VmId(17), 12345.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.latencyCoeff(VmId(0), VmId(1), 99.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.bandwidthCoeff(VmId(0), VmId(1), 99.0), 1.0);
+}
+
+TEST(TraceReplayer, AssignmentIsStablePerVm) {
+  auto r = TraceReplayer::futureGridLike(7);
+  const double a = r.cpuCoeff(VmId(0), 1000.0);
+  const double b = r.cpuCoeff(VmId(0), 1000.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(TraceReplayer, DeterministicAcrossInstancesWithSameSeed) {
+  auto r1 = TraceReplayer::futureGridLike(21);
+  auto r2 = TraceReplayer::futureGridLike(21);
+  for (std::uint32_t v = 0; v < 5; ++v) {
+    for (double t : {0.0, 600.0, 7200.0}) {
+      EXPECT_DOUBLE_EQ(r1.cpuCoeff(VmId(v), t), r2.cpuCoeff(VmId(v), t));
+    }
+  }
+  EXPECT_DOUBLE_EQ(r1.bandwidthCoeff(VmId(0), VmId(1), 60.0),
+                   r2.bandwidthCoeff(VmId(0), VmId(1), 60.0));
+}
+
+TEST(TraceReplayer, DifferentVmsUsuallyDiffer) {
+  auto r = TraceReplayer::futureGridLike(3);
+  int distinct = 0;
+  for (std::uint32_t v = 1; v <= 8; ++v) {
+    if (r.cpuCoeff(VmId(v), 1000.0) != r.cpuCoeff(VmId(0), 1000.0)) {
+      ++distinct;
+    }
+  }
+  EXPECT_GE(distinct, 6);  // random windows rarely collide
+}
+
+TEST(TraceReplayer, PairCoefficientsAreSymmetric) {
+  auto r = TraceReplayer::futureGridLike(11);
+  EXPECT_DOUBLE_EQ(r.latencyCoeff(VmId(2), VmId(5), 300.0),
+                   r.latencyCoeff(VmId(5), VmId(2), 300.0));
+  EXPECT_DOUBLE_EQ(r.bandwidthCoeff(VmId(2), VmId(5), 300.0),
+                   r.bandwidthCoeff(VmId(5), VmId(2), 300.0));
+}
+
+TEST(TraceReplayer, SelfPairQueriesAreRejected) {
+  auto r = TraceReplayer::futureGridLike(1);
+  EXPECT_THROW((void)r.latencyCoeff(VmId(3), VmId(3), 0.0),
+               PreconditionError);
+  EXPECT_THROW((void)r.bandwidthCoeff(VmId(3), VmId(3), 0.0),
+               PreconditionError);
+}
+
+TEST(TraceReplayer, CoefficientsVaryOverTime) {
+  auto r = TraceReplayer::futureGridLike(5);
+  bool varied = false;
+  const double first = r.cpuCoeff(VmId(0), 0.0);
+  for (double t = 300.0; t < 24 * 3600.0; t += 300.0) {
+    if (r.cpuCoeff(VmId(0), t) != first) {
+      varied = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(TraceReplayer, RejectsEmptyPools) {
+  EXPECT_THROW(TraceReplayer({}, {PerfTrace::constant(1.0)},
+                             {PerfTrace::constant(1.0)}, 0),
+               PreconditionError);
+  EXPECT_THROW(TraceReplayer({PerfTrace::constant(1.0)}, {},
+                             {PerfTrace::constant(1.0)}, 0),
+               PreconditionError);
+  EXPECT_THROW(TraceReplayer({PerfTrace::constant(1.0)},
+                             {PerfTrace::constant(1.0)}, {}, 0),
+               PreconditionError);
+}
+
+TEST(TraceReplayer, CpuCoefficientsStayPositive) {
+  auto r = TraceReplayer::futureGridLike(13);
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    for (double t = 0.0; t < 12 * 3600.0; t += 600.0) {
+      EXPECT_GT(r.cpuCoeff(VmId(v), t), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,140 @@
+#include "dds/trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dds/common/rng.hpp"
+#include "dds/trace/trace_gen.hpp"
+
+namespace dds {
+namespace {
+
+TEST(Autocorrelation, UnityAtLagZero) {
+  const PerfTrace t({1.0, 2.0, 3.0, 2.0, 1.0}, 1.0);
+  EXPECT_NEAR(autocorrelation(t, 0), 1.0, 1e-12);
+}
+
+TEST(Autocorrelation, ConstantTraceIsDefinedAsZero) {
+  const PerfTrace t({2.0, 2.0, 2.0, 2.0}, 1.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(t, 0), 1.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(t, 1), 0.0);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsAntiCorrelatedAtLagOne) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  const PerfTrace t(
+      [&xs] {  // shift positive; PerfTrace requires non-negative samples
+        std::vector<double> shifted;
+        for (double x : xs) shifted.push_back(x + 2.0);
+        return shifted;
+      }(),
+      1.0);
+  EXPECT_LT(autocorrelation(t, 1), -0.9);
+}
+
+TEST(Autocorrelation, WhiteNoiseDecorrelatesImmediately) {
+  Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) xs.push_back(rng.uniform(0.5, 1.5));
+  const PerfTrace t(std::move(xs), 1.0);
+  EXPECT_NEAR(autocorrelation(t, 1), 0.0, 0.05);
+  EXPECT_EQ(decorrelationLag(t), 1u);
+}
+
+TEST(Autocorrelation, ArProcessDecorrelatesSlowly) {
+  // The CPU generator uses AR(1) with pole 0.9: correlation should stay
+  // high for several lags.
+  Rng rng(11);
+  TraceGenParams p = cpuTraceParams();
+  p.diurnal_amplitude = 0.0;  // isolate the AR component
+  p.shift_probability = 0.0;
+  const auto t = generateTrace(p, 4 * 24 * 3600.0, 300.0, rng);
+  EXPECT_GT(autocorrelation(t, 1), 0.6);
+  EXPECT_GT(decorrelationLag(t), 2u);
+}
+
+TEST(Autocorrelation, RejectsExcessiveLag) {
+  const PerfTrace t({1.0, 2.0}, 1.0);
+  EXPECT_THROW((void)autocorrelation(t, 2), PreconditionError);
+}
+
+TEST(RelativeDeviation, CentersOnMean) {
+  const PerfTrace t({0.5, 1.0, 1.5}, 1.0);  // mean 1.0
+  const auto dev = relativeDeviation(t);
+  ASSERT_EQ(dev.size(), 3u);
+  EXPECT_NEAR(dev[0], -0.5, 1e-12);
+  EXPECT_NEAR(dev[1], 0.0, 1e-12);
+  EXPECT_NEAR(dev[2], 0.5, 1e-12);
+}
+
+TEST(RollingMean, WindowOneIsIdentity) {
+  const PerfTrace t({1.0, 3.0, 2.0}, 1.0);
+  const auto rm = rollingMean(t, 1);
+  EXPECT_EQ(rm, t.samples());
+}
+
+TEST(RollingMean, SmoothsSpikes) {
+  const PerfTrace t({1.0, 1.0, 10.0, 1.0, 1.0}, 1.0);
+  const auto rm = rollingMean(t, 3);
+  // The spike spreads into its neighbours and shrinks at its peak.
+  EXPECT_LT(rm[2], 10.0);
+  EXPECT_GT(rm[1], 1.0);
+  EXPECT_GT(rm[3], 1.0);
+}
+
+TEST(RollingMean, RejectsZeroWindow) {
+  const PerfTrace t({1.0}, 1.0);
+  EXPECT_THROW((void)rollingMean(t, 0), PreconditionError);
+}
+
+TEST(Histogram, CountsSumToSampleCount) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform(0.0, 1.0));
+  const PerfTrace t(std::move(xs), 1.0);
+  const auto h = histogram(t, 10);
+  std::size_t total = 0;
+  for (const auto c : h) total += c;
+  EXPECT_EQ(total, 1000u);
+  // Uniform data: every bin sees roughly a tenth.
+  for (const auto c : h) {
+    EXPECT_GT(c, 50u);
+    EXPECT_LT(c, 200u);
+  }
+}
+
+TEST(Histogram, MaxValueLandsInLastBin) {
+  const PerfTrace t({0.0, 1.0}, 1.0);
+  const auto h = histogram(t, 4);
+  EXPECT_EQ(h.front(), 1u);
+  EXPECT_EQ(h.back(), 1u);
+}
+
+TEST(Histogram, SingleBinTakesEverything) {
+  const PerfTrace t({1.0, 2.0, 3.0}, 1.0);
+  const auto h = histogram(t, 1);
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0], 3u);
+}
+
+TEST(FractionBelow, BasicCounting) {
+  const PerfTrace t({0.5, 0.7, 0.9, 1.1}, 1.0);
+  EXPECT_DOUBLE_EQ(fractionBelow(t, 0.8), 0.5);
+  EXPECT_DOUBLE_EQ(fractionBelow(t, 0.4), 0.0);
+  EXPECT_DOUBLE_EQ(fractionBelow(t, 2.0), 1.0);
+}
+
+TEST(FractionBelow, SynthCpuTraceSpendsTimeDegraded) {
+  Rng rng(2013);
+  const auto t =
+      generateTrace(cpuTraceParams(), 4 * 24 * 3600.0, 300.0, rng);
+  // The Fig. 2 narrative: a nontrivial share of probes see < 90 % of
+  // rated performance, but the majority do not see < 60 %.
+  EXPECT_GT(fractionBelow(t, 0.9), 0.05);
+  EXPECT_LT(fractionBelow(t, 0.6), 0.5);
+}
+
+}  // namespace
+}  // namespace dds

@@ -1,0 +1,184 @@
+#include "dds/workload/rate_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dds/common/stats.hpp"
+
+namespace dds {
+namespace {
+
+TEST(ConstantRate, AlwaysTheSame) {
+  const ConstantRate p(5.0);
+  EXPECT_DOUBLE_EQ(p.rate(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.rate(1e6), 5.0);
+  EXPECT_DOUBLE_EQ(p.meanRate(), 5.0);
+}
+
+TEST(ConstantRate, RejectsNegative) {
+  EXPECT_THROW(ConstantRate(-1.0), PreconditionError);
+}
+
+TEST(PeriodicWaveRate, OscillatesAroundMean) {
+  const PeriodicWaveRate p(10.0, 4.0, 1200.0);
+  EXPECT_DOUBLE_EQ(p.rate(0.0), 10.0);           // sin(0) = 0
+  EXPECT_NEAR(p.rate(300.0), 14.0, 1e-9);        // quarter period: peak
+  EXPECT_NEAR(p.rate(900.0), 6.0, 1e-9);         // three quarters: trough
+  EXPECT_NEAR(p.rate(1200.0), 10.0, 1e-9);       // full period
+}
+
+TEST(PeriodicWaveRate, ClampsAtZero) {
+  const PeriodicWaveRate p(1.0, 5.0, 100.0);
+  for (double t = 0.0; t < 100.0; t += 5.0) EXPECT_GE(p.rate(t), 0.0);
+  EXPECT_DOUBLE_EQ(p.rate(75.0), 0.0);  // trough would be -4
+}
+
+TEST(PeriodicWaveRate, PhaseShiftsTheWave) {
+  const PeriodicWaveRate base(10.0, 4.0, 1200.0, 0.0);
+  const PeriodicWaveRate shifted(10.0, 4.0, 1200.0, 3.14159265358979);
+  EXPECT_NEAR(base.rate(300.0), 14.0, 1e-6);
+  EXPECT_NEAR(shifted.rate(300.0), 6.0, 1e-6);
+}
+
+TEST(PeriodicWaveRate, RejectsBadParams) {
+  EXPECT_THROW(PeriodicWaveRate(-1.0, 1.0, 100.0), PreconditionError);
+  EXPECT_THROW(PeriodicWaveRate(1.0, -1.0, 100.0), PreconditionError);
+  EXPECT_THROW(PeriodicWaveRate(1.0, 1.0, 0.0), PreconditionError);
+}
+
+TEST(RandomWalkRate, DeterministicForSeed) {
+  const RandomWalkRate a(10.0, 1.0, 2.0, 20.0, 60.0, 3600.0, 77);
+  const RandomWalkRate b(10.0, 1.0, 2.0, 20.0, 60.0, 3600.0, 77);
+  for (double t = 0.0; t < 3600.0; t += 60.0) {
+    EXPECT_DOUBLE_EQ(a.rate(t), b.rate(t));
+  }
+}
+
+TEST(RandomWalkRate, StaysWithinClamp) {
+  const RandomWalkRate p(10.0, 5.0, 4.0, 16.0, 60.0, 7200.0, 5);
+  for (double t = 0.0; t < 7200.0; t += 60.0) {
+    EXPECT_GE(p.rate(t), 4.0);
+    EXPECT_LE(p.rate(t), 16.0);
+  }
+}
+
+TEST(RandomWalkRate, HoversAroundMean) {
+  const RandomWalkRate p(10.0, 1.0, 0.0, 100.0, 60.0, 48 * 3600.0, 23);
+  RunningStats s;
+  for (double t = 0.0; t < 48 * 3600.0; t += 60.0) s.add(p.rate(t));
+  EXPECT_NEAR(s.mean(), 10.0, 2.0);  // mean reversion keeps it near 10
+  EXPECT_GT(s.stddev(), 0.2);        // but it does wander
+}
+
+TEST(RandomWalkRate, ActuallyWalks) {
+  const RandomWalkRate p(10.0, 2.0, 0.0, 100.0, 60.0, 3600.0, 9);
+  bool moved = false;
+  const double first = p.rate(0.0);
+  for (double t = 60.0; t < 3600.0; t += 60.0) {
+    if (p.rate(t) != first) {
+      moved = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(RandomWalkRate, WrapsPastHorizon) {
+  const RandomWalkRate p(10.0, 1.0, 0.0, 100.0, 60.0, 600.0, 3);
+  EXPECT_DOUBLE_EQ(p.rate(0.0), p.rate(600.0));
+}
+
+TEST(RandomWalkRate, RejectsBadParams) {
+  EXPECT_THROW(RandomWalkRate(10.0, -1.0, 0.0, 20.0, 60.0, 600.0, 1),
+               PreconditionError);
+  EXPECT_THROW(RandomWalkRate(10.0, 1.0, 20.0, 10.0, 60.0, 600.0, 1),
+               PreconditionError);
+  EXPECT_THROW(RandomWalkRate(10.0, 1.0, 0.0, 20.0, 0.0, 600.0, 1),
+               PreconditionError);
+  EXPECT_THROW(
+      RandomWalkRate(10.0, 1.0, 0.0, 20.0, 60.0, 600.0, 1, 1.5),
+      PreconditionError);
+}
+
+TEST(SpikeRate, RectangularBurst) {
+  const SpikeRate p(5.0, 50.0, 100.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.rate(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.rate(99.9), 5.0);
+  EXPECT_DOUBLE_EQ(p.rate(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(p.rate(109.9), 50.0);
+  EXPECT_DOUBLE_EQ(p.rate(110.0), 5.0);
+}
+
+TEST(MakeProfile, BuildsEachKind) {
+  for (const auto kind : {ProfileKind::Constant, ProfileKind::PeriodicWave,
+                          ProfileKind::RandomWalk}) {
+    const auto p = makeProfile(kind, 8.0, 3600.0, 1);
+    ASSERT_NE(p, nullptr) << toString(kind);
+    EXPECT_DOUBLE_EQ(p->meanRate(), 8.0);
+    EXPECT_GE(p->rate(0.0), 0.0);
+    EXPECT_FALSE(p->describe().empty());
+  }
+}
+
+TEST(MakeProfile, WaveUsesFortyPercentAmplitude) {
+  const auto p = makeProfile(ProfileKind::PeriodicWave, 10.0, 3600.0, 1);
+  double peak = 0.0;
+  for (double t = 0.0; t < 1800.0; t += 10.0) {
+    peak = std::max(peak, p->rate(t));
+  }
+  EXPECT_NEAR(peak, 14.0, 0.05);
+}
+
+TEST(ToStringProfileKind, Names) {
+  EXPECT_EQ(toString(ProfileKind::Constant), "constant");
+  EXPECT_EQ(toString(ProfileKind::PeriodicWave), "wave");
+  EXPECT_EQ(toString(ProfileKind::RandomWalk), "random-walk");
+  EXPECT_EQ(toString(ProfileKind::Spike), "spike");
+}
+
+TEST(CompositeRate, SumsParts) {
+  std::vector<std::unique_ptr<RateProfile>> parts;
+  parts.push_back(std::make_unique<ConstantRate>(3.0));
+  parts.push_back(std::make_unique<SpikeRate>(0.0, 7.0, 100.0, 50.0));
+  const CompositeRate p(std::move(parts));
+  EXPECT_DOUBLE_EQ(p.rate(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.rate(120.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.meanRate(), 3.0);
+  EXPECT_NE(p.describe().find("composite"), std::string::npos);
+}
+
+TEST(CompositeRate, RejectsEmptyAndNull) {
+  EXPECT_THROW(CompositeRate({}), PreconditionError);
+  std::vector<std::unique_ptr<RateProfile>> parts;
+  parts.push_back(nullptr);
+  EXPECT_THROW(CompositeRate(std::move(parts)), PreconditionError);
+}
+
+TEST(MakeProfile, SpikeIsThreeTimesBase) {
+  const auto p = makeProfile(ProfileKind::Spike, 10.0, 1000.0, 1);
+  EXPECT_DOUBLE_EQ(p->rate(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(p->rate(450.0), 30.0);  // inside [400, 500)
+  EXPECT_DOUBLE_EQ(p->rate(600.0), 10.0);
+}
+
+class ProfileNonNegativeTest
+    : public ::testing::TestWithParam<std::pair<ProfileKind, double>> {};
+
+TEST_P(ProfileNonNegativeTest, RatesNeverNegative) {
+  const auto [kind, mean] = GetParam();
+  const auto p = makeProfile(kind, mean, 7200.0, 17);
+  for (double t = 0.0; t < 7200.0; t += 30.0) {
+    EXPECT_GE(p->rate(t), 0.0) << toString(kind) << " @" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndRates, ProfileNonNegativeTest,
+    ::testing::Values(std::pair{ProfileKind::Constant, 2.0},
+                      std::pair{ProfileKind::PeriodicWave, 2.0},
+                      std::pair{ProfileKind::RandomWalk, 2.0},
+                      std::pair{ProfileKind::PeriodicWave, 50.0},
+                      std::pair{ProfileKind::RandomWalk, 50.0},
+                      std::pair{ProfileKind::Spike, 10.0}));
+
+}  // namespace
+}  // namespace dds
