@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_catalog_granularity.dir/bench_catalog_granularity.cpp.o"
+  "CMakeFiles/bench_catalog_granularity.dir/bench_catalog_granularity.cpp.o.d"
+  "bench_catalog_granularity"
+  "bench_catalog_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_catalog_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fault_tolerance.cpp" "bench/CMakeFiles/bench_fault_tolerance.dir/bench_fault_tolerance.cpp.o" "gcc" "bench/CMakeFiles/bench_fault_tolerance.dir/bench_fault_tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsim/CMakeFiles/dds_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/dds_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/dds_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dds_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dds_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/dds_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dds_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dds_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dds_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

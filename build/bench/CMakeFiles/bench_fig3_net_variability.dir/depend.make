@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_net_variability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_static_datarates.dir/bench_fig5_static_datarates.cpp.o"
+  "CMakeFiles/bench_fig5_static_datarates.dir/bench_fig5_static_datarates.cpp.o.d"
+  "bench_fig5_static_datarates"
+  "bench_fig5_static_datarates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_static_datarates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_local_vs_global_infra.dir/bench_fig6_local_vs_global_infra.cpp.o"
+  "CMakeFiles/bench_fig6_local_vs_global_infra.dir/bench_fig6_local_vs_global_infra.cpp.o.d"
+  "bench_fig6_local_vs_global_infra"
+  "bench_fig6_local_vs_global_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_local_vs_global_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_local_vs_global_data.dir/bench_fig7_local_vs_global_data.cpp.o"
+  "CMakeFiles/bench_fig7_local_vs_global_data.dir/bench_fig7_local_vs_global_data.cpp.o.d"
+  "bench_fig7_local_vs_global_data"
+  "bench_fig7_local_vs_global_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_local_vs_global_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

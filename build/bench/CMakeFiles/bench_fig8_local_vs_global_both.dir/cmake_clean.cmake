@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_local_vs_global_both.dir/bench_fig8_local_vs_global_both.cpp.o"
+  "CMakeFiles/bench_fig8_local_vs_global_both.dir/bench_fig8_local_vs_global_both.cpp.o.d"
+  "bench_fig8_local_vs_global_both"
+  "bench_fig8_local_vs_global_both.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_local_vs_global_both.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

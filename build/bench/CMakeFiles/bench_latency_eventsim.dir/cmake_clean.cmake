@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_eventsim.dir/bench_latency_eventsim.cpp.o"
+  "CMakeFiles/bench_latency_eventsim.dir/bench_latency_eventsim.cpp.o.d"
+  "bench_latency_eventsim"
+  "bench_latency_eventsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_eventsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

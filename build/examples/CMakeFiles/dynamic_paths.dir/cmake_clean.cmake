@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_paths.dir/dynamic_paths.cpp.o"
+  "CMakeFiles/dynamic_paths.dir/dynamic_paths.cpp.o.d"
+  "dynamic_paths"
+  "dynamic_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

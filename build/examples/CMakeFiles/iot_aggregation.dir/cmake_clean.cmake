@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_aggregation.dir/iot_aggregation.cpp.o"
+  "CMakeFiles/iot_aggregation.dir/iot_aggregation.cpp.o.d"
+  "iot_aggregation"
+  "iot_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cloud_provider.cpp" "src/cloud/CMakeFiles/dds_cloud.dir/cloud_provider.cpp.o" "gcc" "src/cloud/CMakeFiles/dds_cloud.dir/cloud_provider.cpp.o.d"
+  "/root/repo/src/cloud/placement_model.cpp" "src/cloud/CMakeFiles/dds_cloud.dir/placement_model.cpp.o" "gcc" "src/cloud/CMakeFiles/dds_cloud.dir/placement_model.cpp.o.d"
+  "/root/repo/src/cloud/resource_class.cpp" "src/cloud/CMakeFiles/dds_cloud.dir/resource_class.cpp.o" "gcc" "src/cloud/CMakeFiles/dds_cloud.dir/resource_class.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_cloud.dir/cloud_provider.cpp.o"
+  "CMakeFiles/dds_cloud.dir/cloud_provider.cpp.o.d"
+  "CMakeFiles/dds_cloud.dir/placement_model.cpp.o"
+  "CMakeFiles/dds_cloud.dir/placement_model.cpp.o.d"
+  "CMakeFiles/dds_cloud.dir/resource_class.cpp.o"
+  "CMakeFiles/dds_cloud.dir/resource_class.cpp.o.d"
+  "libdds_cloud.a"
+  "libdds_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

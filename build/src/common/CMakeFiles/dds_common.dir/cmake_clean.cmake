@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_common.dir/csv.cpp.o"
+  "CMakeFiles/dds_common.dir/csv.cpp.o.d"
+  "CMakeFiles/dds_common.dir/table.cpp.o"
+  "CMakeFiles/dds_common.dir/table.cpp.o.d"
+  "libdds_common.a"
+  "libdds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

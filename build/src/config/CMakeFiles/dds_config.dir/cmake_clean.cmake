@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_config.dir/config_file.cpp.o"
+  "CMakeFiles/dds_config.dir/config_file.cpp.o.d"
+  "libdds_config.a"
+  "libdds_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

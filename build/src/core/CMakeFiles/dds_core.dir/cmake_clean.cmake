@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_core.dir/engine.cpp.o"
+  "CMakeFiles/dds_core.dir/engine.cpp.o.d"
+  "CMakeFiles/dds_core.dir/replication.cpp.o"
+  "CMakeFiles/dds_core.dir/replication.cpp.o.d"
+  "CMakeFiles/dds_core.dir/report.cpp.o"
+  "CMakeFiles/dds_core.dir/report.cpp.o.d"
+  "libdds_core.a"
+  "libdds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdds_core.a"
+)

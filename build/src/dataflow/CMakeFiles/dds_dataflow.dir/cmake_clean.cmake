@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_dataflow.dir/dataflow.cpp.o"
+  "CMakeFiles/dds_dataflow.dir/dataflow.cpp.o.d"
+  "CMakeFiles/dds_dataflow.dir/standard_graphs.cpp.o"
+  "CMakeFiles/dds_dataflow.dir/standard_graphs.cpp.o.d"
+  "libdds_dataflow.a"
+  "libdds_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_eventsim.dir/event_simulator.cpp.o"
+  "CMakeFiles/dds_eventsim.dir/event_simulator.cpp.o.d"
+  "libdds_eventsim.a"
+  "libdds_eventsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_eventsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_faults.dir/failure_injector.cpp.o"
+  "CMakeFiles/dds_faults.dir/failure_injector.cpp.o.d"
+  "libdds_faults.a"
+  "libdds_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

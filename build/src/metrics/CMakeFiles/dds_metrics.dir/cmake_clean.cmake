@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_metrics.dir/run_metrics.cpp.o"
+  "CMakeFiles/dds_metrics.dir/run_metrics.cpp.o.d"
+  "libdds_metrics.a"
+  "libdds_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/probe_history.cpp" "src/monitor/CMakeFiles/dds_monitor.dir/probe_history.cpp.o" "gcc" "src/monitor/CMakeFiles/dds_monitor.dir/probe_history.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dds_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dds_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

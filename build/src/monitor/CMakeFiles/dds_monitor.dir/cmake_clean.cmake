@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_monitor.dir/probe_history.cpp.o"
+  "CMakeFiles/dds_monitor.dir/probe_history.cpp.o.d"
+  "libdds_monitor.a"
+  "libdds_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

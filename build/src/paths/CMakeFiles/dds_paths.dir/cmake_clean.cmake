@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_paths.dir/dynamic_paths.cpp.o"
+  "CMakeFiles/dds_paths.dir/dynamic_paths.cpp.o.d"
+  "libdds_paths.a"
+  "libdds_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

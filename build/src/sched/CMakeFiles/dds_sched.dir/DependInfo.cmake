@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/allocation.cpp" "src/sched/CMakeFiles/dds_sched.dir/allocation.cpp.o" "gcc" "src/sched/CMakeFiles/dds_sched.dir/allocation.cpp.o.d"
+  "/root/repo/src/sched/alternate_selection.cpp" "src/sched/CMakeFiles/dds_sched.dir/alternate_selection.cpp.o" "gcc" "src/sched/CMakeFiles/dds_sched.dir/alternate_selection.cpp.o.d"
+  "/root/repo/src/sched/annealing_planner.cpp" "src/sched/CMakeFiles/dds_sched.dir/annealing_planner.cpp.o" "gcc" "src/sched/CMakeFiles/dds_sched.dir/annealing_planner.cpp.o.d"
+  "/root/repo/src/sched/brute_force.cpp" "src/sched/CMakeFiles/dds_sched.dir/brute_force.cpp.o" "gcc" "src/sched/CMakeFiles/dds_sched.dir/brute_force.cpp.o.d"
+  "/root/repo/src/sched/heuristic_scheduler.cpp" "src/sched/CMakeFiles/dds_sched.dir/heuristic_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/dds_sched.dir/heuristic_scheduler.cpp.o.d"
+  "/root/repo/src/sched/reactive_autoscaler.cpp" "src/sched/CMakeFiles/dds_sched.dir/reactive_autoscaler.cpp.o" "gcc" "src/sched/CMakeFiles/dds_sched.dir/reactive_autoscaler.cpp.o.d"
+  "/root/repo/src/sched/static_planning.cpp" "src/sched/CMakeFiles/dds_sched.dir/static_planning.cpp.o" "gcc" "src/sched/CMakeFiles/dds_sched.dir/static_planning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dds_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dds_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/dds_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dds_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dds_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

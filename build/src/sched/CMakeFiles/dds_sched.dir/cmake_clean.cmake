@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_sched.dir/allocation.cpp.o"
+  "CMakeFiles/dds_sched.dir/allocation.cpp.o.d"
+  "CMakeFiles/dds_sched.dir/alternate_selection.cpp.o"
+  "CMakeFiles/dds_sched.dir/alternate_selection.cpp.o.d"
+  "CMakeFiles/dds_sched.dir/annealing_planner.cpp.o"
+  "CMakeFiles/dds_sched.dir/annealing_planner.cpp.o.d"
+  "CMakeFiles/dds_sched.dir/brute_force.cpp.o"
+  "CMakeFiles/dds_sched.dir/brute_force.cpp.o.d"
+  "CMakeFiles/dds_sched.dir/heuristic_scheduler.cpp.o"
+  "CMakeFiles/dds_sched.dir/heuristic_scheduler.cpp.o.d"
+  "CMakeFiles/dds_sched.dir/reactive_autoscaler.cpp.o"
+  "CMakeFiles/dds_sched.dir/reactive_autoscaler.cpp.o.d"
+  "CMakeFiles/dds_sched.dir/static_planning.cpp.o"
+  "CMakeFiles/dds_sched.dir/static_planning.cpp.o.d"
+  "libdds_sched.a"
+  "libdds_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/deployment.cpp" "src/sim/CMakeFiles/dds_sim.dir/deployment.cpp.o" "gcc" "src/sim/CMakeFiles/dds_sim.dir/deployment.cpp.o.d"
+  "/root/repo/src/sim/deployment_report.cpp" "src/sim/CMakeFiles/dds_sim.dir/deployment_report.cpp.o" "gcc" "src/sim/CMakeFiles/dds_sim.dir/deployment_report.cpp.o.d"
+  "/root/repo/src/sim/rate_model.cpp" "src/sim/CMakeFiles/dds_sim.dir/rate_model.cpp.o" "gcc" "src/sim/CMakeFiles/dds_sim.dir/rate_model.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/dds_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/dds_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dds_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dds_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/dds_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dds_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dds_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

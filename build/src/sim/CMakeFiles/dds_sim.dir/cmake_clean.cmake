@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_sim.dir/deployment.cpp.o"
+  "CMakeFiles/dds_sim.dir/deployment.cpp.o.d"
+  "CMakeFiles/dds_sim.dir/deployment_report.cpp.o"
+  "CMakeFiles/dds_sim.dir/deployment_report.cpp.o.d"
+  "CMakeFiles/dds_sim.dir/rate_model.cpp.o"
+  "CMakeFiles/dds_sim.dir/rate_model.cpp.o.d"
+  "CMakeFiles/dds_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dds_sim.dir/simulator.cpp.o.d"
+  "libdds_sim.a"
+  "libdds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

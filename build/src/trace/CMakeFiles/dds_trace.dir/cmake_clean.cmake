@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_trace.dir/trace_gen.cpp.o"
+  "CMakeFiles/dds_trace.dir/trace_gen.cpp.o.d"
+  "CMakeFiles/dds_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/dds_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/dds_trace.dir/trace_replayer.cpp.o"
+  "CMakeFiles/dds_trace.dir/trace_replayer.cpp.o.d"
+  "CMakeFiles/dds_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/dds_trace.dir/trace_stats.cpp.o.d"
+  "libdds_trace.a"
+  "libdds_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

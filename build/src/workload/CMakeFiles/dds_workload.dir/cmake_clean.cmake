@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_workload.dir/rate_profile.cpp.o"
+  "CMakeFiles/dds_workload.dir/rate_profile.cpp.o.d"
+  "libdds_workload.a"
+  "libdds_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

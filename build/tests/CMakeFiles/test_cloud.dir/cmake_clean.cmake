@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud.dir/cloud/test_catalogs.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_catalogs.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/test_cloud_provider.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_cloud_provider.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/test_placement_model.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_placement_model.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/test_resource_class.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_resource_class.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/test_vm_instance.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_vm_instance.cpp.o.d"
+  "test_cloud"
+  "test_cloud.pdb"
+  "test_cloud[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_engine.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_engine.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_event_backend.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_event_backend.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_integration.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_integration.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_replication.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_replication.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

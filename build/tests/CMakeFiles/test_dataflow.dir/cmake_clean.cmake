@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow.dir/dataflow/test_dataflow.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_dataflow.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_processing_element.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_processing_element.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_standard_graphs.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_standard_graphs.cpp.o.d"
+  "test_dataflow"
+  "test_dataflow.pdb"
+  "test_dataflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eventsim.dir/eventsim/test_event_simulator.cpp.o"
+  "CMakeFiles/test_eventsim.dir/eventsim/test_event_simulator.cpp.o.d"
+  "test_eventsim"
+  "test_eventsim.pdb"
+  "test_eventsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eventsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_allocation.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_allocation.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_alternate_selection.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_alternate_selection.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_annealing_planner.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_annealing_planner.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_brute_force.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_brute_force.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_heuristic_scheduler.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_heuristic_scheduler.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_reactive_autoscaler.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_reactive_autoscaler.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_runtime_adaptation.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_runtime_adaptation.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_perf_trace.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_perf_trace.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_trace_gen.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace_gen.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_trace_replayer.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace_replayer.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_trace_stats.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace_stats.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddsim.dir/ddsim.cpp.o"
+  "CMakeFiles/ddsim.dir/ddsim.cpp.o.d"
+  "ddsim"
+  "ddsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
