@@ -1,8 +1,48 @@
-// Fault-tolerance extension bench (paper §9 future work): Omega, cost and
-// lost messages versus VM mean-time-between-failures, comparing the
-// adaptive global heuristic (which re-allocates around crashes) against
-// the static deployment (which bleeds capacity it never replaces).
+// Fault-tolerance extension bench (paper §9 future work).
+//
+// Part 1 — the original crash sweep: Omega, cost and lost messages versus
+// VM mean-time-between-failures, comparing the adaptive global heuristic
+// (which re-allocates around crashes) against the static deployment
+// (which bleeds capacity it never replaces).
+//
+// Part 2 — a combined fault-intensity sweep over the full fault plan
+// (crashes + stragglers + acquisition failures + provisioning delays +
+// network partitions), with the resilience layer enabled (straggler
+// quarantine, acquisition retry/backoff, graceful degradation).  Reports
+// the recovery metrics: MTTR, availability, violation episodes,
+// quarantined stragglers and rejected acquisitions per policy.
 #include "bench_util.hpp"
+
+namespace {
+
+using namespace dds;
+
+/// One knob in [0, 1]: 0 = fault-free, 1 = the harshest mix we model.
+ExperimentConfig faultMixConfig(double intensity) {
+  ExperimentConfig cfg;
+  cfg.horizon_s = 4.0 * kSecondsPerHour;
+  cfg.mean_rate = 10.0;
+  cfg.seed = 2013;
+  if (intensity > 0.0) {
+    cfg.vm_mtbf_hours = 8.0 / intensity;
+    cfg.straggler_mtbf_hours = 4.0 / intensity;
+    cfg.straggler_factor = 0.3;
+    cfg.straggler_duration_s = 600.0;
+    cfg.acquisition_failure_prob = 0.3 * intensity;
+    cfg.provisioning_delay_s = 120.0 * intensity;
+    cfg.partition_mtbf_hours = 8.0 / intensity;
+    cfg.partition_duration_s = 120.0;
+  }
+  // Resilience layer on for every policy that adapts.
+  cfg.straggler_quarantine_threshold = 0.5;
+  cfg.straggler_quarantine_probes = 3;
+  cfg.acquisition_max_retries = 3;
+  cfg.acquisition_backoff_s = 60.0;
+  cfg.graceful_degradation = true;
+  return cfg;
+}
+
+}  // namespace
 
 int main() {
   using namespace dds;
@@ -46,6 +86,56 @@ int main() {
                "throughput\ncollapses (dead capacity is never replaced), "
                "while the adaptive heuristic\nre-allocates within an "
                "interval and holds the constraint until failures\noutpace "
-               "recovery.\n";
+               "recovery.\n\n";
+
+  printHeader("Faults-2",
+              "full fault plan sweep: crashes + stragglers + acquisition "
+              "failures + partitions, resilience layer on");
+
+  TextTable table2({"intensity", "policy", "omega", "avail", "episodes",
+                    "mttr(s)", "quarant", "rejects", "degr", "cost$"});
+  std::vector<std::vector<double>> csv2;
+  for (const double intensity : {0.0, 0.25, 0.5, 1.0}) {
+    for (const auto kind :
+         {SchedulerKind::GlobalAdaptive, SchedulerKind::LocalAdaptive,
+          SchedulerKind::GlobalStatic}) {
+      const auto cfg = faultMixConfig(intensity);
+      const auto r = SimulationEngine(df, cfg).run(kind);
+      table2.addRow(
+          {TextTable::num(intensity, 2), r.scheduler_name,
+           TextTable::num(r.average_omega),
+           TextTable::num(r.recovery.availability),
+           std::to_string(r.recovery.violation_episodes),
+           TextTable::num(r.recovery.mttr_s, 0),
+           std::to_string(r.resilience.stragglers_quarantined),
+           std::to_string(r.acquisition_rejections),
+           std::to_string(r.resilience.graceful_degradations),
+           TextTable::num(r.total_cost, 2)});
+      csv2.push_back(
+          {intensity,
+           kind == SchedulerKind::GlobalStatic
+               ? 0.0
+               : (kind == SchedulerKind::GlobalAdaptive ? 1.0 : 2.0),
+           r.average_omega, r.recovery.availability,
+           static_cast<double>(r.recovery.violation_episodes),
+           r.recovery.mttr_s,
+           static_cast<double>(r.resilience.stragglers_quarantined),
+           static_cast<double>(r.acquisition_rejections),
+           static_cast<double>(r.resilience.graceful_degradations),
+           r.total_cost});
+    }
+  }
+  printTableAndCsv(table2,
+                   {"intensity", "policy", "omega", "availability",
+                    "episodes", "mttr_s", "quarantined", "rejections",
+                    "degradations", "cost"},
+                   csv2);
+
+  std::cout << "Reading: with the whole fault plan active the adaptive "
+               "policies keep\navailability high by quarantining "
+               "stragglers, retrying rejected\nacquisitions against "
+               "cheaper classes and degrading gracefully while\ncapacity "
+               "is on order; the static deployment accumulates "
+               "unrecovered\nviolation episodes instead.\n";
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <vector>
 
+#include "dds/cloud/fault_model.hpp"
 #include "dds/cloud/resource_class.hpp"
 #include "dds/cloud/vm_instance.hpp"
 #include "dds/common/ids.hpp"
@@ -24,8 +25,24 @@ class CloudProvider {
 
   [[nodiscard]] const ResourceCatalog& catalog() const { return catalog_; }
 
+  /// Install a fault model consulted by tryAcquire(); nullptr (the
+  /// default) restores the ideal provider whose requests never fail.
+  void setAcquisitionFaults(const AcquisitionFaultModel* faults) {
+    acq_faults_ = faults;
+  }
+
   /// Start a new VM of the given class at time `t`; returns its id.
+  /// The ideal acquisition path: never fails, capacity instantly online.
   VmId acquire(ResourceClassId cls, SimTime t);
+
+  /// Elastic acquisition under cloud turbulence: the installed fault
+  /// model may reject the request outright or impose a provisioning lag
+  /// (the VM bills from `t` but delivers no observed power until
+  /// `ready_time`). Without a fault model this is exactly acquire().
+  [[nodiscard]] AcquisitionResult tryAcquire(ResourceClassId cls, SimTime t);
+
+  /// Acquisition attempts rejected by the fault model so far.
+  [[nodiscard]] int rejectedAcquisitions() const { return rejections_; }
 
   /// Stop a VM at time `t`. All of its cores must have been released first
   /// (the scheduler migrates PEs away before shutdown).
@@ -68,6 +85,9 @@ class CloudProvider {
  private:
   ResourceCatalog catalog_;
   std::vector<VmInstance> instances_;
+  const AcquisitionFaultModel* acq_faults_ = nullptr;
+  std::uint64_t acquisition_attempts_ = 0;
+  int rejections_ = 0;
 };
 
 }  // namespace dds

@@ -1,0 +1,72 @@
+// Cloud-turbulence interfaces (paper §9 future work, and the regime of
+// "Toward Reliable and Rapid Elasticity for Streaming Dataflows on
+// Clouds", Shukla & Simmhan).
+//
+// The fault machinery itself lives in src/faults/ (FaultPlan); these
+// abstract interfaces sit in the cloud layer so that CloudProvider and
+// MonitoringService can consult an installed fault model without the
+// cloud library depending on the faults library. Schedulers never see the
+// fault plan directly: turbulence surfaces only through
+//  * the monitoring interface — degraded observed core power (stragglers,
+//    provisioning lag) and partitioned links (beta -> 0, lambda -> inf);
+//  * AcquisitionResult — CloudProvider::tryAcquire can reject a request
+//    or deliver capacity that only comes online after a provisioning lag.
+#pragma once
+
+#include <cstdint>
+
+#include "dds/common/ids.hpp"
+#include "dds/common/time.hpp"
+
+namespace dds {
+
+/// Outcome of an elastic acquisition request. Rejections model IaaS
+/// capacity errors / API failures; `ready_time` models startup delay:
+/// the VM is billed from `t` but its cores deliver no observed power
+/// until `ready_time` (the instance is still provisioning).
+struct AcquisitionResult {
+  bool accepted = false;
+  VmId vm{0};               ///< valid only when `accepted`.
+  SimTime ready_time = 0.0; ///< when the VM's capacity comes online.
+
+  [[nodiscard]] bool ok() const { return accepted; }
+};
+
+/// Decides the fate of acquisition attempts. Implementations must be
+/// deterministic: the n-th attempt of a run always resolves the same way
+/// for a fixed seed, and the provisioning delay is a pure function of
+/// (seed, vm id).
+class AcquisitionFaultModel {
+ public:
+  virtual ~AcquisitionFaultModel() = default;
+
+  /// Whether the `attempt`-th acquisition request of this run (0-based,
+  /// counted across all classes) is rejected by the provider.
+  [[nodiscard]] virtual bool acquisitionRejected(
+      std::uint64_t attempt) const = 0;
+
+  /// Startup lag of a freshly accepted VM, seconds (0 = instant).
+  [[nodiscard]] virtual SimTime provisioningDelay(VmId vm) const = 0;
+};
+
+/// Perturbs the performance the monitoring framework observes.
+/// Implementations must be deterministic and query-order independent:
+/// pure functions of (seed, vm id, vm start time, t) and of
+/// (seed, unordered VM pair, t) respectively.
+class PerfFaultModel {
+ public:
+  virtual ~PerfFaultModel() = default;
+
+  /// Multiplier on the observed core power of `vm` at time `t` (1 =
+  /// healthy; a straggler episode returns its degradation fraction).
+  [[nodiscard]] virtual double cpuFactor(VmId vm, SimTime vm_start,
+                                         SimTime t) const = 0;
+
+  /// Whether the link between two distinct VMs is partitioned at `t`
+  /// (observed bandwidth -> 0, latency -> MonitoringService's partition
+  /// ceiling). Must be symmetric in (a, b).
+  [[nodiscard]] virtual bool linkPartitioned(VmId a, VmId b,
+                                             SimTime t) const = 0;
+};
+
+}  // namespace dds

@@ -26,12 +26,20 @@ class VmInstance {
         class_id_(cls),
         spec_(spec),
         t_start_(t_start),
+        t_ready_(t_start),
         cores_(static_cast<std::size_t>(spec.cores), std::nullopt) {}
 
   [[nodiscard]] VmId id() const { return id_; }
   [[nodiscard]] ResourceClassId classId() const { return class_id_; }
   [[nodiscard]] const ResourceClass& spec() const { return spec_; }
   [[nodiscard]] SimTime startTime() const { return t_start_; }
+
+  /// When the VM's capacity comes online. Equal to startTime() for an
+  /// instant acquisition; later when the provider imposed a provisioning
+  /// lag (billing starts at startTime() regardless — a started hour is a
+  /// started hour).
+  [[nodiscard]] SimTime readyTime() const { return t_ready_; }
+  [[nodiscard]] bool isReady(SimTime t) const { return t >= t_ready_; }
 
   /// Shutdown time; infinity while the VM is active.
   [[nodiscard]] SimTime offTime() const { return t_off_; }
@@ -109,10 +117,16 @@ class VmInstance {
     t_off_ = t;
   }
 
+  void setReadyTime(SimTime t) {
+    DDS_REQUIRE(t >= t_start_, "ready time precedes VM start");
+    t_ready_ = t;
+  }
+
   VmId id_;
   ResourceClassId class_id_;
   ResourceClass spec_;
   SimTime t_start_;
+  SimTime t_ready_ = 0.0;  ///< set to t_start_ by the constructor.
   SimTime t_off_ = std::numeric_limits<SimTime>::infinity();
   std::vector<std::optional<PeId>> cores_;
 };

@@ -60,4 +60,20 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// SplitMix64 finalizer — a well-mixed stateless hash. Fault models use it
+/// to derive independent uniform draws from (seed, entity, index) keys so
+/// results are pure functions of their inputs, independent of query order.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Map a hash to a uniform double in (0, 1] — never exactly zero, so
+/// log(u) stays finite for exponential draws.
+[[nodiscard]] constexpr double hashToUnitInterval(std::uint64_t h) {
+  return (static_cast<double>(h >> 11) + 1.0) / 9007199254740993.0;
+}
+
 }  // namespace dds

@@ -20,6 +20,15 @@
 
 namespace dds {
 
+/// A user-facing configuration mistake: unknown key, malformed value,
+/// unknown enum name. Derives from PreconditionError (it is one), but
+/// carries a clean one-line message suitable for CLI stderr — no
+/// source-location noise.
+class ConfigError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+};
+
 /// A parsed key-value configuration.
 class KeyValueConfig {
  public:

@@ -7,6 +7,7 @@
 
 #include "dds/common/time.hpp"
 #include "dds/metrics/run_metrics.hpp"
+#include "dds/sched/scheduler.hpp"
 #include "dds/sim/simulator.hpp"
 #include "dds/workload/rate_profile.hpp"
 
@@ -53,6 +54,33 @@ struct ExperimentConfig {
   /// Mean time between failures per VM, hours; 0 disables fault injection
   /// (§9 future work: fault tolerance via re-allocation and alternates).
   double vm_mtbf_hours = 0.0;
+  /// Degraded-VM (straggler) episodes: mean time between episodes per VM,
+  /// hours; 0 disables. During an episode the VM's observed core power
+  /// drops to `straggler_factor` of its trace-modulated value for
+  /// `straggler_duration_s` seconds.
+  double straggler_mtbf_hours = 0.0;
+  double straggler_factor = 0.3;
+  double straggler_duration_s = 600.0;
+  /// Probability the provider rejects one acquisition attempt; 0 disables.
+  double acquisition_failure_prob = 0.0;
+  /// Mean provisioning lag between acquire and the VM coming online,
+  /// seconds (exponential per VM); 0 = instant delivery. Billing starts at
+  /// acquisition either way — provisioning time is paid for.
+  double provisioning_delay_s = 0.0;
+  /// Transient network partitions: mean time between partition episodes
+  /// per VM pair, hours; 0 disables. A partitioned pair sees zero
+  /// bandwidth and effectively infinite latency for
+  /// `partition_duration_s` seconds.
+  double partition_mtbf_hours = 0.0;
+  double partition_duration_s = 120.0;
+  /// Resilience knobs for the heuristic schedulers (see
+  /// dds/sched/resilience.hpp). Quarantine threshold 0 disables the
+  /// straggler guard.
+  double straggler_quarantine_threshold = 0.0;
+  int straggler_quarantine_probes = 3;
+  int acquisition_max_retries = 3;
+  double acquisition_backoff_s = 60.0;
+  bool graceful_degradation = false;
   /// EWMA weight for the monitoring probes the schedulers plan against;
   /// 1.0 = react to raw instantaneous probes (the default behaviour).
   double power_smoothing_alpha = 1.0;
@@ -89,6 +117,13 @@ struct ExperimentResult {
   int peak_cores = 0;
   int vm_failures = 0;          ///< crashes injected during the run.
   double messages_lost = 0.0;   ///< queued messages lost to crashes.
+  /// Fault-recovery metrics against Omega-hat (meaningful when any fault
+  /// family is enabled; availability is 1.0 on a clean run).
+  RecoveryStats recovery;
+  /// Resilience counters from the scheduler (zero for policies without a
+  /// resilience layer) and the provider's global rejection count.
+  SchedulerTelemetry resilience;
+  int acquisition_rejections = 0;  ///< provider-wide rejected attempts.
   /// Filled by the event backend only (zero under the fluid backend):
   std::size_t messages_delivered = 0;
   double latency_mean_s = 0.0;

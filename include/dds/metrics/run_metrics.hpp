@@ -76,6 +76,29 @@ class RunResult {
   std::vector<IntervalMetrics> intervals_;
 };
 
+/// Fault-recovery statistics over one run, derived from the Omega(t)
+/// series. A *violation episode* is a maximal run of consecutive intervals
+/// with Omega(t) < Omega-hat. An episode that ends before the horizon does
+/// is *recovered*; one still open at the last interval is not.
+struct RecoveryStats {
+  int violation_episodes = 0;     ///< total episodes (incl. unrecovered).
+  int unrecovered_episodes = 0;   ///< episodes still open at the horizon.
+  /// Mean recovered-episode length in seconds (the per-episode time to
+  /// repair); 0 when no episode recovered.
+  double mttr_s = 0.0;
+  /// Longest episode in seconds, recovered or not.
+  double longest_episode_s = 0.0;
+  /// Fraction of intervals with Omega(t) >= Omega-hat, in [0, 1].
+  double availability = 1.0;
+};
+
+/// Compute recovery statistics from a finished run against `omega_hat`.
+/// Pure function of the interval series; interval length is taken from
+/// consecutive interval start times (the engine's fixed cadence).
+[[nodiscard]] RecoveryStats computeRecoveryStats(const RunResult& result,
+                                                 double omega_hat,
+                                                 SimTime interval_s);
+
 /// The user's value-vs-cost equivalence factor (§6):
 ///   sigma = (MaxAppValue − MinAppValue) /
 ///           (AcceptableCost@MaxVal − AcceptableCost@MinVal).

@@ -17,6 +17,7 @@
 #include <limits>
 
 #include "dds/cloud/cloud_provider.hpp"
+#include "dds/cloud/fault_model.hpp"
 #include "dds/cloud/placement_model.hpp"
 #include "dds/common/ids.hpp"
 #include "dds/common/time.hpp"
@@ -31,18 +32,40 @@ class MonitoringService {
   /// is applied.
   static constexpr double kBaseLatencyMs = 1.0;
 
+  /// Latency reported for a partitioned link: effectively infinite, but
+  /// finite so downstream arithmetic (differences, sums) stays NaN-free.
+  static constexpr double kPartitionLatencyMs = 1.0e9;
+
   MonitoringService(const CloudProvider& cloud, TraceReplayer& replayer,
-                    const PlacementModel* placement = nullptr)
-      : cloud_(&cloud), replayer_(&replayer), placement_(placement) {}
+                    const PlacementModel* placement = nullptr,
+                    const PerfFaultModel* faults = nullptr)
+      : cloud_(&cloud),
+        replayer_(&replayer),
+        placement_(placement),
+        faults_(faults) {}
 
   /// Rated normalized power (pi) of one core of `vm`'s class.
   [[nodiscard]] double ratedCorePower(VmId vm) const {
     return cloud_->instance(vm).spec().core_speed;
   }
 
-  /// Observed normalized power of `vm`'s cores at time `t`.
+  /// Observed normalized power of `vm`'s cores at time `t`. Zero while
+  /// the VM is still provisioning (startup delay); during a straggler
+  /// episode the installed fault model degrades it below the trace value.
   [[nodiscard]] double observedCorePower(VmId vm, SimTime t) const {
-    return ratedCorePower(vm) * replayer_->cpuCoeff(vm, t);
+    const VmInstance& inst = cloud_->instance(vm);
+    if (!inst.isReady(t)) return 0.0;
+    const double fault = faults_ != nullptr
+                             ? faults_->cpuFactor(vm, inst.startTime(), t)
+                             : 1.0;
+    return ratedCorePower(vm) * replayer_->cpuCoeff(vm, t) * fault;
+  }
+
+  /// Whether the link between `a` and `b` is currently partitioned
+  /// (observed bandwidth 0, latency at the partition ceiling). Colocated
+  /// traffic never partitions — it does not cross the network.
+  [[nodiscard]] bool linkPartitioned(VmId a, VmId b, SimTime t) const {
+    return a != b && faults_ != nullptr && faults_->linkPartitioned(a, b, t);
   }
 
   /// Rated bandwidth between two VMs: min of the two NICs' rated Mbps;
@@ -58,6 +81,7 @@ class MonitoringService {
   [[nodiscard]] double observedBandwidthMbps(VmId a, VmId b,
                                              SimTime t) const {
     if (a == b) return std::numeric_limits<double>::infinity();
+    if (linkPartitioned(a, b, t)) return 0.0;
     const double spatial =
         placement_ != nullptr ? placement_->bandwidthFactor(a, b) : 1.0;
     return ratedBandwidthMbps(a, b) * replayer_->bandwidthCoeff(a, b, t) *
@@ -65,9 +89,10 @@ class MonitoringService {
   }
 
   /// Observed one-way latency in milliseconds (lambda_ij(t)); zero when
-  /// colocated.
+  /// colocated, the partition ceiling while the link is partitioned.
   [[nodiscard]] double observedLatencyMs(VmId a, VmId b, SimTime t) const {
     if (a == b) return 0.0;
+    if (linkPartitioned(a, b, t)) return kPartitionLatencyMs;
     const double spatial =
         placement_ != nullptr ? placement_->latencyFactor(a, b) : 1.0;
     return kBaseLatencyMs * replayer_->latencyCoeff(a, b, t) * spatial;
@@ -83,6 +108,7 @@ class MonitoringService {
   const CloudProvider* cloud_;
   TraceReplayer* replayer_;
   const PlacementModel* placement_ = nullptr;
+  const PerfFaultModel* faults_ = nullptr;
 };
 
 }  // namespace dds

@@ -17,12 +17,14 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "dds/cloud/cloud_provider.hpp"
 #include "dds/dataflow/dataflow.hpp"
 #include "dds/monitor/monitoring.hpp"
 #include "dds/sched/alternate_selection.hpp"
+#include "dds/sched/resilience.hpp"
 #include "dds/sched/scheduler.hpp"
 #include "dds/sim/deployment.hpp"
 
@@ -69,6 +71,22 @@ class ResourceAllocator {
                     double omega_target,
                     AcquisitionPolicy acquisition =
                         AcquisitionPolicy::LargestFirst);
+
+  /// Install the resilience knobs governing acquisition retry, class
+  /// fallback and backoff (defaults: 3 attempts, 60 s base backoff).
+  void setResilience(const ResilienceOptions& options) {
+    options.validate();
+    resilience_ = options;
+  }
+
+  /// Whether a recent unmet acquisition need put the allocator in backoff
+  /// at `now` (no fresh VM will be requested until the window lapses).
+  [[nodiscard]] bool acquisitionBackoffActive(SimTime now) const {
+    return now < acquisition_retry_after_;
+  }
+
+  /// Acquisition attempts this allocator saw rejected.
+  [[nodiscard]] int acquisitionRejections() const { return rejections_; }
 
   /// Normalized power currently allocated to each PE, by PeId.
   [[nodiscard]] std::vector<double> allocatedPower(
@@ -122,8 +140,14 @@ class ResourceAllocator {
   int releaseEmptyVms(ReleasePolicy policy, SimTime now, SimTime interval_s);
 
  private:
-  /// Acquire a fresh VM according to the acquisition policy.
-  VmId acquireNew(SimTime now);
+  /// The class the acquisition policy prefers for a fresh VM.
+  [[nodiscard]] ResourceClassId preferredClass() const;
+
+  /// Acquire a fresh VM: try the policy-preferred class, then fall back
+  /// through cheaper classes, up to the resilience retry budget. Returns
+  /// nullopt when every attempt is rejected (or the allocator is backing
+  /// off after a recent unmet need), arming exponential backoff.
+  std::optional<VmId> acquireNew(SimTime now);
 
   /// One more core for `pe`: prefer VMs already hosting it, then VMs
   /// hosting a graph neighbour, then any free core, then a fresh
@@ -134,6 +158,10 @@ class ResourceAllocator {
   CloudProvider* cloud_;
   double omega_target_;
   AcquisitionPolicy acquisition_;
+  ResilienceOptions resilience_;
+  SimTime acquisition_retry_after_ = 0.0;
+  int consecutive_unmet_ = 0;
+  int rejections_ = 0;
 };
 
 }  // namespace dds

@@ -41,6 +41,9 @@ struct HeuristicOptions {
   /// SLA — the processing-latency QoS dimension of the paper's intro.
   /// 0 disables the check (throughput-only adaptation, the paper's Alg. 2).
   double max_queue_delay_s = 0.0;
+  /// Resilience knobs: acquisition retry/backoff, straggler quarantine,
+  /// graceful degradation (see dds/sched/resilience.hpp).
+  ResilienceOptions resilience;
 };
 
 /// Local/global deployment + adaptation heuristic (Alg. 1 + Alg. 2).
@@ -55,6 +58,8 @@ class HeuristicScheduler final : public Scheduler {
 
   std::vector<MigrationEvent> adapt(const ObservedState& state,
                                     Deployment& deployment) override;
+
+  [[nodiscard]] SchedulerTelemetry telemetry() const override;
 
  private:
   /// Alg. 2 alternate-selection phase. Builds the feasible set from the
@@ -80,10 +85,23 @@ class HeuristicScheduler final : public Scheduler {
   [[nodiscard]] std::vector<double> measuredArrivals(
       const ObservedState& state, const Deployment& deployment) const;
 
+  /// Probe the straggler guard; evacuate and release any VM that crossed
+  /// the quarantine bar, then force a scale-out to replace its capacity.
+  /// Appends the evacuation backlog moves to `migrations`.
+  void quarantineStragglers(const ObservedState& state,
+                            const Deployment& deployment,
+                            std::vector<MigrationEvent>& migrations);
+
+  /// Whether replacement capacity is still on order: any active VM not yet
+  /// ready, or the allocator backing off after rejected acquisitions.
+  [[nodiscard]] bool capacityPending(SimTime now) const;
+
   SchedulerEnv env_;
   Strategy strategy_;
   HeuristicOptions options_;
   ResourceAllocator allocator_;
+  std::unique_ptr<StragglerGuard> guard_;
+  int graceful_degradations_ = 0;
 };
 
 }  // namespace dds

@@ -1,0 +1,107 @@
+// Scheduler resilience layer against cloud turbulence (paper §9 future
+// work; see dds/faults/fault_plan.hpp for the fault model it answers).
+//
+// Three mechanisms, all policy-level — they consume only the monitoring
+// interface and AcquisitionResult, never the fault plan itself:
+//  * bounded retry with class fallback + exponential backoff on failed
+//    acquisitions (ResourceAllocator consumes these knobs);
+//  * straggler detection and quarantine: StragglerGuard blacklists VMs
+//    whose smoothed observed/rated power ratio stays below a threshold
+//    for k consecutive probes, so the scheduler can evacuate and replace
+//    them instead of planning against capacity that never materializes;
+//  * graceful degradation: while replacement capacity is provisioning
+//    (or acquisitions are backing off), the heuristic scheduler downgrades
+//    alternates off-cadence to restore Omega >= Omega-hat with the
+//    capacity it actually has (HeuristicScheduler consumes this flag).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dds/cloud/cloud_provider.hpp"
+#include "dds/common/ids.hpp"
+#include "dds/common/time.hpp"
+#include "dds/monitor/monitoring.hpp"
+
+namespace dds {
+
+/// Resilience knobs shared by the heuristic scheduler and its allocator.
+struct ResilienceOptions {
+  /// Acquisition attempts per need (the first on the policy-preferred
+  /// class, the rest falling back through cheaper classes).
+  int acquisition_max_retries = 3;
+  /// Base backoff after an acquisition need goes unmet; doubles per
+  /// consecutive unmet need, capped at 8x. 0 disables backing off.
+  double acquisition_backoff_s = 60.0;
+  /// Quarantine a VM when its smoothed observed/rated power ratio stays
+  /// below this for `straggler_probes` consecutive probes; 0 disables.
+  double straggler_threshold = 0.0;
+  int straggler_probes = 3;
+  /// EWMA weight of the newest probe in the guard's ratio estimate.
+  double straggler_alpha = 0.5;
+  /// Downgrade alternates off-cadence while capacity is pending.
+  bool graceful_degradation = false;
+
+  [[nodiscard]] bool quarantineEnabled() const {
+    return straggler_threshold > 0.0;
+  }
+
+  void validate() const {
+    DDS_REQUIRE(acquisition_max_retries >= 1,
+                "acquisition retries must be at least 1");
+    DDS_REQUIRE(acquisition_backoff_s >= 0.0,
+                "acquisition backoff must be non-negative");
+    DDS_REQUIRE(straggler_threshold >= 0.0 && straggler_threshold < 1.0,
+                "straggler threshold must be in [0, 1)");
+    DDS_REQUIRE(straggler_probes >= 1,
+                "straggler probe count must be at least 1");
+    DDS_REQUIRE(straggler_alpha > 0.0 && straggler_alpha <= 1.0,
+                "straggler alpha must be in (0, 1]");
+  }
+};
+
+/// Detects persistent stragglers from periodic monitoring probes.
+///
+/// Per active, ready VM the guard tracks an EWMA of the observed/rated
+/// core-power ratio; a VM whose smoothed ratio sits below the threshold
+/// for k consecutive probes joins the blacklist. Provisioning VMs are
+/// skipped (zero observed power means "not online yet", not "slow"), as
+/// are already blacklisted ones.
+class StragglerGuard {
+ public:
+  StragglerGuard(const CloudProvider& cloud, const MonitoringService& monitor,
+                 ResilienceOptions options);
+
+  /// One probe round over all active VMs at time `t`; returns the VMs
+  /// that crossed the quarantine bar this round (already blacklisted VMs
+  /// are never reported again).
+  std::vector<VmId> probe(SimTime t);
+
+  [[nodiscard]] bool isQuarantined(VmId vm) const {
+    return blacklist_.contains(vm);
+  }
+
+  [[nodiscard]] const std::unordered_set<VmId>& blacklist() const {
+    return blacklist_;
+  }
+
+  /// Total VMs ever quarantined by this guard.
+  [[nodiscard]] int quarantineCount() const {
+    return static_cast<int>(blacklist_.size());
+  }
+
+ private:
+  struct Track {
+    double smoothed_ratio = 1.0;
+    int consecutive_low = 0;
+  };
+
+  const CloudProvider* cloud_;
+  const MonitoringService* monitor_;
+  ResilienceOptions options_;
+  std::unordered_map<VmId, Track> tracks_;
+  std::unordered_set<VmId> blacklist_;
+};
+
+}  // namespace dds

@@ -66,6 +66,15 @@ struct MigrationEvent {
   double backlog_fraction = 0.0;
 };
 
+/// Resilience counters a scheduler exposes for the run result (all zero
+/// for policies without a resilience layer).
+struct SchedulerTelemetry {
+  int stragglers_quarantined = 0;   ///< VMs blacklisted and evacuated.
+  int graceful_degradations = 0;    ///< off-cadence alternate downgrades.
+  int acquisition_rejections = 0;   ///< acquisition attempts the provider
+                                    ///< rejected against this scheduler.
+};
+
 /// Abstract deployment + runtime-adaptation policy.
 class Scheduler {
  public:
@@ -85,6 +94,9 @@ class Scheduler {
     (void)deployment;
     return {};
   }
+
+  /// Resilience counters accumulated so far (default: none).
+  [[nodiscard]] virtual SchedulerTelemetry telemetry() const { return {}; }
 };
 
 }  // namespace dds

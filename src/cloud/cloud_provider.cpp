@@ -11,6 +11,23 @@ VmId CloudProvider::acquire(ResourceClassId cls, SimTime t) {
   return id;
 }
 
+AcquisitionResult CloudProvider::tryAcquire(ResourceClassId cls, SimTime t) {
+  DDS_REQUIRE(t >= 0.0, "acquire time must be non-negative");
+  const std::uint64_t attempt = acquisition_attempts_++;
+  if (acq_faults_ != nullptr && acq_faults_->acquisitionRejected(attempt)) {
+    ++rejections_;
+    return {};
+  }
+  AcquisitionResult result;
+  result.accepted = true;
+  result.vm = acquire(cls, t);
+  result.ready_time =
+      acq_faults_ != nullptr ? t + acq_faults_->provisioningDelay(result.vm)
+                             : t;
+  instances_[result.vm.value()].setReadyTime(result.ready_time);
+  return result;
+}
+
 void CloudProvider::release(VmId id, SimTime t) {
   VmInstance& vm = instance(id);
   DDS_REQUIRE(vm.allocatedCoreCount() == 0,

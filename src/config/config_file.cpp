@@ -80,8 +80,10 @@ double KeyValueConfig::getDouble(const std::string& key,
   double out = 0.0;
   const auto& s = it->second;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-  DDS_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
-              "config key '" + key + "' is not a number: " + s);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw ConfigError("config key '" + key + "' is not a number: '" + s +
+                      "'");
+  }
   return out;
 }
 
@@ -92,8 +94,10 @@ std::int64_t KeyValueConfig::getInt(const std::string& key,
   std::int64_t out = 0;
   const auto& s = it->second;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-  DDS_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
-              "config key '" + key + "' is not an integer: " + s);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw ConfigError("config key '" + key + "' is not an integer: '" + s +
+                      "'");
+  }
   return out;
 }
 
@@ -105,8 +109,8 @@ bool KeyValueConfig::getBool(const std::string& key, bool fallback) const {
                  [](unsigned char c) { return std::tolower(c); });
   if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
   if (v == "false" || v == "no" || v == "off" || v == "0") return false;
-  throw PreconditionError("config key '" + key +
-                          "' is not a boolean: " + it->second);
+  throw ConfigError("config key '" + key + "' is not a boolean: '" +
+                    it->second + "'");
 }
 
 std::vector<std::string> KeyValueConfig::getList(
@@ -139,7 +143,7 @@ SchedulerKind schedulerKindFromName(const std::string& name) {
         SchedulerKind::ReactiveBaseline, SchedulerKind::AnnealingStatic}) {
     if (toString(kind) == name) return kind;
   }
-  throw PreconditionError("unknown scheduler name: " + name);
+  throw ConfigError("unknown scheduler name: '" + name + "'");
 }
 
 CliExperiment experimentFromConfig(const KeyValueConfig& kv) {
@@ -150,18 +154,25 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv) {
       "omega_target", "epsilon",        "msg_size_kb",
       "alternate_period", "resource_period", "sigma",
       "vm_mtbf_h",    "output_csv", "catalog", "placement_racks",
-      "power_smoothing_alpha", "backend", "max_queue_delay_s"};
+      "power_smoothing_alpha", "backend", "max_queue_delay_s",
+      "straggler_mtbf_h", "straggler_factor", "straggler_duration_s",
+      "acq_failure_prob", "provisioning_delay_s",
+      "partition_mtbf_h", "partition_duration_s",
+      "quarantine_threshold", "quarantine_probes",
+      "acq_max_retries", "acq_backoff_s", "graceful_degradation"};
   for (const auto& key : kv.keys()) {
-    DDS_REQUIRE(std::find(kKnownKeys.begin(), kKnownKeys.end(), key) !=
-                    kKnownKeys.end(),
-                "unknown config key: " + key);
+    if (std::find(kKnownKeys.begin(), kKnownKeys.end(), key) ==
+        kKnownKeys.end()) {
+      throw ConfigError("unknown config key: '" + key + "'");
+    }
   }
 
   CliExperiment ex;
   ex.graph = kv.getString("graph", "paper");
-  DDS_REQUIRE(ex.graph == "paper" || ex.graph == "chain" ||
-                  ex.graph == "diamond",
-              "unknown graph: " + ex.graph);
+  if (ex.graph != "paper" && ex.graph != "chain" && ex.graph != "diamond") {
+    throw ConfigError("unknown graph: '" + ex.graph +
+                      "' (expected paper, chain or diamond)");
+  }
 
   ExperimentConfig& cfg = ex.config;
   cfg.mean_rate = kv.getDouble("mean_rate", cfg.mean_rate);
@@ -179,6 +190,30 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv) {
   cfg.resource_period = kv.getInt("resource_period", cfg.resource_period);
   cfg.sigma_override = kv.getDouble("sigma", cfg.sigma_override);
   cfg.vm_mtbf_hours = kv.getDouble("vm_mtbf_h", cfg.vm_mtbf_hours);
+  cfg.straggler_mtbf_hours =
+      kv.getDouble("straggler_mtbf_h", cfg.straggler_mtbf_hours);
+  cfg.straggler_factor =
+      kv.getDouble("straggler_factor", cfg.straggler_factor);
+  cfg.straggler_duration_s =
+      kv.getDouble("straggler_duration_s", cfg.straggler_duration_s);
+  cfg.acquisition_failure_prob =
+      kv.getDouble("acq_failure_prob", cfg.acquisition_failure_prob);
+  cfg.provisioning_delay_s =
+      kv.getDouble("provisioning_delay_s", cfg.provisioning_delay_s);
+  cfg.partition_mtbf_hours =
+      kv.getDouble("partition_mtbf_h", cfg.partition_mtbf_hours);
+  cfg.partition_duration_s =
+      kv.getDouble("partition_duration_s", cfg.partition_duration_s);
+  cfg.straggler_quarantine_threshold = kv.getDouble(
+      "quarantine_threshold", cfg.straggler_quarantine_threshold);
+  cfg.straggler_quarantine_probes = static_cast<int>(
+      kv.getInt("quarantine_probes", cfg.straggler_quarantine_probes));
+  cfg.acquisition_max_retries = static_cast<int>(
+      kv.getInt("acq_max_retries", cfg.acquisition_max_retries));
+  cfg.acquisition_backoff_s =
+      kv.getDouble("acq_backoff_s", cfg.acquisition_backoff_s);
+  cfg.graceful_degradation =
+      kv.getBool("graceful_degradation", cfg.graceful_degradation);
   cfg.catalog = kv.getString("catalog", cfg.catalog);
   cfg.placement_racks =
       static_cast<int>(kv.getInt("placement_racks", cfg.placement_racks));
@@ -197,7 +232,8 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv) {
   } else if (profile == "spike") {
     cfg.profile = ProfileKind::Spike;
   } else {
-    throw PreconditionError("unknown profile: " + profile);
+    throw ConfigError("unknown profile: '" + profile +
+                      "' (expected constant, wave, random-walk or spike)");
   }
 
   const std::string backend = kv.getString("backend", "fluid");
@@ -206,7 +242,8 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv) {
   } else if (backend == "event") {
     cfg.backend = SimBackend::Event;
   } else {
-    throw PreconditionError("unknown backend: " + backend);
+    throw ConfigError("unknown backend: '" + backend +
+                      "' (expected fluid or event)");
   }
 
   auto names = kv.getList("scheduler");

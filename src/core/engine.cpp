@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "dds/cloud/cloud_provider.hpp"
-#include "dds/faults/failure_injector.hpp"
+#include "dds/faults/fault_plan.hpp"
 #include "dds/monitor/monitoring.hpp"
 #include "dds/sched/annealing_planner.hpp"
 #include "dds/sched/brute_force.hpp"
@@ -43,6 +43,36 @@ std::string toString(SchedulerKind kind) {
   return "unknown";
 }
 
+namespace {
+
+/// The fault-family knobs of `config`, as a FaultPlanConfig.
+FaultPlanConfig faultPlanConfigOf(const ExperimentConfig& config) {
+  FaultPlanConfig fc;
+  fc.seed = config.seed ^ 0xfa117ull;
+  fc.vm_mtbf_hours = config.vm_mtbf_hours;
+  fc.straggler_mtbf_hours = config.straggler_mtbf_hours;
+  fc.straggler_factor = config.straggler_factor;
+  fc.straggler_duration_s = config.straggler_duration_s;
+  fc.acquisition_failure_prob = config.acquisition_failure_prob;
+  fc.provisioning_delay_s = config.provisioning_delay_s;
+  fc.partition_mtbf_hours = config.partition_mtbf_hours;
+  fc.partition_duration_s = config.partition_duration_s;
+  return fc;
+}
+
+/// The resilience knobs of `config`, as scheduler ResilienceOptions.
+ResilienceOptions resilienceOptionsOf(const ExperimentConfig& config) {
+  ResilienceOptions ro;
+  ro.acquisition_max_retries = config.acquisition_max_retries;
+  ro.acquisition_backoff_s = config.acquisition_backoff_s;
+  ro.straggler_threshold = config.straggler_quarantine_threshold;
+  ro.straggler_probes = config.straggler_quarantine_probes;
+  ro.graceful_degradation = config.graceful_degradation;
+  return ro;
+}
+
+}  // namespace
+
 void ExperimentConfig::validate() const {
   DDS_REQUIRE(horizon_s > 0.0, "horizon must be positive");
   DDS_REQUIRE(interval_s > 0.0 && interval_s <= horizon_s,
@@ -59,8 +89,11 @@ void ExperimentConfig::validate() const {
               "smoothing alpha must be in (0, 1]");
   DDS_REQUIRE(placement_racks >= 0, "rack count must be non-negative");
   (void)catalogByName(catalog);  // throws for unknown names
-  DDS_REQUIRE(backend == SimBackend::Fluid || vm_mtbf_hours == 0.0,
+  const FaultPlanConfig fault_cfg = faultPlanConfigOf(*this);
+  fault_cfg.validate();
+  DDS_REQUIRE(backend == SimBackend::Fluid || !fault_cfg.anyEnabled(),
               "fault injection is only supported by the fluid backend");
+  resilienceOptionsOf(*this).validate();
   DDS_REQUIRE(max_queue_delay_s >= 0.0,
               "queue-delay SLA must be non-negative");
 }
@@ -106,9 +139,18 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
   PlacementConfig placement_cfg;
   placement_cfg.racks = std::max(config_.placement_racks, 1);
   const PlacementModel placement(placement_cfg, config_.seed ^ 0x9a7cull);
+
+  // The fault plan reaches the run through exactly two seams: monitoring
+  // (stragglers and partitions perturb what everyone observes — scheduler
+  // and simulator alike) and the provider's tryAcquire (rejections and
+  // provisioning lag). Schedulers never see the plan itself.
+  const FaultPlan faults(faultPlanConfigOf(config_));
+  cloud.setAcquisitionFaults(faults.perturbsAcquisition() ? &faults
+                                                          : nullptr);
   MonitoringService monitor(
       cloud, replayer,
-      config_.placement_racks > 0 ? &placement : nullptr);
+      config_.placement_racks > 0 ? &placement : nullptr,
+      faults.perturbsPerformance() ? &faults : nullptr);
 
   SimConfig sim_cfg;
   sim_cfg.msg_size_bytes = config_.msg_size_bytes;
@@ -132,6 +174,7 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
         ResourceAllocator::AcquisitionPolicy::CheapestPower;
   }
   opts.max_queue_delay_s = config_.max_queue_delay_s;
+  opts.resilience = resilienceOptionsOf(config_);
 
   std::unique_ptr<Scheduler> scheduler;
   switch (kind) {
@@ -212,6 +255,9 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
     result.theta = result.average_gamma - sigma_ * result.total_cost;
     result.constraint_met = result.run.meetsThroughputConstraint(
         config_.omega_target, config_.epsilon);
+    result.recovery = computeRecoveryStats(
+        result.run, config_.omega_target, config_.interval_s);
+    result.resilience = scheduler->telemetry();
     result.messages_delivered = er.messages_delivered;
     result.latency_mean_s = er.latency.mean();
     if (!er.latency_samples.empty()) {
@@ -227,18 +273,13 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
   result.scheduler_name = scheduler->name();
   result.sigma = sigma_;
 
-  FaultConfig fault_cfg;
-  fault_cfg.vm_mtbf_hours = config_.vm_mtbf_hours;
-  fault_cfg.seed = config_.seed ^ 0xfa117ull;
-  const FailureInjector injector(fault_cfg);
-
   double omega_sum = 0.0;
   IntervalMetrics last{};
   for (IntervalIndex i = 0; i < clock.intervalCount(); ++i) {
     const SimTime now = clock.startOf(i);
     // Crashes land before the adaptation step observes the world, so the
     // scheduler reacts to the reduced capacity this very interval.
-    for (const FailureEvent& ev : injector.injectUpTo(cloud, now)) {
+    for (const FailureEvent& ev : faults.injectUpTo(cloud, now)) {
       ++result.vm_failures;
       for (const BacklogLoss& loss : ev.losses) {
         result.messages_lost +=
@@ -275,6 +316,10 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
   result.theta = result.average_gamma - sigma_ * result.total_cost;
   result.constraint_met = result.run.meetsThroughputConstraint(
       config_.omega_target, config_.epsilon);
+  result.recovery = computeRecoveryStats(result.run, config_.omega_target,
+                                         config_.interval_s);
+  result.resilience = scheduler->telemetry();
+  result.acquisition_rejections = cloud.rejectedAcquisitions();
   return result;
 }
 

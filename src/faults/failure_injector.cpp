@@ -4,21 +4,10 @@
 #include <limits>
 
 #include "dds/common/error.hpp"
+#include "dds/common/rng.hpp"
 #include "dds/sim/deployment.hpp"
 
 namespace dds {
-namespace {
-
-/// SplitMix64 — a well-mixed hash so each (seed, vm) pair yields an
-/// independent uniform draw regardless of query order.
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 FailureInjector::FailureInjector(FaultConfig config) : config_(config) {}
 
@@ -28,9 +17,7 @@ SimTime FailureInjector::deathTime(VmId vm, SimTime t_start) const {
   }
   const std::uint64_t h =
       splitmix64(config_.seed ^ (0x51ed2701ull + vm.value()) * 0x2545f491ull);
-  // Uniform in (0, 1]; never exactly zero so log() is finite.
-  const double u =
-      (static_cast<double>(h >> 11) + 1.0) / 9007199254740993.0;
+  const double u = hashToUnitInterval(h);
   const double lifetime_s =
       -std::log(u) * config_.vm_mtbf_hours * kSecondsPerHour;
   return t_start + lifetime_s;

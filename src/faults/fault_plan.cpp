@@ -1,0 +1,116 @@
+#include "dds/faults/fault_plan.hpp"
+
+#include <cmath>
+
+#include "dds/common/error.hpp"
+#include "dds/common/rng.hpp"
+
+namespace dds {
+namespace {
+
+// Family tags keep the hash streams of the four event families disjoint
+// even for the same seed and entity key.
+constexpr std::uint64_t kStragglerTag = 0x5742a6f1ull;
+constexpr std::uint64_t kPartitionTag = 0x9e11f0adull;
+constexpr std::uint64_t kRejectTag = 0x1c8f3b27ull;
+constexpr std::uint64_t kDelayTag = 0x6d5e9c43ull;
+
+// Renewal-process episode bound: at typical MTBFs (fractions of an hour
+// and up) and horizons of days this is never reached; it only guards
+// against a pathological mtbf/duration combination spinning forever.
+constexpr int kMaxEpisodes = 100000;
+
+double expDraw(std::uint64_t seed, std::uint64_t tag, std::uint64_t key,
+               std::uint64_t index, double mean) {
+  const std::uint64_t h =
+      splitmix64(seed ^ tag ^ splitmix64(key * 0x2545f491ull + index));
+  return -std::log(hashToUnitInterval(h)) * mean;
+}
+
+/// Whether `rel_t` (time since the entity's epoch) falls inside any
+/// episode of a renewal process with exponential gaps of mean
+/// `mtbf_s` and fixed episode length `duration_s`.
+bool inEpisode(std::uint64_t seed, std::uint64_t tag, std::uint64_t key,
+               double rel_t, double mtbf_s, double duration_s) {
+  if (rel_t < 0.0) return false;
+  double cursor = 0.0;
+  for (int k = 0; k < kMaxEpisodes; ++k) {
+    const double start =
+        cursor + expDraw(seed, tag, key, static_cast<std::uint64_t>(k),
+                         mtbf_s);
+    if (rel_t < start) return false;
+    if (rel_t < start + duration_s) return true;
+    cursor = start + duration_s;
+  }
+  return false;
+}
+
+/// Order-independent key for an unordered VM pair.
+std::uint64_t pairKey(VmId a, VmId b) {
+  const std::uint64_t lo = std::min(a.value(), b.value());
+  const std::uint64_t hi = std::max(a.value(), b.value());
+  return (hi << 32) | lo;
+}
+
+}  // namespace
+
+void FaultPlanConfig::validate() const {
+  DDS_REQUIRE(vm_mtbf_hours >= 0.0, "crash MTBF must be non-negative");
+  DDS_REQUIRE(straggler_mtbf_hours >= 0.0,
+              "straggler MTBF must be non-negative");
+  DDS_REQUIRE(straggler_factor >= 0.0 && straggler_factor < 1.0,
+              "straggler factor must be in [0, 1)");
+  DDS_REQUIRE(!stragglersEnabled() || straggler_duration_s > 0.0,
+              "straggler duration must be positive when stragglers are on");
+  DDS_REQUIRE(
+      acquisition_failure_prob >= 0.0 && acquisition_failure_prob < 1.0,
+      "acquisition failure probability must be in [0, 1)");
+  DDS_REQUIRE(provisioning_delay_s >= 0.0,
+              "provisioning delay must be non-negative");
+  DDS_REQUIRE(partition_mtbf_hours >= 0.0,
+              "partition MTBF must be non-negative");
+  DDS_REQUIRE(!partitionsEnabled() || partition_duration_s > 0.0,
+              "partition duration must be positive when partitions are on");
+}
+
+FaultPlan::FaultPlan(FaultPlanConfig config)
+    : config_(config),
+      crashes_(FaultConfig{config.vm_mtbf_hours, config.seed}) {
+  config_.validate();
+}
+
+bool FaultPlan::isStraggling(VmId vm, SimTime vm_start, SimTime t) const {
+  if (!config_.stragglersEnabled()) return false;
+  return inEpisode(config_.seed, kStragglerTag, vm.value(), t - vm_start,
+                   config_.straggler_mtbf_hours * kSecondsPerHour,
+                   config_.straggler_duration_s);
+}
+
+double FaultPlan::cpuFactor(VmId vm, SimTime vm_start, SimTime t) const {
+  return isStraggling(vm, vm_start, t) ? config_.straggler_factor : 1.0;
+}
+
+bool FaultPlan::linkPartitioned(VmId a, VmId b, SimTime t) const {
+  if (!config_.partitionsEnabled() || a == b) return false;
+  // Partitions live on the absolute simulation timeline: the pair's hash
+  // stream does not depend on either VM's start time, so the answer is a
+  // pure function of (seed, pair, t).
+  return inEpisode(config_.seed, kPartitionTag, pairKey(a, b), t,
+                   config_.partition_mtbf_hours * kSecondsPerHour,
+                   config_.partition_duration_s);
+}
+
+bool FaultPlan::acquisitionRejected(std::uint64_t attempt) const {
+  if (config_.acquisition_failure_prob <= 0.0) return false;
+  const std::uint64_t h =
+      splitmix64(config_.seed ^ kRejectTag ^ splitmix64(attempt));
+  return hashToUnitInterval(h) <= config_.acquisition_failure_prob;
+}
+
+SimTime FaultPlan::provisioningDelay(VmId vm) const {
+  if (config_.provisioning_delay_s <= 0.0) return 0.0;
+  return expDraw(config_.seed, kDelayTag, vm.value(), 0,
+                 config_.provisioning_delay_s);
+}
+
+}  // namespace dds

@@ -1,5 +1,7 @@
 #include "dds/metrics/run_metrics.hpp"
 
+#include <algorithm>
+
 namespace dds {
 
 double RunResult::averageOmega() const {
@@ -18,6 +20,50 @@ double RunResult::averageGamma() const {
 
 double RunResult::totalCost() const {
   return intervals_.empty() ? 0.0 : intervals_.back().cost_cumulative;
+}
+
+RecoveryStats computeRecoveryStats(const RunResult& result,
+                                   double omega_hat, SimTime interval_s) {
+  DDS_REQUIRE(omega_hat > 0.0 && omega_hat <= 1.0,
+              "omega target out of range");
+  DDS_REQUIRE(interval_s > 0.0, "interval length must be positive");
+  RecoveryStats stats;
+  const auto& intervals = result.intervals();
+  if (intervals.empty()) return stats;
+
+  int ok_intervals = 0;
+  int episode_len = 0;         // intervals in the currently open episode
+  double recovered_total = 0;  // summed lengths of recovered episodes
+  int recovered_count = 0;
+  int longest = 0;
+  for (const auto& m : intervals) {
+    if (m.omega >= omega_hat) {
+      ++ok_intervals;
+      if (episode_len > 0) {
+        ++stats.violation_episodes;
+        ++recovered_count;
+        recovered_total += episode_len;
+        longest = std::max(longest, episode_len);
+        episode_len = 0;
+      }
+    } else {
+      ++episode_len;
+    }
+  }
+  if (episode_len > 0) {
+    // Still below the constraint at the horizon: counted but unrecovered.
+    ++stats.violation_episodes;
+    ++stats.unrecovered_episodes;
+    longest = std::max(longest, episode_len);
+  }
+  if (recovered_count > 0) {
+    stats.mttr_s = recovered_total /
+                   static_cast<double>(recovered_count) * interval_s;
+  }
+  stats.longest_episode_s = static_cast<double>(longest) * interval_s;
+  stats.availability = static_cast<double>(ok_intervals) /
+                       static_cast<double>(intervals.size());
+  return stats;
 }
 
 double equivalenceFactor(double max_value, double min_value,

@@ -12,6 +12,10 @@ void ProbeHistory::probe(SimTime t) {
   last_probe_ = t;
   ++probes_;
   for (const VmId vm : monitor_->cloud().activeVms()) {
+    // A provisioning VM observes zero power by definition, not because it
+    // is slow; folding that into the EWMA would poison the estimate the
+    // schedulers (and the straggler guard) plan against.
+    if (!monitor_->cloud().instance(vm).isReady(t)) continue;
     const double observed = monitor_->observedCorePower(vm, t);
     const auto it = smoothed_.find(vm);
     if (it == smoothed_.end()) {

@@ -110,10 +110,10 @@ std::vector<double> ResourceAllocator::allocatedPower(
   return pw;
 }
 
-VmId ResourceAllocator::acquireNew(SimTime now) {
+ResourceClassId ResourceAllocator::preferredClass() const {
   const ResourceCatalog& catalog = cloud_->catalog();
   if (acquisition_ == AcquisitionPolicy::LargestFirst) {
-    return cloud_->acquire(catalog.largest(), now);
+    return catalog.largest();
   }
   // CheapestPower: best dollars per unit of rated power; ties go to the
   // larger class (fewer VMs, better colocation).
@@ -131,8 +131,59 @@ VmId ResourceAllocator::acquireNew(SimTime now) {
       best = c;
     }
   }
-  return cloud_->acquire(
-      ResourceClassId(static_cast<ResourceClassId::value_type>(best)), now);
+  return ResourceClassId(static_cast<ResourceClassId::value_type>(best));
+}
+
+std::optional<VmId> ResourceAllocator::acquireNew(SimTime now) {
+  if (acquisitionBackoffActive(now)) return std::nullopt;
+  const ResourceCatalog& catalog = cloud_->catalog();
+
+  // Candidate order: the policy-preferred class first, then the cheaper
+  // fallback classes by descending price — when the provider cannot
+  // deliver the preferred class, any cheaper capacity is better than none
+  // (the incremental loop tops up with further VMs as needed).
+  const ResourceClassId preferred = preferredClass();
+  std::vector<ResourceClassId> candidates{preferred};
+  std::vector<ResourceClassId> fallbacks;
+  for (std::size_t c = 0; c < catalog.size(); ++c) {
+    const ResourceClassId id(static_cast<ResourceClassId::value_type>(c));
+    if (id != preferred &&
+        catalog.at(id).price_per_hour <
+            catalog.at(preferred).price_per_hour + kEps) {
+      fallbacks.push_back(id);
+    }
+  }
+  std::sort(fallbacks.begin(), fallbacks.end(),
+            [&](ResourceClassId a, ResourceClassId b) {
+              return catalog.at(a).price_per_hour >
+                     catalog.at(b).price_per_hour;
+            });
+  candidates.insert(candidates.end(), fallbacks.begin(), fallbacks.end());
+
+  const int budget = resilience_.acquisition_max_retries;
+  for (int attempt = 0;
+       attempt < budget && attempt < static_cast<int>(candidates.size());
+       ++attempt) {
+    const auto result = cloud_->tryAcquire(
+        candidates[static_cast<std::size_t>(attempt)], now);
+    if (result.ok()) {
+      consecutive_unmet_ = 0;
+      return result.vm;
+    }
+    ++rejections_;
+  }
+
+  // Every attempt rejected: arm exponential backoff so the scheduler does
+  // not hammer a failing control plane every interval. Graceful
+  // degradation (alternate downgrades) covers the gap meanwhile.
+  ++consecutive_unmet_;
+  if (resilience_.acquisition_backoff_s > 0.0) {
+    const double factor =
+        static_cast<double>(1 << std::min(consecutive_unmet_ - 1, 3));
+    acquisition_retry_after_ =
+        now + resilience_.acquisition_backoff_s * factor;
+  }
+  return std::nullopt;
 }
 
 bool ResourceAllocator::allocateCoreForPe(PeId pe, SimTime now,
@@ -168,6 +219,7 @@ bool ResourceAllocator::allocateCoreForPe(PeId pe, SimTime now,
   if (!best.has_value()) {
     if (!allow_acquire) return false;
     best = acquireNew(now);
+    if (!best.has_value()) return false;  // rejected or backing off
   }
   cloud_->instance(*best).allocateCore(pe);
   return true;
@@ -190,6 +242,9 @@ void ResourceAllocator::ensureMinimumCores(SimTime now) {
         }
       }
       if (!last_vm.has_value()) last_vm = acquireNew(now);
+      // Provider rejected even the fallback classes: leave the remaining
+      // PEs unplaced for now; the next adaptation retries after backoff.
+      if (!last_vm.has_value()) return;
     }
     cloud_->instance(*last_vm).allocateCore(pe);
   }
@@ -408,9 +463,12 @@ void ResourceAllocator::repackPes(const Deployment& deployment,
                  std::ceil(residual / target_spec.core_speed - kEps)));
       DDS_ENSURE(needed_cores <= target_spec.cores,
                  "smallestFitting returned an undersized class");
-      const VmId fresh = cloud_->acquire(target_cls, now);
+      // Repacking is an optimization: if the provider rejects the smaller
+      // VM, keep the current (pricier but working) layout.
+      const AcquisitionResult fresh = cloud_->tryAcquire(target_cls, now);
+      if (!fresh.ok()) continue;
       for (int c = 0; c < needed_cores; ++c) {
-        cloud_->instance(fresh).allocateCore(pe);
+        cloud_->instance(fresh.vm).allocateCore(pe);
       }
       cloud_->instance(vc.vm).releaseAllCoresOf(pe);
       break;  // this PE's layout changed; re-visit others first

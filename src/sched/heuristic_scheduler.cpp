@@ -34,6 +34,11 @@ HeuristicScheduler::HeuristicScheduler(SchedulerEnv env, Strategy strategy,
               "alternate period must be at least one interval");
   DDS_REQUIRE(options_.resource_period >= 1,
               "resource period must be at least one interval");
+  allocator_.setResilience(options_.resilience);
+  if (options_.resilience.quarantineEnabled()) {
+    guard_ = std::make_unique<StragglerGuard>(*env_.cloud, *env_.monitor,
+                                              options_.resilience);
+  }
 }
 
 std::string HeuristicScheduler::name() const {
@@ -79,9 +84,25 @@ Deployment HeuristicScheduler::deploy(double estimated_input_rate) {
 std::vector<MigrationEvent> HeuristicScheduler::adapt(
     const ObservedState& state, Deployment& deployment) {
   if (!options_.adaptive || state.interval == 0) return {};
-  if (options_.use_dynamism &&
-      state.interval % options_.alternate_period == 0) {
+  const bool alternate_ran =
+      options_.use_dynamism &&
+      state.interval % options_.alternate_period == 0;
+  if (alternate_ran) {
     alternatePhase(state, deployment);
+  }
+  // Graceful degradation: the constraint is breached and replacement
+  // capacity is still on order (provisioning, or acquisitions backing
+  // off). Waiting for the alternate cadence would spend whole intervals
+  // below Omega-hat, so run the selection phase off-cadence now — its
+  // underprovisioned branch downgrades alternates, restoring throughput
+  // with the capacity actually on hand.
+  const double omega_t =
+      state.last_interval != nullptr ? state.last_interval->omega : 1.0;
+  if (!alternate_ran && options_.resilience.graceful_degradation &&
+      options_.use_dynamism && omega_t < env_.omega_target &&
+      capacityPending(state.now)) {
+    alternatePhase(state, deployment);
+    ++graceful_degradations_;
   }
   if (state.interval % options_.resource_period == 0) {
     return resourcePhase(state, deployment);
@@ -89,13 +110,41 @@ std::vector<MigrationEvent> HeuristicScheduler::adapt(
   return {};
 }
 
+SchedulerTelemetry HeuristicScheduler::telemetry() const {
+  SchedulerTelemetry t;
+  t.stragglers_quarantined =
+      guard_ != nullptr ? guard_->quarantineCount() : 0;
+  t.graceful_degradations = graceful_degradations_;
+  t.acquisition_rejections = allocator_.acquisitionRejections();
+  return t;
+}
+
+bool HeuristicScheduler::capacityPending(SimTime now) const {
+  if (allocator_.acquisitionBackoffActive(now)) return true;
+  for (const VmId id : env_.cloud->activeVms()) {
+    if (!env_.cloud->instance(id).isReady(now)) return true;
+  }
+  return false;
+}
+
 CorePowerFn HeuristicScheduler::runtimePowerFn(SimTime now) const {
+  CorePowerFn inner;
   if (env_.probes != nullptr && env_.probes->probeCount() > 0) {
-    return [probes = env_.probes](VmId vm) {
+    inner = [probes = env_.probes](VmId vm) {
       return probes->smoothedCorePower(vm);
     };
+  } else {
+    inner = observedCorePowerFn(*env_.monitor, now);
   }
-  return observedCorePowerFn(*env_.monitor, now);
+  // A VM still provisioning observes zero power, but it is capacity on
+  // order, not dead weight: planning it at zero would make every scale-out
+  // buy yet more replacements for VMs that are about to come online. Plan
+  // it at rated power until it is ready.
+  return [inner = std::move(inner), cloud = env_.cloud, now](VmId vm) {
+    const VmInstance& inst = cloud->instance(vm);
+    if (!inst.isReady(now)) return inst.spec().core_speed;
+    return inner(vm);
+  };
 }
 
 std::vector<double> HeuristicScheduler::measuredArrivals(
@@ -195,6 +244,46 @@ void HeuristicScheduler::alternatePhase(const ObservedState& state,
   }
 }
 
+void HeuristicScheduler::quarantineStragglers(
+    const ObservedState& state, const Deployment& deployment,
+    std::vector<MigrationEvent>& migrations) {
+  if (guard_ == nullptr) return;
+  const auto quarantined = guard_->probe(state.now);
+  if (quarantined.empty()) return;
+
+  for (const VmId id : quarantined) {
+    VmInstance& vm = env_.cloud->instance(id);
+    // Evacuate. Unlike a crash, quarantine is graceful: each hosted PE's
+    // share of buffered messages migrates over the network rather than
+    // being lost.
+    std::vector<PeId> owners;
+    for (int c = 0; c < vm.coreCount(); ++c) {
+      const auto owner = vm.coreOwner(c);
+      if (owner.has_value() &&
+          std::find(owners.begin(), owners.end(), *owner) == owners.end()) {
+        owners.push_back(*owner);
+      }
+    }
+    for (const PeId pe : owners) {
+      const int on_vm = vm.coresOwnedBy(pe);
+      const int total = totalCores(*env_.cloud, pe);
+      vm.releaseAllCoresOf(pe);
+      migrations.push_back(
+          {pe, static_cast<double>(on_vm) / static_cast<double>(total)});
+    }
+    env_.cloud->release(id, state.now);
+  }
+
+  // Replace the evacuated capacity right away instead of waiting for the
+  // omega average to sag: re-place any PE left without a core, then scale
+  // back out to the constraint. (VMs the guard blacklisted are gone from
+  // the active set, so the allocator cannot land cores back on them.)
+  const CorePowerFn power = runtimePowerFn(state.now);
+  allocator_.ensureMinimumCores(state.now);
+  allocator_.scaleOut(deployment, state.input_rate, power, state.now,
+                      strategy_);
+}
+
 std::vector<MigrationEvent> HeuristicScheduler::resourcePhase(
     const ObservedState& state, Deployment& deployment) {
   const double omega_hat = env_.omega_target;
@@ -203,6 +292,9 @@ std::vector<MigrationEvent> HeuristicScheduler::resourcePhase(
   const double omega_t =
       state.last_interval != nullptr ? state.last_interval->omega : 1.0;
   const CorePowerFn power = runtimePowerFn(state.now);
+
+  std::vector<MigrationEvent> migrations;
+  quarantineStragglers(state, deployment, migrations);
 
   // Local decisions are based on per-PE measurements only (one interval
   // stale for anything an upstream change is about to cause).
@@ -213,7 +305,6 @@ std::vector<MigrationEvent> HeuristicScheduler::resourcePhase(
     measured_ptr = &measured;
   }
 
-  std::vector<MigrationEvent> migrations;
   // Latency SLA (optional): a queue that would take longer than the SLA
   // to drain is a breach even while Omega looks healthy (draining clamps
   // the throughput ratio at 1). Size capacity to drain within the SLA.
@@ -255,9 +346,10 @@ std::vector<MigrationEvent> HeuristicScheduler::resourcePhase(
     // that were just added to drain a queue would ping-pong forever)
     // Over-provisioned: shed cores while the projection stays safely above
     // the constraint (half the tolerance is kept as hysteresis margin).
-    migrations = allocator_.scaleIn(deployment, state.input_rate, power,
-                                    strategy_, omega_hat + 0.5 * epsilon,
-                                    measured_ptr);
+    auto shed = allocator_.scaleIn(deployment, state.input_rate, power,
+                                   strategy_, omega_hat + 0.5 * epsilon,
+                                   measured_ptr);
+    migrations.insert(migrations.end(), shed.begin(), shed.end());
   }
 
   // The local strategy acts on local knowledge and releases an empty VM as

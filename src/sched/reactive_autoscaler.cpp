@@ -55,10 +55,13 @@ std::vector<MigrationEvent> ReactiveAutoscaler::adapt(
           goto next_pe;  // grew on an existing VM
         }
       }
-      env_.cloud
-          ->instance(env_.cloud->acquire(env_.cloud->catalog().largest(),
-                                         state.now))
-          .allocateCore(pe);
+      // Naive baseline: one shot, no retry or fallback — a rejected
+      // acquisition just leaves the backlog to trigger again next interval.
+      if (const auto got = env_.cloud->tryAcquire(
+              env_.cloud->catalog().largest(), state.now);
+          got.ok()) {
+        env_.cloud->instance(got.vm).allocateCore(pe);
+      }
     } else if (backlog_per_core < options_.backlog_lo_per_core &&
                st.relative_throughput >= 1.0 - 1e-9) {
       if (++idle_streak_[pe.value()] >= options_.cooldown_intervals &&

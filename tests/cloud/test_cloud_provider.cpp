@@ -139,5 +139,74 @@ TEST_P(BillingMonotoneTest, CostIsMonotoneInTime) {
 INSTANTIATE_TEST_SUITE_P(StartTimes, BillingMonotoneTest,
                          ::testing::Values(0.0, 59.0, 3600.0, 7777.0));
 
+/// Test acquisition-fault model: rejects a fixed set of attempt indices
+/// and imposes a fixed provisioning delay.
+class ScriptedAcquisitionFaults final : public AcquisitionFaultModel {
+ public:
+  ScriptedAcquisitionFaults(std::uint64_t reject_below, SimTime delay)
+      : reject_below_(reject_below), delay_(delay) {}
+
+  [[nodiscard]] bool acquisitionRejected(
+      std::uint64_t attempt) const override {
+    return attempt < reject_below_;
+  }
+  [[nodiscard]] SimTime provisioningDelay(VmId) const override {
+    return delay_;
+  }
+
+ private:
+  std::uint64_t reject_below_;
+  SimTime delay_;
+};
+
+TEST(TryAcquire, WithoutFaultModelDeliversInstantly) {
+  auto cloud = makeCloud();
+  const auto got = cloud.tryAcquire(ResourceClassId(0), 100.0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got.ready_time, 100.0);
+  EXPECT_TRUE(cloud.instance(got.vm).isReady(100.0));
+  EXPECT_EQ(cloud.rejectedAcquisitions(), 0u);
+}
+
+TEST(TryAcquire, RejectionLeavesNoInstanceBehind) {
+  auto cloud = makeCloud();
+  const ScriptedAcquisitionFaults faults(/*reject_below=*/2, 0.0);
+  cloud.setAcquisitionFaults(&faults);
+  EXPECT_FALSE(cloud.tryAcquire(ResourceClassId(0), 0.0).ok());
+  EXPECT_FALSE(cloud.tryAcquire(ResourceClassId(0), 0.0).ok());
+  EXPECT_EQ(cloud.instanceCount(), 0u);
+  EXPECT_EQ(cloud.rejectedAcquisitions(), 2u);
+  // Attempt indices are global and monotone: the third succeeds.
+  EXPECT_TRUE(cloud.tryAcquire(ResourceClassId(0), 0.0).ok());
+  EXPECT_EQ(cloud.instanceCount(), 1u);
+}
+
+TEST(TryAcquire, ProvisioningDelaySetsReadyTimeButBillsFromStart) {
+  auto cloud = makeCloud();
+  const ScriptedAcquisitionFaults faults(0, /*delay=*/300.0);
+  cloud.setAcquisitionFaults(&faults);
+  const auto got = cloud.tryAcquire(ResourceClassId(0), 100.0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got.ready_time, 400.0);
+  const auto& vm = cloud.instance(got.vm);
+  EXPECT_DOUBLE_EQ(vm.readyTime(), 400.0);
+  EXPECT_FALSE(vm.isReady(399.0));
+  EXPECT_TRUE(vm.isReady(400.0));
+  // The clock (and the bill) started at acquisition, not readiness.
+  EXPECT_DOUBLE_EQ(vm.startTime(), 100.0);
+  EXPECT_GT(cloud.instanceCost(got.vm, 200.0), 0.0);
+}
+
+TEST(TryAcquire, PlainAcquireIsUnaffectedByTheFaultModel) {
+  auto cloud = makeCloud();
+  const ScriptedAcquisitionFaults faults(~0ull, 300.0);
+  cloud.setAcquisitionFaults(&faults);
+  // Direct acquire bypasses the control plane's rejections (used by the
+  // idealized planners); the VM is ready immediately.
+  const VmId id = cloud.acquire(ResourceClassId(0), 50.0);
+  EXPECT_TRUE(cloud.instance(id).isReady(50.0));
+  EXPECT_EQ(cloud.rejectedAcquisitions(), 0u);
+}
+
 }  // namespace
 }  // namespace dds

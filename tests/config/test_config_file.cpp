@@ -136,6 +136,75 @@ TEST(ExperimentFromConfig, ValidatesResultingConfig) {
                PreconditionError);
 }
 
+TEST(ExperimentFromConfig, UserMistakesThrowConfigError) {
+  // All user-facing mistakes surface as ConfigError (a PreconditionError
+  // carrying a clean one-line message for the CLI).
+  EXPECT_THROW(
+      (void)experimentFromConfig(KeyValueConfig::parse("no_such_key = 1\n")),
+      ConfigError);
+  EXPECT_THROW((void)experimentFromConfig(
+                   KeyValueConfig::parse("mean_rate = fast\n")),
+               ConfigError);
+  EXPECT_THROW(
+      (void)experimentFromConfig(KeyValueConfig::parse("seed = 4.5\n")),
+      ConfigError);
+  EXPECT_THROW((void)experimentFromConfig(KeyValueConfig::parse(
+                   "graceful_degradation = maybe\n")),
+               ConfigError);
+  try {
+    (void)experimentFromConfig(KeyValueConfig::parse("no_such_key = 1\n"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown config key: 'no_such_key'"),
+              std::string::npos)
+        << what;
+    // No source-location noise in the user-facing message.
+    EXPECT_EQ(what.find(".cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(ExperimentFromConfig, ParsesFaultAndResilienceKeys) {
+  const auto ex = experimentFromConfig(KeyValueConfig::parse(
+      "vm_mtbf_h = 2.5\n"
+      "straggler_mtbf_h = 1.5\n"
+      "straggler_factor = 0.25\n"
+      "straggler_duration_s = 450\n"
+      "acq_failure_prob = 0.1\n"
+      "provisioning_delay_s = 75\n"
+      "partition_mtbf_h = 3\n"
+      "partition_duration_s = 90\n"
+      "quarantine_threshold = 0.55\n"
+      "quarantine_probes = 4\n"
+      "acq_max_retries = 2\n"
+      "acq_backoff_s = 45\n"
+      "graceful_degradation = true\n"));
+  const auto& cfg = ex.config;
+  EXPECT_DOUBLE_EQ(cfg.vm_mtbf_hours, 2.5);
+  EXPECT_DOUBLE_EQ(cfg.straggler_mtbf_hours, 1.5);
+  EXPECT_DOUBLE_EQ(cfg.straggler_factor, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.straggler_duration_s, 450.0);
+  EXPECT_DOUBLE_EQ(cfg.acquisition_failure_prob, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.provisioning_delay_s, 75.0);
+  EXPECT_DOUBLE_EQ(cfg.partition_mtbf_hours, 3.0);
+  EXPECT_DOUBLE_EQ(cfg.partition_duration_s, 90.0);
+  EXPECT_DOUBLE_EQ(cfg.straggler_quarantine_threshold, 0.55);
+  EXPECT_EQ(cfg.straggler_quarantine_probes, 4);
+  EXPECT_EQ(cfg.acquisition_max_retries, 2);
+  EXPECT_DOUBLE_EQ(cfg.acquisition_backoff_s, 45.0);
+  EXPECT_TRUE(cfg.graceful_degradation);
+}
+
+TEST(ExperimentFromConfig, RejectsInvalidFaultKnobValues) {
+  EXPECT_THROW((void)experimentFromConfig(
+                   KeyValueConfig::parse("straggler_mtbf_h = 1\n"
+                                         "straggler_factor = 1.5\n")),
+               PreconditionError);
+  EXPECT_THROW((void)experimentFromConfig(
+                   KeyValueConfig::parse("acq_failure_prob = 1.0\n")),
+               PreconditionError);
+}
+
 TEST(ExperimentFromConfig, ShippedExampleConfParses) {
   // Keep tools/example.conf working as documentation.
   const auto path = std::filesystem::path(__FILE__)

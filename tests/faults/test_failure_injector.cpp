@@ -50,6 +50,25 @@ TEST(FailureInjector, LifetimesAreExponentialWithMtbfMean) {
   EXPECT_NEAR(lifetimes.stddev(), 5.0, 0.5);
 }
 
+TEST(FailureInjector, DeathTimeIsIndependentOfQueryOrder) {
+  FaultConfig cfg;
+  cfg.vm_mtbf_hours = 7.0;
+  cfg.seed = 21;
+  const FailureInjector forward(cfg), backward(cfg);
+  std::vector<SimTime> expected;
+  for (std::uint32_t v = 0; v < 20; ++v) {
+    expected.push_back(forward.deathTime(VmId(v), 10.0 * v));
+  }
+  // A second injector queried in reverse (and twice over) agrees exactly:
+  // the draw is a pure function of (seed, vm, t_start).
+  for (std::uint32_t v = 20; v-- > 0;) {
+    (void)backward.deathTime(VmId(v), 10.0 * v);
+  }
+  for (std::uint32_t v = 0; v < 20; ++v) {
+    EXPECT_DOUBLE_EQ(backward.deathTime(VmId(v), 10.0 * v), expected[v]);
+  }
+}
+
 TEST(FailureInjector, DeathTimeShiftsWithStart) {
   FaultConfig cfg;
   cfg.vm_mtbf_hours = 5.0;

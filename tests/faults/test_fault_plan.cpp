@@ -1,0 +1,309 @@
+#include "dds/faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dds/common/stats.hpp"
+#include "dds/core/engine.hpp"
+#include "dds/dataflow/standard_graphs.hpp"
+
+namespace dds {
+namespace {
+
+FaultPlanConfig allFamiliesConfig(std::uint64_t seed = 11) {
+  FaultPlanConfig cfg;
+  cfg.seed = seed;
+  cfg.vm_mtbf_hours = 4.0;
+  cfg.straggler_mtbf_hours = 1.0;
+  cfg.straggler_factor = 0.3;
+  cfg.straggler_duration_s = 600.0;
+  cfg.acquisition_failure_prob = 0.25;
+  cfg.provisioning_delay_s = 120.0;
+  cfg.partition_mtbf_hours = 2.0;
+  cfg.partition_duration_s = 120.0;
+  return cfg;
+}
+
+TEST(FaultPlanConfig, EnablementPredicates) {
+  FaultPlanConfig off;
+  EXPECT_FALSE(off.anyEnabled());
+  EXPECT_TRUE(allFamiliesConfig().anyEnabled());
+  EXPECT_TRUE(allFamiliesConfig().crashesEnabled());
+  EXPECT_TRUE(allFamiliesConfig().stragglersEnabled());
+  EXPECT_TRUE(allFamiliesConfig().acquisitionFaultsEnabled());
+  EXPECT_TRUE(allFamiliesConfig().partitionsEnabled());
+}
+
+TEST(FaultPlanConfig, ValidateRejectsBadKnobs) {
+  {
+    auto cfg = allFamiliesConfig();
+    cfg.straggler_factor = 1.0;  // a "straggler" at full speed is not one
+    EXPECT_THROW(cfg.validate(), PreconditionError);
+  }
+  {
+    auto cfg = allFamiliesConfig();
+    cfg.acquisition_failure_prob = 1.0;  // would deadlock every scheduler
+    EXPECT_THROW(cfg.validate(), PreconditionError);
+  }
+  {
+    auto cfg = allFamiliesConfig();
+    cfg.straggler_duration_s = 0.0;
+    EXPECT_THROW(cfg.validate(), PreconditionError);
+  }
+  {
+    auto cfg = allFamiliesConfig();
+    cfg.partition_duration_s = -1.0;
+    EXPECT_THROW(cfg.validate(), PreconditionError);
+  }
+}
+
+TEST(FaultPlan, DeathTimeMatchesGeneralizedInjector) {
+  const auto cfg = allFamiliesConfig();
+  const FaultPlan plan(cfg);
+  const FailureInjector injector(FaultConfig{cfg.vm_mtbf_hours, cfg.seed});
+  for (std::uint32_t v = 0; v < 16; ++v) {
+    EXPECT_DOUBLE_EQ(plan.deathTime(VmId(v), 50.0),
+                     injector.deathTime(VmId(v), 50.0));
+  }
+}
+
+// The property the whole design hangs on: every answer is a pure function
+// of (seed, entity, time) — the order and number of queries is irrelevant.
+TEST(FaultPlan, StragglerAnswersAreQueryOrderIndependent) {
+  const FaultPlan a(allFamiliesConfig());
+  const FaultPlan b(allFamiliesConfig());
+
+  std::vector<SimTime> times;
+  for (int i = 0; i < 200; ++i) times.push_back(37.0 * i);
+
+  // `a` is queried forward, `b` backward and twice over; answers and the
+  // derived cpu factors must agree exactly.
+  std::vector<bool> forward;
+  forward.reserve(times.size());
+  for (const SimTime t : times) {
+    forward.push_back(a.isStraggling(VmId(3), 0.0, t));
+  }
+  for (auto it = times.rbegin(); it != times.rend(); ++it) {
+    (void)b.isStraggling(VmId(3), 0.0, *it);  // warm-up pass, reversed
+  }
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(b.isStraggling(VmId(3), 0.0, times[i]), forward[i]) << i;
+    EXPECT_DOUBLE_EQ(b.cpuFactor(VmId(3), 0.0, times[i]),
+                     forward[i] ? 0.3 : 1.0);
+  }
+}
+
+TEST(FaultPlan, StragglerEpisodesAreRelativeToVmStart) {
+  const FaultPlan plan(allFamiliesConfig());
+  // A VM started at T sees the same episode timeline, shifted by T.
+  for (int i = 0; i < 500; ++i) {
+    const SimTime rel = 61.0 * i;
+    EXPECT_EQ(plan.isStraggling(VmId(5), 0.0, rel),
+              plan.isStraggling(VmId(5), 1234.0, 1234.0 + rel));
+  }
+}
+
+TEST(FaultPlan, StragglerDutyCycleTracksMtbfAndDuration) {
+  auto cfg = allFamiliesConfig();
+  cfg.straggler_mtbf_hours = 0.5;    // 1800 s mean gap
+  cfg.straggler_duration_s = 600.0;  // expected duty ~ 600/2400 = 0.25
+  const FaultPlan plan(cfg);
+  int straggling = 0;
+  int samples = 0;
+  for (std::uint32_t v = 0; v < 64; ++v) {
+    for (int i = 0; i < 200; ++i) {
+      straggling += plan.isStraggling(VmId(v), 0.0, 60.0 * i) ? 1 : 0;
+      ++samples;
+    }
+  }
+  const double duty =
+      static_cast<double>(straggling) / static_cast<double>(samples);
+  EXPECT_NEAR(duty, 0.25, 0.05);
+}
+
+TEST(FaultPlan, PartitionsAreSymmetricAndIrreflexive) {
+  const FaultPlan plan(allFamiliesConfig());
+  for (int i = 0; i < 300; ++i) {
+    const SimTime t = 97.0 * i;
+    EXPECT_EQ(plan.linkPartitioned(VmId(1), VmId(7), t),
+              plan.linkPartitioned(VmId(7), VmId(1), t));
+    EXPECT_FALSE(plan.linkPartitioned(VmId(4), VmId(4), t));
+  }
+}
+
+TEST(FaultPlan, PartitionsHitSomePairsWithinHorizon) {
+  auto cfg = allFamiliesConfig();
+  cfg.partition_mtbf_hours = 0.25;
+  const FaultPlan plan(cfg);
+  int hits = 0;
+  for (std::uint32_t a = 0; a < 6; ++a) {
+    for (std::uint32_t b = a + 1; b < 6; ++b) {
+      for (int i = 0; i < 240; ++i) {
+        if (plan.linkPartitioned(VmId(a), VmId(b), 30.0 * i)) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(hits, 0);
+}
+
+TEST(FaultPlan, AcquisitionRejectionRateMatchesProbability) {
+  const FaultPlan plan(allFamiliesConfig());
+  int rejected = 0;
+  constexpr int kAttempts = 20000;
+  for (std::uint64_t n = 0; n < kAttempts; ++n) {
+    rejected += plan.acquisitionRejected(n) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(rejected) / kAttempts, 0.25, 0.02);
+  // And the per-attempt verdict is stable on re-query.
+  for (std::uint64_t n = 0; n < 100; ++n) {
+    EXPECT_EQ(plan.acquisitionRejected(n), plan.acquisitionRejected(n));
+  }
+}
+
+TEST(FaultPlan, ProvisioningDelayIsExponentialPerVm) {
+  const FaultPlan plan(allFamiliesConfig());
+  RunningStats delays;
+  for (std::uint32_t v = 0; v < 5000; ++v) {
+    const SimTime d = plan.provisioningDelay(VmId(v));
+    EXPECT_GE(d, 0.0);
+    EXPECT_DOUBLE_EQ(d, plan.provisioningDelay(VmId(v)));  // pure
+    delays.add(d);
+  }
+  EXPECT_NEAR(delays.mean(), 120.0, 10.0);
+  EXPECT_NEAR(delays.stddev(), 120.0, 15.0);
+}
+
+TEST(FaultPlan, DisabledFamiliesAreInert) {
+  FaultPlanConfig cfg;  // everything off
+  const FaultPlan plan(cfg);
+  EXPECT_FALSE(plan.perturbsPerformance());
+  EXPECT_FALSE(plan.perturbsAcquisition());
+  EXPECT_DOUBLE_EQ(plan.cpuFactor(VmId(0), 0.0, 1e6), 1.0);
+  EXPECT_FALSE(plan.linkPartitioned(VmId(0), VmId(1), 1e6));
+  EXPECT_FALSE(plan.acquisitionRejected(0));
+  EXPECT_DOUBLE_EQ(plan.provisioningDelay(VmId(0)), 0.0);
+}
+
+TEST(FaultPlan, InjectUpToIsIdempotentAtTheSameTime) {
+  const FaultPlan plan(allFamiliesConfig());
+  CloudProvider cloud(awsCatalog2013());
+  for (int i = 0; i < 8; ++i) {
+    (void)cloud.acquire(ResourceClassId(0), 0.0);
+  }
+  const SimTime horizon = 50.0 * kSecondsPerHour;
+  const auto first = plan.injectUpTo(cloud, horizon);
+  EXPECT_FALSE(first.empty());  // at mtbf 4 h nearly every VM dies by 50 h
+  // Crashed VMs left the active set: the same call reports nothing new.
+  EXPECT_TRUE(plan.injectUpTo(cloud, horizon).empty());
+}
+
+// -- end-to-end determinism and recovery behaviour --
+
+ExperimentConfig turbulentExperiment() {
+  ExperimentConfig cfg;
+  cfg.horizon_s = 2.0 * kSecondsPerHour;
+  cfg.mean_rate = 10.0;
+  cfg.seed = 77;
+  cfg.vm_mtbf_hours = 3.0;
+  cfg.straggler_mtbf_hours = 1.0;
+  cfg.straggler_factor = 0.3;
+  cfg.straggler_duration_s = 600.0;
+  cfg.acquisition_failure_prob = 0.2;
+  cfg.provisioning_delay_s = 90.0;
+  cfg.straggler_quarantine_threshold = 0.5;
+  cfg.graceful_degradation = true;
+  return cfg;
+}
+
+TEST(FaultPlanEndToEnd, SameSeedYieldsIdenticalResults) {
+  const Dataflow df = makePaperDataflow();
+  const auto cfg = turbulentExperiment();
+  const auto r1 = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
+  const auto r2 = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
+
+  EXPECT_EQ(r1.vm_failures, r2.vm_failures);
+  EXPECT_DOUBLE_EQ(r1.messages_lost, r2.messages_lost);
+  EXPECT_DOUBLE_EQ(r1.total_cost, r2.total_cost);
+  EXPECT_DOUBLE_EQ(r1.theta, r2.theta);
+  EXPECT_EQ(r1.acquisition_rejections, r2.acquisition_rejections);
+  EXPECT_EQ(r1.resilience.stragglers_quarantined,
+            r2.resilience.stragglers_quarantined);
+  EXPECT_EQ(r1.resilience.graceful_degradations,
+            r2.resilience.graceful_degradations);
+  ASSERT_EQ(r1.run.intervals().size(), r2.run.intervals().size());
+  for (std::size_t i = 0; i < r1.run.intervals().size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.run.intervals()[i].omega,
+                     r2.run.intervals()[i].omega)
+        << "interval " << i;
+    EXPECT_DOUBLE_EQ(r1.run.intervals()[i].cost_cumulative,
+                     r2.run.intervals()[i].cost_cumulative)
+        << "interval " << i;
+  }
+}
+
+TEST(FaultPlanEndToEnd, DifferentSeedsYieldDifferentFaultTimelines) {
+  const Dataflow df = makePaperDataflow();
+  auto cfg = turbulentExperiment();
+  const auto r1 = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
+  cfg.seed = 78;
+  const auto r2 = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
+  bool differs = r1.vm_failures != r2.vm_failures ||
+                 r1.acquisition_rejections != r2.acquisition_rejections ||
+                 std::abs(r1.average_omega - r2.average_omega) > 1e-12;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlanEndToEnd, AdaptivePoliciesRecoverStaticsDoNot) {
+  const Dataflow df = makePaperDataflow();
+  auto cfg = turbulentExperiment();
+  cfg.horizon_s = 4.0 * kSecondsPerHour;
+
+  const auto global =
+      SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
+  const auto local =
+      SimulationEngine(df, cfg).run(SchedulerKind::LocalAdaptive);
+  const auto fixed =
+      SimulationEngine(df, cfg).run(SchedulerKind::GlobalStatic);
+
+  // The adaptive policies keep answering faults: constraint violations
+  // stay bounded episodes, and overall availability stays high.
+  for (const auto* r : {&global, &local}) {
+    EXPECT_GE(r->average_omega, 0.6) << r->scheduler_name;
+    EXPECT_GE(r->recovery.availability, 0.5) << r->scheduler_name;
+    EXPECT_EQ(r->recovery.unrecovered_episodes, 0) << r->scheduler_name;
+  }
+  // The static deployment cannot replace lost capacity: by the horizon it
+  // sits in an open violation episode with far worse availability.
+  EXPECT_GT(fixed.recovery.unrecovered_episodes, 0);
+  EXPECT_LT(fixed.recovery.availability, global.recovery.availability);
+  EXPECT_LT(fixed.run.intervals().back().omega,
+            global.run.intervals().back().omega);
+}
+
+TEST(FaultPlanEndToEnd, CleanRunReportsFullAvailability) {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg;
+  cfg.horizon_s = 30.0 * kSecondsPerMinute;
+  cfg.mean_rate = 5.0;
+  const auto r = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
+  EXPECT_EQ(r.recovery.violation_episodes, 0);
+  EXPECT_DOUBLE_EQ(r.recovery.availability, 1.0);
+  EXPECT_DOUBLE_EQ(r.recovery.mttr_s, 0.0);
+  EXPECT_EQ(r.acquisition_rejections, 0);
+  EXPECT_EQ(r.resilience.stragglers_quarantined, 0);
+}
+
+TEST(FaultPlanEndToEnd, FaultFamiliesRequireFluidBackend) {
+  const Dataflow df = makePaperDataflow();
+  auto cfg = turbulentExperiment();
+  cfg.backend = SimBackend::Event;
+  EXPECT_THROW(SimulationEngine(df, cfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dds

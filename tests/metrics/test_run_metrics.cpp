@@ -89,6 +89,51 @@ TEST(EvaluationAcceptableCost, RejectsBadInput) {
   EXPECT_THROW((void)evaluationAcceptableCost(5.0, 0.0), PreconditionError);
 }
 
+RunResult omegaSeries(std::initializer_list<double> omegas) {
+  RunResult r;
+  IntervalIndex i = 0;
+  for (const double w : omegas) r.add(interval(i++, w, w, 0.0));
+  return r;
+}
+
+TEST(RecoveryStats, CleanRunHasNoEpisodes) {
+  const auto s =
+      computeRecoveryStats(omegaSeries({0.9, 0.8, 1.0}), 0.7, 60.0);
+  EXPECT_EQ(s.violation_episodes, 0);
+  EXPECT_EQ(s.unrecovered_episodes, 0);
+  EXPECT_DOUBLE_EQ(s.mttr_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.longest_episode_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.availability, 1.0);
+}
+
+TEST(RecoveryStats, CountsMaximalViolationRuns) {
+  // Two episodes: lengths 2 and 1 (recovered), availability 5/8.
+  const auto s = computeRecoveryStats(
+      omegaSeries({0.9, 0.5, 0.6, 0.8, 0.9, 0.3, 0.8, 0.9}), 0.7, 60.0);
+  EXPECT_EQ(s.violation_episodes, 2);
+  EXPECT_EQ(s.unrecovered_episodes, 0);
+  EXPECT_DOUBLE_EQ(s.mttr_s, (2.0 + 1.0) / 2.0 * 60.0);
+  EXPECT_DOUBLE_EQ(s.longest_episode_s, 2.0 * 60.0);
+  EXPECT_DOUBLE_EQ(s.availability, 5.0 / 8.0);
+}
+
+TEST(RecoveryStats, OpenEpisodeAtHorizonCountsAsUnrecovered) {
+  const auto s =
+      computeRecoveryStats(omegaSeries({0.9, 0.9, 0.4, 0.4}), 0.7, 60.0);
+  EXPECT_EQ(s.violation_episodes, 1);
+  EXPECT_EQ(s.unrecovered_episodes, 1);
+  // MTTR averages recovered episodes only — none here.
+  EXPECT_DOUBLE_EQ(s.mttr_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.longest_episode_s, 2.0 * 60.0);
+  EXPECT_DOUBLE_EQ(s.availability, 0.5);
+}
+
+TEST(RecoveryStats, EmptyRunIsFullyAvailable) {
+  const auto s = computeRecoveryStats(RunResult{}, 0.7, 60.0);
+  EXPECT_EQ(s.violation_episodes, 0);
+  EXPECT_DOUBLE_EQ(s.availability, 1.0);
+}
+
 class ThetaMonotonicityTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(ThetaMonotonicityTest, ThetaDecreasesWithSigma) {

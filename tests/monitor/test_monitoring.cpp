@@ -80,5 +80,72 @@ TEST(Monitoring, LatencyUsesBaseTimesCoefficient) {
                    MonitoringService::kBaseLatencyMs * 3.0);
 }
 
+/// Perf-fault stub: VM 0 runs at 40% from t >= 100; the link (0, 1) is
+/// partitioned on 200 <= t < 300.
+class StubFaults final : public PerfFaultModel {
+ public:
+  [[nodiscard]] double cpuFactor(VmId vm, SimTime,
+                                 SimTime t) const override {
+    return vm == VmId(0) && t >= 100.0 ? 0.4 : 1.0;
+  }
+  [[nodiscard]] bool linkPartitioned(VmId a, VmId b,
+                                     SimTime t) const override {
+    const bool pair = (a == VmId(0) && b == VmId(1)) ||
+                      (a == VmId(1) && b == VmId(0));
+    return pair && t >= 200.0 && t < 300.0;
+  }
+};
+
+TEST(Monitoring, StragglerFactorScalesObservedPower) {
+  Fixture f;
+  const StubFaults faults;
+  MonitoringService mon(f.cloud, f.ideal, nullptr, &faults);
+  const VmId vm = f.cloud.acquire(f.cloud.catalog().byName("m1.medium"), 0.0);
+  EXPECT_DOUBLE_EQ(mon.observedCorePower(vm, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(mon.observedCorePower(vm, 150.0), 2.0 * 0.4);
+}
+
+TEST(Monitoring, PartitionZeroesBandwidthAndCeilsLatency) {
+  Fixture f;
+  const StubFaults faults;
+  MonitoringService mon(f.cloud, f.ideal, nullptr, &faults);
+  const VmId a = f.cloud.acquire(ResourceClassId(0), 0.0);
+  const VmId b = f.cloud.acquire(ResourceClassId(0), 0.0);
+
+  EXPECT_FALSE(mon.linkPartitioned(a, b, 150.0));
+  EXPECT_DOUBLE_EQ(mon.observedBandwidthMbps(a, b, 150.0), 100.0);
+
+  EXPECT_TRUE(mon.linkPartitioned(a, b, 250.0));
+  EXPECT_DOUBLE_EQ(mon.observedBandwidthMbps(a, b, 250.0), 0.0);
+  EXPECT_DOUBLE_EQ(mon.observedLatencyMs(a, b, 250.0),
+                   MonitoringService::kPartitionLatencyMs);
+  // Colocated traffic never partitions.
+  EXPECT_FALSE(mon.linkPartitioned(a, a, 250.0));
+  EXPECT_DOUBLE_EQ(mon.observedLatencyMs(a, a, 250.0), 0.0);
+
+  EXPECT_FALSE(mon.linkPartitioned(a, b, 350.0));
+  EXPECT_DOUBLE_EQ(mon.observedBandwidthMbps(a, b, 350.0), 100.0);
+}
+
+TEST(Monitoring, ProvisioningVmObservesZeroPowerUntilReady) {
+  Fixture f;
+  class Delay final : public AcquisitionFaultModel {
+   public:
+    [[nodiscard]] bool acquisitionRejected(std::uint64_t) const override {
+      return false;
+    }
+    [[nodiscard]] SimTime provisioningDelay(VmId) const override {
+      return 250.0;
+    }
+  };
+  const Delay delay;
+  f.cloud.setAcquisitionFaults(&delay);
+  MonitoringService mon(f.cloud, f.ideal);
+  const auto got = f.cloud.tryAcquire(ResourceClassId(0), 0.0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(mon.observedCorePower(got.vm, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(mon.observedCorePower(got.vm, 250.0), 1.0);
+}
+
 }  // namespace
 }  // namespace dds

@@ -57,8 +57,18 @@ int main(int argc, char** argv) {
     }
     std::cout << dds::summaryTable(results).render();
     return 0;
-  } catch (const std::exception& e) {
+  } catch (const dds::ConfigError& e) {
+    // A user mistake in the config file: one clean line, no source noise.
+    std::cerr << "ddsim: config error: " << e.what() << '\n';
+    return 1;
+  } catch (const dds::IoError& e) {
     std::cerr << "ddsim: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "ddsim: error: " << e.what() << '\n';
+    return 1;
+  } catch (...) {
+    std::cerr << "ddsim: unknown error\n";
     return 1;
   }
 }
