@@ -27,9 +27,9 @@ ExperimentResult runWith(const Dataflow& df, HeuristicOptions opts,
   // HeuristicOptions, which the engine does not expose.
   ExperimentConfig cfg;
   cfg.horizon_s = 4.0 * kSecondsPerHour;
-  cfg.mean_rate = rate;
-  cfg.profile = ProfileKind::PeriodicWave;
-  cfg.infra_variability = true;
+  cfg.workload.mean_rate = rate;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
   cfg.seed = 2013;
   cfg.alternate_period = alternate_period;
   cfg.resource_period = resource_period;
@@ -56,7 +56,7 @@ ExperimentResult runWith(const Dataflow& df, HeuristicOptions opts,
   HeuristicScheduler scheduler(env, Strategy::Global, opts);
 
   const auto profile =
-      makeProfile(cfg.profile, cfg.mean_rate, cfg.horizon_s,
+      makeProfile(cfg.workload.profile, cfg.workload.mean_rate, cfg.horizon_s,
                   cfg.seed ^ 0x5bd1e995u);
   const IntervalClock clock(cfg.interval_s, cfg.horizon_s);
   Deployment deployment = scheduler.deploy(profile->rate(0.0));
@@ -64,7 +64,7 @@ ExperimentResult runWith(const Dataflow& df, HeuristicOptions opts,
 
   ExperimentResult result;
   result.scheduler_name = scheduler.name();
-  result.sigma = deriveSigma(df, cfg.mean_rate, cfg.horizon_s);
+  result.sigma = deriveSigma(df, cfg.workload.mean_rate, cfg.horizon_s);
   double omega_sum = 0.0;
   IntervalMetrics last{};
   for (IntervalIndex i = 0; i < clock.intervalCount(); ++i) {

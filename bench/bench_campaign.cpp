@@ -1,0 +1,107 @@
+// Campaign-runner perf baseline: serial vs parallel wall-clock for the
+// headline evaluation grid, plus the fluid simulator's per-interval cost
+// (the quantity the interval-cache optimization targets).
+//
+//   bench_campaign [output.json]     (default: BENCH_campaign.json)
+//
+// The grid is 4 policies x 4 seeds at 10 msg/s wave + infra variability
+// over 2 h — 16 independent engine runs. Speedup scales with physical
+// cores; on a single-core host serial and parallel wall-clocks coincide
+// (the JSON records the host's concurrency so baselines are comparable).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "dds/common/json.hpp"
+#include "dds/common/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  using namespace dds::bench;
+  using clock = std::chrono::steady_clock;
+
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_campaign.json");
+
+  printHeader("Campaign",
+              "parallel campaign runner: serial vs all-cores wall-clock");
+
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg;
+  cfg.horizon_s = 2.0 * kSecondsPerHour;
+  cfg.workload.mean_rate = 10.0;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
+  cfg.seed = 2013;
+
+  Campaign campaign;
+  const std::vector<SchedulerKind> kinds = {
+      SchedulerKind::GlobalAdaptive, SchedulerKind::LocalAdaptive,
+      SchedulerKind::GlobalAdaptiveNoDyn, SchedulerKind::GlobalStatic};
+  for (const auto kind : kinds) {
+    campaign.addSeedSweep(df, cfg, kind, 4);
+  }
+
+  const CampaignResult serial = runCampaign(campaign, {.jobs = 1});
+  const CampaignResult parallel = runCampaign(campaign, {.jobs = 0});
+  serial.throwIfAnyFailed();
+  parallel.throwIfAnyFailed();
+
+  // Results must agree bit-for-bit; abort the baseline if they ever don't.
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    DDS_REQUIRE(serial.outcomes[i].result.average_omega ==
+                    parallel.outcomes[i].result.average_omega,
+                "parallel campaign diverged from serial");
+  }
+
+  // Per-interval simulator cost: one timed engine run over the headline
+  // config, divided by its interval count.
+  const auto t0 = clock::now();
+  const auto one = SimulationEngine(df, cfg).run(kinds[0]);
+  const double one_run_s =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  const auto intervals = one.run.intervals().size();
+  const double per_interval_us =
+      intervals == 0 ? 0.0 : one_run_s * 1.0e6 /
+                                 static_cast<double>(intervals);
+
+  const double speedup =
+      parallel.wall_s > 0.0 ? serial.wall_s / parallel.wall_s : 1.0;
+  TextTable table({"metric", "value"});
+  table.addRow({"jobs (serial)", "1"});
+  table.addRow({"jobs (parallel)", std::to_string(parallel.jobs_used)});
+  table.addRow({"grid size", std::to_string(campaign.size())});
+  table.addRow({"serial wall (s)", TextTable::num(serial.wall_s, 3)});
+  table.addRow({"parallel wall (s)", TextTable::num(parallel.wall_s, 3)});
+  table.addRow({"speedup", TextTable::num(speedup, 2)});
+  table.addRow({"sim cost / interval (us)",
+                TextTable::num(per_interval_us, 1)});
+  std::cout << table.render() << '\n';
+
+  JsonWriter w;
+  w.beginObject();
+  w.key("name").value("campaign-runner-baseline");
+  w.key("grid").beginObject();
+  w.key("policies").value(kinds.size());
+  w.key("seeds_per_policy").value(std::size_t{4});
+  w.key("jobs_total").value(campaign.size());
+  w.key("horizon_s").value(cfg.horizon_s);
+  w.key("mean_rate").value(cfg.workload.mean_rate);
+  w.endObject();
+  w.key("host_hardware_concurrency")
+      .value(ThreadPool::hardwareConcurrency());
+  w.key("serial_wall_s").value(serial.wall_s);
+  w.key("parallel_wall_s").value(parallel.wall_s);
+  w.key("parallel_jobs_used").value(parallel.jobs_used);
+  w.key("speedup").value(speedup);
+  w.key("intervals_per_run").value(intervals);
+  w.key("sim_cost_per_interval_us").value(per_interval_us);
+  w.key("results_bit_identical").value(true);
+  w.endObject();
+  std::ofstream out(out_path);
+  DDS_REQUIRE(out.good(), "cannot open bench output file");
+  out << w.str();
+  std::cout << "wrote " << out_path << '\n';
+  return 0;
+}

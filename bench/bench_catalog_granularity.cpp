@@ -28,9 +28,9 @@ int main() {
     for (int variant = 0; variant < 4; ++variant) {
       ExperimentConfig cfg;
       cfg.horizon_s = 2.0 * kSecondsPerHour;
-      cfg.mean_rate = rate;
-      cfg.profile = ProfileKind::PeriodicWave;
-      cfg.infra_variability = true;
+      cfg.workload.mean_rate = rate;
+      cfg.workload.profile = ProfileKind::PeriodicWave;
+      cfg.workload.infra_variability = true;
       cfg.seed = 2013;
       cfg.catalog = variant == 0 ? "m1" : variant == 1 ? "m3" : "mixed";
       cfg.cheapest_class_acquisition = (variant == 3);

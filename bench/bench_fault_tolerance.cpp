@@ -21,24 +21,24 @@ using namespace dds;
 ExperimentConfig faultMixConfig(double intensity) {
   ExperimentConfig cfg;
   cfg.horizon_s = 4.0 * kSecondsPerHour;
-  cfg.mean_rate = 10.0;
+  cfg.workload.mean_rate = 10.0;
   cfg.seed = 2013;
   if (intensity > 0.0) {
-    cfg.vm_mtbf_hours = 8.0 / intensity;
-    cfg.straggler_mtbf_hours = 4.0 / intensity;
-    cfg.straggler_factor = 0.3;
-    cfg.straggler_duration_s = 600.0;
-    cfg.acquisition_failure_prob = 0.3 * intensity;
-    cfg.provisioning_delay_s = 120.0 * intensity;
-    cfg.partition_mtbf_hours = 8.0 / intensity;
-    cfg.partition_duration_s = 120.0;
+    cfg.faults.vm_mtbf_hours = 8.0 / intensity;
+    cfg.faults.straggler_mtbf_hours = 4.0 / intensity;
+    cfg.faults.straggler_factor = 0.3;
+    cfg.faults.straggler_duration_s = 600.0;
+    cfg.faults.acquisition_failure_prob = 0.3 * intensity;
+    cfg.faults.provisioning_delay_s = 120.0 * intensity;
+    cfg.faults.partition_mtbf_hours = 8.0 / intensity;
+    cfg.faults.partition_duration_s = 120.0;
   }
   // Resilience layer on for every policy that adapts.
-  cfg.straggler_quarantine_threshold = 0.5;
-  cfg.straggler_quarantine_probes = 3;
-  cfg.acquisition_max_retries = 3;
-  cfg.acquisition_backoff_s = 60.0;
-  cfg.graceful_degradation = true;
+  cfg.resilience.quarantine_threshold = 0.5;
+  cfg.resilience.quarantine_probes = 3;
+  cfg.resilience.acquisition_max_retries = 3;
+  cfg.resilience.acquisition_backoff_s = 60.0;
+  cfg.resilience.graceful_degradation = true;
   return cfg;
 }
 
@@ -53,25 +53,33 @@ int main() {
               "4 h)");
 
   const Dataflow df = makePaperDataflow();
+  const std::vector<double> mtbfs = {0.0, 8.0, 4.0, 2.0, 1.0};
+  const std::vector<SchedulerKind> crash_kinds = {
+      SchedulerKind::GlobalAdaptive, SchedulerKind::GlobalStatic};
+  std::vector<ExperimentConfig> crash_rows;
+  for (const double mtbf : mtbfs) {
+    ExperimentConfig cfg;
+    cfg.horizon_s = 4.0 * kSecondsPerHour;
+    cfg.workload.mean_rate = 10.0;
+    cfg.faults.vm_mtbf_hours = mtbf;
+    cfg.seed = 2013;
+    crash_rows.push_back(cfg);
+  }
+  const auto crash_outcomes = runGrid(df, crash_rows, crash_kinds);
+
   TextTable table({"MTBF(h)", "policy", "failures", "omega", "met",
                    "lost-msgs", "cost$"});
   std::vector<std::vector<double>> csv;
-  for (const double mtbf : {0.0, 8.0, 4.0, 2.0, 1.0}) {
-    for (const auto kind :
-         {SchedulerKind::GlobalAdaptive, SchedulerKind::GlobalStatic}) {
-      ExperimentConfig cfg;
-      cfg.horizon_s = 4.0 * kSecondsPerHour;
-      cfg.mean_rate = 10.0;
-      cfg.vm_mtbf_hours = mtbf;
-      cfg.seed = 2013;
-      const auto r = SimulationEngine(df, cfg).run(kind);
+  for (std::size_t i = 0; i < mtbfs.size(); ++i) {
+    const double mtbf = mtbfs[i];
+    for (std::size_t k = 0; k < crash_kinds.size(); ++k) {
+      const auto& r = crash_outcomes[i * crash_kinds.size() + k].result;
       table.addRow({mtbf == 0.0 ? "none" : TextTable::num(mtbf, 0),
                     r.scheduler_name, std::to_string(r.vm_failures),
                     TextTable::num(r.average_omega), constraintMark(r),
                     TextTable::num(r.messages_lost, 0),
                     TextTable::num(r.total_cost, 2)});
-      csv.push_back({mtbf,
-                     kind == SchedulerKind::GlobalAdaptive ? 1.0 : 0.0,
+      csv.push_back({mtbf, k == 0 ? 1.0 : 0.0,
                      static_cast<double>(r.vm_failures), r.average_omega,
                      r.constraint_met ? 1.0 : 0.0, r.messages_lost,
                      r.total_cost});
@@ -92,15 +100,24 @@ int main() {
               "full fault plan sweep: crashes + stragglers + acquisition "
               "failures + partitions, resilience layer on");
 
+  const std::vector<double> intensities = {0.0, 0.25, 0.5, 1.0};
+  const std::vector<SchedulerKind> mix_kinds = {
+      SchedulerKind::GlobalAdaptive, SchedulerKind::LocalAdaptive,
+      SchedulerKind::GlobalStatic};
+  std::vector<ExperimentConfig> mix_rows;
+  for (const double intensity : intensities) {
+    mix_rows.push_back(faultMixConfig(intensity));
+  }
+  const auto mix_outcomes = runGrid(df, mix_rows, mix_kinds);
+
   TextTable table2({"intensity", "policy", "omega", "avail", "episodes",
                     "mttr(s)", "quarant", "rejects", "degr", "cost$"});
   std::vector<std::vector<double>> csv2;
-  for (const double intensity : {0.0, 0.25, 0.5, 1.0}) {
-    for (const auto kind :
-         {SchedulerKind::GlobalAdaptive, SchedulerKind::LocalAdaptive,
-          SchedulerKind::GlobalStatic}) {
-      const auto cfg = faultMixConfig(intensity);
-      const auto r = SimulationEngine(df, cfg).run(kind);
+  for (std::size_t i = 0; i < intensities.size(); ++i) {
+    const double intensity = intensities[i];
+    for (std::size_t k = 0; k < mix_kinds.size(); ++k) {
+      const auto kind = mix_kinds[k];
+      const auto& r = mix_outcomes[i * mix_kinds.size() + k].result;
       table2.addRow(
           {TextTable::num(intensity, 2), r.scheduler_name,
            TextTable::num(r.average_omega),

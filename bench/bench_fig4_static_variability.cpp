@@ -41,10 +41,10 @@ int main() {
     for (const auto kind : kinds) {
       ExperimentConfig cfg;
       cfg.horizon_s = 2.0 * kSecondsPerHour;
-      cfg.mean_rate = 5.0;
-      cfg.profile =
+      cfg.workload.mean_rate = 5.0;
+      cfg.workload.profile =
           sc.data_var ? ProfileKind::PeriodicWave : ProfileKind::Constant;
-      cfg.infra_variability = sc.infra_var;
+      cfg.workload.infra_variability = sc.infra_var;
       cfg.seed = 2013;
       const auto r = SimulationEngine(df, cfg).run(kind);
       table.addRow({sc.name, r.scheduler_name,

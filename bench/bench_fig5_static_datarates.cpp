@@ -17,35 +17,39 @@ int main() {
               "Omega vs data rate for static deployments (no variability)");
 
   const Dataflow df = makePaperDataflow();
+  const std::vector<double> rates = paperRates();
+  std::vector<ExperimentConfig> rows;
+  for (const double rate : rates) {
+    ExperimentConfig cfg;
+    cfg.horizon_s = 2.0 * kSecondsPerHour;
+    cfg.workload.mean_rate = rate;
+    cfg.seed = 2013;
+    rows.push_back(cfg);
+  }
+  const std::vector<SchedulerKind> kinds = {
+      SchedulerKind::LocalStatic, SchedulerKind::GlobalStatic,
+      SchedulerKind::BruteForceStatic, SchedulerKind::AnnealingStatic};
+  const auto outcomes = runGrid(df, rows, kinds);
+
   TextTable table({"rate", "local-static", "global-static", "brute-force",
                    "annealing"});
   std::vector<std::vector<double>> csv;
-  for (const double rate : paperRates()) {
-    ExperimentConfig cfg;
-    cfg.horizon_s = 2.0 * kSecondsPerHour;
-    cfg.mean_rate = rate;
-    cfg.seed = 2013;
-    const auto local = SimulationEngine(df, cfg).run(
-        SchedulerKind::LocalStatic);
-    const auto global = SimulationEngine(df, cfg).run(
-        SchedulerKind::GlobalStatic);
-    std::string brute_cell = "(intractable)";
-    double brute_omega = -1.0;
-    try {
-      const auto brute = SimulationEngine(df, cfg).run(
-          SchedulerKind::BruteForceStatic);
-      brute_omega = brute.average_omega;
-      brute_cell = TextTable::num(brute_omega);
-    } catch (const SearchSpaceTooLarge&) {
-      // mirrors the paper: brute force is skipped at high rates
-    }
-    const auto annealing = SimulationEngine(df, cfg).run(
-        SchedulerKind::AnnealingStatic);
-    table.addRow({TextTable::num(rate, 0),
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto& local = outcomes[i * kinds.size() + 0].result;
+    const auto& global = outcomes[i * kinds.size() + 1].result;
+    // Brute force throws SearchSpaceTooLarge at high rates; the campaign
+    // captures that per-outcome (mirrors the paper: the search is skipped).
+    const auto& brute = outcomes[i * kinds.size() + 2];
+    const auto& annealing = outcomes[i * kinds.size() + 3].result;
+    const std::string brute_cell =
+        brute.ok ? TextTable::num(brute.result.average_omega)
+                 : "(intractable)";
+    const double brute_omega = brute.ok ? brute.result.average_omega : -1.0;
+    table.addRow({TextTable::num(rates[i], 0),
                   TextTable::num(local.average_omega),
                   TextTable::num(global.average_omega), brute_cell,
                   TextTable::num(annealing.average_omega)});
-    csv.push_back({rate, local.average_omega, global.average_omega,
+    csv.push_back({rates[i], local.average_omega, global.average_omega,
                    brute_omega, annealing.average_omega});
   }
   printTableAndCsv(table, {"rate", "local", "global", "brute", "annealing"},

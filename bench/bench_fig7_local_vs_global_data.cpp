@@ -16,34 +16,8 @@ int main() {
   printHeader("Fig. 7",
               "local vs global adaptive, data-rate variability only");
 
-  const Dataflow df = makePaperDataflow();
-  TextTable table({"rate", "policy", "omega", "met", "gamma", "cost$",
-                   "theta"});
-  std::vector<std::vector<double>> csv;
-  for (const double rate : paperRates()) {
-    for (const auto kind :
-         {SchedulerKind::LocalAdaptive, SchedulerKind::GlobalAdaptive}) {
-      ExperimentConfig cfg;
-      cfg.horizon_s = 4.0 * kSecondsPerHour;
-      cfg.mean_rate = rate;
-      cfg.profile = ProfileKind::PeriodicWave;
-      cfg.infra_variability = false;
-      cfg.seed = 2013;
-      const auto r = SimulationEngine(df, cfg).run(kind);
-      table.addRow({TextTable::num(rate, 0), r.scheduler_name,
-                    TextTable::num(r.average_omega), constraintMark(r),
-                    TextTable::num(r.average_gamma),
-                    TextTable::num(r.total_cost, 2),
-                    TextTable::num(r.theta)});
-      csv.push_back({rate,
-                     kind == SchedulerKind::LocalAdaptive ? 0.0 : 1.0,
-                     r.average_omega, r.constraint_met ? 1.0 : 0.0,
-                     r.average_gamma, r.total_cost, r.theta});
-    }
-  }
-  printTableAndCsv(
-      table, {"rate", "policy", "omega", "met", "gamma", "cost", "theta"},
-      csv);
+  runLocalVsGlobalSweep(makePaperDataflow(), ProfileKind::PeriodicWave,
+                        /*infra_variability=*/false);
 
   std::cout << "Paper claim: under fluctuating input rates both adaptive "
                "heuristics satisfy\nOmega >= 0.7 - 0.05; global yields "

@@ -24,21 +24,29 @@ int main() {
       SchedulerKind::LocalAdaptiveNoDyn,
   };
 
+  const std::vector<double> rates = paperRates();
+  std::vector<ExperimentConfig> rows;
+  for (const double rate : rates) {
+    ExperimentConfig cfg;
+    cfg.horizon_s = 10.0 * kSecondsPerHour;
+    cfg.workload.mean_rate = rate;
+    cfg.workload.profile = ProfileKind::PeriodicWave;
+    cfg.workload.infra_variability = true;
+    cfg.seed = 2013;
+    rows.push_back(cfg);
+  }
+  const auto outcomes = runGrid(df, rows, kinds);
+
   TextTable table({"rate", "global$", "global-nodyn$", "local$",
                    "local-nodyn$", "dyn-saving%", "global-vs-localnodyn%"});
   std::vector<std::vector<double>> csv;
   double saving_sum = 0.0;
   double best_vs_localnodyn = 0.0;
-  for (const double rate : paperRates()) {
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double rate = rates[i];
     std::vector<double> costs;
-    for (const auto kind : kinds) {
-      ExperimentConfig cfg;
-      cfg.horizon_s = 10.0 * kSecondsPerHour;
-      cfg.mean_rate = rate;
-      cfg.profile = ProfileKind::PeriodicWave;
-      cfg.infra_variability = true;
-      cfg.seed = 2013;
-      costs.push_back(SimulationEngine(df, cfg).run(kind).total_cost);
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      costs.push_back(outcomes[i * kinds.size() + k].result.total_cost);
     }
     const double dyn_saving =
         (costs[1] - costs[0]) / costs[1] * 100.0;  // global vs global-nodyn

@@ -16,9 +16,9 @@ int main() {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = 2.0 * kSecondsPerHour;
-  cfg.mean_rate = 10.0;
-  cfg.profile = ProfileKind::PeriodicWave;
-  cfg.infra_variability = true;
+  cfg.workload.mean_rate = 10.0;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
   cfg.seed = 1000;
 
   TextTable table({"policy", "omega", "±", "cost$", "±", "theta", "±",

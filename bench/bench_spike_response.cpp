@@ -17,8 +17,8 @@ struct Response {
 Response measure(const Dataflow& df, SchedulerKind kind) {
   ExperimentConfig cfg;
   cfg.horizon_s = 2.0 * kSecondsPerHour;
-  cfg.mean_rate = 10.0;
-  cfg.profile = ProfileKind::Spike;  // 3x burst at 40% for 10% of horizon
+  cfg.workload.mean_rate = 10.0;
+  cfg.workload.profile = ProfileKind::Spike;  // 3x burst at 40% for 10% of horizon
   cfg.seed = 2013;
   Response resp;
   resp.result = SimulationEngine(df, cfg).run(kind);

@@ -46,9 +46,66 @@ inline std::vector<double> paperRates() {
   return {2.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0};
 }
 
+/// Run one experiment per (row config, policy) pair as a single parallel
+/// campaign. Outcomes come back row-major — outcome index =
+/// row * kinds.size() + kind — and are identical at any worker count, so
+/// the tables the benches print do not depend on the host's core count.
+inline std::vector<JobOutcome> runGrid(
+    const Dataflow& df, const std::vector<ExperimentConfig>& rows,
+    const std::vector<SchedulerKind>& kinds) {
+  Campaign campaign;
+  for (const auto& cfg : rows) {
+    for (const auto kind : kinds) {
+      campaign.add({&df, cfg, kind, schedulerName(kind)});
+    }
+  }
+  CampaignResult res = runCampaign(campaign);
+  return std::move(res.outcomes);
+}
+
 /// A short marker so shape claims can be eyeballed in the text output.
 inline std::string constraintMark(const ExperimentResult& r) {
   return r.constraint_met ? "yes" : "NO";
+}
+
+/// The figs. 6-8 body: local vs global adaptive across the rate sweep
+/// under the given variability mix, run as one parallel campaign.
+inline void runLocalVsGlobalSweep(const Dataflow& df, ProfileKind profile,
+                                  bool infra_variability) {
+  const std::vector<double> rates = paperRates();
+  std::vector<ExperimentConfig> rows;
+  for (const double rate : rates) {
+    ExperimentConfig cfg;
+    cfg.horizon_s = 4.0 * kSecondsPerHour;
+    cfg.workload.mean_rate = rate;
+    cfg.workload.profile = profile;
+    cfg.workload.infra_variability = infra_variability;
+    cfg.seed = 2013;
+    rows.push_back(cfg);
+  }
+  const std::vector<SchedulerKind> kinds = {SchedulerKind::LocalAdaptive,
+                                            SchedulerKind::GlobalAdaptive};
+  const auto outcomes = runGrid(df, rows, kinds);
+
+  TextTable table({"rate", "policy", "omega", "met", "gamma", "cost$",
+                   "theta"});
+  std::vector<std::vector<double>> csv;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const auto& r = outcomes[i * kinds.size() + k].result;
+      table.addRow({TextTable::num(rates[i], 0), r.scheduler_name,
+                    TextTable::num(r.average_omega), constraintMark(r),
+                    TextTable::num(r.average_gamma),
+                    TextTable::num(r.total_cost, 2),
+                    TextTable::num(r.theta)});
+      csv.push_back({rates[i], static_cast<double>(k), r.average_omega,
+                     r.constraint_met ? 1.0 : 0.0, r.average_gamma,
+                     r.total_cost, r.theta});
+    }
+  }
+  printTableAndCsv(
+      table, {"rate", "policy", "omega", "met", "gamma", "cost", "theta"},
+      csv);
 }
 
 }  // namespace dds::bench

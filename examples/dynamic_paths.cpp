@@ -31,9 +31,9 @@ int main() {
 
   ExperimentConfig cfg;
   cfg.horizon_s = 2.0 * kSecondsPerHour;
-  cfg.mean_rate = 15.0;
-  cfg.profile = ProfileKind::PeriodicWave;
-  cfg.infra_variability = true;
+  cfg.workload.mean_rate = 15.0;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
 
   TextTable table({"path", "omega", "met", "gamma", "cost$", "theta"});
   for (std::size_t i = 0; i < app.variantCount(); ++i) {

@@ -23,9 +23,9 @@ int main() {
   ExperimentConfig cfg;
   cfg.backend = SimBackend::Event;
   cfg.horizon_s = kSecondsPerHour;
-  cfg.mean_rate = 4.0;            // per sensor feed
-  cfg.profile = ProfileKind::Spike;  // a 3x burst mid-run
-  cfg.infra_variability = true;
+  cfg.workload.mean_rate = 4.0;            // per sensor feed
+  cfg.workload.profile = ProfileKind::Spike;  // a 3x burst mid-run
+  cfg.workload.infra_variability = true;
 
   TextTable table({"policy", "omega", "met", "delivered", "lat-mean(s)",
                    "lat-p95(s)", "lat-p99(s)", "cost$"});

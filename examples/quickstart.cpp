@@ -29,9 +29,9 @@ int main() {
   //    periodic-wave input and realistic cloud performance variability.
   ExperimentConfig cfg;
   cfg.horizon_s = 1.0 * kSecondsPerHour;
-  cfg.mean_rate = 10.0;
-  cfg.profile = ProfileKind::PeriodicWave;
-  cfg.infra_variability = true;
+  cfg.workload.mean_rate = 10.0;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
   cfg.omega_target = 0.7;  // keep >= 70% relative throughput on average
 
   // 3. Run the global adaptive heuristic (alternate switching + elastic

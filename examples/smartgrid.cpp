@@ -38,15 +38,15 @@ int main() {
 
   ExperimentConfig cfg;
   cfg.horizon_s = 6.0 * kSecondsPerHour;
-  cfg.mean_rate = 30.0;  // meter readings/s across campus
-  cfg.profile = ProfileKind::PeriodicWave;
-  cfg.infra_variability = true;
+  cfg.workload.mean_rate = 30.0;  // meter readings/s across campus
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
   cfg.seed = 90089;
   const SimulationEngine engine(df, cfg);
   const ExperimentResult r = engine.run(SchedulerKind::GlobalAdaptive);
 
   std::cout << "Smart-grid analytics, 6 h, periodic meter wave around "
-            << cfg.mean_rate << " msg/s (global adaptive)\n\n";
+            << cfg.workload.mean_rate << " msg/s (global adaptive)\n\n";
   TextTable table({"t(min)", "rate", "omega", "gamma", "VMs", "cores",
                    "cum-cost$"});
   for (const auto& m : r.run.intervals()) {

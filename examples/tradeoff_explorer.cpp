@@ -17,15 +17,15 @@ int main() {
 
   ExperimentConfig base;
   base.horizon_s = 2.0 * kSecondsPerHour;
-  base.mean_rate = 20.0;
-  base.profile = ProfileKind::PeriodicWave;
-  base.infra_variability = true;
+  base.workload.mean_rate = 20.0;
+  base.workload.profile = ProfileKind::PeriodicWave;
+  base.workload.infra_variability = true;
 
   const double sigma0 =
-      deriveSigma(df, base.mean_rate, base.horizon_s);
+      deriveSigma(df, base.workload.mean_rate, base.horizon_s);
 
   std::cout << "Trade-off explorer on the paper's Fig. 1 dataflow, "
-            << base.mean_rate << " msg/s wave, 2 h (global adaptive)\n"
+            << base.workload.mean_rate << " msg/s wave, 2 h (global adaptive)\n"
             << "derived sigma0 = " << sigma0 << " per dollar\n\n";
 
   // --- sigma sweep at fixed Omega-hat = 0.7 ---

@@ -38,9 +38,9 @@ int main() {
 
   ExperimentConfig cfg;
   cfg.horizon_s = 3.0 * kSecondsPerHour;
-  cfg.mean_rate = 25.0;  // frames/s after keyframe sampling
-  cfg.profile = ProfileKind::RandomWalk;  // bursty viewership
-  cfg.infra_variability = true;
+  cfg.workload.mean_rate = 25.0;  // frames/s after keyframe sampling
+  cfg.workload.profile = ProfileKind::RandomWalk;  // bursty viewership
+  cfg.workload.infra_variability = true;
   cfg.omega_target = 0.7;
   const SimulationEngine engine(df, cfg);
 
@@ -73,7 +73,7 @@ int main() {
                   TextTable::num(r.total_cost, 2), TextTable::num(r.theta),
                   std::to_string(r.peak_vms)});
   }
-  std::cout << "Video analytics at " << cfg.mean_rate
+  std::cout << "Video analytics at " << cfg.workload.mean_rate
             << " frames/s (bursty), 3 h on a variable cloud\n"
             << "(ranked: constraint first, then profit Theta)\n\n"
             << table.render() << '\n'

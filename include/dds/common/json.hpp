@@ -1,0 +1,66 @@
+// Minimal JSON emission for benchmark/campaign result export.
+//
+// Not a parser and not a DOM — a forward-only writer that produces
+// deterministic, human-diffable output (2-space indent, insertion order
+// preserved) so BENCH_*.json baselines can live in git. Numbers are
+// written with enough digits to round-trip doubles; non-finite values
+// become null (JSON has no NaN/Inf).
+//
+//   JsonWriter w;
+//   w.beginObject();
+//   w.key("name").value("campaign");
+//   w.key("runs").beginArray();
+//   w.value(1.5);
+//   w.endArray();
+//   w.endObject();
+//   std::string text = w.str();
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dds/common/error.hpp"
+
+namespace dds {
+
+/// Escape a string for embedding in a JSON document (no quotes added).
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+/// Streaming JSON writer with indentation and container bookkeeping.
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Write an object key; the next value/begin* call is its value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The document so far; call after the outermost container is closed.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Frame { Object, Array };
+
+  void beforeValue();
+  void indent();
+
+  std::ostringstream out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace dds

@@ -1,0 +1,90 @@
+// A small work-stealing thread pool for embarrassingly parallel campaign
+// work (one experiment run per task).
+//
+// Design: each worker owns a deque guarded by its own mutex. submit()
+// from an external thread round-robins tasks across the deques; submit()
+// from inside a worker pushes to that worker's own deque (LIFO, keeps
+// recursive fan-out cache-warm). An idle worker pops its own deque from
+// the back, then steals from the other deques' front, then sleeps on a
+// shared condition variable. Destruction drains: every task submitted
+// before ~ThreadPool() runs to completion before the workers join.
+//
+// Exceptions thrown by a task are captured in the std::future returned by
+// submit() and rethrown at .get(), never swallowed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "dds/common/error.hpp"
+
+namespace dds {
+
+class ThreadPool {
+ public:
+  /// Spin up `threads` workers; 0 means hardwareConcurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t threadCount() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static std::size_t hardwareConcurrency() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+  }
+
+  /// Schedule `fn` for execution; the returned future carries its result
+  /// or its exception.
+  template <typename Fn>
+  [[nodiscard]] std::future<std::invoke_result_t<Fn>> submit(Fn&& fn) {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+ private:
+  /// One worker's task deque; a lock per deque keeps submit and steal
+  /// contention off the hot path.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void enqueue(std::function<void()> task);
+  void workerLoop(std::size_t index);
+
+  /// Pop from own deque (back) or steal from another (front); empty
+  /// function when no work exists anywhere.
+  [[nodiscard]] std::function<void()> grabTask(std::size_t index);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::size_t> next_queue_{0};  ///< round-robin cursor.
+  std::size_t pending_ = 0;    ///< submitted-but-unfinished (sleep_mutex_).
+  std::size_t unclaimed_ = 0;  ///< queued-but-ungrabbed (sleep_mutex_).
+  bool shutting_down_ = false;  ///< set by the destructor.
+};
+
+}  // namespace dds

@@ -70,12 +70,20 @@ struct CliExperiment {
 };
 
 /// Translate a parsed config into an experiment. Unknown keys, graphs,
-/// profiles or scheduler names throw PreconditionError with the offender
-/// named.
-[[nodiscard]] CliExperiment experimentFromConfig(const KeyValueConfig& kv);
+/// profiles or scheduler names throw ConfigError with the offender named.
+///
+/// Keys come in a nested canonical form ("workload.mean_rate",
+/// "fault.vm_mtbf_h", "resilience.quarantine_threshold") mirroring the
+/// ExperimentConfig sub-structs; the historical flat spellings
+/// ("mean_rate", "vm_mtbf_h", "quarantine_threshold") keep working as
+/// deprecated aliases. When `notes` is non-null, one deprecation note per
+/// alias used is appended (the CLI prints them to stderr). Giving both
+/// spellings of one knob is an error.
+[[nodiscard]] CliExperiment experimentFromConfig(
+    const KeyValueConfig& kv, std::vector<std::string>* notes = nullptr);
 
-/// Parse one scheduler name ("global", "local-static", ...). Throws on
-/// unknown names.
+/// Parse one scheduler name ("global", "local-static", ...). Wraps the
+/// sched-layer parseSchedulerKind, rethrowing as ConfigError.
 [[nodiscard]] SchedulerKind schedulerKindFromName(const std::string& name);
 
 }  // namespace dds

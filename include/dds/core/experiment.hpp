@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dds/common/time.hpp"
 #include "dds/metrics/run_metrics.hpp"
@@ -13,21 +14,6 @@
 
 namespace dds {
 
-/// Which §8 policy an experiment runs.
-enum class SchedulerKind {
-  LocalAdaptive,        ///< local heuristic with continuous re-deployment.
-  GlobalAdaptive,       ///< global heuristic with continuous re-deployment.
-  LocalStatic,          ///< local heuristic, deploy once.
-  GlobalStatic,         ///< global heuristic, deploy once.
-  LocalAdaptiveNoDyn,   ///< local, adaptive, alternates fixed (no dynamism).
-  GlobalAdaptiveNoDyn,  ///< global, adaptive, alternates fixed.
-  BruteForceStatic,     ///< exhaustive static optimal (small graphs only).
-  ReactiveBaseline,     ///< queue-threshold autoscaler (related work).
-  AnnealingStatic,      ///< simulated-annealing static planner.
-};
-
-[[nodiscard]] std::string toString(SchedulerKind kind);
-
 /// Which simulator executes the run.
 enum class SimBackend {
   Fluid,  ///< steady-state per-interval rates (fast; the §8 default).
@@ -36,21 +22,20 @@ enum class SimBackend {
 
 [[nodiscard]] std::string toString(SimBackend backend);
 
-/// One experiment run's knobs (§8.1-8.2 defaults).
-struct ExperimentConfig {
-  SimTime horizon_s = 1.0 * kSecondsPerHour;  ///< optimization period T.
-  SimTime interval_s = 60.0;                  ///< adaptation interval.
-  double mean_rate = 5.0;                     ///< msgs/s (2..50 in §8).
+/// What the dataflow ingests: rate profile shape and message geometry
+/// (§8.1-8.2), plus whether the cloud replays FutureGrid-like traces.
+struct WorkloadConfig {
+  double mean_rate = 5.0;  ///< msgs/s (2..50 in §8).
   ProfileKind profile = ProfileKind::Constant;
-  bool infra_variability = false;  ///< replay FutureGrid-like traces?
-  std::uint64_t seed = 42;
-  double omega_target = 0.7;  ///< Omega-hat (§8.2).
-  double epsilon = 0.05;      ///< tolerance (§8.2).
   double msg_size_bytes = 100.0e3;
-  IntervalIndex alternate_period = 2;  ///< n_a for Alg. 2.
-  IntervalIndex resource_period = 1;   ///< n_r for Alg. 2.
-  /// Negative means "derive sigma from the §8.2 pricing expectation".
-  double sigma_override = -1.0;
+  bool infra_variability = false;  ///< replay FutureGrid-like traces?
+
+  /// Append one message per invalid field to `errors` (never throws).
+  void appendErrors(std::vector<std::string>& errors) const;
+};
+
+/// Injected cloud turbulence (all families default off; fluid-only).
+struct FaultConfig {
   /// Mean time between failures per VM, hours; 0 disables fault injection
   /// (§9 future work: fault tolerance via re-allocation and alternates).
   double vm_mtbf_hours = 0.0;
@@ -73,14 +58,39 @@ struct ExperimentConfig {
   /// `partition_duration_s` seconds.
   double partition_mtbf_hours = 0.0;
   double partition_duration_s = 120.0;
-  /// Resilience knobs for the heuristic schedulers (see
-  /// dds/sched/resilience.hpp). Quarantine threshold 0 disables the
-  /// straggler guard.
-  double straggler_quarantine_threshold = 0.0;
-  int straggler_quarantine_probes = 3;
+
+  /// Whether any fault family is switched on.
+  [[nodiscard]] bool anyEnabled() const;
+
+  void appendErrors(std::vector<std::string>& errors) const;
+};
+
+/// Scheduler-side responses to cloud turbulence (see
+/// dds/sched/resilience.hpp). Quarantine threshold 0 disables the
+/// straggler guard.
+struct ResilienceConfig {
+  double quarantine_threshold = 0.0;
+  int quarantine_probes = 3;
   int acquisition_max_retries = 3;
   double acquisition_backoff_s = 60.0;
   bool graceful_degradation = false;
+
+  void appendErrors(std::vector<std::string>& errors) const;
+};
+
+/// One experiment run's knobs (§8.1-8.2 defaults). Workload, fault and
+/// resilience knobs live in nested sub-structs; the remaining fields are
+/// the engine-level controls.
+struct ExperimentConfig {
+  SimTime horizon_s = 1.0 * kSecondsPerHour;  ///< optimization period T.
+  SimTime interval_s = 60.0;                  ///< adaptation interval.
+  std::uint64_t seed = 42;
+  double omega_target = 0.7;  ///< Omega-hat (§8.2).
+  double epsilon = 0.05;      ///< tolerance (§8.2).
+  IntervalIndex alternate_period = 2;  ///< n_a for Alg. 2.
+  IntervalIndex resource_period = 1;   ///< n_r for Alg. 2.
+  /// Negative means "derive sigma from the §8.2 pricing expectation".
+  double sigma_override = -1.0;
   /// EWMA weight for the monitoring probes the schedulers plan against;
   /// 1.0 = react to raw instantaneous probes (the default behaviour).
   double power_smoothing_alpha = 1.0;
@@ -100,6 +110,17 @@ struct ExperimentConfig {
   /// scale-out sized to drain it — bounds latency, costs capacity.
   double max_queue_delay_s = 0.0;
 
+  WorkloadConfig workload;
+  FaultConfig faults;
+  ResilienceConfig resilience;
+
+  /// Every validation error in the config, one message per field; empty
+  /// when the config is valid. Unlike a fail-fast check this reports ALL
+  /// problems at once, so a user fixes a config file in one round trip.
+  [[nodiscard]] std::vector<std::string> validationErrors() const;
+
+  /// Throws PreconditionError listing every invalid field; no-op when
+  /// valid.
   void validate() const;
 };
 

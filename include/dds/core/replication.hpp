@@ -1,41 +1,5 @@
-// Replicated experiment runs for statistical confidence.
-//
-// The §8 results are single trajectories of a stochastic system (traces,
-// random-walk rates, replay-window draws all depend on the seed). This
-// harness re-runs one configuration across seeds and reports mean/stddev
-// of every headline metric plus how often the throughput constraint was
-// violated — the error bars the paper's figures do not show.
+// Compatibility shim: runReplicated moved to the exp layer (it is built
+// on the parallel campaign runner). Include dds/exp/replication.hpp.
 #pragma once
 
-#include <cstddef>
-
-#include "dds/common/stats.hpp"
-#include "dds/core/engine.hpp"
-
-namespace dds {
-
-/// Aggregates of `runs` independent seeds of one (config, policy) pair.
-struct ReplicatedResult {
-  std::string scheduler_name;
-  std::size_t runs = 0;
-  RunningStats omega;
-  RunningStats gamma;
-  RunningStats cost;
-  RunningStats theta;
-  std::size_t constraint_violations = 0;
-
-  /// Fraction of seeds that met the Omega constraint.
-  [[nodiscard]] double successRate() const {
-    return runs == 0 ? 0.0
-                     : 1.0 - static_cast<double>(constraint_violations) /
-                                 static_cast<double>(runs);
-  }
-};
-
-/// Run `kind` under `base` once per seed in [base.seed, base.seed + runs).
-[[nodiscard]] ReplicatedResult runReplicated(const Dataflow& dataflow,
-                                             ExperimentConfig base,
-                                             SchedulerKind kind,
-                                             std::size_t runs);
-
-}  // namespace dds
+#include "dds/exp/replication.hpp"  // IWYU pragma: export

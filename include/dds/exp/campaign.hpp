@@ -1,0 +1,112 @@
+// Parallel experiment campaigns (the §8 evaluation grid as a first-class
+// object).
+//
+// The paper's evaluation is a grid of (policy x rate x variability x seed)
+// runs, each an independent SimulationEngine::run — embarrassingly
+// parallel. A Campaign collects the grid cells; runCampaign() fans them
+// across a work-stealing ThreadPool and returns outcomes in SUBMISSION
+// ORDER, so parallel output is bit-identical to a serial run (every run
+// owns its cloud/replayer/simulator state; nothing is shared, and result
+// aggregation order never depends on completion order).
+//
+//   Campaign c;
+//   for (double rate : rates)
+//     for (SchedulerKind kind : kinds)
+//       c.add({&df, configAt(rate), kind});
+//   CampaignResult r = runCampaign(c, {.jobs = 8});
+//   saveCampaignJson("BENCH_campaign.json", r);
+//
+// A job that throws (e.g. BruteForceStatic on an intractable graph) is
+// captured per-outcome (ok = false, error = message) instead of tearing
+// down the whole campaign.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dds/core/engine.hpp"
+
+namespace dds {
+
+/// One (dataflow, config, policy) cell of a campaign grid.
+struct ExperimentJob {
+  const Dataflow* dataflow = nullptr;
+  ExperimentConfig config;
+  SchedulerKind kind = SchedulerKind::GlobalAdaptive;
+  /// Display label; empty means schedulerName(kind).
+  std::string label;
+};
+
+/// What one job produced. `result` is meaningful only when `ok`.
+struct JobOutcome {
+  std::size_t index = 0;  ///< submission index within the campaign.
+  std::string label;
+  SchedulerKind kind = SchedulerKind::GlobalAdaptive;
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string error;  ///< exception message when !ok.
+  double wall_s = 0.0;  ///< this job's wall-clock seconds.
+  ExperimentResult result;
+};
+
+/// An ordered list of experiment jobs; jobs are validated on add().
+class Campaign {
+ public:
+  /// Append one job; returns its submission index.
+  std::size_t add(ExperimentJob job);
+
+  /// One job per scheduler kind under a fixed (dataflow, config).
+  void addPolicySweep(const Dataflow& dataflow, const ExperimentConfig& base,
+                      const std::vector<SchedulerKind>& kinds);
+
+  /// `runs` replicates of one (config, policy) pair with per-job derived
+  /// seeds base.seed, base.seed + 1, ... (the runReplicated convention).
+  void addSeedSweep(const Dataflow& dataflow, const ExperimentConfig& base,
+                    SchedulerKind kind, std::size_t runs);
+
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] const std::vector<ExperimentJob>& jobs() const {
+    return jobs_;
+  }
+
+ private:
+  std::vector<ExperimentJob> jobs_;
+};
+
+/// Knobs for runCampaign.
+struct RunnerOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = serial in the calling
+  /// thread (no pool).
+  std::size_t jobs = 0;
+};
+
+/// Every outcome of one campaign run, in submission order.
+struct CampaignResult {
+  std::vector<JobOutcome> outcomes;
+  double wall_s = 0.0;        ///< whole-campaign wall clock.
+  std::size_t jobs_used = 1;  ///< worker threads actually used.
+
+  /// Number of failed jobs.
+  [[nodiscard]] std::size_t failureCount() const;
+
+  /// Rethrow the first failure as PreconditionError; no-op when clean.
+  void throwIfAnyFailed() const;
+};
+
+/// Run every job; outcomes land in submission order regardless of the
+/// number of workers, so results are reproducible under any parallelism.
+[[nodiscard]] CampaignResult runCampaign(const Campaign& campaign,
+                                         const RunnerOptions& options = {});
+
+/// BENCH_*.json-style export: campaign metadata plus one record per job
+/// with the headline metrics. Deterministic field order, diff-friendly.
+[[nodiscard]] std::string campaignJson(const CampaignResult& result,
+                                       const std::string& name);
+
+/// Write campaignJson() to `path` (IoError on failure).
+void saveCampaignJson(const std::string& path, const CampaignResult& result,
+                      const std::string& name);
+
+}  // namespace dds

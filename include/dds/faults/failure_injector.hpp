@@ -23,7 +23,7 @@
 namespace dds {
 
 /// Failure-model knobs.
-struct FaultConfig {
+struct FailureInjectorConfig {
   /// Mean time between failures per VM, hours; <= 0 disables failures.
   double vm_mtbf_hours = 0.0;
   std::uint64_t seed = 42;
@@ -47,7 +47,7 @@ struct FailureEvent {
 /// Deterministic per-VM lifetime oracle plus the crash procedure.
 class FailureInjector {
  public:
-  explicit FailureInjector(FaultConfig config);
+  explicit FailureInjector(FailureInjectorConfig config);
 
   /// The absolute simulation time at which `vm` (started at `t_start`)
   /// will fail. Pure function of (seed, vm id, t_start).
@@ -59,10 +59,10 @@ class FailureInjector {
   [[nodiscard]] std::vector<FailureEvent> injectUpTo(CloudProvider& cloud,
                                                      SimTime now) const;
 
-  [[nodiscard]] const FaultConfig& config() const { return config_; }
+  [[nodiscard]] const FailureInjectorConfig& config() const { return config_; }
 
  private:
-  FaultConfig config_;
+  FailureInjectorConfig config_;
 };
 
 }  // namespace dds

@@ -14,6 +14,7 @@
 // MigrationEvents for the engine to apply.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,10 +24,27 @@
 #include "dds/metrics/run_metrics.hpp"
 #include "dds/monitor/monitoring.hpp"
 #include "dds/monitor/probe_history.hpp"
+#include "dds/sched/resilience.hpp"
 #include "dds/sim/deployment.hpp"
 #include "dds/sim/simulator.hpp"
 
 namespace dds {
+
+/// Which §8 policy an experiment runs. The scheduler registry at the
+/// bottom of this header is the single place that maps kinds to names and
+/// instances — adding a policy means extending the enum, schedulerName()
+/// and makeScheduler(), all in the sched layer.
+enum class SchedulerKind {
+  LocalAdaptive,        ///< local heuristic with continuous re-deployment.
+  GlobalAdaptive,       ///< global heuristic with continuous re-deployment.
+  LocalStatic,          ///< local heuristic, deploy once.
+  GlobalStatic,         ///< global heuristic, deploy once.
+  LocalAdaptiveNoDyn,   ///< local, adaptive, alternates fixed (no dynamism).
+  GlobalAdaptiveNoDyn,  ///< global, adaptive, alternates fixed.
+  BruteForceStatic,     ///< exhaustive static optimal (small graphs only).
+  ReactiveBaseline,     ///< queue-threshold autoscaler (related work).
+  AnnealingStatic,      ///< simulated-annealing static planner.
+};
 
 /// Everything a scheduler needs to see and touch, wired once per run.
 struct SchedulerEnv {
@@ -98,5 +116,45 @@ class Scheduler {
   /// Resilience counters accumulated so far (default: none).
   [[nodiscard]] virtual SchedulerTelemetry telemetry() const { return {}; }
 };
+
+// ---------------------------------------------------------------------------
+// Scheduler registry: the one place that knows every concrete policy.
+// ---------------------------------------------------------------------------
+
+/// Canonical CLI/config name of a policy ("global", "local-static", ...).
+[[nodiscard]] std::string schedulerName(SchedulerKind kind);
+
+/// Inverse of schedulerName(); throws PreconditionError on unknown names.
+[[nodiscard]] SchedulerKind parseSchedulerKind(const std::string& name);
+
+/// Every SchedulerKind, in enum order — for sweeps and round-trip tests.
+[[nodiscard]] const std::vector<SchedulerKind>& allSchedulerKinds();
+
+/// Compat alias; prefer schedulerName().
+[[nodiscard]] inline std::string toString(SchedulerKind kind) {
+  return schedulerName(kind);
+}
+
+/// Policy-independent tuning a caller hands the factory. Deliberately
+/// plain-field (no HeuristicOptions) so this header stays below the
+/// concrete schedulers in the include graph.
+struct SchedulerTuning {
+  double sigma = 0.0;        ///< equivalence factor for the planners.
+  SimTime horizon_s = 3600;  ///< optimization period (planners need T).
+  std::uint64_t seed = 42;   ///< randomized planners (annealing).
+  IntervalIndex alternate_period = 2;  ///< n_a for Alg. 2.
+  IntervalIndex resource_period = 1;   ///< n_r for Alg. 2.
+  /// Buy cheapest-per-power instead of Alg. 1's largest-first.
+  bool cheapest_class_acquisition = false;
+  double max_queue_delay_s = 0.0;  ///< queue-delay SLA; 0 disables.
+  ResilienceOptions resilience;
+};
+
+/// Build a scheduler for `kind` against `env`. The factory owns the
+/// kind-specific wiring (strategy, adaptive/no-dynamism flags, planner
+/// parameters) so engine/tools/bench code never switches on the enum.
+[[nodiscard]] std::unique_ptr<Scheduler> makeScheduler(
+    SchedulerKind kind, const SchedulerEnv& env,
+    const SchedulerTuning& tuning = {});
 
 }  // namespace dds

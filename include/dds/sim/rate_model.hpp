@@ -22,9 +22,19 @@ namespace dds {
 [[nodiscard]] std::vector<double> expectedArrivalRates(
     const Dataflow& df, const Deployment& deployment, double input_rate);
 
+/// Buffer-reusing variant for per-interval hot paths (resizes `arrival`).
+void expectedArrivalRatesInto(const Dataflow& df,
+                              const Deployment& deployment,
+                              double input_rate,
+                              std::vector<double>& arrival);
+
 /// Expected output rate (msgs/s) of each PE = arrival * selectivity.
 [[nodiscard]] std::vector<double> expectedOutputRates(
     const Dataflow& df, const Deployment& deployment, double input_rate);
+
+/// Buffer-reusing variant for per-interval hot paths (resizes `rates`).
+void expectedOutputRatesInto(const Dataflow& df, const Deployment& deployment,
+                             double input_rate, std::vector<double>& rates);
 
 /// Required normalized core power per PE to keep up with the expected
 /// arrival rates: power_i = arrival_i * cost(active alternate of P_i).

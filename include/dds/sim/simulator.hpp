@@ -14,8 +14,21 @@
 //    one interval later (network cost of migration, §5).
 // The step() result carries Omega(t) (Def. 4), Gamma(t) (Def. 3) and the
 // cumulative dollar cost, plus per-PE stats for the adaptation heuristics.
+//
+// Hot-path note: step() is the inner loop of every campaign run, so it
+// avoids re-paying per-interval costs — the core-allocation ledger is
+// snapshotted once per interval (one pass over the VM ledger instead of
+// one per edge endpoint), monitoring pi/beta lookups are memoized for the
+// interval (the cloud is steady within one interval by construction), and
+// all working buffers are pre-sized once and reused across intervals.
+// Memoization is lazy so the first-touch order of the trace replayer —
+// which draws its per-VM trace assignments on first query — is exactly
+// the order of the unmemoized code, keeping results bit-identical.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dds/cloud/cloud_provider.hpp"
@@ -68,12 +81,36 @@ class DataflowSimulator {
   double dropBacklog(PeId pe, double fraction);
 
  private:
+  /// Refresh the per-PE core lists from the cloud ledger (one pass) and
+  /// invalidate the per-interval monitoring memos.
+  void beginInterval(SimTime t_mid);
+
+  /// Memoized MonitoringService::observedCorePower at the interval
+  /// midpoint.
+  [[nodiscard]] double corePowerAt(VmId vm);
+
+  /// Memoized MonitoringService::observedBandwidthMbps at the interval
+  /// midpoint (directional key, matching the unmemoized call pattern).
+  [[nodiscard]] double bandwidthAt(VmId a, VmId b);
+
+  /// Deliverable msgs/s on edge (u -> v) given this interval's snapshot.
+  [[nodiscard]] double deliverableRate(double flow_rate, PeId u, PeId v);
+
   const Dataflow* df_;
   const CloudProvider* cloud_;
   const MonitoringService* mon_;
   SimConfig cfg_;
   std::vector<double> backlog_;     ///< msgs queued per PE.
   std::vector<double> in_transit_;  ///< msgs arriving next interval per PE.
+
+  // Per-interval working state, reused across step() calls.
+  SimTime t_mid_ = 0.0;
+  std::vector<std::vector<VmCores>> pe_cores_;  ///< ledger snapshot per PE.
+  std::vector<double> cpu_power_memo_;  ///< per-VM pi; NaN = not queried.
+  std::unordered_map<std::uint64_t, double> bandwidth_memo_;
+  std::vector<double> output_rate_;
+  std::vector<double> expected_rate_;
+  std::vector<std::pair<PeId, int>> vm_pe_scratch_;  ///< per-VM PE counts.
 };
 
 }  // namespace dds

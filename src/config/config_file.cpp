@@ -135,37 +135,102 @@ std::vector<std::string> KeyValueConfig::keys() const {
 }
 
 SchedulerKind schedulerKindFromName(const std::string& name) {
-  for (const auto kind :
-       {SchedulerKind::LocalAdaptive, SchedulerKind::GlobalAdaptive,
-        SchedulerKind::LocalStatic, SchedulerKind::GlobalStatic,
-        SchedulerKind::LocalAdaptiveNoDyn,
-        SchedulerKind::GlobalAdaptiveNoDyn, SchedulerKind::BruteForceStatic,
-        SchedulerKind::ReactiveBaseline, SchedulerKind::AnnealingStatic}) {
-    if (toString(kind) == name) return kind;
+  try {
+    return parseSchedulerKind(name);
+  } catch (const PreconditionError& e) {
+    throw ConfigError(e.what());
   }
-  throw ConfigError("unknown scheduler name: '" + name + "'");
 }
 
-CliExperiment experimentFromConfig(const KeyValueConfig& kv) {
-  static const std::vector<std::string> kKnownKeys = {
+namespace {
+
+/// The nested canonical key for every deprecated flat spelling. Both
+/// forms parse; the canonical one wins the documentation and the flat one
+/// earns a deprecation note.
+const std::vector<std::pair<std::string, std::string>>& keyAliases() {
+  static const std::vector<std::pair<std::string, std::string>> kAliases = {
+      {"workload.mean_rate", "mean_rate"},
+      {"workload.profile", "profile"},
+      {"workload.msg_size_kb", "msg_size_kb"},
+      {"workload.infra_variability", "infra_variability"},
+      {"fault.vm_mtbf_h", "vm_mtbf_h"},
+      {"fault.straggler_mtbf_h", "straggler_mtbf_h"},
+      {"fault.straggler_factor", "straggler_factor"},
+      {"fault.straggler_duration_s", "straggler_duration_s"},
+      {"fault.acq_failure_prob", "acq_failure_prob"},
+      {"fault.provisioning_delay_s", "provisioning_delay_s"},
+      {"fault.partition_mtbf_h", "partition_mtbf_h"},
+      {"fault.partition_duration_s", "partition_duration_s"},
+      {"resilience.quarantine_threshold", "quarantine_threshold"},
+      {"resilience.quarantine_probes", "quarantine_probes"},
+      {"resilience.acq_max_retries", "acq_max_retries"},
+      {"resilience.acq_backoff_s", "acq_backoff_s"},
+      {"resilience.graceful_degradation", "graceful_degradation"},
+  };
+  return kAliases;
+}
+
+/// Resolves canonical-vs-deprecated key spellings against one config.
+class KeyResolver {
+ public:
+  KeyResolver(const KeyValueConfig& kv, std::vector<std::string>* notes)
+      : kv_(&kv), notes_(notes) {}
+
+  /// The spelling of `canonical` present in the config (preferring the
+  /// canonical form), or `canonical` when absent. Notes deprecated use;
+  /// rejects configs that set both spellings.
+  [[nodiscard]] std::string resolve(const std::string& canonical) const {
+    std::string deprecated;
+    for (const auto& [canon, flat] : keyAliases()) {
+      if (canon == canonical) {
+        deprecated = flat;
+        break;
+      }
+    }
+    if (deprecated.empty()) return canonical;
+    const bool has_canonical = kv_->has(canonical);
+    const bool has_deprecated = kv_->has(deprecated);
+    if (has_canonical && has_deprecated) {
+      throw ConfigError("config keys '" + canonical + "' and '" +
+                        deprecated + "' are aliases; set only one");
+    }
+    if (has_deprecated) {
+      if (notes_ != nullptr) {
+        notes_->push_back("config key '" + deprecated +
+                          "' is deprecated; use '" + canonical + "'");
+      }
+      return deprecated;
+    }
+    return canonical;
+  }
+
+ private:
+  const KeyValueConfig* kv_;
+  std::vector<std::string>* notes_;
+};
+
+}  // namespace
+
+CliExperiment experimentFromConfig(const KeyValueConfig& kv,
+                                   std::vector<std::string>* notes) {
+  std::vector<std::string> known_keys = {
       "graph",        "chain_length",   "scheduler",
-      "mean_rate",    "profile",        "horizon_h",
-      "interval_s",   "infra_variability", "seed",
-      "omega_target", "epsilon",        "msg_size_kb",
-      "alternate_period", "resource_period", "sigma",
-      "vm_mtbf_h",    "output_csv", "catalog", "placement_racks",
-      "power_smoothing_alpha", "backend", "max_queue_delay_s",
-      "straggler_mtbf_h", "straggler_factor", "straggler_duration_s",
-      "acq_failure_prob", "provisioning_delay_s",
-      "partition_mtbf_h", "partition_duration_s",
-      "quarantine_threshold", "quarantine_probes",
-      "acq_max_retries", "acq_backoff_s", "graceful_degradation"};
+      "horizon_h",    "interval_s",     "seed",
+      "omega_target", "epsilon",        "alternate_period",
+      "resource_period", "sigma",       "output_csv",
+      "catalog",      "placement_racks", "power_smoothing_alpha",
+      "backend",      "max_queue_delay_s"};
+  for (const auto& [canon, flat] : keyAliases()) {
+    known_keys.push_back(canon);
+    known_keys.push_back(flat);
+  }
   for (const auto& key : kv.keys()) {
-    if (std::find(kKnownKeys.begin(), kKnownKeys.end(), key) ==
-        kKnownKeys.end()) {
+    if (std::find(known_keys.begin(), known_keys.end(), key) ==
+        known_keys.end()) {
       throw ConfigError("unknown config key: '" + key + "'");
     }
   }
+  const KeyResolver keys(kv, notes);
 
   CliExperiment ex;
   ex.graph = kv.getString("graph", "paper");
@@ -175,45 +240,15 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv) {
   }
 
   ExperimentConfig& cfg = ex.config;
-  cfg.mean_rate = kv.getDouble("mean_rate", cfg.mean_rate);
   cfg.horizon_s = kv.getDouble("horizon_h", 1.0) * kSecondsPerHour;
   cfg.interval_s = kv.getDouble("interval_s", cfg.interval_s);
-  cfg.infra_variability =
-      kv.getBool("infra_variability", cfg.infra_variability);
   cfg.seed = static_cast<std::uint64_t>(
       kv.getInt("seed", static_cast<std::int64_t>(cfg.seed)));
   cfg.omega_target = kv.getDouble("omega_target", cfg.omega_target);
   cfg.epsilon = kv.getDouble("epsilon", cfg.epsilon);
-  cfg.msg_size_bytes =
-      kv.getDouble("msg_size_kb", cfg.msg_size_bytes / 1000.0) * 1000.0;
   cfg.alternate_period = kv.getInt("alternate_period", cfg.alternate_period);
   cfg.resource_period = kv.getInt("resource_period", cfg.resource_period);
   cfg.sigma_override = kv.getDouble("sigma", cfg.sigma_override);
-  cfg.vm_mtbf_hours = kv.getDouble("vm_mtbf_h", cfg.vm_mtbf_hours);
-  cfg.straggler_mtbf_hours =
-      kv.getDouble("straggler_mtbf_h", cfg.straggler_mtbf_hours);
-  cfg.straggler_factor =
-      kv.getDouble("straggler_factor", cfg.straggler_factor);
-  cfg.straggler_duration_s =
-      kv.getDouble("straggler_duration_s", cfg.straggler_duration_s);
-  cfg.acquisition_failure_prob =
-      kv.getDouble("acq_failure_prob", cfg.acquisition_failure_prob);
-  cfg.provisioning_delay_s =
-      kv.getDouble("provisioning_delay_s", cfg.provisioning_delay_s);
-  cfg.partition_mtbf_hours =
-      kv.getDouble("partition_mtbf_h", cfg.partition_mtbf_hours);
-  cfg.partition_duration_s =
-      kv.getDouble("partition_duration_s", cfg.partition_duration_s);
-  cfg.straggler_quarantine_threshold = kv.getDouble(
-      "quarantine_threshold", cfg.straggler_quarantine_threshold);
-  cfg.straggler_quarantine_probes = static_cast<int>(
-      kv.getInt("quarantine_probes", cfg.straggler_quarantine_probes));
-  cfg.acquisition_max_retries = static_cast<int>(
-      kv.getInt("acq_max_retries", cfg.acquisition_max_retries));
-  cfg.acquisition_backoff_s =
-      kv.getDouble("acq_backoff_s", cfg.acquisition_backoff_s);
-  cfg.graceful_degradation =
-      kv.getBool("graceful_degradation", cfg.graceful_degradation);
   cfg.catalog = kv.getString("catalog", cfg.catalog);
   cfg.placement_racks =
       static_cast<int>(kv.getInt("placement_racks", cfg.placement_racks));
@@ -222,15 +257,59 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv) {
   cfg.max_queue_delay_s =
       kv.getDouble("max_queue_delay_s", cfg.max_queue_delay_s);
 
-  const std::string profile = kv.getString("profile", "constant");
+  WorkloadConfig& wl = cfg.workload;
+  wl.mean_rate =
+      kv.getDouble(keys.resolve("workload.mean_rate"), wl.mean_rate);
+  wl.infra_variability = kv.getBool(
+      keys.resolve("workload.infra_variability"), wl.infra_variability);
+  wl.msg_size_bytes = kv.getDouble(keys.resolve("workload.msg_size_kb"),
+                                   wl.msg_size_bytes / 1000.0) *
+                      1000.0;
+
+  FaultConfig& fl = cfg.faults;
+  fl.vm_mtbf_hours =
+      kv.getDouble(keys.resolve("fault.vm_mtbf_h"), fl.vm_mtbf_hours);
+  fl.straggler_mtbf_hours = kv.getDouble(
+      keys.resolve("fault.straggler_mtbf_h"), fl.straggler_mtbf_hours);
+  fl.straggler_factor = kv.getDouble(keys.resolve("fault.straggler_factor"),
+                                     fl.straggler_factor);
+  fl.straggler_duration_s = kv.getDouble(
+      keys.resolve("fault.straggler_duration_s"), fl.straggler_duration_s);
+  fl.acquisition_failure_prob =
+      kv.getDouble(keys.resolve("fault.acq_failure_prob"),
+                   fl.acquisition_failure_prob);
+  fl.provisioning_delay_s = kv.getDouble(
+      keys.resolve("fault.provisioning_delay_s"), fl.provisioning_delay_s);
+  fl.partition_mtbf_hours = kv.getDouble(
+      keys.resolve("fault.partition_mtbf_h"), fl.partition_mtbf_hours);
+  fl.partition_duration_s = kv.getDouble(
+      keys.resolve("fault.partition_duration_s"), fl.partition_duration_s);
+
+  ResilienceConfig& rl = cfg.resilience;
+  rl.quarantine_threshold =
+      kv.getDouble(keys.resolve("resilience.quarantine_threshold"),
+                   rl.quarantine_threshold);
+  rl.quarantine_probes = static_cast<int>(kv.getInt(
+      keys.resolve("resilience.quarantine_probes"), rl.quarantine_probes));
+  rl.acquisition_max_retries = static_cast<int>(
+      kv.getInt(keys.resolve("resilience.acq_max_retries"),
+                rl.acquisition_max_retries));
+  rl.acquisition_backoff_s = kv.getDouble(
+      keys.resolve("resilience.acq_backoff_s"), rl.acquisition_backoff_s);
+  rl.graceful_degradation =
+      kv.getBool(keys.resolve("resilience.graceful_degradation"),
+                 rl.graceful_degradation);
+
+  const std::string profile =
+      kv.getString(keys.resolve("workload.profile"), "constant");
   if (profile == "constant") {
-    cfg.profile = ProfileKind::Constant;
+    wl.profile = ProfileKind::Constant;
   } else if (profile == "wave") {
-    cfg.profile = ProfileKind::PeriodicWave;
+    wl.profile = ProfileKind::PeriodicWave;
   } else if (profile == "random-walk") {
-    cfg.profile = ProfileKind::RandomWalk;
+    wl.profile = ProfileKind::RandomWalk;
   } else if (profile == "spike") {
-    cfg.profile = ProfileKind::Spike;
+    wl.profile = ProfileKind::Spike;
   } else {
     throw ConfigError("unknown profile: '" + profile +
                       "' (expected constant, wave, random-walk or spike)");
@@ -252,7 +331,16 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv) {
     ex.schedulers.push_back(schedulerKindFromName(name));
   }
   ex.output_csv = kv.getString("output_csv", "");
-  cfg.validate();
+  // Report every config mistake at once, as a ConfigError (one clean CLI
+  // line rather than a precondition stack).
+  const std::vector<std::string> errors = cfg.validationErrors();
+  if (!errors.empty()) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+      os << (i ? "; " : "") << errors[i];
+    }
+    throw ConfigError(os.str());
+  }
   return ex;
 }
 

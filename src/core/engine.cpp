@@ -1,15 +1,12 @@
 #include "dds/core/engine.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "dds/cloud/cloud_provider.hpp"
+#include "dds/eventsim/event_simulator.hpp"
 #include "dds/faults/fault_plan.hpp"
 #include "dds/monitor/monitoring.hpp"
-#include "dds/sched/annealing_planner.hpp"
-#include "dds/sched/brute_force.hpp"
-#include "dds/sched/heuristic_scheduler.hpp"
-#include "dds/sched/reactive_autoscaler.hpp"
-#include "dds/eventsim/event_simulator.hpp"
 #include "dds/sim/simulator.hpp"
 #include "dds/trace/trace_replayer.hpp"
 
@@ -19,83 +16,120 @@ std::string toString(SimBackend backend) {
   return backend == SimBackend::Fluid ? "fluid" : "event";
 }
 
-std::string toString(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::LocalAdaptive:
-      return "local";
-    case SchedulerKind::GlobalAdaptive:
-      return "global";
-    case SchedulerKind::LocalStatic:
-      return "local-static";
-    case SchedulerKind::GlobalStatic:
-      return "global-static";
-    case SchedulerKind::LocalAdaptiveNoDyn:
-      return "local-nodyn";
-    case SchedulerKind::GlobalAdaptiveNoDyn:
-      return "global-nodyn";
-    case SchedulerKind::BruteForceStatic:
-      return "brute-force-static";
-    case SchedulerKind::ReactiveBaseline:
-      return "reactive-autoscaler";
-    case SchedulerKind::AnnealingStatic:
-      return "annealing-static";
-  }
-  return "unknown";
-}
-
 namespace {
 
 /// The fault-family knobs of `config`, as a FaultPlanConfig.
 FaultPlanConfig faultPlanConfigOf(const ExperimentConfig& config) {
   FaultPlanConfig fc;
   fc.seed = config.seed ^ 0xfa117ull;
-  fc.vm_mtbf_hours = config.vm_mtbf_hours;
-  fc.straggler_mtbf_hours = config.straggler_mtbf_hours;
-  fc.straggler_factor = config.straggler_factor;
-  fc.straggler_duration_s = config.straggler_duration_s;
-  fc.acquisition_failure_prob = config.acquisition_failure_prob;
-  fc.provisioning_delay_s = config.provisioning_delay_s;
-  fc.partition_mtbf_hours = config.partition_mtbf_hours;
-  fc.partition_duration_s = config.partition_duration_s;
+  fc.vm_mtbf_hours = config.faults.vm_mtbf_hours;
+  fc.straggler_mtbf_hours = config.faults.straggler_mtbf_hours;
+  fc.straggler_factor = config.faults.straggler_factor;
+  fc.straggler_duration_s = config.faults.straggler_duration_s;
+  fc.acquisition_failure_prob = config.faults.acquisition_failure_prob;
+  fc.provisioning_delay_s = config.faults.provisioning_delay_s;
+  fc.partition_mtbf_hours = config.faults.partition_mtbf_hours;
+  fc.partition_duration_s = config.faults.partition_duration_s;
   return fc;
 }
 
 /// The resilience knobs of `config`, as scheduler ResilienceOptions.
 ResilienceOptions resilienceOptionsOf(const ExperimentConfig& config) {
   ResilienceOptions ro;
-  ro.acquisition_max_retries = config.acquisition_max_retries;
-  ro.acquisition_backoff_s = config.acquisition_backoff_s;
-  ro.straggler_threshold = config.straggler_quarantine_threshold;
-  ro.straggler_probes = config.straggler_quarantine_probes;
-  ro.graceful_degradation = config.graceful_degradation;
+  ro.acquisition_max_retries = config.resilience.acquisition_max_retries;
+  ro.acquisition_backoff_s = config.resilience.acquisition_backoff_s;
+  ro.straggler_threshold = config.resilience.quarantine_threshold;
+  ro.straggler_probes = config.resilience.quarantine_probes;
+  ro.graceful_degradation = config.resilience.graceful_degradation;
   return ro;
+}
+
+void require(std::vector<std::string>& errors, bool ok, const char* message) {
+  if (!ok) errors.emplace_back(message);
 }
 
 }  // namespace
 
+void WorkloadConfig::appendErrors(std::vector<std::string>& errors) const {
+  require(errors, mean_rate > 0.0, "mean rate must be positive");
+  require(errors, msg_size_bytes > 0.0, "message size must be positive");
+}
+
+bool FaultConfig::anyEnabled() const {
+  return vm_mtbf_hours > 0.0 || straggler_mtbf_hours > 0.0 ||
+         acquisition_failure_prob > 0.0 || provisioning_delay_s > 0.0 ||
+         partition_mtbf_hours > 0.0;
+}
+
+void FaultConfig::appendErrors(std::vector<std::string>& errors) const {
+  require(errors, vm_mtbf_hours >= 0.0, "MTBF must be non-negative");
+  require(errors, straggler_mtbf_hours >= 0.0,
+          "straggler MTBF must be non-negative");
+  require(errors, straggler_factor >= 0.0 && straggler_factor < 1.0,
+          "straggler factor must be in [0, 1)");
+  require(errors, straggler_mtbf_hours <= 0.0 || straggler_duration_s > 0.0,
+          "straggler duration must be positive");
+  require(errors,
+          acquisition_failure_prob >= 0.0 && acquisition_failure_prob < 1.0,
+          "acquisition failure probability must be in [0, 1)");
+  require(errors, provisioning_delay_s >= 0.0,
+          "provisioning delay must be non-negative");
+  require(errors, partition_mtbf_hours >= 0.0,
+          "partition MTBF must be non-negative");
+  require(errors, partition_mtbf_hours <= 0.0 || partition_duration_s > 0.0,
+          "partition duration must be positive");
+}
+
+void ResilienceConfig::appendErrors(std::vector<std::string>& errors) const {
+  require(errors, acquisition_max_retries >= 1,
+          "acquisition retries must be at least 1");
+  require(errors, acquisition_backoff_s >= 0.0,
+          "acquisition backoff must be non-negative");
+  require(errors, quarantine_threshold >= 0.0 && quarantine_threshold < 1.0,
+          "straggler threshold must be in [0, 1)");
+  require(errors, quarantine_probes >= 1,
+          "straggler probe count must be at least 1");
+}
+
+std::vector<std::string> ExperimentConfig::validationErrors() const {
+  std::vector<std::string> errors;
+  require(errors, horizon_s > 0.0, "horizon must be positive");
+  require(errors, interval_s > 0.0 && interval_s <= horizon_s,
+          "interval must be positive and within the horizon");
+  require(errors, omega_target > 0.0 && omega_target <= 1.0,
+          "omega target out of range");
+  require(errors, epsilon >= 0.0 && epsilon < 1.0, "epsilon out of range");
+  require(errors, alternate_period >= 1, "alternate period must be >= 1");
+  require(errors, resource_period >= 1, "resource period must be >= 1");
+  require(errors,
+          power_smoothing_alpha > 0.0 && power_smoothing_alpha <= 1.0,
+          "smoothing alpha must be in (0, 1]");
+  require(errors, placement_racks >= 0, "rack count must be non-negative");
+  require(errors, max_queue_delay_s >= 0.0,
+          "queue-delay SLA must be non-negative");
+  try {
+    (void)catalogByName(catalog);
+  } catch (const PreconditionError& e) {
+    errors.emplace_back(e.what());
+  }
+  workload.appendErrors(errors);
+  faults.appendErrors(errors);
+  resilience.appendErrors(errors);
+  require(errors, backend == SimBackend::Fluid || !faults.anyEnabled(),
+          "fault injection is only supported by the fluid backend");
+  return errors;
+}
+
 void ExperimentConfig::validate() const {
-  DDS_REQUIRE(horizon_s > 0.0, "horizon must be positive");
-  DDS_REQUIRE(interval_s > 0.0 && interval_s <= horizon_s,
-              "interval must be positive and within the horizon");
-  DDS_REQUIRE(mean_rate > 0.0, "mean rate must be positive");
-  DDS_REQUIRE(omega_target > 0.0 && omega_target <= 1.0,
-              "omega target out of range");
-  DDS_REQUIRE(epsilon >= 0.0 && epsilon < 1.0, "epsilon out of range");
-  DDS_REQUIRE(msg_size_bytes > 0.0, "message size must be positive");
-  DDS_REQUIRE(alternate_period >= 1, "alternate period must be >= 1");
-  DDS_REQUIRE(resource_period >= 1, "resource period must be >= 1");
-  DDS_REQUIRE(vm_mtbf_hours >= 0.0, "MTBF must be non-negative");
-  DDS_REQUIRE(power_smoothing_alpha > 0.0 && power_smoothing_alpha <= 1.0,
-              "smoothing alpha must be in (0, 1]");
-  DDS_REQUIRE(placement_racks >= 0, "rack count must be non-negative");
-  (void)catalogByName(catalog);  // throws for unknown names
-  const FaultPlanConfig fault_cfg = faultPlanConfigOf(*this);
-  fault_cfg.validate();
-  DDS_REQUIRE(backend == SimBackend::Fluid || !fault_cfg.anyEnabled(),
-              "fault injection is only supported by the fluid backend");
-  resilienceOptionsOf(*this).validate();
-  DDS_REQUIRE(max_queue_delay_s >= 0.0,
-              "queue-delay SLA must be non-negative");
+  const std::vector<std::string> errors = validationErrors();
+  if (errors.empty()) return;
+  std::ostringstream os;
+  os << "invalid experiment config (" << errors.size() << " error"
+     << (errors.size() == 1 ? "" : "s") << "): ";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    os << (i ? "; " : "") << errors[i];
+  }
+  throw PreconditionError(os.str());
 }
 
 double deriveSigma(const Dataflow& df, double mean_rate, SimTime horizon_s) {
@@ -126,14 +160,15 @@ SimulationEngine::SimulationEngine(const Dataflow& dataflow,
   config_.validate();
   sigma_ = config_.sigma_override >= 0.0
                ? config_.sigma_override
-               : deriveSigma(dataflow, config_.mean_rate, config_.horizon_s);
+               : deriveSigma(dataflow, config_.workload.mean_rate,
+                             config_.horizon_s);
 }
 
 ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
   const Dataflow& df = *dataflow_;
   CloudProvider cloud(catalogByName(config_.catalog));
   TraceReplayer replayer =
-      config_.infra_variability
+      config_.workload.infra_variability
           ? TraceReplayer::futureGridLike(config_.seed)
           : TraceReplayer::ideal();
   PlacementConfig placement_cfg;
@@ -153,7 +188,7 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
       faults.perturbsPerformance() ? &faults : nullptr);
 
   SimConfig sim_cfg;
-  sim_cfg.msg_size_bytes = config_.msg_size_bytes;
+  sim_cfg.msg_size_bytes = config_.workload.msg_size_bytes;
   sim_cfg.interval_s = config_.interval_s;
 
   ProbeHistory probes(monitor, config_.power_smoothing_alpha);
@@ -166,66 +201,21 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
   env.omega_target = config_.omega_target;
   env.epsilon = config_.epsilon;
 
-  HeuristicOptions opts;
-  opts.alternate_period = config_.alternate_period;
-  opts.resource_period = config_.resource_period;
-  if (config_.cheapest_class_acquisition) {
-    opts.acquisition =
-        ResourceAllocator::AcquisitionPolicy::CheapestPower;
-  }
-  opts.max_queue_delay_s = config_.max_queue_delay_s;
-  opts.resilience = resilienceOptionsOf(config_);
+  SchedulerTuning tuning;
+  tuning.sigma = sigma_;
+  tuning.horizon_s = config_.horizon_s;
+  tuning.seed = config_.seed;
+  tuning.alternate_period = config_.alternate_period;
+  tuning.resource_period = config_.resource_period;
+  tuning.cheapest_class_acquisition = config_.cheapest_class_acquisition;
+  tuning.max_queue_delay_s = config_.max_queue_delay_s;
+  tuning.resilience = resilienceOptionsOf(config_);
 
-  std::unique_ptr<Scheduler> scheduler;
-  switch (kind) {
-    case SchedulerKind::LocalAdaptive:
-      scheduler = std::make_unique<HeuristicScheduler>(env, Strategy::Local,
-                                                       opts);
-      break;
-    case SchedulerKind::GlobalAdaptive:
-      scheduler = std::make_unique<HeuristicScheduler>(env, Strategy::Global,
-                                                       opts);
-      break;
-    case SchedulerKind::LocalStatic:
-      opts.adaptive = false;
-      scheduler = std::make_unique<HeuristicScheduler>(env, Strategy::Local,
-                                                       opts);
-      break;
-    case SchedulerKind::GlobalStatic:
-      opts.adaptive = false;
-      scheduler = std::make_unique<HeuristicScheduler>(env, Strategy::Global,
-                                                       opts);
-      break;
-    case SchedulerKind::LocalAdaptiveNoDyn:
-      opts.use_dynamism = false;
-      scheduler = std::make_unique<HeuristicScheduler>(env, Strategy::Local,
-                                                       opts);
-      break;
-    case SchedulerKind::GlobalAdaptiveNoDyn:
-      opts.use_dynamism = false;
-      scheduler = std::make_unique<HeuristicScheduler>(env, Strategy::Global,
-                                                       opts);
-      break;
-    case SchedulerKind::BruteForceStatic:
-      scheduler = std::make_unique<BruteForceScheduler>(env, sigma_,
-                                                        config_.horizon_s);
-      break;
-    case SchedulerKind::ReactiveBaseline:
-      scheduler = std::make_unique<ReactiveAutoscaler>(env);
-      break;
-    case SchedulerKind::AnnealingStatic: {
-      AnnealingOptions ann;
-      ann.seed = config_.seed;
-      scheduler = std::make_unique<AnnealingScheduler>(env, sigma_,
-                                                       config_.horizon_s,
-                                                       ann);
-      break;
-    }
-  }
+  std::unique_ptr<Scheduler> scheduler = makeScheduler(kind, env, tuning);
 
-  const auto profile = makeProfile(config_.profile, config_.mean_rate,
-                                   config_.horizon_s, config_.seed ^
-                                       0x5bd1e995u);
+  const auto profile =
+      makeProfile(config_.workload.profile, config_.workload.mean_rate,
+                  config_.horizon_s, config_.seed ^ 0x5bd1e995u);
   const IntervalClock clock(config_.interval_s, config_.horizon_s);
 
   // Initial deployment sees the estimated rate — the profile's value at t0.
@@ -233,7 +223,7 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
 
   if (config_.backend == SimBackend::Event) {
     EventSimConfig ev_cfg;
-    ev_cfg.msg_size_bytes = config_.msg_size_bytes;
+    ev_cfg.msg_size_bytes = config_.workload.msg_size_bytes;
     ev_cfg.interval_s = config_.interval_s;
     ev_cfg.horizon_s = config_.horizon_s;
     ev_cfg.seed = config_.seed ^ 0xe7e9ull;

@@ -1,0 +1,162 @@
+#include "dds/exp/campaign.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <future>
+
+#include "dds/common/json.hpp"
+#include "dds/common/thread_pool.hpp"
+
+namespace dds {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Execute one job, capturing success or failure into the outcome.
+JobOutcome runJob(const ExperimentJob& job, std::size_t index) {
+  JobOutcome out;
+  out.index = index;
+  out.label = job.label.empty() ? schedulerName(job.kind) : job.label;
+  out.kind = job.kind;
+  out.seed = job.config.seed;
+  const auto start = Clock::now();
+  try {
+    out.result = SimulationEngine(*job.dataflow, job.config).run(job.kind);
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.wall_s = secondsSince(start);
+  return out;
+}
+
+}  // namespace
+
+std::size_t Campaign::add(ExperimentJob job) {
+  DDS_REQUIRE(job.dataflow != nullptr, "campaign job needs a dataflow");
+  job.config.validate();
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+void Campaign::addPolicySweep(const Dataflow& dataflow,
+                              const ExperimentConfig& base,
+                              const std::vector<SchedulerKind>& kinds) {
+  for (const SchedulerKind kind : kinds) {
+    add({&dataflow, base, kind, ""});
+  }
+}
+
+void Campaign::addSeedSweep(const Dataflow& dataflow,
+                            const ExperimentConfig& base, SchedulerKind kind,
+                            std::size_t runs) {
+  DDS_REQUIRE(runs >= 1, "need at least one run");
+  for (std::size_t i = 0; i < runs; ++i) {
+    ExperimentConfig cfg = base;
+    cfg.seed = base.seed + i;
+    add({&dataflow, cfg, kind, ""});
+  }
+}
+
+std::size_t CampaignResult::failureCount() const {
+  std::size_t n = 0;
+  for (const JobOutcome& o : outcomes) {
+    if (!o.ok) ++n;
+  }
+  return n;
+}
+
+void CampaignResult::throwIfAnyFailed() const {
+  for (const JobOutcome& o : outcomes) {
+    if (!o.ok) {
+      throw PreconditionError("campaign job '" + o.label +
+                              "' failed: " + o.error);
+    }
+  }
+}
+
+CampaignResult runCampaign(const Campaign& campaign,
+                           const RunnerOptions& options) {
+  const std::size_t workers =
+      options.jobs == 0 ? ThreadPool::hardwareConcurrency() : options.jobs;
+  CampaignResult result;
+  result.jobs_used = workers;
+  result.outcomes.reserve(campaign.size());
+  const auto start = Clock::now();
+
+  if (workers <= 1 || campaign.size() <= 1) {
+    // Serial reference path: no pool, same code path per job.
+    for (std::size_t i = 0; i < campaign.size(); ++i) {
+      result.outcomes.push_back(runJob(campaign.jobs()[i], i));
+    }
+    result.jobs_used = 1;
+    result.wall_s = secondsSince(start);
+    return result;
+  }
+
+  ThreadPool pool(workers);
+  std::vector<std::future<JobOutcome>> futures;
+  futures.reserve(campaign.size());
+  for (std::size_t i = 0; i < campaign.size(); ++i) {
+    const ExperimentJob* job = &campaign.jobs()[i];
+    futures.push_back(pool.submit([job, i]() { return runJob(*job, i); }));
+  }
+  // Collect in submission order — completion order never leaks into the
+  // result, which is what makes parallel output bit-identical to serial.
+  for (auto& future : futures) {
+    result.outcomes.push_back(future.get());
+  }
+  result.wall_s = secondsSince(start);
+  return result;
+}
+
+std::string campaignJson(const CampaignResult& result,
+                         const std::string& name) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("name").value(name);
+  w.key("jobs_used").value(result.jobs_used);
+  w.key("wall_s").value(result.wall_s);
+  w.key("job_count").value(result.outcomes.size());
+  w.key("failures").value(result.failureCount());
+  w.key("runs").beginArray();
+  for (const JobOutcome& o : result.outcomes) {
+    w.beginObject();
+    w.key("index").value(o.index);
+    w.key("label").value(o.label);
+    w.key("scheduler").value(schedulerName(o.kind));
+    w.key("seed").value(o.seed);
+    w.key("ok").value(o.ok);
+    w.key("wall_s").value(o.wall_s);
+    if (o.ok) {
+      w.key("omega").value(o.result.average_omega);
+      w.key("gamma").value(o.result.average_gamma);
+      w.key("cost").value(o.result.total_cost);
+      w.key("theta").value(o.result.theta);
+      w.key("constraint_met").value(o.result.constraint_met);
+      w.key("peak_vms").value(o.result.peak_vms);
+      w.key("peak_cores").value(o.result.peak_cores);
+      w.key("intervals").value(o.result.run.intervals().size());
+    } else {
+      w.key("error").value(o.error);
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+void saveCampaignJson(const std::string& path, const CampaignResult& result,
+                      const std::string& name) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << campaignJson(result, name);
+  if (!out) throw IoError("failed writing: " + path);
+}
+
+}  // namespace dds

@@ -9,7 +9,7 @@
 
 namespace dds {
 
-FailureInjector::FailureInjector(FaultConfig config) : config_(config) {}
+FailureInjector::FailureInjector(FailureInjectorConfig config) : config_(config) {}
 
 SimTime FailureInjector::deathTime(VmId vm, SimTime t_start) const {
   if (!config_.enabled()) {

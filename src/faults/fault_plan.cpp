@@ -75,7 +75,7 @@ void FaultPlanConfig::validate() const {
 
 FaultPlan::FaultPlan(FaultPlanConfig config)
     : config_(config),
-      crashes_(FaultConfig{config.vm_mtbf_hours, config.seed}) {
+      crashes_(FailureInjectorConfig{config.vm_mtbf_hours, config.seed}) {
   config_.validate();
 }
 

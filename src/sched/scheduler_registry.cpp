@@ -1,0 +1,112 @@
+// The scheduler registry: names, parsing and construction for every
+// concrete policy. Adding a SchedulerKind is a change to this file (plus
+// the enum) — engine, tools and bench code go through the factory.
+#include <sstream>
+
+#include "dds/sched/annealing_planner.hpp"
+#include "dds/sched/brute_force.hpp"
+#include "dds/sched/heuristic_scheduler.hpp"
+#include "dds/sched/reactive_autoscaler.hpp"
+#include "dds/sched/scheduler.hpp"
+
+namespace dds {
+
+std::string schedulerName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::LocalAdaptive:
+      return "local";
+    case SchedulerKind::GlobalAdaptive:
+      return "global";
+    case SchedulerKind::LocalStatic:
+      return "local-static";
+    case SchedulerKind::GlobalStatic:
+      return "global-static";
+    case SchedulerKind::LocalAdaptiveNoDyn:
+      return "local-nodyn";
+    case SchedulerKind::GlobalAdaptiveNoDyn:
+      return "global-nodyn";
+    case SchedulerKind::BruteForceStatic:
+      return "brute-force-static";
+    case SchedulerKind::ReactiveBaseline:
+      return "reactive-autoscaler";
+    case SchedulerKind::AnnealingStatic:
+      return "annealing-static";
+  }
+  return "unknown";
+}
+
+const std::vector<SchedulerKind>& allSchedulerKinds() {
+  static const std::vector<SchedulerKind> kKinds = {
+      SchedulerKind::LocalAdaptive,      SchedulerKind::GlobalAdaptive,
+      SchedulerKind::LocalStatic,        SchedulerKind::GlobalStatic,
+      SchedulerKind::LocalAdaptiveNoDyn, SchedulerKind::GlobalAdaptiveNoDyn,
+      SchedulerKind::BruteForceStatic,   SchedulerKind::ReactiveBaseline,
+      SchedulerKind::AnnealingStatic};
+  return kKinds;
+}
+
+SchedulerKind parseSchedulerKind(const std::string& name) {
+  for (const SchedulerKind kind : allSchedulerKinds()) {
+    if (schedulerName(kind) == name) return kind;
+  }
+  throw PreconditionError("unknown scheduler name: '" + name + "'");
+}
+
+namespace {
+
+HeuristicOptions heuristicOptionsOf(const SchedulerTuning& tuning) {
+  HeuristicOptions opts;
+  opts.alternate_period = tuning.alternate_period;
+  opts.resource_period = tuning.resource_period;
+  if (tuning.cheapest_class_acquisition) {
+    opts.acquisition = ResourceAllocator::AcquisitionPolicy::CheapestPower;
+  }
+  opts.max_queue_delay_s = tuning.max_queue_delay_s;
+  opts.resilience = tuning.resilience;
+  return opts;
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind,
+                                         const SchedulerEnv& env,
+                                         const SchedulerTuning& tuning) {
+  HeuristicOptions opts = heuristicOptionsOf(tuning);
+  switch (kind) {
+    case SchedulerKind::LocalAdaptive:
+      return std::make_unique<HeuristicScheduler>(env, Strategy::Local, opts);
+    case SchedulerKind::GlobalAdaptive:
+      return std::make_unique<HeuristicScheduler>(env, Strategy::Global,
+                                                  opts);
+    case SchedulerKind::LocalStatic:
+      opts.adaptive = false;
+      return std::make_unique<HeuristicScheduler>(env, Strategy::Local, opts);
+    case SchedulerKind::GlobalStatic:
+      opts.adaptive = false;
+      return std::make_unique<HeuristicScheduler>(env, Strategy::Global,
+                                                  opts);
+    case SchedulerKind::LocalAdaptiveNoDyn:
+      opts.use_dynamism = false;
+      return std::make_unique<HeuristicScheduler>(env, Strategy::Local, opts);
+    case SchedulerKind::GlobalAdaptiveNoDyn:
+      opts.use_dynamism = false;
+      return std::make_unique<HeuristicScheduler>(env, Strategy::Global,
+                                                  opts);
+    case SchedulerKind::BruteForceStatic:
+      return std::make_unique<BruteForceScheduler>(env, tuning.sigma,
+                                                   tuning.horizon_s);
+    case SchedulerKind::ReactiveBaseline:
+      return std::make_unique<ReactiveAutoscaler>(env);
+    case SchedulerKind::AnnealingStatic: {
+      AnnealingOptions ann;
+      ann.seed = tuning.seed;
+      return std::make_unique<AnnealingScheduler>(env, tuning.sigma,
+                                                  tuning.horizon_s, ann);
+    }
+  }
+  std::ostringstream os;
+  os << "makeScheduler: unhandled SchedulerKind " << static_cast<int>(kind);
+  throw PreconditionError(os.str());
+}
+
+}  // namespace dds

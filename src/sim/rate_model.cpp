@@ -2,13 +2,14 @@
 
 namespace dds {
 
-std::vector<double> expectedArrivalRates(const Dataflow& df,
-                                         const Deployment& deployment,
-                                         double input_rate) {
+void expectedArrivalRatesInto(const Dataflow& df,
+                              const Deployment& deployment,
+                              double input_rate,
+                              std::vector<double>& arrival) {
   DDS_REQUIRE(input_rate >= 0.0, "input rate must be non-negative");
   DDS_REQUIRE(deployment.peCount() == df.peCount(),
               "deployment does not match dataflow");
-  std::vector<double> arrival(df.peCount(), 0.0);
+  arrival.assign(df.peCount(), 0.0);
   for (const PeId pe : df.topologicalOrder()) {
     if (df.isInput(pe)) {
       arrival[pe.value()] = input_rate;
@@ -21,17 +22,30 @@ std::vector<double> expectedArrivalRates(const Dataflow& df,
       arrival[pe.value()] = sum;
     }
   }
+}
+
+std::vector<double> expectedArrivalRates(const Dataflow& df,
+                                         const Deployment& deployment,
+                                         double input_rate) {
+  std::vector<double> arrival;
+  expectedArrivalRatesInto(df, deployment, input_rate, arrival);
   return arrival;
+}
+
+void expectedOutputRatesInto(const Dataflow& df, const Deployment& deployment,
+                             double input_rate, std::vector<double>& rates) {
+  expectedArrivalRatesInto(df, deployment, input_rate, rates);
+  for (const auto& pe : df.pes()) {
+    const auto& alt = pe.alternate(deployment.activeAlternate(pe.id()));
+    rates[pe.id().value()] *= alt.selectivity;
+  }
 }
 
 std::vector<double> expectedOutputRates(const Dataflow& df,
                                         const Deployment& deployment,
                                         double input_rate) {
-  auto rates = expectedArrivalRates(df, deployment, input_rate);
-  for (const auto& pe : df.pes()) {
-    const auto& alt = pe.alternate(deployment.activeAlternate(pe.id()));
-    rates[pe.id().value()] *= alt.selectivity;
-  }
+  std::vector<double> rates;
+  expectedOutputRatesInto(df, deployment, input_rate, rates);
   return rates;
 }
 

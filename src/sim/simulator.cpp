@@ -9,50 +9,11 @@
 namespace dds {
 namespace {
 
-/// How much of edge (u -> v)'s flow can actually be delivered per second.
-/// The fraction of u's processing power on VMs that also host v moves
-/// in-memory (uncapped); the rest crosses the network and is capped by the
-/// observed bandwidth from each of u's VMs to the nearest of v's VMs.
-double deliverableRate(double flow_rate, PeId u, PeId v,
-                       const CloudProvider& cloud,
-                       const MonitoringService& mon, const SimConfig& cfg,
-                       SimTime t) {
-  if (flow_rate <= 0.0) return 0.0;
-  const auto u_cores = peCores(cloud, u);
-  const auto v_cores = peCores(cloud, v);
-  if (u_cores.empty() || v_cores.empty()) {
-    // An unplaced endpoint cannot move data; deliver nothing.
-    return 0.0;
-  }
+constexpr double kUnqueried = std::numeric_limits<double>::quiet_NaN();
 
-  double total_power = 0.0;
-  double colocated_power = 0.0;
-  double remote_cap_msgs = 0.0;
-  for (const auto& uc : u_cores) {
-    const double p = static_cast<double>(uc.cores) *
-                     mon.observedCorePower(uc.vm, t);
-    total_power += p;
-    bool colocated = false;
-    double best_mbps = 0.0;
-    for (const auto& vc : v_cores) {
-      if (vc.vm == uc.vm) {
-        colocated = true;
-        break;
-      }
-      best_mbps =
-          std::max(best_mbps, mon.observedBandwidthMbps(uc.vm, vc.vm, t));
-    }
-    if (colocated) {
-      colocated_power += p;
-    } else {
-      remote_cap_msgs += cfg.linkMsgsPerSec(best_mbps);
-    }
-  }
-  if (total_power <= 0.0) return flow_rate;  // degenerate: treat as local
-  const double colocated_fraction = colocated_power / total_power;
-  const double local_part = flow_rate * colocated_fraction;
-  const double remote_part = flow_rate - local_part;
-  return local_part + std::min(remote_part, remote_cap_msgs);
+std::uint64_t directionalPairKey(VmId a, VmId b) {
+  return (static_cast<std::uint64_t>(a.value()) << 32) |
+         static_cast<std::uint64_t>(b.value());
 }
 
 }  // namespace
@@ -66,7 +27,9 @@ DataflowSimulator::DataflowSimulator(const Dataflow& df,
       mon_(&mon),
       cfg_(cfg),
       backlog_(df.peCount(), 0.0),
-      in_transit_(df.peCount(), 0.0) {
+      in_transit_(df.peCount(), 0.0),
+      pe_cores_(df.peCount()),
+      output_rate_(df.peCount(), 0.0) {
   DDS_REQUIRE(cfg_.msg_size_bytes > 0.0, "message size must be positive");
   DDS_REQUIRE(cfg_.interval_s > 0.0, "interval length must be positive");
 }
@@ -95,6 +58,96 @@ double DataflowSimulator::dropBacklog(PeId pe, double fraction) {
   return dropped;
 }
 
+void DataflowSimulator::beginInterval(SimTime t_mid) {
+  t_mid_ = t_mid;
+  for (auto& cores : pe_cores_) cores.clear();
+  // One pass over the ledger replaces the per-edge-endpoint scans of the
+  // naive formulation: O(total cores) instead of O(edges x VMs x cores).
+  // Each (PE, VM) pair must yield exactly one VmCores entry, in VM-id
+  // order, to match peCores() — a fragmented VM split into two entries
+  // would double-count the remote bandwidth cap in deliverableRate().
+  for (std::size_t i = 0; i < cloud_->instanceCount(); ++i) {
+    const VmId id(static_cast<VmId::value_type>(i));
+    const VmInstance& vm = cloud_->instance(id);
+    if (!vm.isActive()) continue;
+    vm_pe_scratch_.clear();
+    for (int core = 0; core < vm.coreCount(); ++core) {
+      const std::optional<PeId> owner = vm.coreOwner(core);
+      if (!owner.has_value()) continue;
+      bool found = false;
+      for (auto& [pe, count] : vm_pe_scratch_) {
+        if (pe == *owner) {
+          ++count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) vm_pe_scratch_.emplace_back(*owner, 1);
+    }
+    for (const auto& [pe, count] : vm_pe_scratch_) {
+      pe_cores_[pe.value()].push_back({id, count});
+    }
+  }
+  cpu_power_memo_.assign(cloud_->instanceCount(), kUnqueried);
+  bandwidth_memo_.clear();
+}
+
+double DataflowSimulator::corePowerAt(VmId vm) {
+  double& memo = cpu_power_memo_[vm.value()];
+  if (std::isnan(memo)) memo = mon_->observedCorePower(vm, t_mid_);
+  return memo;
+}
+
+double DataflowSimulator::bandwidthAt(VmId a, VmId b) {
+  const std::uint64_t key = directionalPairKey(a, b);
+  const auto it = bandwidth_memo_.find(key);
+  if (it != bandwidth_memo_.end()) return it->second;
+  const double mbps = mon_->observedBandwidthMbps(a, b, t_mid_);
+  bandwidth_memo_.emplace(key, mbps);
+  return mbps;
+}
+
+/// How much of edge (u -> v)'s flow can actually be delivered per second.
+/// The fraction of u's processing power on VMs that also host v moves
+/// in-memory (uncapped); the rest crosses the network and is capped by the
+/// observed bandwidth from each of u's VMs to the nearest of v's VMs.
+double DataflowSimulator::deliverableRate(double flow_rate, PeId u, PeId v) {
+  if (flow_rate <= 0.0) return 0.0;
+  const auto& u_cores = pe_cores_[u.value()];
+  const auto& v_cores = pe_cores_[v.value()];
+  if (u_cores.empty() || v_cores.empty()) {
+    // An unplaced endpoint cannot move data; deliver nothing.
+    return 0.0;
+  }
+
+  double total_power = 0.0;
+  double colocated_power = 0.0;
+  double remote_cap_msgs = 0.0;
+  for (const auto& uc : u_cores) {
+    const double p = static_cast<double>(uc.cores) * corePowerAt(uc.vm);
+    total_power += p;
+    bool colocated = false;
+    double best_mbps = 0.0;
+    for (const auto& vc : v_cores) {
+      if (vc.vm == uc.vm) {
+        colocated = true;
+        break;
+      }
+      best_mbps = std::max(best_mbps, bandwidthAt(uc.vm, vc.vm));
+    }
+    if (colocated) {
+      colocated_power += p;
+    } else {
+      remote_cap_msgs += cfg_.linkMsgsPerSec(best_mbps);
+    }
+  }
+  if (total_power <= 0.0) return flow_rate;  // degenerate: treat as local
+  const double colocated_fraction = colocated_power / total_power;
+  const double local_part = flow_rate * colocated_fraction;
+  const double remote_part = flow_rate - local_part;
+  return local_part + std::min(remote_part, remote_cap_msgs);
+}
+
 IntervalMetrics DataflowSimulator::step(IntervalIndex index,
                                         double input_rate,
                                         const Deployment& deployment) {
@@ -103,7 +156,7 @@ IntervalMetrics DataflowSimulator::step(IntervalIndex index,
               "deployment does not match dataflow");
   const SimTime dt = cfg_.interval_s;
   const SimTime t_start = static_cast<SimTime>(index) * dt;
-  const SimTime t_mid = t_start + 0.5 * dt;
+  beginInterval(t_start + 0.5 * dt);
   const std::size_t n = df_->peCount();
 
   IntervalMetrics m;
@@ -112,7 +165,7 @@ IntervalMetrics DataflowSimulator::step(IntervalIndex index,
   m.input_rate = input_rate;
   m.pe_stats.resize(n);
 
-  std::vector<double> output_rate(n, 0.0);
+  std::fill(output_rate_.begin(), output_rate_.end(), 0.0);
   for (const PeId pe : df_->topologicalOrder()) {
     const std::size_t i = pe.value();
     PeIntervalStats& st = m.pe_stats[i];
@@ -124,8 +177,7 @@ IntervalMetrics DataflowSimulator::step(IntervalIndex index,
       arrival = input_rate;
     } else {
       for (const PeId u : df_->predecessors(pe)) {
-        arrival += deliverableRate(output_rate[u.value()], u, pe, *cloud_,
-                                   *mon_, cfg_, t_mid);
+        arrival += deliverableRate(output_rate_[u.value()], u, pe);
       }
     }
     st.arrival_rate = arrival;
@@ -138,10 +190,15 @@ IntervalMetrics DataflowSimulator::step(IntervalIndex index,
     st.offered_rate = available_msgs / dt;
 
     const auto& alt = df_->pe(pe).alternate(deployment.activeAlternate(pe));
-    const double power = observedPowerOf(*cloud_, *mon_, pe, t_mid);
+    double power = 0.0;
+    int cores = 0;
+    for (const auto& vc : pe_cores_[i]) {
+      power += static_cast<double>(vc.cores) * corePowerAt(vc.vm);
+      cores += vc.cores;
+    }
     const double capacity_rate = power / alt.cost_core_sec;
     st.capacity_rate = capacity_rate;
-    st.allocated_cores = totalCores(*cloud_, pe);
+    st.allocated_cores = cores;
 
     const double processed_msgs =
         std::min(available_msgs, capacity_rate * dt);
@@ -151,19 +208,19 @@ IntervalMetrics DataflowSimulator::step(IntervalIndex index,
     st.relative_throughput =
         available_msgs > 0.0 ? processed_msgs / available_msgs : 1.0;
 
-    output_rate[i] = processed_msgs * alt.selectivity / dt;
-    st.output_rate = output_rate[i];
+    output_rate_[i] = processed_msgs * alt.selectivity / dt;
+    st.output_rate = output_rate_[i];
   }
 
   // Omega(t), Def. 4: mean over output PEs of observed / expected output
   // rate, where "expected" assumes infinite capacity at the current input
   // rate and alternates. Clamped to (0, 1].
-  const auto expected = expectedOutputRates(*df_, deployment, input_rate);
+  expectedOutputRatesInto(*df_, deployment, input_rate, expected_rate_);
   double omega_sum = 0.0;
   for (const PeId o : df_->outputs()) {
-    const double exp_rate = expected[o.value()];
+    const double exp_rate = expected_rate_[o.value()];
     const double ratio =
-        exp_rate > 0.0 ? output_rate[o.value()] / exp_rate : 1.0;
+        exp_rate > 0.0 ? output_rate_[o.value()] / exp_rate : 1.0;
     omega_sum += std::clamp(ratio, 0.0, 1.0);
   }
   m.omega = omega_sum / static_cast<double>(df_->outputs().size());
@@ -177,7 +234,11 @@ IntervalMetrics DataflowSimulator::step(IntervalIndex index,
 
   m.cost_cumulative = cloud_->accumulatedCost(t_start + dt);
   m.active_vms = static_cast<int>(cloud_->activeVms().size());
-  m.allocated_cores = totalAllocatedCores(*cloud_);
+  int total_cores = 0;
+  for (const auto& cores : pe_cores_) {
+    for (const auto& vc : cores) total_cores += vc.cores;
+  }
+  m.allocated_cores = total_cores;
   return m;
 }
 

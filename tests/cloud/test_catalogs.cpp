@@ -50,7 +50,7 @@ TEST(Catalogs, EngineRunsOnEveryCatalog) {
   for (const std::string name : {"m1", "m3", "mixed"}) {
     ExperimentConfig cfg;
     cfg.horizon_s = 30.0 * kSecondsPerMinute;
-    cfg.mean_rate = 10.0;
+    cfg.workload.mean_rate = 10.0;
     cfg.catalog = name;
     const auto r =
         SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
@@ -65,7 +65,7 @@ TEST(Catalogs, CoarseCatalogCostsMoreAtTinyRates) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = kSecondsPerHour;
-  cfg.mean_rate = 2.0;
+  cfg.workload.mean_rate = 2.0;
   cfg.catalog = "m1";
   const auto fine =
       SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
@@ -79,7 +79,7 @@ TEST(Catalogs, CheapestPowerAcquisitionFixesMixedMenu) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = kSecondsPerHour;
-  cfg.mean_rate = 20.0;
+  cfg.workload.mean_rate = 20.0;
   cfg.catalog = "mixed";
   const auto largest_first =
       SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
@@ -98,7 +98,7 @@ TEST(Catalogs, CheapestPowerIsNoOpOnUniformPricing) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = kSecondsPerHour;
-  cfg.mean_rate = 10.0;
+  cfg.workload.mean_rate = 10.0;
   const auto a = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
   cfg.cheapest_class_acquisition = true;
   const auto b = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);

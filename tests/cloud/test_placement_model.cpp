@@ -114,7 +114,7 @@ TEST(PlacementModel, EngineRunsWithPlacementEnabled) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = 30.0 * kSecondsPerMinute;
-  cfg.mean_rate = 10.0;
+  cfg.workload.mean_rate = 10.0;
   cfg.placement_racks = 4;
   const auto r = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
   EXPECT_TRUE(r.constraint_met) << r.average_omega;

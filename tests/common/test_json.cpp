@@ -1,0 +1,79 @@
+#include "dds/common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace dds {
+namespace {
+
+TEST(JsonEscape, EscapesControlQuotesAndBackslash) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.beginObject().endObject();
+  EXPECT_EQ(w.str(), "{}\n");
+  JsonWriter a;
+  a.beginArray().endArray();
+  EXPECT_EQ(a.str(), "[]\n");
+}
+
+TEST(JsonWriter, NestedDocumentIsIndentedDeterministically) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("name").value("x");
+  w.key("count").value(2);
+  w.key("ok").value(true);
+  w.key("items").beginArray();
+  w.value(1.5);
+  w.null();
+  w.endArray();
+  w.endObject();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"name\": \"x\",\n"
+            "  \"count\": 2,\n"
+            "  \"ok\": true,\n"
+            "  \"items\": [\n"
+            "    1.5,\n"
+            "    null\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(JsonWriter, DoublesRoundTripShortest) {
+  JsonWriter w;
+  w.beginArray();
+  w.value(0.1);
+  w.value(1.0 / 3.0);
+  w.value(42.0);
+  w.endArray();
+  const std::string out = w.str();
+  EXPECT_NE(out.find("0.1"), std::string::npos);
+  EXPECT_NE(out.find("0.333333333333333"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.beginArray();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.endArray();
+  EXPECT_EQ(w.str(), "[\n  null,\n  null\n]\n");
+}
+
+TEST(JsonWriter, StrRequiresClosedContainers) {
+  JsonWriter w;
+  w.beginObject();
+  EXPECT_THROW((void)w.str(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dds

@@ -100,11 +100,11 @@ TEST(ExperimentFromConfig, AppliesValuesAndDefaults) {
   ASSERT_EQ(ex.schedulers.size(), 2u);
   EXPECT_EQ(ex.schedulers[0], SchedulerKind::LocalAdaptive);
   EXPECT_EQ(ex.schedulers[1], SchedulerKind::GlobalAdaptive);
-  EXPECT_DOUBLE_EQ(ex.config.mean_rate, 25.0);
-  EXPECT_EQ(ex.config.profile, ProfileKind::RandomWalk);
+  EXPECT_DOUBLE_EQ(ex.config.workload.mean_rate, 25.0);
+  EXPECT_EQ(ex.config.workload.profile, ProfileKind::RandomWalk);
   EXPECT_DOUBLE_EQ(ex.config.horizon_s, 3.0 * kSecondsPerHour);
   EXPECT_DOUBLE_EQ(ex.config.omega_target, 0.8);
-  EXPECT_DOUBLE_EQ(ex.config.vm_mtbf_hours, 12.0);
+  EXPECT_DOUBLE_EQ(ex.config.faults.vm_mtbf_hours, 12.0);
   // Untouched defaults survive.
   EXPECT_DOUBLE_EQ(ex.config.interval_s, 60.0);
 }
@@ -180,19 +180,19 @@ TEST(ExperimentFromConfig, ParsesFaultAndResilienceKeys) {
       "acq_backoff_s = 45\n"
       "graceful_degradation = true\n"));
   const auto& cfg = ex.config;
-  EXPECT_DOUBLE_EQ(cfg.vm_mtbf_hours, 2.5);
-  EXPECT_DOUBLE_EQ(cfg.straggler_mtbf_hours, 1.5);
-  EXPECT_DOUBLE_EQ(cfg.straggler_factor, 0.25);
-  EXPECT_DOUBLE_EQ(cfg.straggler_duration_s, 450.0);
-  EXPECT_DOUBLE_EQ(cfg.acquisition_failure_prob, 0.1);
-  EXPECT_DOUBLE_EQ(cfg.provisioning_delay_s, 75.0);
-  EXPECT_DOUBLE_EQ(cfg.partition_mtbf_hours, 3.0);
-  EXPECT_DOUBLE_EQ(cfg.partition_duration_s, 90.0);
-  EXPECT_DOUBLE_EQ(cfg.straggler_quarantine_threshold, 0.55);
-  EXPECT_EQ(cfg.straggler_quarantine_probes, 4);
-  EXPECT_EQ(cfg.acquisition_max_retries, 2);
-  EXPECT_DOUBLE_EQ(cfg.acquisition_backoff_s, 45.0);
-  EXPECT_TRUE(cfg.graceful_degradation);
+  EXPECT_DOUBLE_EQ(cfg.faults.vm_mtbf_hours, 2.5);
+  EXPECT_DOUBLE_EQ(cfg.faults.straggler_mtbf_hours, 1.5);
+  EXPECT_DOUBLE_EQ(cfg.faults.straggler_factor, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.faults.straggler_duration_s, 450.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.acquisition_failure_prob, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.faults.provisioning_delay_s, 75.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.partition_mtbf_hours, 3.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.partition_duration_s, 90.0);
+  EXPECT_DOUBLE_EQ(cfg.resilience.quarantine_threshold, 0.55);
+  EXPECT_EQ(cfg.resilience.quarantine_probes, 4);
+  EXPECT_EQ(cfg.resilience.acquisition_max_retries, 2);
+  EXPECT_DOUBLE_EQ(cfg.resilience.acquisition_backoff_s, 45.0);
+  EXPECT_TRUE(cfg.resilience.graceful_degradation);
 }
 
 TEST(ExperimentFromConfig, RejectsInvalidFaultKnobValues) {
@@ -203,6 +203,80 @@ TEST(ExperimentFromConfig, RejectsInvalidFaultKnobValues) {
   EXPECT_THROW((void)experimentFromConfig(
                    KeyValueConfig::parse("acq_failure_prob = 1.0\n")),
                PreconditionError);
+}
+
+TEST(ExperimentFromConfig, NestedKeysAreCanonical) {
+  std::vector<std::string> notes;
+  const auto ex = experimentFromConfig(
+      KeyValueConfig::parse("workload.mean_rate = 12\n"
+                            "workload.profile = wave\n"
+                            "workload.infra_variability = true\n"
+                            "fault.vm_mtbf_h = 2\n"
+                            "resilience.quarantine_threshold = 0.5\n"),
+      &notes);
+  EXPECT_DOUBLE_EQ(ex.config.workload.mean_rate, 12.0);
+  EXPECT_EQ(ex.config.workload.profile, ProfileKind::PeriodicWave);
+  EXPECT_TRUE(ex.config.workload.infra_variability);
+  EXPECT_DOUBLE_EQ(ex.config.faults.vm_mtbf_hours, 2.0);
+  EXPECT_DOUBLE_EQ(ex.config.resilience.quarantine_threshold, 0.5);
+  // Canonical spellings produce no deprecation chatter.
+  EXPECT_TRUE(notes.empty());
+}
+
+TEST(ExperimentFromConfig, FlatAliasesStillWorkAndAreNoted) {
+  std::vector<std::string> notes;
+  const auto ex = experimentFromConfig(
+      KeyValueConfig::parse("mean_rate = 9\n"
+                            "vm_mtbf_h = 4\n"),
+      &notes);
+  EXPECT_DOUBLE_EQ(ex.config.workload.mean_rate, 9.0);
+  EXPECT_DOUBLE_EQ(ex.config.faults.vm_mtbf_hours, 4.0);
+  ASSERT_EQ(notes.size(), 2u);
+  EXPECT_NE(notes[0].find("'mean_rate' is deprecated"), std::string::npos)
+      << notes[0];
+  EXPECT_NE(notes[0].find("workload.mean_rate"), std::string::npos);
+  EXPECT_NE(notes[1].find("'vm_mtbf_h' is deprecated"), std::string::npos);
+}
+
+TEST(ExperimentFromConfig, BothSpellingsOfOneKnobIsAnError) {
+  try {
+    (void)experimentFromConfig(
+        KeyValueConfig::parse("mean_rate = 9\n"
+                              "workload.mean_rate = 10\n"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mean_rate"), std::string::npos) << what;
+    EXPECT_NE(what.find("aliases"), std::string::npos) << what;
+  }
+}
+
+TEST(ExperimentConfigValidate, ReportsAllErrorsAtOnce) {
+  ExperimentConfig cfg;
+  cfg.horizon_s = -1.0;                     // error 1
+  cfg.interval_s = 0.0;                     // error 2
+  cfg.omega_target = 1.5;                   // error 3
+  cfg.workload.mean_rate = -2.0;            // error 4
+  cfg.faults.straggler_factor = 1.5;        // error 5
+  try {
+    cfg.validate();
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("5 errors"), std::string::npos) << what;
+    EXPECT_NE(what.find("horizon"), std::string::npos) << what;
+    EXPECT_NE(what.find("interval"), std::string::npos) << what;
+    EXPECT_NE(what.find("omega"), std::string::npos) << what;
+    EXPECT_NE(what.find("rate"), std::string::npos) << what;
+    EXPECT_NE(what.find("straggler"), std::string::npos) << what;
+  }
+  EXPECT_EQ(cfg.validationErrors().size(), 5u);
+}
+
+TEST(ExperimentConfigValidate, CleanConfigHasNoErrors) {
+  const ExperimentConfig cfg;
+  EXPECT_TRUE(cfg.validationErrors().empty());
+  EXPECT_NO_THROW(cfg.validate());
 }
 
 TEST(ExperimentFromConfig, ShippedExampleConfParses) {

@@ -11,7 +11,7 @@ ExperimentConfig quickConfig() {
   ExperimentConfig cfg;
   cfg.horizon_s = 10.0 * kSecondsPerMinute;
   cfg.interval_s = 60.0;
-  cfg.mean_rate = 5.0;
+  cfg.workload.mean_rate = 5.0;
   return cfg;
 }
 
@@ -30,7 +30,7 @@ TEST(SchedulerKindToString, AllNamed) {
 TEST(ExperimentConfig, ValidatesFields) {
   ExperimentConfig cfg = quickConfig();
   EXPECT_NO_THROW(cfg.validate());
-  cfg.mean_rate = 0.0;
+  cfg.workload.mean_rate = 0.0;
   EXPECT_THROW(cfg.validate(), PreconditionError);
   cfg = quickConfig();
   cfg.interval_s = cfg.horizon_s * 2.0;
@@ -88,8 +88,8 @@ TEST(Engine, SigmaOverrideWins) {
 TEST(Engine, DeterministicForSameSeed) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg = quickConfig();
-  cfg.infra_variability = true;
-  cfg.profile = ProfileKind::RandomWalk;
+  cfg.workload.infra_variability = true;
+  cfg.workload.profile = ProfileKind::RandomWalk;
   const SimulationEngine engine(df, cfg);
   const auto a = engine.run(SchedulerKind::GlobalAdaptive);
   const auto b = engine.run(SchedulerKind::GlobalAdaptive);
@@ -101,8 +101,8 @@ TEST(Engine, DeterministicForSameSeed) {
 TEST(Engine, SeedChangesVariableRuns) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg = quickConfig();
-  cfg.infra_variability = true;
-  cfg.profile = ProfileKind::RandomWalk;
+  cfg.workload.infra_variability = true;
+  cfg.workload.profile = ProfileKind::RandomWalk;
   cfg.horizon_s = 30.0 * kSecondsPerMinute;
   const auto a = SimulationEngine(df, cfg).run(SchedulerKind::LocalAdaptive);
   cfg.seed = 777;
@@ -127,7 +127,7 @@ TEST(Engine, CostCumulativeIsNonDecreasing) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg = quickConfig();
   cfg.horizon_s = kSecondsPerHour;
-  cfg.profile = ProfileKind::PeriodicWave;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
   const auto r = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
   double prev = 0.0;
   for (const auto& m : r.run.intervals()) {
@@ -150,8 +150,8 @@ class EngineAllKindsTest : public ::testing::TestWithParam<SchedulerKind> {};
 TEST_P(EngineAllKindsTest, EveryKindCompletesAndReportsSaneMetrics) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg = quickConfig();
-  cfg.infra_variability = true;
-  cfg.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
   const auto r = SimulationEngine(df, cfg).run(GetParam());
   EXPECT_EQ(r.scheduler_name, toString(GetParam()));
   EXPECT_GE(r.average_omega, 0.0);

@@ -11,7 +11,7 @@ namespace {
 ExperimentConfig eventConfig() {
   ExperimentConfig cfg;
   cfg.horizon_s = 20.0 * kSecondsPerMinute;
-  cfg.mean_rate = 5.0;
+  cfg.workload.mean_rate = 5.0;
   cfg.backend = SimBackend::Event;
   return cfg;
 }
@@ -66,7 +66,7 @@ TEST(EventBackend, StaticPolicyRunsWithoutAdaptation) {
 TEST(EventBackend, RejectsFaultInjection) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg = eventConfig();
-  cfg.vm_mtbf_hours = 2.0;
+  cfg.faults.vm_mtbf_hours = 2.0;
   EXPECT_THROW(SimulationEngine(df, cfg), PreconditionError);
 }
 

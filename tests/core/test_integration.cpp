@@ -18,7 +18,7 @@ ExperimentConfig baseConfig(double rate) {
   ExperimentConfig cfg;
   cfg.horizon_s = 2.0 * kSecondsPerHour;
   cfg.interval_s = 60.0;
-  cfg.mean_rate = rate;
+  cfg.workload.mean_rate = rate;
   return cfg;
 }
 
@@ -41,7 +41,7 @@ TEST(Integration, DataVariabilityHurtsStaticDeployments) {
   auto cfg = baseConfig(5.0);
   const auto calm =
       SimulationEngine(df, cfg).run(SchedulerKind::GlobalStatic);
-  cfg.profile = ProfileKind::PeriodicWave;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
   const auto wavy =
       SimulationEngine(df, cfg).run(SchedulerKind::GlobalStatic);
   EXPECT_LT(wavy.average_omega, calm.average_omega);
@@ -52,7 +52,7 @@ TEST(Integration, InfraVariabilityHurtsStaticDeployments) {
   auto cfg = baseConfig(5.0);
   const auto ideal =
       SimulationEngine(df, cfg).run(SchedulerKind::LocalStatic);
-  cfg.infra_variability = true;
+  cfg.workload.infra_variability = true;
   const auto noisy =
       SimulationEngine(df, cfg).run(SchedulerKind::LocalStatic);
   EXPECT_LE(noisy.average_omega, ideal.average_omega + 1e-9);
@@ -61,8 +61,8 @@ TEST(Integration, InfraVariabilityHurtsStaticDeployments) {
 TEST(Integration, AdaptiveHoldsConstraintUnderBothVariabilities) {
   const Dataflow df = makePaperDataflow();
   auto cfg = baseConfig(10.0);
-  cfg.profile = ProfileKind::PeriodicWave;
-  cfg.infra_variability = true;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
   const auto adaptive =
       SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
   EXPECT_TRUE(adaptive.constraint_met) << adaptive.average_omega;
@@ -125,8 +125,8 @@ TEST(Integration, AdaptiveMeetsConstraintAcrossProfiles) {
        {ProfileKind::Constant, ProfileKind::PeriodicWave,
         ProfileKind::RandomWalk}) {
     auto cfg = baseConfig(10.0);
-    cfg.profile = profile;
-    cfg.infra_variability = true;
+    cfg.workload.profile = profile;
+    cfg.workload.infra_variability = true;
     for (const auto kind :
          {SchedulerKind::LocalAdaptive, SchedulerKind::GlobalAdaptive}) {
       const auto r = SimulationEngine(df, cfg).run(kind);
@@ -142,8 +142,8 @@ TEST(Integration, DynamismReducesCost) {
   // alternates, so the no-dynamism variant pays at least as much.
   const Dataflow df = makePaperDataflow();
   auto cfg = baseConfig(20.0);
-  cfg.profile = ProfileKind::PeriodicWave;
-  cfg.infra_variability = true;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
   const auto with_dyn =
       SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
   const auto without_dyn =
@@ -154,7 +154,7 @@ TEST(Integration, DynamismReducesCost) {
 TEST(Integration, DynamismImprovesTheta) {
   const Dataflow df = makePaperDataflow();
   auto cfg = baseConfig(20.0);
-  cfg.profile = ProfileKind::PeriodicWave;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
   const auto with_dyn =
       SimulationEngine(df, cfg).run(SchedulerKind::LocalAdaptive);
   const auto without_dyn =
@@ -178,8 +178,8 @@ TEST(Integration, WorksOnLargerGraphs) {
   const Dataflow df = makeLayeredDataflow(5, 3, 3, rng);
   auto cfg = baseConfig(10.0);
   cfg.horizon_s = 30.0 * kSecondsPerMinute;
-  cfg.profile = ProfileKind::RandomWalk;
-  cfg.infra_variability = true;
+  cfg.workload.profile = ProfileKind::RandomWalk;
+  cfg.workload.infra_variability = true;
   for (const auto kind :
        {SchedulerKind::LocalAdaptive, SchedulerKind::GlobalAdaptive}) {
     const auto r = SimulationEngine(df, cfg).run(kind);

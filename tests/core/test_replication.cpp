@@ -12,9 +12,9 @@ namespace {
 ExperimentConfig quickConfig() {
   ExperimentConfig cfg;
   cfg.horizon_s = 20.0 * kSecondsPerMinute;
-  cfg.mean_rate = 8.0;
-  cfg.profile = ProfileKind::RandomWalk;
-  cfg.infra_variability = true;
+  cfg.workload.mean_rate = 8.0;
+  cfg.workload.profile = ProfileKind::RandomWalk;
+  cfg.workload.infra_variability = true;
   return cfg;
 }
 
@@ -44,7 +44,7 @@ TEST(Replication, SuccessRateCountsViolations) {
   // Statics under heavy data variability miss the constraint for some
   // (most) seeds — success rate must reflect that.
   ExperimentConfig cfg = quickConfig();
-  cfg.profile = ProfileKind::PeriodicWave;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
   cfg.horizon_s = kSecondsPerHour;
   const auto fixed =
       runReplicated(df, cfg, SchedulerKind::GlobalStatic, 4);

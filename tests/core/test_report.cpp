@@ -12,7 +12,7 @@ ExperimentResult sampleResult() {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = 10.0 * kSecondsPerMinute;
-  cfg.mean_rate = 5.0;
+  cfg.workload.mean_rate = 5.0;
   return SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
 }
 

@@ -1,0 +1,162 @@
+#include "dds/exp/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "dds/common/error.hpp"
+#include "dds/common/time.hpp"
+#include "dds/dataflow/standard_graphs.hpp"
+#include "dds/exp/replication.hpp"
+
+namespace dds {
+namespace {
+
+ExperimentConfig shortConfig() {
+  ExperimentConfig cfg;
+  cfg.horizon_s = 0.5 * kSecondsPerHour;
+  cfg.workload.mean_rate = 10.0;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
+  cfg.seed = 77;
+  return cfg;
+}
+
+/// Every metric the campaign exports, compared exactly: the parallel
+/// runner must be BIT-identical to serial, not merely close.
+void expectIdentical(const JobOutcome& a, const JobOutcome& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.result.scheduler_name, b.result.scheduler_name);
+  EXPECT_EQ(a.result.average_omega, b.result.average_omega);
+  EXPECT_EQ(a.result.average_gamma, b.result.average_gamma);
+  EXPECT_EQ(a.result.total_cost, b.result.total_cost);
+  EXPECT_EQ(a.result.theta, b.result.theta);
+  EXPECT_EQ(a.result.constraint_met, b.result.constraint_met);
+  EXPECT_EQ(a.result.peak_vms, b.result.peak_vms);
+  EXPECT_EQ(a.result.peak_cores, b.result.peak_cores);
+  EXPECT_EQ(a.result.run.intervals().size(), b.result.run.intervals().size());
+  for (std::size_t i = 0; i < a.result.run.intervals().size(); ++i) {
+    EXPECT_EQ(a.result.run.intervals()[i].omega,
+              b.result.run.intervals()[i].omega);
+    EXPECT_EQ(a.result.run.intervals()[i].cost_cumulative,
+              b.result.run.intervals()[i].cost_cumulative);
+  }
+}
+
+TEST(Campaign, AddValidatesJobs) {
+  Campaign campaign;
+  EXPECT_THROW(campaign.add({nullptr, shortConfig(),
+                             SchedulerKind::GlobalAdaptive, ""}),
+               PreconditionError);
+  ExperimentConfig bad = shortConfig();
+  bad.horizon_s = -1.0;
+  const Dataflow df = makePaperDataflow();
+  EXPECT_THROW(campaign.add({&df, bad, SchedulerKind::GlobalAdaptive, ""}),
+               PreconditionError);
+  EXPECT_TRUE(campaign.empty());
+}
+
+TEST(Campaign, SeedSweepDerivesSequentialSeeds) {
+  const Dataflow df = makePaperDataflow();
+  Campaign campaign;
+  campaign.addSeedSweep(df, shortConfig(), SchedulerKind::LocalAdaptive, 4);
+  ASSERT_EQ(campaign.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(campaign.jobs()[i].config.seed, 77u + i);
+  }
+}
+
+TEST(Campaign, ParallelIsBitIdenticalToSerial) {
+  const Dataflow df = makePaperDataflow();
+  // >= 2 policies x >= 4 seeds, as one grid.
+  Campaign campaign;
+  for (const auto kind :
+       {SchedulerKind::GlobalAdaptive, SchedulerKind::LocalAdaptive}) {
+    campaign.addSeedSweep(df, shortConfig(), kind, 4);
+  }
+  ASSERT_EQ(campaign.size(), 8u);
+
+  const CampaignResult serial = runCampaign(campaign, {.jobs = 1});
+  const CampaignResult parallel = runCampaign(campaign, {.jobs = 4});
+  EXPECT_EQ(serial.jobs_used, 1u);
+  EXPECT_EQ(parallel.jobs_used, 4u);
+  ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    expectIdentical(serial.outcomes[i], parallel.outcomes[i]);
+  }
+}
+
+TEST(Campaign, OutcomesStayInSubmissionOrder) {
+  const Dataflow df = makePaperDataflow();
+  Campaign campaign;
+  campaign.addPolicySweep(df, shortConfig(),
+                          {SchedulerKind::GlobalAdaptive,
+                           SchedulerKind::LocalAdaptive,
+                           SchedulerKind::GlobalStatic});
+  const CampaignResult res = runCampaign(campaign, {.jobs = 3});
+  ASSERT_EQ(res.outcomes.size(), 3u);
+  EXPECT_EQ(res.outcomes[0].kind, SchedulerKind::GlobalAdaptive);
+  EXPECT_EQ(res.outcomes[1].kind, SchedulerKind::LocalAdaptive);
+  EXPECT_EQ(res.outcomes[2].kind, SchedulerKind::GlobalStatic);
+  for (std::size_t i = 0; i < res.outcomes.size(); ++i) {
+    EXPECT_EQ(res.outcomes[i].index, i);
+    EXPECT_TRUE(res.outcomes[i].ok) << res.outcomes[i].error;
+  }
+}
+
+TEST(Campaign, JobFailureIsCapturedNotFatal) {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg = shortConfig();
+  cfg.workload.mean_rate = 50.0;  // makes brute force intractable
+  Campaign campaign;
+  campaign.addPolicySweep(
+      df, cfg,
+      {SchedulerKind::BruteForceStatic, SchedulerKind::LocalAdaptive});
+  const CampaignResult res = runCampaign(campaign, {.jobs = 2});
+  ASSERT_EQ(res.outcomes.size(), 2u);
+  EXPECT_FALSE(res.outcomes[0].ok);
+  EXPECT_FALSE(res.outcomes[0].error.empty());
+  EXPECT_TRUE(res.outcomes[1].ok) << res.outcomes[1].error;
+  EXPECT_EQ(res.failureCount(), 1u);
+  EXPECT_THROW(res.throwIfAnyFailed(), PreconditionError);
+}
+
+TEST(Campaign, JsonExportIsWellFormedAndDeterministic) {
+  const Dataflow df = makePaperDataflow();
+  Campaign campaign;
+  campaign.addPolicySweep(df, shortConfig(),
+                          {SchedulerKind::GlobalAdaptive});
+  const CampaignResult res = runCampaign(campaign, {.jobs = 1});
+  const std::string a = campaignJson(res, "unit");
+  EXPECT_NE(a.find("\"name\": \"unit\""), std::string::npos);
+  EXPECT_NE(a.find("\"runs\": ["), std::string::npos);
+  EXPECT_NE(a.find("\"scheduler\": \"global\""), std::string::npos);
+  // Same outcomes -> same document, byte for byte (wall_s differs between
+  // runs, so re-serialize the same result instead of re-running).
+  EXPECT_EQ(a, campaignJson(res, "unit"));
+}
+
+TEST(Replication, ParallelMatchesSerial) {
+  const Dataflow df = makePaperDataflow();
+  const ExperimentConfig cfg = shortConfig();
+  const auto serial =
+      runReplicated(df, cfg, SchedulerKind::GlobalAdaptive, 5, /*jobs=*/1);
+  const auto parallel =
+      runReplicated(df, cfg, SchedulerKind::GlobalAdaptive, 5, /*jobs=*/4);
+  EXPECT_EQ(serial.scheduler_name, parallel.scheduler_name);
+  EXPECT_EQ(serial.omega.mean(), parallel.omega.mean());
+  EXPECT_EQ(serial.omega.stddev(), parallel.omega.stddev());
+  EXPECT_EQ(serial.cost.mean(), parallel.cost.mean());
+  EXPECT_EQ(serial.theta.mean(), parallel.theta.mean());
+  EXPECT_EQ(serial.successRate(), parallel.successRate());
+}
+
+}  // namespace
+}  // namespace dds

@@ -10,7 +10,7 @@ namespace dds {
 namespace {
 
 TEST(FailureInjector, DisabledMeansImmortalVms) {
-  const FailureInjector inj(FaultConfig{});
+  const FailureInjector inj(FailureInjectorConfig{});
   EXPECT_FALSE(inj.config().enabled());
   EXPECT_TRUE(std::isinf(inj.deathTime(VmId(0), 0.0)));
   CloudProvider cloud(awsCatalog2013());
@@ -19,7 +19,7 @@ TEST(FailureInjector, DisabledMeansImmortalVms) {
 }
 
 TEST(FailureInjector, DeathTimesAreDeterministic) {
-  FaultConfig cfg;
+  FailureInjectorConfig cfg;
   cfg.vm_mtbf_hours = 10.0;
   cfg.seed = 7;
   const FailureInjector a(cfg), b(cfg);
@@ -30,14 +30,14 @@ TEST(FailureInjector, DeathTimesAreDeterministic) {
 }
 
 TEST(FailureInjector, DifferentVmsGetDifferentLifetimes) {
-  FaultConfig cfg;
+  FailureInjectorConfig cfg;
   cfg.vm_mtbf_hours = 10.0;
   const FailureInjector inj(cfg);
   EXPECT_NE(inj.deathTime(VmId(0), 0.0), inj.deathTime(VmId(1), 0.0));
 }
 
 TEST(FailureInjector, LifetimesAreExponentialWithMtbfMean) {
-  FaultConfig cfg;
+  FailureInjectorConfig cfg;
   cfg.vm_mtbf_hours = 5.0;
   cfg.seed = 99;
   const FailureInjector inj(cfg);
@@ -51,7 +51,7 @@ TEST(FailureInjector, LifetimesAreExponentialWithMtbfMean) {
 }
 
 TEST(FailureInjector, DeathTimeIsIndependentOfQueryOrder) {
-  FaultConfig cfg;
+  FailureInjectorConfig cfg;
   cfg.vm_mtbf_hours = 7.0;
   cfg.seed = 21;
   const FailureInjector forward(cfg), backward(cfg);
@@ -70,7 +70,7 @@ TEST(FailureInjector, DeathTimeIsIndependentOfQueryOrder) {
 }
 
 TEST(FailureInjector, DeathTimeShiftsWithStart) {
-  FaultConfig cfg;
+  FailureInjectorConfig cfg;
   cfg.vm_mtbf_hours = 5.0;
   const FailureInjector inj(cfg);
   EXPECT_DOUBLE_EQ(inj.deathTime(VmId(3), 1000.0),
@@ -78,7 +78,7 @@ TEST(FailureInjector, DeathTimeShiftsWithStart) {
 }
 
 TEST(FailureInjector, InjectCrashesDueVmsAndReportsLosses) {
-  FaultConfig cfg;
+  FailureInjectorConfig cfg;
   cfg.vm_mtbf_hours = 1.0;
   cfg.seed = 3;
   const FailureInjector inj(cfg);
@@ -114,7 +114,7 @@ TEST(FailureInjector, InjectCrashesDueVmsAndReportsLosses) {
 }
 
 TEST(FailureInjector, NothingHappensBeforeDeathTime) {
-  FaultConfig cfg;
+  FailureInjectorConfig cfg;
   cfg.vm_mtbf_hours = 100.0;
   const FailureInjector inj(cfg);
   CloudProvider cloud(awsCatalog2013());
@@ -128,8 +128,8 @@ TEST(FaultTolerance, AdaptiveRecoversFromCrashes) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = 2.0 * kSecondsPerHour;
-  cfg.mean_rate = 10.0;
-  cfg.vm_mtbf_hours = 2.0;  // aggressive: every VM dies ~once per run
+  cfg.workload.mean_rate = 10.0;
+  cfg.faults.vm_mtbf_hours = 2.0;  // aggressive: every VM dies ~once per run
   const auto r = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
   EXPECT_GT(r.vm_failures, 0);
   // Re-allocation keeps the application alive and near the constraint.
@@ -140,8 +140,8 @@ TEST(FaultTolerance, StaticDeploymentBleedsUnderCrashes) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = 4.0 * kSecondsPerHour;
-  cfg.mean_rate = 10.0;
-  cfg.vm_mtbf_hours = 2.0;
+  cfg.workload.mean_rate = 10.0;
+  cfg.faults.vm_mtbf_hours = 2.0;
   const auto fixed =
       SimulationEngine(df, cfg).run(SchedulerKind::GlobalStatic);
   const auto adaptive =
@@ -158,7 +158,7 @@ TEST(FaultTolerance, FailureFreeRunsReportZero) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = 30.0 * kSecondsPerMinute;
-  cfg.mean_rate = 5.0;
+  cfg.workload.mean_rate = 5.0;
   const auto r = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
   EXPECT_EQ(r.vm_failures, 0);
   EXPECT_DOUBLE_EQ(r.messages_lost, 0.0);
@@ -167,7 +167,7 @@ TEST(FaultTolerance, FailureFreeRunsReportZero) {
 TEST(FaultTolerance, ConfigValidatesMtbf) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
-  cfg.vm_mtbf_hours = -1.0;
+  cfg.faults.vm_mtbf_hours = -1.0;
   EXPECT_THROW(SimulationEngine(df, cfg), PreconditionError);
 }
 

@@ -62,7 +62,7 @@ TEST(FaultPlanConfig, ValidateRejectsBadKnobs) {
 TEST(FaultPlan, DeathTimeMatchesGeneralizedInjector) {
   const auto cfg = allFamiliesConfig();
   const FaultPlan plan(cfg);
-  const FailureInjector injector(FaultConfig{cfg.vm_mtbf_hours, cfg.seed});
+  const FailureInjector injector(FailureInjectorConfig{cfg.vm_mtbf_hours, cfg.seed});
   for (std::uint32_t v = 0; v < 16; ++v) {
     EXPECT_DOUBLE_EQ(plan.deathTime(VmId(v), 50.0),
                      injector.deathTime(VmId(v), 50.0));
@@ -207,16 +207,16 @@ TEST(FaultPlan, InjectUpToIsIdempotentAtTheSameTime) {
 ExperimentConfig turbulentExperiment() {
   ExperimentConfig cfg;
   cfg.horizon_s = 2.0 * kSecondsPerHour;
-  cfg.mean_rate = 10.0;
+  cfg.workload.mean_rate = 10.0;
   cfg.seed = 77;
-  cfg.vm_mtbf_hours = 3.0;
-  cfg.straggler_mtbf_hours = 1.0;
-  cfg.straggler_factor = 0.3;
-  cfg.straggler_duration_s = 600.0;
-  cfg.acquisition_failure_prob = 0.2;
-  cfg.provisioning_delay_s = 90.0;
-  cfg.straggler_quarantine_threshold = 0.5;
-  cfg.graceful_degradation = true;
+  cfg.faults.vm_mtbf_hours = 3.0;
+  cfg.faults.straggler_mtbf_hours = 1.0;
+  cfg.faults.straggler_factor = 0.3;
+  cfg.faults.straggler_duration_s = 600.0;
+  cfg.faults.acquisition_failure_prob = 0.2;
+  cfg.faults.provisioning_delay_s = 90.0;
+  cfg.resilience.quarantine_threshold = 0.5;
+  cfg.resilience.graceful_degradation = true;
   return cfg;
 }
 
@@ -289,7 +289,7 @@ TEST(FaultPlanEndToEnd, CleanRunReportsFullAvailability) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = 30.0 * kSecondsPerMinute;
-  cfg.mean_rate = 5.0;
+  cfg.workload.mean_rate = 5.0;
   const auto r = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
   EXPECT_EQ(r.recovery.violation_episodes, 0);
   EXPECT_DOUBLE_EQ(r.recovery.availability, 1.0);

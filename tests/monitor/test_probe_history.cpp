@@ -109,8 +109,8 @@ TEST(ProbeHistory, SmoothedEngineRunStillMeetsConstraint) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = kSecondsPerHour;
-  cfg.mean_rate = 10.0;
-  cfg.infra_variability = true;
+  cfg.workload.mean_rate = 10.0;
+  cfg.workload.infra_variability = true;
   cfg.power_smoothing_alpha = 0.3;
   const auto r = SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive);
   EXPECT_TRUE(r.constraint_met) << r.average_omega;

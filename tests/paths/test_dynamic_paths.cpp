@@ -94,7 +94,7 @@ TEST(DynamicPaths, MaterializedVariantsRunEndToEnd) {
   const auto app = makeCascadePathApplication();
   ExperimentConfig cfg;
   cfg.horizon_s = 30.0 * kSecondsPerMinute;
-  cfg.mean_rate = 10.0;
+  cfg.workload.mean_rate = 10.0;
   for (std::size_t i = 0; i < app.variantCount(); ++i) {
     const Dataflow df = app.materialize(i);
     const auto r = SimulationEngine(df, cfg).run(
@@ -107,7 +107,7 @@ TEST(DynamicPaths, ChosenPathIsCheaperAtRuntime) {
   const auto app = makeCascadePathApplication();
   ExperimentConfig cfg;
   cfg.horizon_s = kSecondsPerHour;
-  cfg.mean_rate = 20.0;
+  cfg.workload.mean_rate = 20.0;
   const auto chosen = SimulationEngine(
                           app.materialize(app.selectVariant(Strategy::Global)),
                           cfg)

@@ -70,7 +70,7 @@ TEST_P(CrossSimTest, EngineBackendsAgreeUnderAdaptation) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = 30.0 * kSecondsPerMinute;
-  cfg.mean_rate = 4.0 + static_cast<double>(GetParam() % 5) * 3.0;
+  cfg.workload.mean_rate = 4.0 + static_cast<double>(GetParam() % 5) * 3.0;
   cfg.seed = GetParam();
   cfg.backend = SimBackend::Fluid;
   const auto fluid =

@@ -140,9 +140,9 @@ TEST_P(RandomGraphTest, FullRunsAreReproducible) {
   const Dataflow df = randomGraph();
   ExperimentConfig cfg;
   cfg.horizon_s = 20.0 * kSecondsPerMinute;
-  cfg.mean_rate = 6.0;
-  cfg.profile = ProfileKind::RandomWalk;
-  cfg.infra_variability = true;
+  cfg.workload.mean_rate = 6.0;
+  cfg.workload.profile = ProfileKind::RandomWalk;
+  cfg.workload.infra_variability = true;
   cfg.seed = GetParam();
   const auto a = SimulationEngine(df, cfg).run(SchedulerKind::LocalAdaptive);
   const auto b = SimulationEngine(df, cfg).run(SchedulerKind::LocalAdaptive);

@@ -123,7 +123,7 @@ TEST(ReactiveAutoscaler, EventuallyCatchesUpInClosedLoop) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = 2.0 * kSecondsPerHour;
-  cfg.mean_rate = 10.0;
+  cfg.workload.mean_rate = 10.0;
   const auto r = SimulationEngine(df, cfg).run(
       SchedulerKind::ReactiveBaseline);
   EXPECT_EQ(r.scheduler_name, "reactive-autoscaler");
@@ -140,9 +140,9 @@ TEST(ReactiveAutoscaler, CostsMoreOrServesWorseThanGlobalHeuristic) {
   const Dataflow df = makePaperDataflow();
   ExperimentConfig cfg;
   cfg.horizon_s = 2.0 * kSecondsPerHour;
-  cfg.mean_rate = 20.0;
-  cfg.profile = ProfileKind::PeriodicWave;
-  cfg.infra_variability = true;
+  cfg.workload.mean_rate = 20.0;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
   const auto reactive =
       SimulationEngine(df, cfg).run(SchedulerKind::ReactiveBaseline);
   const auto global =

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "dds/cloud/resource_class.hpp"
+#include "dds/common/error.hpp"
+#include "dds/dataflow/standard_graphs.hpp"
+#include "dds/monitor/monitoring.hpp"
+#include "dds/sched/scheduler.hpp"
+
+namespace dds {
+namespace {
+
+TEST(SchedulerRegistry, NameParseRoundTripsForEveryKind) {
+  for (const SchedulerKind kind : allSchedulerKinds()) {
+    const std::string name = schedulerName(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(parseSchedulerKind(name), kind) << name;
+    EXPECT_EQ(toString(kind), name);
+  }
+}
+
+TEST(SchedulerRegistry, NamesAreUnique) {
+  const auto& kinds = allSchedulerKinds();
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    for (std::size_t j = i + 1; j < kinds.size(); ++j) {
+      EXPECT_NE(schedulerName(kinds[i]), schedulerName(kinds[j]));
+    }
+  }
+}
+
+TEST(SchedulerRegistry, ParseRejectsUnknownNameWithOffender) {
+  try {
+    (void)parseSchedulerKind("quantum");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("quantum"), std::string::npos);
+  }
+}
+
+TEST(SchedulerRegistry, FactoryBuildsEveryKind) {
+  Dataflow df = makePaperDataflow();
+  CloudProvider cloud{awsCatalog2013()};
+  TraceReplayer replayer = TraceReplayer::ideal();
+  MonitoringService mon{cloud, replayer};
+  SchedulerEnv env;
+  env.dataflow = &df;
+  env.cloud = &cloud;
+  env.monitor = &mon;
+
+  for (const SchedulerKind kind : allSchedulerKinds()) {
+    const auto scheduler = makeScheduler(kind, env);
+    ASSERT_NE(scheduler, nullptr) << schedulerName(kind);
+    // The constructed scheduler must answer to its registry name.
+    EXPECT_EQ(scheduler->name(), schedulerName(kind));
+  }
+}
+
+TEST(SchedulerRegistry, TuningReachesTheScheduler) {
+  Dataflow df = makePaperDataflow();
+  CloudProvider cloud{awsCatalog2013()};
+  TraceReplayer replayer = TraceReplayer::ideal();
+  MonitoringService mon{cloud, replayer};
+  SchedulerEnv env;
+  env.dataflow = &df;
+  env.cloud = &cloud;
+  env.monitor = &mon;
+
+  SchedulerTuning tuning;
+  tuning.sigma = 0.5;
+  tuning.seed = 7;
+  // Smoke check: every kind accepts a non-default tuning.
+  for (const SchedulerKind kind : allSchedulerKinds()) {
+    EXPECT_NE(makeScheduler(kind, env, tuning), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace dds

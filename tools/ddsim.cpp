@@ -1,12 +1,21 @@
 // ddsim — run dynamic-dataflow experiments from a config file.
 //
-//   ddsim experiment.conf
+//   ddsim [options] experiment.conf
+//
+// Options:
+//   --jobs N      run the schedulers on N worker threads (default: all
+//                 hardware threads; 1 = serial). Results are identical
+//                 at any job count — only the wall clock changes.
+//   --json FILE   write the campaign results as a JSON document.
+//   --help        print usage and exit.
 //
 // The config format is documented in dds/config/config_file.hpp; see
 // tools/example.conf for a ready-made experiment. Prints a summary row
 // per scheduler and, when `output_csv` is set, writes the per-interval
 // series of each run as `<output_csv>.<scheduler>.csv`.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "dds/config/config_file.hpp"
 #include "dds/core/report.hpp"
@@ -15,6 +24,53 @@
 namespace {
 
 using namespace dds;
+
+struct CliOptions {
+  std::string config_path;
+  std::string json_path;
+  std::size_t jobs = 0;  ///< 0 = hardware concurrency.
+  bool help = false;
+};
+
+void printUsage(std::ostream& out) {
+  out << "usage: ddsim [options] <config-file>\n"
+         "  --jobs N     worker threads for the scheduler runs\n"
+         "               (default: all hardware threads; 1 = serial)\n"
+         "  --json FILE  write campaign results as JSON\n"
+         "  --help       show this message\n"
+         "see tools/example.conf for the config format\n";
+}
+
+/// Parses argv; throws ConfigError on malformed flags.
+CliOptions parseArgs(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) throw ConfigError("--jobs requires a count");
+      const std::string v = argv[++i];
+      try {
+        const long n = std::stol(v);
+        if (n < 1) throw ConfigError("--jobs must be >= 1, got '" + v + "'");
+        opts.jobs = static_cast<std::size_t>(n);
+      } catch (const std::logic_error&) {
+        throw ConfigError("--jobs is not a number: '" + v + "'");
+      }
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) throw ConfigError("--json requires a file path");
+      opts.json_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw ConfigError("unknown option: '" + arg + "'");
+    } else if (opts.config_path.empty()) {
+      opts.config_path = arg;
+    } else {
+      throw ConfigError("more than one config file given");
+    }
+  }
+  return opts;
+}
 
 Dataflow buildGraph(const CliExperiment& ex, const KeyValueConfig& kv) {
   if (ex.graph == "paper") return makePaperDataflow();
@@ -27,35 +83,57 @@ Dataflow buildGraph(const CliExperiment& ex, const KeyValueConfig& kv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: ddsim <config-file>\n"
-                 "see tools/example.conf for the format\n";
-    return 2;
-  }
   try {
-    const auto kv = dds::KeyValueConfig::load(argv[1]);
-    const auto ex = dds::experimentFromConfig(kv);
+    const CliOptions opts = parseArgs(argc, argv);
+    if (opts.help) {
+      printUsage(std::cout);
+      return 0;
+    }
+    if (opts.config_path.empty()) {
+      printUsage(std::cerr);
+      return 2;
+    }
+
+    const auto kv = dds::KeyValueConfig::load(opts.config_path);
+    std::vector<std::string> notes;
+    const auto ex = dds::experimentFromConfig(kv, &notes);
+    for (const auto& note : notes) std::cerr << "ddsim: " << note << '\n';
     const dds::Dataflow df = buildGraph(ex, kv);
-    const dds::SimulationEngine engine(df, ex.config);
 
     std::cout << "dataflow '" << df.name() << "': " << df.peCount()
               << " PEs, " << df.totalAlternateCount() << " alternates; "
-              << "rate " << ex.config.mean_rate << " msg/s ("
-              << dds::toString(ex.config.profile) << "), horizon "
+              << "rate " << ex.config.workload.mean_rate << " msg/s ("
+              << dds::toString(ex.config.workload.profile) << "), horizon "
               << ex.config.horizon_s / dds::kSecondsPerHour << " h, sigma "
-              << engine.sigma() << "\n\n";
+              << dds::SimulationEngine(df, ex.config).sigma() << "\n\n";
+
+    dds::Campaign campaign;
+    campaign.addPolicySweep(df, ex.config, ex.schedulers);
+    dds::RunnerOptions runner;
+    runner.jobs = opts.jobs;
+    const dds::CampaignResult res = dds::runCampaign(campaign, runner);
+    res.throwIfAnyFailed();
 
     std::vector<dds::ExperimentResult> results;
-    for (const auto kind : ex.schedulers) {
-      results.push_back(engine.run(kind));
+    results.reserve(res.outcomes.size());
+    for (const auto& outcome : res.outcomes) {
+      results.push_back(outcome.result);
       if (!ex.output_csv.empty()) {
         const std::string path =
-            ex.output_csv + "." + results.back().scheduler_name + ".csv";
-        dds::saveCsv(path, dds::intervalSeriesCsv(results.back().run));
+            ex.output_csv + "." + outcome.result.scheduler_name + ".csv";
+        dds::saveCsv(path, dds::intervalSeriesCsv(outcome.result.run));
         std::cout << "wrote " << path << '\n';
       }
     }
     std::cout << dds::summaryTable(results).render();
+    std::cout << "\n(" << res.outcomes.size() << " runs on "
+              << res.jobs_used << (res.jobs_used == 1 ? " thread, " : " threads, ")
+              << res.wall_s << " s)\n";
+
+    if (!opts.json_path.empty()) {
+      dds::saveCampaignJson(opts.json_path, res, df.name());
+      std::cout << "wrote " << opts.json_path << '\n';
+    }
     return 0;
   } catch (const dds::ConfigError& e) {
     // A user mistake in the config file: one clean line, no source noise.
