@@ -2,19 +2,29 @@
 // headline evaluation grid, plus the fluid simulator's per-interval cost
 // (the quantity the interval-cache optimization targets).
 //
-//   bench_campaign [output.json]     (default: BENCH_campaign.json)
+//   bench_campaign [output.json] [trace-overhead.json]
+//   (defaults: BENCH_campaign.json, BENCH_trace_overhead.json)
 //
 // The grid is 4 policies x 4 seeds at 10 msg/s wave + infra variability
 // over 2 h — 16 independent engine runs. Speedup scales with physical
 // cores; on a single-core host serial and parallel wall-clocks coincide
 // (the JSON records the host's concurrency so baselines are comparable).
+//
+// A second section times the same headline run untraced (null sink —
+// the hot path the observability layer must not touch), with a ring
+// buffer, and streaming JSONL, and records the overhead of each in
+// BENCH_trace_overhead.json (the null-sink overhead is the acceptance
+// budget: < 2%).
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench_util.hpp"
 #include "dds/common/json.hpp"
 #include "dds/common/thread_pool.hpp"
+#include "dds/obs/jsonl_sink.hpp"
 
 int main(int argc, char** argv) {
   using namespace dds;
@@ -23,6 +33,8 @@ int main(int argc, char** argv) {
 
   const std::string out_path =
       argc > 1 ? argv[1] : std::string("BENCH_campaign.json");
+  const std::string overhead_path =
+      argc > 2 ? argv[2] : std::string("BENCH_trace_overhead.json");
 
   printHeader("Campaign",
               "parallel campaign runner: serial vs all-cores wall-clock");
@@ -103,5 +115,72 @@ int main(int argc, char** argv) {
   DDS_REQUIRE(out.good(), "cannot open bench output file");
   out << w.str();
   std::cout << "wrote " << out_path << '\n';
+
+  // --- Trace overhead: untraced vs ring buffer vs streaming JSONL. ---
+  printHeader("Trace overhead",
+              "null sink vs ring buffer vs streaming JSONL, same run");
+
+  const SimulationEngine engine(df, cfg);
+  const int reps = 5;
+  // Best-of-reps: robust against scheduler noise, and the right statistic
+  // for "how cheap can this path be".
+  const auto bestOf = [&](auto&& body) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto start = clock::now();
+      body();
+      best = std::min(
+          best, std::chrono::duration<double>(clock::now() - start).count());
+    }
+    return best;
+  };
+
+  std::uint64_t jsonl_events = 0;
+  std::size_t jsonl_bytes = 0;
+  const double untraced_s = bestOf([&] { (void)engine.run(kinds[0]); });
+  const double ring_s = bestOf([&] {
+    obs::RingBufferSink ring(4096);
+    (void)engine.run(kinds[0], &ring);
+  });
+  const double jsonl_s = bestOf([&] {
+    std::ostringstream sink_out;
+    obs::JsonlTraceSink sink(sink_out);
+    (void)engine.run(kinds[0], &sink);
+    jsonl_events = sink.eventCount();
+    jsonl_bytes = sink_out.str().size();
+  });
+
+  const auto pct = [&](double traced) {
+    return untraced_s > 0.0 ? (traced - untraced_s) / untraced_s * 100.0
+                            : 0.0;
+  };
+  TextTable overhead({"sink", "best wall (s)", "overhead (%)"});
+  overhead.addRow({"none (null tracer)", TextTable::num(untraced_s, 4), "-"});
+  overhead.addRow({"ring buffer (4096)", TextTable::num(ring_s, 4),
+                   TextTable::num(pct(ring_s), 1)});
+  overhead.addRow({"jsonl stream", TextTable::num(jsonl_s, 4),
+                   TextTable::num(pct(jsonl_s), 1)});
+  std::cout << overhead.render() << '\n'
+            << "trace: " << jsonl_events << " events, " << jsonl_bytes
+            << " bytes JSONL\n";
+
+  JsonWriter ow;
+  ow.beginObject();
+  ow.key("name").value("trace-overhead-baseline");
+  ow.key("reps_best_of").value(std::int64_t{reps});
+  ow.key("horizon_s").value(cfg.horizon_s);
+  ow.key("intervals_per_run").value(intervals);
+  ow.key("untraced_wall_s").value(untraced_s);
+  ow.key("ring_wall_s").value(ring_s);
+  ow.key("ring_overhead_pct").value(pct(ring_s));
+  ow.key("jsonl_wall_s").value(jsonl_s);
+  ow.key("jsonl_overhead_pct").value(pct(jsonl_s));
+  ow.key("jsonl_events").value(jsonl_events);
+  ow.key("jsonl_bytes").value(jsonl_bytes);
+  ow.endObject();
+  std::ofstream oout(overhead_path);
+  DDS_REQUIRE(oout.good(), "cannot open trace-overhead output file");
+  oout << ow.str();
+  std::cout << "wrote " << overhead_path << '\n';
   return 0;
 }

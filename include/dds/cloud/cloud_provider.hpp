@@ -14,6 +14,7 @@
 #include "dds/cloud/vm_instance.hpp"
 #include "dds/common/ids.hpp"
 #include "dds/common/time.hpp"
+#include "dds/obs/trace_sink.hpp"
 
 namespace dds {
 
@@ -30,6 +31,10 @@ class CloudProvider {
   void setAcquisitionFaults(const AcquisitionFaultModel* faults) {
     acq_faults_ = faults;
   }
+
+  /// Attach the run's tracer; VM lifecycle events (acquire, release,
+  /// rejected acquisition) are emitted through it.
+  void setTracer(obs::Tracer tracer) { tracer_ = tracer; }
 
   /// Start a new VM of the given class at time `t`; returns its id.
   /// The ideal acquisition path: never fails, capacity instantly online.
@@ -83,8 +88,11 @@ class CloudProvider {
   [[nodiscard]] int billedHours(VmId id, SimTime t) const;
 
  private:
+  VmId acquireInternal(ResourceClassId cls, SimTime t);
+
   ResourceCatalog catalog_;
   std::vector<VmInstance> instances_;
+  obs::Tracer tracer_;
   const AcquisitionFaultModel* acq_faults_ = nullptr;
   std::uint64_t acquisition_attempts_ = 0;
   int rejections_ = 0;

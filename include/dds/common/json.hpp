@@ -1,10 +1,21 @@
 // Minimal JSON emission for benchmark/campaign result export.
 //
 // Not a parser and not a DOM — a forward-only writer that produces
-// deterministic, human-diffable output (2-space indent, insertion order
-// preserved) so BENCH_*.json baselines can live in git. Numbers are
-// written with enough digits to round-trip doubles; non-finite values
-// become null (JSON has no NaN/Inf).
+// deterministic output (insertion order preserved) so BENCH_*.json
+// baselines can live in git. Numbers are written with the shortest
+// representation that round-trips doubles, which also makes
+// parse -> re-serialize idempotent for trace files.
+//
+// Two layout styles: Pretty (2-space indent, human-diffable, the
+// default) and Compact (no whitespace — one JSONL record per str()).
+//
+// JSON has no NaN/Inf, so non-finite doubles need an explicit policy:
+//   Null           — emit null (legacy default; lossy for readers that
+//                    distinguish "absent" from "not a number")
+//   StringSentinel — emit "NaN" / "Infinity" / "-Infinity" strings,
+//                    which TraceReader maps back to the exact value
+//   Throw          — PreconditionError; for documents where a
+//                    non-finite value can only mean a bug upstream
 //
 //   JsonWriter w;
 //   w.beginObject();
@@ -31,6 +42,17 @@ namespace dds {
 /// Streaming JSON writer with indentation and container bookkeeping.
 class JsonWriter {
  public:
+  enum class Style { Pretty, Compact };
+  enum class NonFinitePolicy { Null, StringSentinel, Throw };
+
+  struct Options {
+    Style style = Style::Pretty;
+    NonFinitePolicy non_finite = NonFinitePolicy::Null;
+  };
+
+  JsonWriter() = default;
+  explicit JsonWriter(Options options) : options_(options) {}
+
   JsonWriter& beginObject();
   JsonWriter& endObject();
   JsonWriter& beginArray();
@@ -49,6 +71,8 @@ class JsonWriter {
   JsonWriter& null();
 
   /// The document so far; call after the outermost container is closed.
+  /// Pretty documents end with '\n'; Compact ones do not (the caller
+  /// owns record separators in JSONL streams).
   [[nodiscard]] std::string str() const;
 
  private:
@@ -57,10 +81,15 @@ class JsonWriter {
   void beforeValue();
   void indent();
 
+  Options options_;
   std::ostringstream out_;
   std::vector<Frame> stack_;
   std::vector<bool> has_items_;
   bool pending_key_ = false;
 };
+
+/// Shortest decimal representation of a finite double that scans back
+/// to the same value (integral values print without an exponent).
+[[nodiscard]] std::string jsonNumber(double v);
 
 }  // namespace dds

@@ -18,6 +18,7 @@
 
 #include "dds/core/experiment.hpp"
 #include "dds/dataflow/dataflow.hpp"
+#include "dds/obs/trace_sink.hpp"
 #include "dds/sched/scheduler.hpp"
 
 namespace dds {
@@ -28,7 +29,15 @@ class SimulationEngine {
   SimulationEngine(const Dataflow& dataflow, ExperimentConfig config);
 
   /// Run the full optimization period under the given policy.
-  [[nodiscard]] ExperimentResult run(SchedulerKind kind) const;
+  [[nodiscard]] ExperimentResult run(SchedulerKind kind) const {
+    return run(kind, nullptr);
+  }
+
+  /// Same, streaming every trace event of the run into `sink` (may be
+  /// null for no tracing). Event order is deterministic for a fixed seed
+  /// and config: two runs write byte-identical JSONL traces.
+  [[nodiscard]] ExperimentResult run(SchedulerKind kind,
+                                     obs::TraceSink* sink) const;
 
   /// The sigma this config resolves to (override or §8.2 derivation).
   [[nodiscard]] double sigma() const { return sigma_; }

@@ -8,6 +8,7 @@
 
 #include "dds/common/time.hpp"
 #include "dds/metrics/run_metrics.hpp"
+#include "dds/obs/metrics_registry.hpp"
 #include "dds/sched/scheduler.hpp"
 #include "dds/sim/simulator.hpp"
 #include "dds/workload/rate_profile.hpp"
@@ -150,6 +151,9 @@ struct ExperimentResult {
   double latency_mean_s = 0.0;
   double latency_p95_s = 0.0;
   double latency_p99_s = 0.0;
+  /// Observability counters/gauges/histograms the run accumulated
+  /// (see dds/obs/metrics_registry.hpp); name-sorted.
+  obs::MetricsSnapshot metrics;
 };
 
 }  // namespace dds

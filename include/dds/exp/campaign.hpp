@@ -36,6 +36,9 @@ struct ExperimentJob {
   SchedulerKind kind = SchedulerKind::GlobalAdaptive;
   /// Display label; empty means schedulerName(kind).
   std::string label;
+  /// When non-empty, the job streams its trace as JSONL to this path
+  /// (one sink per job, so traces stay deterministic at any --jobs).
+  std::string trace_path;
 };
 
 /// What one job produced. `result` is meaningful only when `ok`.
@@ -64,6 +67,11 @@ class Campaign {
   /// seeds base.seed, base.seed + 1, ... (the runReplicated convention).
   void addSeedSweep(const Dataflow& dataflow, const ExperimentConfig& base,
                     SchedulerKind kind, std::size_t runs);
+
+  /// Give every job a distinct trace path derived from `base`: the only
+  /// job gets `base` itself; with several jobs each gets `base.<label>`,
+  /// and duplicate labels are further suffixed `.<submission index>`.
+  void setTracePaths(const std::string& base);
 
   [[nodiscard]] std::size_t size() const { return jobs_.size(); }
   [[nodiscard]] bool empty() const { return jobs_.empty(); }

@@ -1,0 +1,109 @@
+// Named run metrics: counters, gauges, histograms.
+//
+// A MetricsRegistry belongs to one engine run (never shared across
+// threads); instruments are created on first use and held by pointer,
+// so the per-interval update path is an increment, not a map lookup.
+// snapshot() flattens everything into name-sorted MetricSamples that
+// travel inside ExperimentResult and the campaign JSON export —
+// deterministic ordering keeps exports diffable across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dds/common/stats.hpp"
+
+namespace dds::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Sample distribution: streaming moments (RunningStats) plus retained
+/// samples for exact linear-interpolation percentiles matching
+/// dds::percentile. Simulation runs observe one value per interval, so
+/// retention is bounded by the horizon.
+class Histogram {
+ public:
+  void observe(double v) {
+    stats_.add(v);
+    samples_.push_back(v);
+  }
+
+  [[nodiscard]] const RunningStats& stats() const { return stats_; }
+  [[nodiscard]] std::span<const double> samples() const { return samples_; }
+
+  /// p in [0, 100]; zero for an empty histogram.
+  [[nodiscard]] double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    return dds::percentile(samples_, p);
+  }
+
+ private:
+  RunningStats stats_;
+  std::vector<double> samples_;
+};
+
+/// One exported metric; `kind` selects which fields are meaningful.
+struct MetricSample {
+  enum class Kind { Counter, Gauge, Histogram };
+
+  std::string name;
+  Kind kind = Kind::Counter;
+  double value = 0.0;  // counter total or gauge value
+  // Histogram fields:
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+using MetricsSnapshot = std::vector<MetricSample>;
+
+class MetricsRegistry {
+ public:
+  /// Instrument accessors create on first use and return stable
+  /// references (std::map nodes never move).
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    return counters_[name];
+  }
+  [[nodiscard]] Gauge& gauge(const std::string& name) {
+    return gauges_[name];
+  }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  /// All instruments, name-sorted (counters, gauges and histograms
+  /// share one namespace; duplicate names across kinds are a bug).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dds::obs

@@ -1,0 +1,61 @@
+// Trace analysis: fold a run's event stream into a per-interval
+// timeline plus run-level aggregates — the data behind ddtrace's
+// tables, factored out so tests can assert on it directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dds/obs/trace_event.hpp"
+
+namespace dds::obs {
+
+/// One interval of the run, with the paper's per-interval quantities
+/// and counts of the discrete events that landed inside it.
+struct TimelineRow {
+  std::int64_t interval = 0;
+  SimTime t = 0.0;
+  double input_rate = 0.0;
+  double omega = 0.0;
+  double omega_bar = 0.0;
+  double gamma = 0.0;
+  double cost = 0.0;
+  double utilization = 0.0;
+  double backlog_msgs = 0.0;
+  std::int64_t active_vms = 0;
+  std::int64_t allocated_cores = 0;
+  bool violated = false;
+  std::int64_t alternate_switches = 0;
+  std::int64_t vm_acquires = 0;
+  std::int64_t vm_releases = 0;
+  std::int64_t acquisition_failures = 0;
+  std::int64_t faults = 0;
+  std::int64_t quarantines = 0;
+  std::int64_t decisions = 0;
+};
+
+/// Run-level fold of a trace.
+struct TraceAnalysis {
+  RunHeaderEvent header;
+  bool has_header = false;
+  std::vector<TimelineRow> rows;
+  /// Event-type name -> occurrences across the whole trace.
+  std::map<std::string, std::int64_t> event_counts;
+  double average_omega = 0.0;  // Ω̄ over all intervals
+  double average_gamma = 0.0;  // Γ̄ over all intervals
+  double final_cost = 0.0;     // μ at the horizon
+  double theta = 0.0;          // Γ̄ − σ·μ (σ from the header)
+  std::int64_t violations = 0;
+  double peak_vms = 0.0;
+  double peak_cores = 0.0;
+};
+
+/// Fold events (in emission order) into a timeline. Discrete events
+/// are attributed to intervals by time using the header's interval_s;
+/// a trace without interval_end events yields an empty timeline.
+[[nodiscard]] TraceAnalysis analyzeTrace(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace dds::obs

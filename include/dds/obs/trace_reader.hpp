@@ -1,0 +1,24 @@
+// JSONL trace ingestion for ddtrace and the round-trip tests.
+//
+// Strict by design: an unknown "ev" discriminator, a missing field, or
+// malformed JSON throws IoError with the offending line number —
+// a trace that cannot be fully interpreted should fail loudly, not
+// produce a silently incomplete timeline.
+#pragma once
+
+#include <istream>
+#include <vector>
+
+#include "dds/obs/trace_event.hpp"
+
+namespace dds::obs {
+
+/// Parse one JSONL line (as produced by traceEventJson) back into a
+/// typed event. "NaN"/"Infinity"/"-Infinity" string sentinels in
+/// numeric fields map back to the exact non-finite value.
+[[nodiscard]] TraceEvent parseTraceEventJson(const std::string& line);
+
+/// Read a whole JSONL stream; blank lines are ignored.
+[[nodiscard]] std::vector<TraceEvent> readTraceJsonl(std::istream& in);
+
+}  // namespace dds::obs

@@ -1,0 +1,103 @@
+// Trace collection: the sink interface and the near-zero-cost Tracer
+// handle threaded through every instrumented layer.
+//
+// Design rule: tracing must stay off the hot path the simulator
+// optimizations protect. Instrumented code holds a `Tracer` (one
+// pointer) and guards every emission site with `if (tracer.enabled())`
+// so the disabled path is a single predictable branch and never
+// constructs an event. Sinks are single-threaded by contract: one sink
+// belongs to one engine run, and parallel campaign jobs each own their
+// own sink, which keeps traces deterministic at any --jobs count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dds/obs/trace_event.hpp"
+
+namespace dds::obs {
+
+/// Receives every event of one run, in emission order.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& event) = 0;
+};
+
+/// Discards everything. Exists so tests can assert the guarded-call
+/// contract; production code models "no tracing" as a null Tracer
+/// instead, which skips event construction entirely.
+class NullTraceSink final : public TraceSink {
+ public:
+  void emit(const TraceEvent&) override {}
+};
+
+/// Keeps the most recent `capacity` events in memory; older events are
+/// overwritten. Useful for always-on flight-recorder tracing where only
+/// the window before a failure matters.
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity) : capacity_(capacity) {
+    buffer_.reserve(capacity_);
+  }
+
+  void emit(const TraceEvent& event) override {
+    if (capacity_ == 0) {
+      ++dropped_;
+      return;
+    }
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(event);
+    } else {
+      buffer_[next_] = event;
+      ++dropped_;
+    }
+    next_ = (next_ + 1) % capacity_;
+  }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(buffer_.size());
+    if (buffer_.size() < capacity_) {
+      out = buffer_;
+    } else {
+      for (std::size_t i = 0; i < buffer_.size(); ++i) {
+        out.push_back(buffer_[(next_ + i) % capacity_]);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  /// Events overwritten (or discarded by a zero-capacity ring).
+  [[nodiscard]] std::uint64_t droppedCount() const { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> buffer_;
+};
+
+/// Copyable handle instrumented code emits through. Null by default;
+/// `enabled()` is the branch every emission site must test before
+/// building an event.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(TraceSink* sink) : sink_(sink) {}
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+
+  void emit(const TraceEvent& event) const {
+    if (sink_ != nullptr) sink_->emit(event);
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace dds::obs

@@ -79,6 +79,15 @@ class ResourceAllocator {
     resilience_ = options;
   }
 
+  /// Attach the run's tracer and metrics; the allocator then emits a
+  /// CoreAllocEvent per core it (de)allocates on the scale-out/in paths
+  /// and bumps alloc.cores_allocated / alloc.cores_released. Repacking
+  /// moves are net-zero and are not traced.
+  void setObservability(obs::Tracer tracer, obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
   /// Whether a recent unmet acquisition need put the allocator in backoff
   /// at `now` (no fresh VM will be requested until the window lapses).
   [[nodiscard]] bool acquisitionBackoffActive(SimTime now) const {
@@ -119,10 +128,13 @@ class ResourceAllocator {
   /// `floor_omega`; never leaves a PE without a core. Returns migration
   /// events for PEs that lost their last core on some VM (their buffered
   /// messages move over the network, §5).
+  /// `now` only timestamps trace events (the release itself is billed by
+  /// releaseEmptyVms); callers without a tracer may omit it.
   [[nodiscard]] std::vector<MigrationEvent> scaleIn(
       const Deployment& deployment, double input_rate,
       const CorePowerFn& power, Strategy scope, double floor_omega,
-      const std::vector<double>* measured_arrivals = nullptr);
+      const std::vector<double>* measured_arrivals = nullptr,
+      SimTime now = 0.0);
 
   /// RepackPE (Table 1): move each sole-tenant PE from an oversized VM to
   /// the cheapest class that still covers its demand.
@@ -154,11 +166,16 @@ class ResourceAllocator {
   /// largest-class VM (when `allow_acquire`). Returns success.
   bool allocateCoreForPe(PeId pe, SimTime now, bool allow_acquire);
 
+  /// Trace one core (de)allocation and bump the matching counter.
+  void traceCoreAlloc(VmId vm, PeId pe, std::int64_t delta, SimTime now);
+
   const Dataflow* df_;
   CloudProvider* cloud_;
   double omega_target_;
   AcquisitionPolicy acquisition_;
   ResilienceOptions resilience_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   SimTime acquisition_retry_after_ = 0.0;
   int consecutive_unmet_ = 0;
   int rejections_ = 0;

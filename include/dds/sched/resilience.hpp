@@ -23,6 +23,7 @@
 #include "dds/common/ids.hpp"
 #include "dds/common/time.hpp"
 #include "dds/monitor/monitoring.hpp"
+#include "dds/obs/trace_sink.hpp"
 
 namespace dds {
 
@@ -73,10 +74,23 @@ class StragglerGuard {
   StragglerGuard(const CloudProvider& cloud, const MonitoringService& monitor,
                  ResilienceOptions options);
 
+  /// Attach the run's tracer; probe() then emits StragglerRecovery when a
+  /// suspected VM's smoothed ratio climbs back above the threshold before
+  /// it crossed the quarantine bar. (Quarantine itself is emitted by the
+  /// scheduler, which knows how many cores the evacuation moved.)
+  void setTracer(obs::Tracer tracer) { tracer_ = tracer; }
+
   /// One probe round over all active VMs at time `t`; returns the VMs
   /// that crossed the quarantine bar this round (already blacklisted VMs
   /// are never reported again).
   std::vector<VmId> probe(SimTime t);
+
+  /// Current smoothed observed/rated power ratio of `vm`; 1 when the
+  /// guard has not probed it yet.
+  [[nodiscard]] double smoothedRatio(VmId vm) const {
+    const auto it = tracks_.find(vm);
+    return it != tracks_.end() ? it->second.smoothed_ratio : 1.0;
+  }
 
   [[nodiscard]] bool isQuarantined(VmId vm) const {
     return blacklist_.contains(vm);
@@ -100,6 +114,7 @@ class StragglerGuard {
   const CloudProvider* cloud_;
   const MonitoringService* monitor_;
   ResilienceOptions options_;
+  obs::Tracer tracer_;
   std::unordered_map<VmId, Track> tracks_;
   std::unordered_set<VmId> blacklist_;
 };

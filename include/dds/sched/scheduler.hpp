@@ -24,6 +24,8 @@
 #include "dds/metrics/run_metrics.hpp"
 #include "dds/monitor/monitoring.hpp"
 #include "dds/monitor/probe_history.hpp"
+#include "dds/obs/metrics_registry.hpp"
+#include "dds/obs/trace_sink.hpp"
 #include "dds/sched/resilience.hpp"
 #include "dds/sim/deployment.hpp"
 #include "dds/sim/simulator.hpp"
@@ -57,6 +59,11 @@ struct SchedulerEnv {
   SimConfig sim_config;
   double omega_target = 0.7;  ///< Omega-hat, the §8.2 default.
   double epsilon = 0.05;      ///< throughput tolerance (§8.2).
+  /// Run tracer (null by default); schedulers emit decision, alternate-
+  /// switch and straggler events through it.
+  obs::Tracer tracer;
+  /// Optional run metrics; schedulers bump named counters when set.
+  obs::MetricsRegistry* metrics = nullptr;
 
   void validate() const {
     DDS_REQUIRE(dataflow != nullptr, "scheduler env needs a dataflow");

@@ -36,6 +36,7 @@
 #include "dds/dataflow/dataflow.hpp"
 #include "dds/metrics/run_metrics.hpp"
 #include "dds/monitor/monitoring.hpp"
+#include "dds/obs/trace_sink.hpp"
 #include "dds/sim/deployment.hpp"
 
 namespace dds {
@@ -56,6 +57,11 @@ class DataflowSimulator {
  public:
   DataflowSimulator(const Dataflow& df, const CloudProvider& cloud,
                     const MonitoringService& mon, SimConfig cfg);
+
+  /// Attach the run's tracer; step() then closes each interval with an
+  /// IntervalEnd event (Ω, Γ, μ, ρ utilization, backlog, footprint).
+  /// The null-tracer path adds one predicted branch per interval.
+  void setTracer(obs::Tracer tracer) { tracer_ = tracer; }
 
   /// Simulate interval `index` with the given external input rate applied
   /// to every input PE, under the given deployment. Advances queue state.
@@ -100,6 +106,9 @@ class DataflowSimulator {
   const CloudProvider* cloud_;
   const MonitoringService* mon_;
   SimConfig cfg_;
+  obs::Tracer tracer_;
+  double traced_omega_sum_ = 0.0;  ///< running Ω̄ for IntervalEnd events.
+  std::uint64_t traced_intervals_ = 0;
   std::vector<double> backlog_;     ///< msgs queued per PE.
   std::vector<double> in_transit_;  ///< msgs arriving next interval per PE.
 

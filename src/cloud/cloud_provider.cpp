@@ -4,10 +4,24 @@
 
 namespace dds {
 
-VmId CloudProvider::acquire(ResourceClassId cls, SimTime t) {
+VmId CloudProvider::acquireInternal(ResourceClassId cls, SimTime t) {
   DDS_REQUIRE(t >= 0.0, "acquire time must be non-negative");
   const VmId id(static_cast<VmId::value_type>(instances_.size()));
   instances_.emplace_back(id, cls, catalog_.at(cls), t);
+  return id;
+}
+
+VmId CloudProvider::acquire(ResourceClassId cls, SimTime t) {
+  const VmId id = acquireInternal(cls, t);
+  if (tracer_.enabled()) {
+    const ResourceClass& spec = catalog_.at(cls);
+    tracer_.emit(obs::VmAcquireEvent{.t = t,
+                                     .vm = id.value(),
+                                     .vm_class = spec.name,
+                                     .cores = spec.cores,
+                                     .price_per_hour = spec.price_per_hour,
+                                     .ready = t});
+  }
   return id;
 }
 
@@ -16,15 +30,28 @@ AcquisitionResult CloudProvider::tryAcquire(ResourceClassId cls, SimTime t) {
   const std::uint64_t attempt = acquisition_attempts_++;
   if (acq_faults_ != nullptr && acq_faults_->acquisitionRejected(attempt)) {
     ++rejections_;
+    if (tracer_.enabled()) {
+      tracer_.emit(obs::AcquisitionFailureEvent{
+          .t = t, .vm_class = catalog_.at(cls).name});
+    }
     return {};
   }
   AcquisitionResult result;
   result.accepted = true;
-  result.vm = acquire(cls, t);
+  result.vm = acquireInternal(cls, t);
   result.ready_time =
       acq_faults_ != nullptr ? t + acq_faults_->provisioningDelay(result.vm)
                              : t;
   instances_[result.vm.value()].setReadyTime(result.ready_time);
+  if (tracer_.enabled()) {
+    const ResourceClass& spec = catalog_.at(cls);
+    tracer_.emit(obs::VmAcquireEvent{.t = t,
+                                     .vm = result.vm.value(),
+                                     .vm_class = spec.name,
+                                     .cores = spec.cores,
+                                     .price_per_hour = spec.price_per_hour,
+                                     .ready = result.ready_time});
+  }
   return result;
 }
 
@@ -33,6 +60,12 @@ void CloudProvider::release(VmId id, SimTime t) {
   DDS_REQUIRE(vm.allocatedCoreCount() == 0,
               "release requires all cores to be freed first");
   vm.shutdown(t);
+  if (tracer_.enabled()) {
+    tracer_.emit(obs::VmReleaseEvent{.t = t,
+                                     .vm = id.value(),
+                                     .vm_class = vm.spec().name,
+                                     .billed_cost = instanceCost(id, t)});
+  }
 }
 
 std::vector<VmId> CloudProvider::activeVms() const {

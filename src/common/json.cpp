@@ -39,6 +39,25 @@ std::string jsonEscape(const std::string& s) {
   return out;
 }
 
+std::string jsonNumber(double v) {
+  DDS_REQUIRE(std::isfinite(v), "jsonNumber requires a finite value");
+  // Integral values print as plain integers ("7200", not "7.2e+03").
+  if (v == std::floor(v) && std::fabs(v) < 1.0e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (const int precision : {1, 3, 6, 9, 12, 15}) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) return probe;
+  }
+  return buf;
+}
+
 JsonWriter& JsonWriter::beginObject() {
   beforeValue();
   out_ << '{';
@@ -54,7 +73,7 @@ JsonWriter& JsonWriter::endObject() {
   const bool had_items = has_items_.back();
   stack_.pop_back();
   has_items_.pop_back();
-  if (had_items) {
+  if (had_items && options_.style == Style::Pretty) {
     out_ << '\n';
     indent();
   }
@@ -76,7 +95,7 @@ JsonWriter& JsonWriter::endArray() {
   const bool had_items = has_items_.back();
   stack_.pop_back();
   has_items_.pop_back();
-  if (had_items) {
+  if (had_items && options_.style == Style::Pretty) {
     out_ << '\n';
     indent();
   }
@@ -89,10 +108,14 @@ JsonWriter& JsonWriter::key(const std::string& name) {
               "key outside an object");
   DDS_REQUIRE(!pending_key_, "two keys in a row");
   if (has_items_.back()) out_ << ',';
-  out_ << '\n';
   has_items_.back() = true;
-  indent();
-  out_ << '"' << jsonEscape(name) << "\": ";
+  if (options_.style == Style::Pretty) {
+    out_ << '\n';
+    indent();
+    out_ << '"' << jsonEscape(name) << "\": ";
+  } else {
+    out_ << '"' << jsonEscape(name) << "\":";
+  }
   pending_key_ = true;
   return *this;
 }
@@ -108,28 +131,19 @@ JsonWriter& JsonWriter::value(const char* v) {
 }
 
 JsonWriter& JsonWriter::value(double v) {
-  if (!std::isfinite(v)) return null();
-  // Integral values print as plain integers ("7200", not "7.2e+03").
-  if (v == std::floor(v) && std::fabs(v) < 1.0e15) {
-    beforeValue();
-    out_ << static_cast<long long>(v);
-    return *this;
-  }
-  beforeValue();
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  // Trim to the shortest representation that round-trips.
-  for (const int precision : {1, 3, 6, 9, 12, 15}) {
-    char probe[32];
-    std::snprintf(probe, sizeof(probe), "%.*g", precision, v);
-    double back = 0.0;
-    std::sscanf(probe, "%lf", &back);
-    if (back == v) {
-      out_ << probe;
-      return *this;
+  if (!std::isfinite(v)) {
+    switch (options_.non_finite) {
+      case NonFinitePolicy::Null:
+        return null();
+      case NonFinitePolicy::StringSentinel:
+        if (std::isnan(v)) return value("NaN");
+        return value(v > 0.0 ? "Infinity" : "-Infinity");
+      case NonFinitePolicy::Throw:
+        DDS_REQUIRE(false, "non-finite value in JSON document");
     }
   }
-  out_ << buf;
+  beforeValue();
+  out_ << jsonNumber(v);
   return *this;
 }
 
@@ -159,6 +173,7 @@ JsonWriter& JsonWriter::null() {
 
 std::string JsonWriter::str() const {
   DDS_REQUIRE(stack_.empty(), "unterminated JSON container");
+  if (options_.style == Style::Compact) return out_.str();
   return out_.str() + "\n";
 }
 
@@ -171,9 +186,11 @@ void JsonWriter::beforeValue() {
     DDS_REQUIRE(stack_.back() == Frame::Array,
                 "value inside an object needs a key");
     if (has_items_.back()) out_ << ',';
-    out_ << '\n';
     has_items_.back() = true;
-    indent();
+    if (options_.style == Style::Pretty) {
+      out_ << '\n';
+      indent();
+    }
   }
 }
 

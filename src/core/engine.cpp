@@ -164,9 +164,13 @@ SimulationEngine::SimulationEngine(const Dataflow& dataflow,
                              config_.horizon_s);
 }
 
-ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
+ExperimentResult SimulationEngine::run(SchedulerKind kind,
+                                       obs::TraceSink* sink) const {
   const Dataflow& df = *dataflow_;
+  const obs::Tracer tracer(sink);
+  obs::MetricsRegistry registry;
   CloudProvider cloud(catalogByName(config_.catalog));
+  cloud.setTracer(tracer);
   TraceReplayer replayer =
       config_.workload.infra_variability
           ? TraceReplayer::futureGridLike(config_.seed)
@@ -200,6 +204,8 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
   env.sim_config = sim_cfg;
   env.omega_target = config_.omega_target;
   env.epsilon = config_.epsilon;
+  env.tracer = tracer;
+  env.metrics = &registry;
 
   SchedulerTuning tuning;
   tuning.sigma = sigma_;
@@ -212,6 +218,19 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
   tuning.resilience = resilienceOptionsOf(config_);
 
   std::unique_ptr<Scheduler> scheduler = makeScheduler(kind, env, tuning);
+
+  // The header is the first line of every trace: it carries everything the
+  // analyzer needs to recompute Theta and attribute events to intervals.
+  if (tracer.enabled()) {
+    tracer.emit(obs::RunHeaderEvent{.scheduler = scheduler->name(),
+                                    .seed = config_.seed,
+                                    .sigma = sigma_,
+                                    .omega_target = config_.omega_target,
+                                    .epsilon = config_.epsilon,
+                                    .horizon_s = config_.horizon_s,
+                                    .interval_s = config_.interval_s,
+                                    .backend = toString(config_.backend)});
+  }
 
   const auto profile =
       makeProfile(config_.workload.profile, config_.workload.mean_rate,
@@ -254,26 +273,105 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
       result.latency_p95_s = er.latencyPercentile(95.0);
       result.latency_p99_s = er.latencyPercentile(99.0);
     }
+    // The event simulator does not stream interval events; reconstruct
+    // them post-hoc from its interval series. VM lifecycle events were
+    // emitted live by the provider during the run, so in an event-backend
+    // trace all interval records follow the VM records.
+    if (tracer.enabled()) {
+      double omega_sum = 0.0;
+      std::int64_t n = 0;
+      for (const auto& m : er.intervals.intervals()) {
+        tracer.emit(obs::IntervalBeginEvent{.t = m.start,
+                                            .interval = m.index,
+                                            .input_rate = m.input_rate});
+        omega_sum += m.omega;
+        ++n;
+        double processed = 0.0;
+        double capacity = 0.0;
+        double backlog = 0.0;
+        for (const auto& pe : m.pe_stats) {
+          processed += pe.processed_rate;
+          capacity += pe.capacity_rate;
+          backlog += pe.backlog_msgs;
+        }
+        const double rho =
+            capacity > 0.0
+                ? std::clamp(processed / capacity, 0.0, 1.0)
+                : 0.0;
+        tracer.emit(obs::IntervalEndEvent{
+            .t = m.start + config_.interval_s,
+            .interval = m.index,
+            .omega = m.omega,
+            .omega_bar = omega_sum / static_cast<double>(n),
+            .gamma = m.gamma,
+            .cost = m.cost_cumulative,
+            .utilization = rho,
+            .backlog_msgs = backlog,
+            .active_vms = m.active_vms,
+            .allocated_cores = m.allocated_cores});
+        if (m.omega < config_.omega_target) {
+          tracer.emit(obs::OmegaViolationEvent{
+              .t = m.start + config_.interval_s,
+              .interval = m.index,
+              .omega = m.omega,
+              .omega_target = config_.omega_target});
+        }
+      }
+    }
+    {
+      obs::Histogram& h_omega = registry.histogram("interval.omega");
+      obs::Histogram& h_gamma = registry.histogram("interval.gamma");
+      obs::Histogram& h_rate = registry.histogram("interval.input_rate");
+      for (const auto& m : er.intervals.intervals()) {
+        h_omega.observe(m.omega);
+        h_gamma.observe(m.gamma);
+        h_rate.observe(m.input_rate);
+        if (m.omega < config_.omega_target) {
+          registry.counter("run.omega_violations").inc();
+        }
+      }
+    }
+    registry.gauge("run.intervals")
+        .set(static_cast<double>(er.intervals.intervals().size()));
+    registry.gauge("cloud.total_cost").set(result.total_cost);
+    result.metrics = registry.snapshot();
     return result;
   }
 
   DataflowSimulator simulator(df, cloud, monitor, sim_cfg);
+  simulator.setTracer(tracer);
 
   ExperimentResult result;
   result.scheduler_name = scheduler->name();
   result.sigma = sigma_;
 
+  obs::Histogram& h_omega = registry.histogram("interval.omega");
+  obs::Histogram& h_gamma = registry.histogram("interval.gamma");
+  obs::Histogram& h_rate = registry.histogram("interval.input_rate");
+
   double omega_sum = 0.0;
   IntervalMetrics last{};
   for (IntervalIndex i = 0; i < clock.intervalCount(); ++i) {
     const SimTime now = clock.startOf(i);
+    if (tracer.enabled()) {
+      tracer.emit(obs::IntervalBeginEvent{
+          .t = now, .interval = i, .input_rate = profile->rate(now)});
+    }
     // Crashes land before the adaptation step observes the world, so the
     // scheduler reacts to the reduced capacity this very interval.
     for (const FailureEvent& ev : faults.injectUpTo(cloud, now)) {
       ++result.vm_failures;
+      registry.counter("run.vm_failures").inc();
+      double lost_here = 0.0;
       for (const BacklogLoss& loss : ev.losses) {
-        result.messages_lost +=
-            simulator.dropBacklog(loss.pe, loss.fraction);
+        lost_here += simulator.dropBacklog(loss.pe, loss.fraction);
+      }
+      result.messages_lost += lost_here;
+      if (tracer.enabled()) {
+        tracer.emit(obs::FaultInjectionEvent{.t = now,
+                                             .vm = ev.vm.value(),
+                                             .family = "crash",
+                                             .messages_lost = lost_here});
       }
     }
     if (env.probes != nullptr) probes.probe(now);
@@ -293,6 +391,19 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
     }
     last = simulator.step(i, profile->rate(now), deployment);
     omega_sum += last.omega;
+    h_omega.observe(last.omega);
+    h_gamma.observe(last.gamma);
+    h_rate.observe(last.input_rate);
+    if (last.omega < config_.omega_target) {
+      registry.counter("run.omega_violations").inc();
+      if (tracer.enabled()) {
+        tracer.emit(obs::OmegaViolationEvent{
+            .t = now + config_.interval_s,
+            .interval = i,
+            .omega = last.omega,
+            .omega_target = config_.omega_target});
+      }
+    }
     result.peak_vms = std::max(result.peak_vms, last.active_vms);
     result.peak_cores = std::max(result.peak_cores, last.allocated_cores);
     result.run.add(last);
@@ -310,6 +421,15 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind) const {
                                          config_.interval_s);
   result.resilience = scheduler->telemetry();
   result.acquisition_rejections = cloud.rejectedAcquisitions();
+  registry.gauge("run.intervals")
+      .set(static_cast<double>(clock.intervalCount()));
+  registry.gauge("run.messages_lost").set(result.messages_lost);
+  registry.gauge("cloud.total_cost").set(result.total_cost);
+  registry.gauge("cloud.vms_acquired")
+      .set(static_cast<double>(cloud.instanceCount()));
+  registry.gauge("cloud.acquisition_rejections")
+      .set(static_cast<double>(cloud.rejectedAcquisitions()));
+  result.metrics = registry.snapshot();
   return result;
 }
 

@@ -3,9 +3,11 @@
 #include <chrono>
 #include <fstream>
 #include <future>
+#include <map>
 
 #include "dds/common/json.hpp"
 #include "dds/common/thread_pool.hpp"
+#include "dds/obs/jsonl_sink.hpp"
 
 namespace dds {
 namespace {
@@ -25,7 +27,13 @@ JobOutcome runJob(const ExperimentJob& job, std::size_t index) {
   out.seed = job.config.seed;
   const auto start = Clock::now();
   try {
-    out.result = SimulationEngine(*job.dataflow, job.config).run(job.kind);
+    const SimulationEngine engine(*job.dataflow, job.config);
+    if (job.trace_path.empty()) {
+      out.result = engine.run(job.kind);
+    } else {
+      obs::JsonlTraceSink sink(job.trace_path);
+      out.result = engine.run(job.kind, &sink);
+    }
     out.ok = true;
   } catch (const std::exception& e) {
     out.error = e.what();
@@ -47,7 +55,7 @@ void Campaign::addPolicySweep(const Dataflow& dataflow,
                               const ExperimentConfig& base,
                               const std::vector<SchedulerKind>& kinds) {
   for (const SchedulerKind kind : kinds) {
-    add({&dataflow, base, kind, ""});
+    add({&dataflow, base, kind, "", ""});
   }
 }
 
@@ -58,7 +66,30 @@ void Campaign::addSeedSweep(const Dataflow& dataflow,
   for (std::size_t i = 0; i < runs; ++i) {
     ExperimentConfig cfg = base;
     cfg.seed = base.seed + i;
-    add({&dataflow, cfg, kind, ""});
+    add({&dataflow, cfg, kind, "", ""});
+  }
+}
+
+void Campaign::setTracePaths(const std::string& base) {
+  DDS_REQUIRE(!base.empty(), "trace path base must be non-empty");
+  if (jobs_.size() == 1) {
+    jobs_.front().trace_path = base;
+    return;
+  }
+  std::map<std::string, int> label_uses;
+  for (const ExperimentJob& job : jobs_) {
+    const std::string label =
+        job.label.empty() ? schedulerName(job.kind) : job.label;
+    ++label_uses[label];
+  }
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    ExperimentJob& job = jobs_[i];
+    const std::string label =
+        job.label.empty() ? schedulerName(job.kind) : job.label;
+    job.trace_path = base + "." + label;
+    if (label_uses[label] > 1) {
+      job.trace_path += "." + std::to_string(i);
+    }
   }
 }
 
@@ -141,6 +172,31 @@ std::string campaignJson(const CampaignResult& result,
       w.key("peak_vms").value(o.result.peak_vms);
       w.key("peak_cores").value(o.result.peak_cores);
       w.key("intervals").value(o.result.run.intervals().size());
+      if (!o.result.metrics.empty()) {
+        w.key("metrics").beginObject();
+        for (const obs::MetricSample& m : o.result.metrics) {
+          w.key(m.name).beginObject();
+          switch (m.kind) {
+            case obs::MetricSample::Kind::Counter:
+              w.key("count").value(m.count);
+              break;
+            case obs::MetricSample::Kind::Gauge:
+              w.key("value").value(m.value);
+              break;
+            case obs::MetricSample::Kind::Histogram:
+              w.key("count").value(m.count);
+              w.key("mean").value(m.mean);
+              w.key("min").value(m.min);
+              w.key("max").value(m.max);
+              w.key("p50").value(m.p50);
+              w.key("p95").value(m.p95);
+              w.key("p99").value(m.p99);
+              break;
+          }
+          w.endObject();
+        }
+        w.endObject();
+      }
     } else {
       w.key("error").value(o.error);
     }

@@ -1,0 +1,23 @@
+#include "dds/obs/jsonl_sink.hpp"
+
+#include "dds/common/error.hpp"
+
+namespace dds::obs {
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path,
+                                             std::ios::out |
+                                                 std::ios::trunc |
+                                                 std::ios::binary)),
+      out_(owned_.get()) {
+  if (!owned_->is_open()) {
+    throw IoError("cannot open trace file: " + path);
+  }
+}
+
+void JsonlTraceSink::emit(const TraceEvent& event) {
+  *out_ << traceEventJson(event) << '\n';
+  ++count_;
+}
+
+}  // namespace dds::obs

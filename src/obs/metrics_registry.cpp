@@ -1,0 +1,45 @@
+#include "dds/obs/metrics_registry.hpp"
+
+#include <algorithm>
+
+namespace dds::obs {
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::Counter;
+    s.value = static_cast<double>(c.value());
+    s.count = c.value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::Gauge;
+    s.value = g.value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::Histogram;
+    s.count = h.stats().count();
+    s.mean = h.stats().mean();
+    s.min = h.stats().min();
+    s.max = h.stats().max();
+    s.p50 = h.percentile(50.0);
+    s.p95 = h.percentile(95.0);
+    s.p99 = h.percentile(99.0);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace dds::obs

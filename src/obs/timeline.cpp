@@ -1,0 +1,121 @@
+#include "dds/obs/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dds::obs {
+
+namespace {
+
+// Interval a discrete event at time t belongs to. Events emitted
+// exactly on a boundary (the common case: adaptation runs at interval
+// start) attribute to the interval that begins there.
+std::int64_t intervalOf(SimTime t, double interval_s) {
+  if (interval_s <= 0.0) return 0;
+  return static_cast<std::int64_t>(std::floor(t / interval_s + 1e-9));
+}
+
+struct Fold {
+  TraceAnalysis out;
+  std::map<std::int64_t, TimelineRow> rows;
+  double omega_sum = 0.0;
+  double gamma_sum = 0.0;
+
+  TimelineRow& row(std::int64_t interval) {
+    TimelineRow& r = rows[interval];
+    r.interval = interval;
+    return r;
+  }
+
+  TimelineRow& rowAt(SimTime t) {
+    return row(intervalOf(t, out.has_header ? out.header.interval_s : 0.0));
+  }
+
+  void operator()(const RunHeaderEvent& e) {
+    out.header = e;
+    out.has_header = true;
+  }
+
+  void operator()(const IntervalBeginEvent& e) {
+    TimelineRow& r = row(e.interval);
+    r.t = e.t;
+    r.input_rate = e.input_rate;
+  }
+
+  void operator()(const IntervalEndEvent& e) {
+    TimelineRow& r = row(e.interval);
+    r.omega = e.omega;
+    r.omega_bar = e.omega_bar;
+    r.gamma = e.gamma;
+    r.cost = e.cost;
+    r.utilization = e.utilization;
+    r.backlog_msgs = e.backlog_msgs;
+    r.active_vms = e.active_vms;
+    r.allocated_cores = e.allocated_cores;
+    omega_sum += e.omega;
+    gamma_sum += e.gamma;
+    out.final_cost = e.cost;
+    out.peak_vms =
+        std::max(out.peak_vms, static_cast<double>(e.active_vms));
+    out.peak_cores =
+        std::max(out.peak_cores, static_cast<double>(e.allocated_cores));
+  }
+
+  void operator()(const VmAcquireEvent& e) { ++rowAt(e.t).vm_acquires; }
+  void operator()(const VmReleaseEvent& e) { ++rowAt(e.t).vm_releases; }
+
+  void operator()(const AcquisitionFailureEvent& e) {
+    ++rowAt(e.t).acquisition_failures;
+  }
+
+  void operator()(const CoreAllocEvent&) {}
+
+  void operator()(const AlternateSwitchEvent& e) {
+    ++rowAt(e.t).alternate_switches;
+  }
+
+  void operator()(const StragglerQuarantineEvent& e) {
+    ++rowAt(e.t).quarantines;
+  }
+
+  void operator()(const StragglerRecoveryEvent&) {}
+
+  void operator()(const FaultInjectionEvent& e) { ++rowAt(e.t).faults; }
+
+  void operator()(const OmegaViolationEvent& e) {
+    row(e.interval).violated = true;
+    ++out.violations;
+  }
+
+  void operator()(const SchedulerDecisionEvent& e) {
+    ++row(e.interval).decisions;
+  }
+};
+
+}  // namespace
+
+TraceAnalysis analyzeTrace(const std::vector<TraceEvent>& events) {
+  Fold fold;
+  for (const TraceEvent& event : events) {
+    ++fold.out.event_counts[std::string(traceEventName(event))];
+    std::visit(fold, event);
+  }
+  for (auto& [interval, r] : fold.rows) {
+    fold.out.rows.push_back(r);
+  }
+  // std::map iteration is already interval-ordered.
+  const auto n = static_cast<double>(
+      fold.out.event_counts.count("interval_end") != 0
+          ? fold.out.event_counts.at("interval_end")
+          : 0);
+  if (n > 0.0) {
+    fold.out.average_omega = fold.omega_sum / n;
+    fold.out.average_gamma = fold.gamma_sum / n;
+  }
+  fold.out.theta = fold.out.average_gamma -
+                   (fold.out.has_header ? fold.out.header.sigma : 0.0) *
+                       fold.out.final_cost;
+  return fold.out;
+}
+
+}  // namespace dds::obs

@@ -84,6 +84,20 @@ ThroughputProjection projectThroughput(const Dataflow& df,
   return proj;
 }
 
+void ResourceAllocator::traceCoreAlloc(VmId vm, PeId pe, std::int64_t delta,
+                                       SimTime now) {
+  if (tracer_.enabled()) {
+    tracer_.emit(obs::CoreAllocEvent{
+        .t = now, .vm = vm.value(), .pe = pe.value(), .delta = delta});
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter(delta > 0 ? "alloc.cores_allocated"
+                            : "alloc.cores_released")
+        .inc();
+  }
+}
+
 ResourceAllocator::ResourceAllocator(const Dataflow& df, CloudProvider& cloud,
                                      double omega_target,
                                      AcquisitionPolicy acquisition)
@@ -222,6 +236,7 @@ bool ResourceAllocator::allocateCoreForPe(PeId pe, SimTime now,
     if (!best.has_value()) return false;  // rejected or backing off
   }
   cloud_->instance(*best).allocateCore(pe);
+  traceCoreAlloc(*best, pe, +1, now);
   return true;
 }
 
@@ -247,6 +262,7 @@ void ResourceAllocator::ensureMinimumCores(SimTime now) {
       if (!last_vm.has_value()) return;
     }
     cloud_->instance(*last_vm).allocateCore(pe);
+    traceCoreAlloc(*last_vm, pe, +1, now);
   }
 }
 
@@ -358,7 +374,7 @@ void ResourceAllocator::scaleOut(const Deployment& deployment,
 std::vector<MigrationEvent> ResourceAllocator::scaleIn(
     const Deployment& deployment, double input_rate,
     const CorePowerFn& power, Strategy scope, double floor_omega,
-    const std::vector<double>* measured_arrivals) {
+    const std::vector<double>* measured_arrivals, SimTime now) {
   std::vector<MigrationEvent> migrations;
   const auto required =
       demandVector(*df_, deployment, input_rate, measured_arrivals);
@@ -417,6 +433,7 @@ std::vector<MigrationEvent> ResourceAllocator::scaleIn(
     const int before_on_vm = vm.coresOwnedBy(best->pe);
     const int before_total = totalCores(*cloud_, best->pe);
     vm.releaseCoreOf(best->pe);
+    traceCoreAlloc(best->vm, best->pe, -1, now);
     if (before_on_vm == 1 && before_total > 1) {
       // The PE lost its last core on this VM: its share of buffered
       // messages moves to its remaining hosts over the network.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <sstream>
 
 #include "dds/common/rng.hpp"
 #include "dds/sched/static_planning.hpp"
@@ -17,6 +18,21 @@ struct Plan {
   std::vector<AlternateId> alternates;
   std::vector<int> vm_counts;
 };
+
+/// Compact human label of one candidate plan for decision events.
+std::string planLabel(const Plan& plan) {
+  std::ostringstream os;
+  os << "alts=[";
+  for (std::size_t i = 0; i < plan.alternates.size(); ++i) {
+    os << (i ? "," : "") << plan.alternates[i].value();
+  }
+  os << "] vms=[";
+  for (std::size_t i = 0; i < plan.vm_counts.size(); ++i) {
+    os << (i ? "," : "") << plan.vm_counts[i];
+  }
+  os << "]";
+  return os.str();
+}
 
 }  // namespace
 
@@ -90,6 +106,9 @@ Deployment AnnealingScheduler::deploy(double estimated_input_rate) {
   Plan best = current;
   double best_theta = current_theta;
   double temperature = options_.initial_temperature;
+  // Superseded incumbents become the decision event's rejected
+  // candidates; collected only when a tracer is attached.
+  std::vector<obs::RejectedPlan> superseded;
 
   for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
     Plan candidate = current;
@@ -126,6 +145,9 @@ Deployment AnnealingScheduler::deploy(double estimated_input_rate) {
       current = std::move(candidate);
       current_theta = candidate_theta;
       if (current_theta > best_theta) {
+        if (env_.tracer.enabled()) {
+          superseded.push_back({planLabel(best), best_theta});
+        }
         best = current;
         best_theta = current_theta;
       }
@@ -137,6 +159,25 @@ Deployment AnnealingScheduler::deploy(double estimated_input_rate) {
   static_planning::Assignment assignment;
   best_theta_ = evaluate(best, deployment, &assignment);
   DDS_ENSURE(std::isfinite(best_theta_), "best plan must stay feasible");
+  if (env_.tracer.enabled()) {
+    // Keep the last few superseded incumbents (best theta first).
+    std::reverse(superseded.begin(), superseded.end());
+    if (superseded.size() > 3) superseded.resize(3);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    env_.tracer.emit(
+        obs::SchedulerDecisionEvent{.t = 0.0,
+                                    .interval = 0,
+                                    .phase = "deploy",
+                                    .action = "annealing",
+                                    .omega = nan,
+                                    .omega_bar = nan,
+                                    .theta = best_theta_,
+                                    .rejected = std::move(superseded)});
+  }
+  if (env_.metrics != nullptr) {
+    env_.metrics->counter("sched.plans_examined")
+        .inc(static_cast<std::uint64_t>(options_.iterations));
+  }
   static_planning::materialize(*env_.cloud, best.vm_counts, assignment);
   return deployment;
 }

@@ -5,11 +5,32 @@
 #include <limits>
 #include <numeric>
 #include <optional>
+#include <sstream>
 
 #include "dds/sched/static_planning.hpp"
 #include "dds/sim/rate_model.hpp"
 
 namespace dds {
+
+namespace {
+
+/// Compact human label of one candidate plan for decision events.
+std::string planLabel(const std::vector<std::size_t>& combo,
+                      const std::vector<int>& counts) {
+  std::ostringstream os;
+  os << "alts=[";
+  for (std::size_t i = 0; i < combo.size(); ++i) {
+    os << (i ? "," : "") << combo[i];
+  }
+  os << "] vms=[";
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    os << (i ? "," : "") << counts[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
 
 BruteForceScheduler::BruteForceScheduler(SchedulerEnv env, double sigma,
                                          SimTime horizon_s,
@@ -41,6 +62,10 @@ Deployment BruteForceScheduler::deploy(double estimated_input_rate) {
     static_planning::Assignment assignment;
   };
   std::optional<Best> best;
+  // Superseded feasible optima become the decision event's rejected
+  // candidates; collected only when a tracer is attached.
+  std::string best_label;
+  std::vector<obs::RejectedPlan> superseded;
 
   // Odometer over alternate combinations.
   Deployment dep(df);
@@ -102,6 +127,12 @@ Deployment BruteForceScheduler::deploy(double estimated_input_rate) {
       if (worth_checking) {
         if (auto assignment =
                 static_planning::tryAssign(catalog, counts, demand)) {
+          if (env_.tracer.enabled()) {
+            if (best.has_value()) {
+              superseded.push_back({best_label, best->theta});
+            }
+            best_label = planLabel(combo, counts);
+          }
           best = Best{theta, dep, counts, std::move(*assignment)};
         }
       }
@@ -129,6 +160,25 @@ Deployment BruteForceScheduler::deploy(double estimated_input_rate) {
   }
 
   DDS_ENSURE(best.has_value(), "brute force found no feasible plan");
+  if (env_.tracer.enabled()) {
+    // Keep the last few superseded optima (best theta first).
+    std::reverse(superseded.begin(), superseded.end());
+    if (superseded.size() > 3) superseded.resize(3);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    env_.tracer.emit(
+        obs::SchedulerDecisionEvent{.t = 0.0,
+                                    .interval = 0,
+                                    .phase = "deploy",
+                                    .action = "brute_force",
+                                    .omega = nan,
+                                    .omega_bar = nan,
+                                    .theta = best->theta,
+                                    .rejected = std::move(superseded)});
+  }
+  if (env_.metrics != nullptr) {
+    env_.metrics->counter("sched.plans_examined")
+        .inc(static_cast<std::uint64_t>(plans_examined_));
+  }
   static_planning::materialize(*env_.cloud, best->vm_counts,
                                best->assignment);
   return best->deployment;

@@ -1,6 +1,7 @@
 #include "dds/sched/heuristic_scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "dds/sim/rate_model.hpp"
@@ -9,6 +10,10 @@ namespace dds {
 namespace {
 
 constexpr double kEps = 1e-9;
+
+/// Heuristic decisions are not plan-scored; their decision events carry
+/// Θ = NaN (serialized as the "NaN" sentinel) rather than a fake zero.
+const double kNoTheta = std::numeric_limits<double>::quiet_NaN();
 
 /// Free (unallocated) normalized core power across active VMs.
 double freeCorePower(const CloudProvider& cloud, const CorePowerFn& power) {
@@ -35,9 +40,11 @@ HeuristicScheduler::HeuristicScheduler(SchedulerEnv env, Strategy strategy,
   DDS_REQUIRE(options_.resource_period >= 1,
               "resource period must be at least one interval");
   allocator_.setResilience(options_.resilience);
+  allocator_.setObservability(env_.tracer, env_.metrics);
   if (options_.resilience.quarantineEnabled()) {
     guard_ = std::make_unique<StragglerGuard>(*env_.cloud, *env_.monitor,
                                               options_.resilience);
+    guard_->setTracer(env_.tracer);
   }
 }
 
@@ -103,6 +110,20 @@ std::vector<MigrationEvent> HeuristicScheduler::adapt(
       capacityPending(state.now)) {
     alternatePhase(state, deployment);
     ++graceful_degradations_;
+    if (env_.tracer.enabled()) {
+      env_.tracer.emit(obs::SchedulerDecisionEvent{
+          .t = state.now,
+          .interval = state.interval,
+          .phase = "alternate",
+          .action = "graceful_degradation",
+          .omega = omega_t,
+          .omega_bar = state.average_omega,
+          .theta = kNoTheta,
+          .rejected = {}});
+    }
+    if (env_.metrics != nullptr) {
+      env_.metrics->counter("sched.graceful_degradations").inc();
+    }
   }
   if (state.interval % options_.resource_period == 0) {
     return resourcePhase(state, deployment);
@@ -236,6 +257,18 @@ void HeuristicScheduler::alternatePhase(const ObservedState& state,
     for (const Ranked& r : feasible) {
       const double extra = r.needed_power - allocated[pe.value()];
       if (underprovisioned || extra <= available + kEps) {
+        if (env_.tracer.enabled()) {
+          env_.tracer.emit(obs::AlternateSwitchEvent{
+              .t = state.now,
+              .pe = pe.value(),
+              .from = active_id.value(),
+              .to = r.id.value(),
+              .gamma_from = element.relativeValue(active_id),
+              .gamma_to = element.relativeValue(r.id)});
+        }
+        if (env_.metrics != nullptr) {
+          env_.metrics->counter("sched.alternate_switches").inc();
+        }
         deployment.setActiveAlternate(pe, r.id);
         available -= std::max(std::min(extra, available), 0.0);
         break;
@@ -264,12 +297,24 @@ void HeuristicScheduler::quarantineStragglers(
         owners.push_back(*owner);
       }
     }
+    std::int64_t evacuated = 0;
     for (const PeId pe : owners) {
       const int on_vm = vm.coresOwnedBy(pe);
       const int total = totalCores(*env_.cloud, pe);
       vm.releaseAllCoresOf(pe);
+      evacuated += on_vm;
       migrations.push_back(
           {pe, static_cast<double>(on_vm) / static_cast<double>(total)});
+    }
+    if (env_.tracer.enabled()) {
+      env_.tracer.emit(obs::StragglerQuarantineEvent{
+          .t = state.now,
+          .vm = id.value(),
+          .smoothed_ratio = guard_->smoothedRatio(id),
+          .evacuated_cores = evacuated});
+    }
+    if (env_.metrics != nullptr) {
+      env_.metrics->counter("sched.stragglers_quarantined").inc();
     }
     env_.cloud->release(id, state.now);
   }
@@ -337,9 +382,12 @@ std::vector<MigrationEvent> HeuristicScheduler::resourcePhase(
   // constraint. The instantaneous check supplements it so a sudden rate or
   // performance drop is answered this interval, not after the long-run
   // average has decayed below the threshold.
+  const char* action = latency_breach ? "latency_scale_out" : "hold";
   if (omega_bar < omega_hat || omega_t < omega_hat - epsilon) {
     allocator_.scaleOut(deployment, state.input_rate, power, state.now,
                         strategy_, -1.0, measured_ptr);
+    action = "scale_out";
+    if (env_.metrics != nullptr) env_.metrics->counter("sched.scale_outs").inc();
   } else if (!latency_breach && omega_bar > omega_hat + epsilon &&
              omega_t > omega_hat + epsilon) {
     // (scale-in yields to an active latency breach: stripping the cores
@@ -348,8 +396,20 @@ std::vector<MigrationEvent> HeuristicScheduler::resourcePhase(
     // the constraint (half the tolerance is kept as hysteresis margin).
     auto shed = allocator_.scaleIn(deployment, state.input_rate, power,
                                    strategy_, omega_hat + 0.5 * epsilon,
-                                   measured_ptr);
+                                   measured_ptr, state.now);
     migrations.insert(migrations.end(), shed.begin(), shed.end());
+    action = "scale_in";
+    if (env_.metrics != nullptr) env_.metrics->counter("sched.scale_ins").inc();
+  }
+  if (env_.tracer.enabled()) {
+    env_.tracer.emit(obs::SchedulerDecisionEvent{.t = state.now,
+                                                 .interval = state.interval,
+                                                 .phase = "resource",
+                                                 .action = action,
+                                                 .omega = omega_t,
+                                                 .omega_bar = omega_bar,
+                                                 .theta = kNoTheta,
+                                                 .rejected = {}});
   }
 
   // The local strategy acts on local knowledge and releases an empty VM as

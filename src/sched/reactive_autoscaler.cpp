@@ -1,5 +1,7 @@
 #include "dds/sched/reactive_autoscaler.hpp"
 
+#include <limits>
+
 #include "dds/sched/alternate_selection.hpp"
 
 namespace dds {
@@ -13,6 +15,7 @@ ReactiveAutoscaler::ReactiveAutoscaler(SchedulerEnv env,
                    0) {
   env_.validate();
   options_.validate();
+  allocator_.setObservability(env_.tracer, env_.metrics);
 }
 
 Deployment ReactiveAutoscaler::deploy(double estimated_input_rate) {
@@ -36,6 +39,8 @@ std::vector<MigrationEvent> ReactiveAutoscaler::adapt(
   }
   const Dataflow& df = *env_.dataflow;
   std::vector<MigrationEvent> migrations;
+  int cores_grown = 0;
+  int cores_shrunk = 0;
 
   for (const auto& element : df.pes()) {
     const PeId pe = element.id();
@@ -52,6 +57,12 @@ std::vector<MigrationEvent> ReactiveAutoscaler::adapt(
         VmInstance& vm = env_.cloud->instance(id);
         if (vm.freeCoreCount() > 0) {
           vm.allocateCore(pe);
+          ++cores_grown;
+          if (env_.tracer.enabled()) {
+            env_.tracer.emit(obs::CoreAllocEvent{
+                .t = state.now, .vm = id.value(), .pe = pe.value(),
+                .delta = 1});
+          }
           goto next_pe;  // grew on an existing VM
         }
       }
@@ -61,6 +72,12 @@ std::vector<MigrationEvent> ReactiveAutoscaler::adapt(
               env_.cloud->catalog().largest(), state.now);
           got.ok()) {
         env_.cloud->instance(got.vm).allocateCore(pe);
+        ++cores_grown;
+        if (env_.tracer.enabled()) {
+          env_.tracer.emit(obs::CoreAllocEvent{
+              .t = state.now, .vm = got.vm.value(), .pe = pe.value(),
+              .delta = 1});
+        }
       }
     } else if (backlog_per_core < options_.backlog_lo_per_core &&
                st.relative_throughput >= 1.0 - 1e-9) {
@@ -77,6 +94,12 @@ std::vector<MigrationEvent> ReactiveAutoscaler::adapt(
           }
         }
         env_.cloud->instance(victim->vm).releaseCoreOf(pe);
+        ++cores_shrunk;
+        if (env_.tracer.enabled()) {
+          env_.tracer.emit(obs::CoreAllocEvent{
+              .t = state.now, .vm = victim->vm.value(), .pe = pe.value(),
+              .delta = -1});
+        }
         if (victim->cores == 1) {
           migrations.push_back(
               {pe, 1.0 / static_cast<double>(cores)});
@@ -91,6 +114,32 @@ std::vector<MigrationEvent> ReactiveAutoscaler::adapt(
   // No billing awareness: empty VMs go back immediately.
   allocator_.releaseEmptyVms(ResourceAllocator::ReleasePolicy::Immediate,
                              state.now, env_.sim_config.interval_s);
+  if (env_.tracer.enabled()) {
+    const char* action = "hold";
+    if (cores_grown > 0 && cores_shrunk > 0) {
+      action = "rebalance";
+    } else if (cores_grown > 0) {
+      action = "grow";
+    } else if (cores_shrunk > 0) {
+      action = "shrink";
+    }
+    const double omega_t = state.last_interval != nullptr
+                               ? state.last_interval->omega
+                               : 1.0;
+    env_.tracer.emit(obs::SchedulerDecisionEvent{
+        .t = state.now,
+        .interval = state.interval,
+        .phase = "resource",
+        .action = action,
+        .omega = omega_t,
+        .omega_bar = state.average_omega,
+        .theta = std::numeric_limits<double>::quiet_NaN(),
+        .rejected = {}});
+  }
+  if (env_.metrics != nullptr) {
+    if (cores_grown > 0) env_.metrics->counter("sched.scale_outs").inc();
+    if (cores_shrunk > 0) env_.metrics->counter("sched.scale_ins").inc();
+  }
   return migrations;
 }
 

@@ -30,6 +30,10 @@ std::vector<VmId> StragglerGuard::probe(SimTime t) {
     if (track.smoothed_ratio < options_.straggler_threshold) {
       ++track.consecutive_low;
     } else {
+      if (track.consecutive_low > 0 && tracer_.enabled()) {
+        // A suspect recovered before crossing the quarantine bar.
+        tracer_.emit(obs::StragglerRecoveryEvent{.t = t, .vm = vm.value()});
+      }
       track.consecutive_low = 0;
     }
     if (track.consecutive_low >= options_.straggler_probes) {

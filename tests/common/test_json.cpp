@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <limits>
 
 namespace dds {
@@ -73,6 +74,69 @@ TEST(JsonWriter, StrRequiresClosedContainers) {
   JsonWriter w;
   w.beginObject();
   EXPECT_THROW((void)w.str(), PreconditionError);
+}
+
+TEST(JsonWriter, CompactStyleHasNoWhitespaceOrTrailingNewline) {
+  JsonWriter w({.style = JsonWriter::Style::Compact});
+  w.beginObject();
+  w.key("name").value("x");
+  w.key("items").beginArray();
+  w.value(1.5);
+  w.value(std::int64_t{2});
+  w.endArray();
+  w.key("ok").value(true);
+  w.endObject();
+  EXPECT_EQ(w.str(), "{\"name\":\"x\",\"items\":[1.5,2],\"ok\":true}");
+}
+
+TEST(JsonWriter, NonFinitePolicyStringSentinel) {
+  JsonWriter w({.style = JsonWriter::Style::Compact,
+                .non_finite = JsonWriter::NonFinitePolicy::StringSentinel});
+  w.beginArray();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(1.0);
+  w.endArray();
+  EXPECT_EQ(w.str(), "[\"NaN\",\"Infinity\",\"-Infinity\",1]");
+}
+
+TEST(JsonWriter, NonFinitePolicyThrow) {
+  JsonWriter w({.non_finite = JsonWriter::NonFinitePolicy::Throw});
+  w.beginArray();
+  EXPECT_THROW(w.value(std::numeric_limits<double>::quiet_NaN()),
+               PreconditionError);
+  EXPECT_THROW(w.value(std::numeric_limits<double>::infinity()),
+               PreconditionError);
+  w.value(2.5);  // finite values still fine after a rejected write
+  w.endArray();
+  EXPECT_NE(w.str().find("2.5"), std::string::npos);
+}
+
+TEST(JsonWriter, DefaultOptionsMatchLegacyOutput) {
+  // Explicit defaults must be byte-compatible with the historical
+  // writer so committed BENCH_*.json baselines stay stable.
+  JsonWriter legacy;
+  JsonWriter configured(JsonWriter::Options{});
+  for (JsonWriter* w : {&legacy, &configured}) {
+    w->beginObject();
+    w->key("v").value(0.1);
+    w->key("bad").value(std::numeric_limits<double>::quiet_NaN());
+    w->endObject();
+  }
+  EXPECT_EQ(legacy.str(), configured.str());
+  EXPECT_EQ(legacy.str(), "{\n  \"v\": 0.1,\n  \"bad\": null\n}\n");
+}
+
+TEST(JsonNumber, ShortestRoundTripAndIntegralForms) {
+  EXPECT_EQ(jsonNumber(42.0), "42");
+  EXPECT_EQ(jsonNumber(-3.0), "-3");
+  EXPECT_EQ(jsonNumber(0.1), "0.1");
+  for (const double v : {1.0 / 3.0, 0.017, 1e-9, 123456.789}) {
+    double back = 0.0;
+    ASSERT_EQ(std::sscanf(jsonNumber(v).c_str(), "%lf", &back), 1);
+    EXPECT_EQ(back, v);
+  }
 }
 
 }  // namespace

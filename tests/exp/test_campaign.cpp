@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -53,13 +55,14 @@ void expectIdentical(const JobOutcome& a, const JobOutcome& b) {
 TEST(Campaign, AddValidatesJobs) {
   Campaign campaign;
   EXPECT_THROW(campaign.add({nullptr, shortConfig(),
-                             SchedulerKind::GlobalAdaptive, ""}),
+                             SchedulerKind::GlobalAdaptive, "", ""}),
                PreconditionError);
   ExperimentConfig bad = shortConfig();
   bad.horizon_s = -1.0;
   const Dataflow df = makePaperDataflow();
-  EXPECT_THROW(campaign.add({&df, bad, SchedulerKind::GlobalAdaptive, ""}),
-               PreconditionError);
+  EXPECT_THROW(
+      campaign.add({&df, bad, SchedulerKind::GlobalAdaptive, "", ""}),
+      PreconditionError);
   EXPECT_TRUE(campaign.empty());
 }
 
@@ -141,6 +144,63 @@ TEST(Campaign, JsonExportIsWellFormedAndDeterministic) {
   // Same outcomes -> same document, byte for byte (wall_s differs between
   // runs, so re-serialize the same result instead of re-running).
   EXPECT_EQ(a, campaignJson(res, "unit"));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Campaign, TracePathsDeriveFromLabels) {
+  const Dataflow df = makePaperDataflow();
+  Campaign campaign;
+  campaign.addPolicySweep(df, shortConfig(),
+                          {SchedulerKind::GlobalAdaptive,
+                           SchedulerKind::LocalAdaptive});
+  campaign.addSeedSweep(df, shortConfig(), SchedulerKind::GlobalAdaptive, 2);
+  campaign.setTracePaths("base.jsonl");
+  // Unique labels get `base.<label>`; the duplicated `global` label is
+  // disambiguated with the submission index.
+  EXPECT_EQ(campaign.jobs()[0].trace_path, "base.jsonl.global.0");
+  EXPECT_EQ(campaign.jobs()[1].trace_path, "base.jsonl.local");
+  EXPECT_EQ(campaign.jobs()[2].trace_path, "base.jsonl.global.2");
+  EXPECT_EQ(campaign.jobs()[3].trace_path, "base.jsonl.global.3");
+
+  Campaign single;
+  single.addPolicySweep(df, shortConfig(), {SchedulerKind::GlobalAdaptive});
+  single.setTracePaths("only.jsonl");
+  EXPECT_EQ(single.jobs()[0].trace_path, "only.jsonl");
+}
+
+TEST(Campaign, TraceFilesAreByteIdenticalAtAnyJobCount) {
+  const Dataflow df = makePaperDataflow();
+  const std::string dir = ::testing::TempDir();
+  const std::vector<SchedulerKind> kinds = {SchedulerKind::GlobalAdaptive,
+                                            SchedulerKind::LocalAdaptive,
+                                            SchedulerKind::GlobalStatic};
+
+  const auto runWith = [&](const std::string& base, std::size_t jobs) {
+    Campaign campaign;
+    campaign.addPolicySweep(df, shortConfig(), kinds);
+    campaign.setTracePaths(dir + base);
+    runCampaign(campaign, {.jobs = jobs}).throwIfAnyFailed();
+    std::vector<std::string> contents;
+    for (const auto& job : campaign.jobs()) {
+      contents.push_back(slurp(job.trace_path));
+      EXPECT_FALSE(contents.back().empty()) << job.trace_path;
+    }
+    return contents;
+  };
+
+  const auto serial = runWith("serial.jsonl", 1);
+  const auto parallel = runWith("parallel.jsonl", 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "trace " << i;
+  }
 }
 
 TEST(Replication, ParallelMatchesSerial) {

@@ -1,0 +1,95 @@
+#include "dds/obs/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dds/common/rng.hpp"
+#include "dds/common/stats.hpp"
+
+namespace dds::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulate) {
+  MetricsRegistry registry;
+  registry.counter("a").inc();
+  registry.counter("a").inc(3);
+  EXPECT_EQ(registry.counter("a").value(), 4u);
+  EXPECT_EQ(registry.counter("fresh").value(), 0u);
+}
+
+TEST(MetricsRegistry, GaugesAreLastWriteWins) {
+  MetricsRegistry registry;
+  registry.gauge("g").set(1.5);
+  registry.gauge("g").set(-2.0);
+  EXPECT_EQ(registry.gauge("g").value(), -2.0);
+}
+
+TEST(MetricsRegistry, InstrumentReferencesAreStable) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("stable");
+  // Creating many other instruments must not invalidate the reference.
+  for (int i = 0; i < 100; ++i) {
+    const std::string suffix = std::to_string(i);
+    registry.counter(std::string("c") + suffix).inc();
+    registry.histogram(std::string("h") + suffix).observe(0.0);
+  }
+  c.inc(7);
+  EXPECT_EQ(registry.counter("stable").value(), 7u);
+}
+
+TEST(MetricsRegistry, HistogramPercentilesMatchCommonStats) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("x");
+  Rng rng(99);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.0, 10.0);
+    samples.push_back(v);
+    h.observe(v);
+  }
+  // Exact equality: the histogram must use the same linear-interpolation
+  // percentile as dds::percentile, not an approximation.
+  EXPECT_EQ(h.percentile(50.0), percentile(samples, 50.0));
+  EXPECT_EQ(h.percentile(95.0), percentile(samples, 95.0));
+  EXPECT_EQ(h.percentile(99.0), percentile(samples, 99.0));
+  EXPECT_EQ(h.stats().count(), samples.size());
+
+  RunningStats reference;
+  for (const double v : samples) reference.add(v);
+  EXPECT_EQ(h.stats().mean(), reference.mean());
+  EXPECT_EQ(h.stats().min(), reference.min());
+  EXPECT_EQ(h.stats().max(), reference.max());
+}
+
+TEST(MetricsRegistry, EmptyHistogramPercentileIsZero) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.histogram("empty").percentile(95.0), 0.0);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSortedAcrossKinds) {
+  MetricsRegistry registry;
+  registry.histogram("m.hist").observe(2.0);
+  registry.histogram("m.hist").observe(4.0);
+  registry.counter("z.counter").inc(5);
+  registry.gauge("a.gauge").set(1.25);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.gauge");
+  EXPECT_EQ(snap[0].kind, MetricSample::Kind::Gauge);
+  EXPECT_EQ(snap[0].value, 1.25);
+  EXPECT_EQ(snap[1].name, "m.hist");
+  EXPECT_EQ(snap[1].kind, MetricSample::Kind::Histogram);
+  EXPECT_EQ(snap[1].count, 2u);
+  EXPECT_EQ(snap[1].mean, 3.0);
+  EXPECT_EQ(snap[1].min, 2.0);
+  EXPECT_EQ(snap[1].max, 4.0);
+  EXPECT_EQ(snap[2].name, "z.counter");
+  EXPECT_EQ(snap[2].kind, MetricSample::Kind::Counter);
+  EXPECT_EQ(snap[2].count, 5u);
+  EXPECT_EQ(snap[2].value, 5.0);
+}
+
+}  // namespace
+}  // namespace dds::obs

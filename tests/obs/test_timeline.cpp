@@ -1,0 +1,87 @@
+#include "dds/obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dds::obs {
+namespace {
+
+/// A hand-built two-interval trace exercising event attribution.
+std::vector<TraceEvent> syntheticTrace() {
+  std::vector<TraceEvent> events;
+  events.push_back(
+      RunHeaderEvent{"global", 7, 0.5, 0.7, 0.05, 120.0, 60.0, "fluid"});
+  events.push_back(IntervalBeginEvent{0.0, 0, 10.0});
+  events.push_back(VmAcquireEvent{0.0, 0, "m1.small", 1, 0.06, 0.0});
+  events.push_back(CoreAllocEvent{0.0, 0, 0, 1});
+  events.push_back(IntervalEndEvent{60.0, 0, 0.6, 0.6, 1.0, 0.06, 0.9,
+                                    5.0, 1, 1});
+  events.push_back(OmegaViolationEvent{60.0, 0, 0.6, 0.7});
+  events.push_back(IntervalBeginEvent{60.0, 1, 12.0});
+  events.push_back(AlternateSwitchEvent{60.0, 0, 0, 1, 1.0, 0.6});
+  events.push_back(SchedulerDecisionEvent{60.0, 1, "alternate", "downgrade",
+                                          0.6, 0.6, 0.9, {}});
+  events.push_back(VmAcquireEvent{70.0, 1, "m1.small", 1, 0.06, 70.0});
+  events.push_back(AcquisitionFailureEvent{75.0, "m1.small"});
+  events.push_back(FaultInjectionEvent{80.0, 0, "crash", 3.0});
+  events.push_back(StragglerQuarantineEvent{90.0, 1, 0.4, 1});
+  events.push_back(VmReleaseEvent{95.0, 1, "m1.small", 0.06});
+  events.push_back(IntervalEndEvent{120.0, 1, 0.8, 0.7, 0.8, 0.12, 1.0,
+                                    0.0, 1, 1});
+  return events;
+}
+
+TEST(Timeline, FoldsIntervalsAndAttributesDiscreteEvents) {
+  const TraceAnalysis a = analyzeTrace(syntheticTrace());
+  ASSERT_TRUE(a.has_header);
+  EXPECT_EQ(a.header.scheduler, "global");
+  ASSERT_EQ(a.rows.size(), 2u);
+
+  const TimelineRow& r0 = a.rows[0];
+  EXPECT_EQ(r0.interval, 0);
+  EXPECT_EQ(r0.input_rate, 10.0);
+  EXPECT_EQ(r0.omega, 0.6);
+  EXPECT_EQ(r0.utilization, 0.9);
+  EXPECT_TRUE(r0.violated);
+  EXPECT_EQ(r0.vm_acquires, 1);
+  EXPECT_EQ(r0.vm_releases, 0);
+
+  // t in [60, 120) lands in interval 1, including the boundary t = 60.
+  const TimelineRow& r1 = a.rows[1];
+  EXPECT_EQ(r1.interval, 1);
+  EXPECT_EQ(r1.input_rate, 12.0);
+  EXPECT_FALSE(r1.violated);
+  EXPECT_EQ(r1.alternate_switches, 1);
+  EXPECT_EQ(r1.vm_acquires, 1);
+  EXPECT_EQ(r1.vm_releases, 1);
+  EXPECT_EQ(r1.acquisition_failures, 1);
+  EXPECT_EQ(r1.faults, 1);
+  EXPECT_EQ(r1.quarantines, 1);
+  EXPECT_EQ(r1.decisions, 1);
+
+  EXPECT_EQ(a.violations, 1);
+  EXPECT_NEAR(a.average_omega, 0.7, 1e-12);
+  EXPECT_NEAR(a.average_gamma, 0.9, 1e-12);
+  EXPECT_EQ(a.final_cost, 0.12);
+  // Theta = Gamma_bar - sigma * mu with sigma from the header.
+  EXPECT_NEAR(a.theta, 0.9 - 0.5 * 0.12, 1e-12);
+  EXPECT_EQ(a.peak_vms, 1.0);
+  EXPECT_EQ(a.event_counts.at("interval_end"), 2);
+  EXPECT_EQ(a.event_counts.at("vm_acquire"), 2);
+  EXPECT_EQ(a.event_counts.at("run_header"), 1);
+}
+
+TEST(Timeline, EmptyAndHeaderlessTracesAreHandled) {
+  EXPECT_TRUE(analyzeTrace({}).rows.empty());
+  const TraceAnalysis a = analyzeTrace(
+      {IntervalEndEvent{60.0, 0, 0.9, 0.9, 1.0, 0.1, 1.0, 0.0, 1, 1}});
+  EXPECT_FALSE(a.has_header);
+  ASSERT_EQ(a.rows.size(), 1u);
+  EXPECT_EQ(a.rows[0].omega, 0.9);
+  // Without a header sigma defaults to 0, so theta == gamma-bar.
+  EXPECT_EQ(a.theta, a.average_gamma);
+}
+
+}  // namespace
+}  // namespace dds::obs

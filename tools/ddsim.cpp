@@ -7,6 +7,9 @@
 //                 hardware threads; 1 = serial). Results are identical
 //                 at any job count — only the wall clock changes.
 //   --json FILE   write the campaign results as a JSON document.
+//   --trace FILE  stream each run's event trace as JSONL (one file per
+//                 scheduler when the config runs several); inspect the
+//                 files with the ddtrace tool.
 //   --help        print usage and exit.
 //
 // The config format is documented in dds/config/config_file.hpp; see
@@ -28,17 +31,27 @@ using namespace dds;
 struct CliOptions {
   std::string config_path;
   std::string json_path;
+  std::string trace_path;
   std::size_t jobs = 0;  ///< 0 = hardware concurrency.
   bool help = false;
 };
 
 void printUsage(std::ostream& out) {
   out << "usage: ddsim [options] <config-file>\n"
-         "  --jobs N     worker threads for the scheduler runs\n"
-         "               (default: all hardware threads; 1 = serial)\n"
-         "  --json FILE  write campaign results as JSON\n"
-         "  --help       show this message\n"
-         "see tools/example.conf for the config format\n";
+         "  --jobs N      worker threads for the scheduler runs\n"
+         "                (default: all hardware threads; 1 = serial)\n"
+         "  --json FILE   write campaign results as JSON\n"
+         "  --trace FILE  stream each run's event trace as JSONL\n"
+         "                (per-scheduler files FILE.<label> when the\n"
+         "                config runs several; inspect with ddtrace)\n"
+         "  --help        show this message\n"
+         "schedulers (config `scheduler = ...`):";
+  // The list is generated from the registry so --help can never drift
+  // from the policies the binary actually knows.
+  for (const SchedulerKind kind : allSchedulerKinds()) {
+    out << ' ' << schedulerName(kind);
+  }
+  out << "\nsee tools/example.conf for the config format\n";
 }
 
 /// Parses argv; throws ConfigError on malformed flags.
@@ -61,6 +74,9 @@ CliOptions parseArgs(int argc, char** argv) {
     } else if (arg == "--json") {
       if (i + 1 >= argc) throw ConfigError("--json requires a file path");
       opts.json_path = argv[++i];
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) throw ConfigError("--trace requires a file path");
+      opts.trace_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       throw ConfigError("unknown option: '" + arg + "'");
     } else if (opts.config_path.empty()) {
@@ -109,6 +125,9 @@ int main(int argc, char** argv) {
 
     dds::Campaign campaign;
     campaign.addPolicySweep(df, ex.config, ex.schedulers);
+    if (!opts.trace_path.empty()) {
+      campaign.setTracePaths(opts.trace_path);
+    }
     dds::RunnerOptions runner;
     runner.jobs = opts.jobs;
     const dds::CampaignResult res = dds::runCampaign(campaign, runner);
@@ -133,6 +152,11 @@ int main(int argc, char** argv) {
     if (!opts.json_path.empty()) {
       dds::saveCampaignJson(opts.json_path, res, df.name());
       std::cout << "wrote " << opts.json_path << '\n';
+    }
+    if (!opts.trace_path.empty()) {
+      for (const auto& job : campaign.jobs()) {
+        std::cout << "wrote " << job.trace_path << '\n';
+      }
     }
     return 0;
   } catch (const dds::ConfigError& e) {

@@ -1,0 +1,182 @@
+// ddtrace — analyze a JSONL event trace written by `ddsim --trace` (or
+// any JsonlTraceSink).
+//
+//   ddtrace [options] trace.jsonl
+//
+// Options:
+//   --check    instead of analyzing, re-serialize every line and verify
+//              byte identity (proves the reader/writer round-trip and
+//              that the file is a faithful dds trace). Exit 1 on the
+//              first mismatching line.
+//   --help     print usage and exit.
+//
+// Default output: the run header, a per-interval timeline table
+// (rate, Omega, Omega-bar, Gamma, rho utilization, mu, active VMs/cores,
+// and discrete-event counts per interval), an event-count summary, and
+// a profit breakdown recomputing Theta = Gamma-bar - sigma * mu from
+// the trace alone.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dds/common/error.hpp"
+#include "dds/common/table.hpp"
+#include "dds/obs/jsonl_sink.hpp"
+#include "dds/obs/timeline.hpp"
+#include "dds/obs/trace_reader.hpp"
+
+namespace {
+
+using namespace dds;
+
+struct CliOptions {
+  std::string trace_path;
+  bool check = false;
+  bool help = false;
+};
+
+void printUsage(std::ostream& out) {
+  out << "usage: ddtrace [options] <trace.jsonl>\n"
+         "  --check  verify every line re-serializes byte-identically\n"
+         "  --help   show this message\n"
+         "traces come from `ddsim --trace FILE <config>`\n";
+}
+
+CliOptions parseArgs(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--check") {
+      opts.check = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw PreconditionError("unknown option: '" + arg + "'");
+    } else if (opts.trace_path.empty()) {
+      opts.trace_path = arg;
+    } else {
+      throw PreconditionError("more than one trace file given");
+    }
+  }
+  return opts;
+}
+
+/// Round-trip every line through parse + re-serialize; returns the count
+/// of verified lines, throws IoError on the first divergence.
+std::size_t checkRoundTrip(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t checked = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const obs::TraceEvent event = obs::parseTraceEventJson(line);
+    const std::string again = obs::traceEventJson(event);
+    if (again != line) {
+      throw IoError("line " + std::to_string(line_no) +
+                    " does not round-trip:\n  file:   " + line +
+                    "\n  rewrite: " + again);
+    }
+    ++checked;
+  }
+  return checked;
+}
+
+void printAnalysis(const obs::TraceAnalysis& a) {
+  if (a.has_header) {
+    std::cout << "run: scheduler " << a.header.scheduler << ", seed "
+              << a.header.seed << ", backend " << a.header.backend
+              << ", horizon " << a.header.horizon_s << " s @ "
+              << a.header.interval_s << " s intervals\n"
+              << "     sigma " << a.header.sigma << ", omega target "
+              << a.header.omega_target << " (epsilon "
+              << a.header.epsilon << ")\n\n";
+  } else {
+    std::cout << "run: (no header event in trace)\n\n";
+  }
+
+  TextTable timeline({"int", "t_s", "rate", "omega", "omega_bar", "gamma",
+                      "rho", "mu", "vms", "cores", "viol", "alt", "vm+",
+                      "vm-", "rej", "fault", "quar", "dec"});
+  for (const obs::TimelineRow& r : a.rows) {
+    timeline.addRow({std::to_string(r.interval), TextTable::num(r.t, 0),
+                     TextTable::num(r.input_rate, 2),
+                     TextTable::num(r.omega, 3),
+                     TextTable::num(r.omega_bar, 3),
+                     TextTable::num(r.gamma, 3),
+                     TextTable::num(r.utilization, 3),
+                     TextTable::num(r.cost, 2),
+                     std::to_string(r.active_vms),
+                     std::to_string(r.allocated_cores),
+                     r.violated ? "*" : "",
+                     std::to_string(r.alternate_switches),
+                     std::to_string(r.vm_acquires),
+                     std::to_string(r.vm_releases),
+                     std::to_string(r.acquisition_failures),
+                     std::to_string(r.faults),
+                     std::to_string(r.quarantines),
+                     std::to_string(r.decisions)});
+  }
+  std::cout << timeline.render() << '\n';
+
+  TextTable events({"event", "count"});
+  for (const auto& [name, count] : a.event_counts) {
+    events.addRow({name, std::to_string(count)});
+  }
+  std::cout << events.render() << '\n';
+
+  // Profit breakdown: Theta recomputed from the trace alone.
+  const double sigma = a.has_header ? a.header.sigma : 0.0;
+  TextTable profit({"quantity", "value"});
+  profit.addRow({"Gamma_bar (avg value)", TextTable::num(a.average_gamma, 4)});
+  profit.addRow({"Omega_bar (avg throughput)",
+                 TextTable::num(a.average_omega, 4)});
+  profit.addRow({"mu (total cost, $)", TextTable::num(a.final_cost, 4)});
+  profit.addRow({"sigma", TextTable::num(sigma, 6)});
+  profit.addRow({"sigma * mu", TextTable::num(sigma * a.final_cost, 4)});
+  profit.addRow({"Theta = Gamma_bar - sigma*mu", TextTable::num(a.theta, 4)});
+  profit.addRow({"omega violations",
+                 std::to_string(a.violations)});
+  profit.addRow({"peak VMs", TextTable::num(a.peak_vms, 0)});
+  profit.addRow({"peak cores", TextTable::num(a.peak_cores, 0)});
+  std::cout << profit.render();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions opts = parseArgs(argc, argv);
+    if (opts.help) {
+      printUsage(std::cout);
+      return 0;
+    }
+    if (opts.trace_path.empty()) {
+      printUsage(std::cerr);
+      return 2;
+    }
+    std::ifstream in(opts.trace_path, std::ios::binary);
+    if (!in) throw IoError("cannot open trace file: " + opts.trace_path);
+
+    if (opts.check) {
+      const std::size_t n = checkRoundTrip(in);
+      std::cout << "ok: " << n << " events round-trip byte-identically\n";
+      return 0;
+    }
+
+    const std::vector<obs::TraceEvent> events = obs::readTraceJsonl(in);
+    std::cout << opts.trace_path << ": " << events.size() << " events\n";
+    printAnalysis(obs::analyzeTrace(events));
+    return 0;
+  } catch (const dds::IoError& e) {
+    std::cerr << "ddtrace: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "ddtrace: error: " << e.what() << '\n';
+    return 1;
+  } catch (...) {
+    std::cerr << "ddtrace: unknown error\n";
+    return 1;
+  }
+}
