@@ -6,7 +6,21 @@
 // of the two decision procedures — initial deployment (Alg. 1) and one
 // runtime adaptation step (Alg. 2) — as the dataflow grows, plus the
 // brute-force search on the small graph for contrast.
+// Invoking the binary with --planner-latency-json=PATH skips the
+// google-benchmark harness and instead runs the full incremental-vs-full
+// annealing sweep (default 20k iterations, graph sizes up to 10 layers x
+// 8 width), cross-checks that both evaluator paths produce bit-identical
+// plans, and writes the results as JSON (committed as
+// BENCH_planner_latency.json at the repo root).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "dds/dds.hpp"
 
@@ -85,6 +99,34 @@ BENCHMARK(BM_AdaptationStep)
     ->Args({8, 8})
     ->Unit(benchmark::kMicrosecond);
 
+void BM_AnnealingDeploy(benchmark::State& state) {
+  const auto layers = static_cast<int>(state.range(0));
+  const auto width = static_cast<int>(state.range(1));
+  const bool incremental = state.range(2) != 0;
+  const Dataflow df = graphOfSize(layers, width);
+  for (auto _ : state) {
+    Env env{graphOfSize(layers, width)};
+    AnnealingOptions opts;
+    opts.iterations = 2'000;  // fast smoke-sized search; the full 20k
+                              // sweep runs under --planner-latency-json
+    opts.incremental_evaluation = incremental;
+    AnnealingScheduler sched(env.schedEnv(), 0.01, kSecondsPerHour, opts);
+    benchmark::DoNotOptimize(sched.deploy(10.0));
+  }
+  state.SetLabel(std::string(incremental ? "incremental" : "full") + ", " +
+                 std::to_string(df.peCount()) + " PEs, " +
+                 std::to_string(df.totalAlternateCount()) + " alternates");
+}
+BENCHMARK(BM_AnnealingDeploy)
+    ->Args({4, 4, 1})
+    ->Args({6, 4, 1})
+    ->Args({8, 6, 1})
+    ->Args({10, 8, 1})
+    ->Args({4, 4, 0})
+    ->Args({6, 4, 0})  // full evaluation only at small sizes: at 10x8 a
+                       // single from-scratch deploy() takes ~25 s
+    ->Unit(benchmark::kMillisecond);
+
 void BM_BruteForceSmallGraph(benchmark::State& state) {
   const double rate = static_cast<double>(state.range(0));
   for (auto _ : state) {
@@ -115,6 +157,129 @@ void BM_SimulatorStep(benchmark::State& state) {
 BENCHMARK(BM_SimulatorStep)->Arg(3)->Arg(5)->Arg(8)->Unit(
     benchmark::kMicrosecond);
 
+// --- incremental-vs-full planner-latency sweep (writes JSON) -----------
+
+/// Everything one annealing deploy() produces that must match between
+/// the two evaluator paths, plus its performance counters.
+struct SweepRun {
+  double theta = 0.0;
+  std::vector<unsigned> alternates;
+  std::map<std::string, int> vms;
+  int cores = 0;
+  double wall_ms = 0.0;
+  double decisions_per_s = 0.0;
+  std::uint64_t memo_lookups = 0;
+  std::uint64_t memo_hits = 0;
+};
+
+SweepRun runAnnealingDeploy(int layers, int width, bool incremental) {
+  Env env{graphOfSize(layers, width)};
+  obs::MetricsRegistry metrics;
+  SchedulerEnv se = env.schedEnv();
+  se.metrics = &metrics;
+  AnnealingOptions opts;  // stock 20k iterations, stock seed
+  opts.incremental_evaluation = incremental;
+  AnnealingScheduler sched(se, 0.01, kSecondsPerHour, opts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Deployment dep = sched.deploy(10.0);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SweepRun run;
+  run.theta = sched.bestTheta();
+  for (std::size_t i = 0; i < env.df.peCount(); ++i) {
+    run.alternates.push_back(
+        dep.activeAlternate(PeId(static_cast<PeId::value_type>(i)))
+            .value());
+  }
+  for (const VmId id : env.cloud.activeVms()) {
+    ++run.vms[env.cloud.instance(id).spec().name];
+    run.cores += env.cloud.instance(id).allocatedCoreCount();
+  }
+  run.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  run.decisions_per_s = metrics.gauge("sched.deploy_decisions_per_s").value();
+  run.memo_lookups = metrics.counter("sched.evaluator_memo_lookups").value();
+  run.memo_hits = metrics.counter("sched.evaluator_memo_hits").value();
+  return run;
+}
+
+int plannerLatencySweep(const std::string& path) {
+  struct Size {
+    int layers;
+    int width;
+  };
+  const std::vector<Size> sizes{{4, 4}, {6, 4}, {8, 6}, {10, 8}};
+
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return 1;
+  }
+  out << std::setprecision(17);
+  out << "{\n"
+      << "  \"benchmark\": \"annealing_deploy_incremental_vs_full\",\n"
+      << "  \"iterations\": " << AnnealingOptions{}.iterations << ",\n"
+      << "  \"input_rate\": 10.0,\n"
+      << "  \"sigma\": 0.01,\n"
+      << "  \"catalog\": \"awsCatalog2013\",\n"
+      << "  \"rows\": [\n";
+
+  bool mismatch = false;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto [layers, width] = sizes[i];
+    const Dataflow df = graphOfSize(layers, width);
+    std::cerr << "sweep " << layers << "x" << width << " ("
+              << df.peCount() << " PEs): full evaluation..." << std::flush;
+    const SweepRun full = runAnnealingDeploy(layers, width, false);
+    std::cerr << " " << full.wall_ms << " ms, incremental..."
+              << std::flush;
+    const SweepRun inc = runAnnealingDeploy(layers, width, true);
+    std::cerr << " " << inc.wall_ms << " ms\n";
+
+    // The evaluator is a pure cache: any divergence is a bug, and a
+    // benchmark of two paths that disagree would be meaningless.
+    const bool identical = full.theta == inc.theta &&  // bitwise
+                           full.alternates == inc.alternates &&
+                           full.vms == inc.vms && full.cores == inc.cores;
+    if (!identical) {
+      std::cerr << "PLAN MISMATCH at " << layers << "x" << width << "\n";
+      mismatch = true;
+    }
+
+    const double hit_rate =
+        inc.memo_lookups == 0
+            ? 0.0
+            : static_cast<double>(inc.memo_hits) /
+                  static_cast<double>(inc.memo_lookups);
+    out << "    {\"layers\": " << layers << ", \"width\": " << width
+        << ", \"pes\": " << df.peCount()
+        << ", \"alternates\": " << df.totalAlternateCount()
+        << ",\n     \"full_ms\": " << full.wall_ms
+        << ", \"incremental_ms\": " << inc.wall_ms
+        << ", \"speedup\": " << full.wall_ms / inc.wall_ms
+        << ",\n     \"decisions_per_s\": " << inc.decisions_per_s
+        << ", \"memo_hit_rate\": " << hit_rate
+        << ", \"plans_identical\": " << (identical ? "true" : "false")
+        << "}" << (i + 1 < sizes.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return mismatch ? 1 : 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string kSweepFlag = "--planner-latency-json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(kSweepFlag, 0) == 0) {
+      return plannerLatencySweep(arg.substr(kSweepFlag.size()));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -71,6 +71,15 @@ class CloudProvider {
   /// Ids of VMs still running.
   [[nodiscard]] std::vector<VmId> activeVms() const;
 
+  /// Every instance ever acquired, in VmId order (active and stopped).
+  /// Hot paths iterate this directly and skip stopped VMs instead of
+  /// materializing an activeVms() snapshot per call; the filtered visit
+  /// order is identical. Callers that mutate the active set while
+  /// iterating must keep using the activeVms() snapshot.
+  [[nodiscard]] const std::vector<VmInstance>& instances() const {
+    return instances_;
+  }
+
   /// Billed cost of one instance up to time `t` (mu_i[t], §4): the number
   /// of started hours between t_start and min(t_off, t), times the class
   /// hourly price. Zero before the VM starts.

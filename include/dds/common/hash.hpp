@@ -1,0 +1,52 @@
+// Small non-cryptographic hashing helpers.
+//
+// FNV-1a (64-bit, octet-at-a-time) over little-endian machine words: fast,
+// dependency-free and fully deterministic across platforms with the same
+// endianness — good enough to key an in-process cache, nothing more. The
+// planner's feasibility memo hashes (vm_counts, demand-bit) key vectors
+// with it; canonicalBits() folds -0.0 into +0.0 so the two zero encodings
+// cannot split otherwise-identical keys across slots.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace dds {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Fold one octet into a running FNV-1a state.
+[[nodiscard]] constexpr std::uint64_t fnv1aByte(std::uint64_t h,
+                                                std::uint8_t byte) {
+  return (h ^ byte) * kFnv1aPrime;
+}
+
+/// Fold one 64-bit word into a running FNV-1a state, octet by octet
+/// (low byte first, independent of host endianness).
+[[nodiscard]] constexpr std::uint64_t fnv1aWord(std::uint64_t h,
+                                                std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h = fnv1aByte(h, static_cast<std::uint8_t>(word >> (8 * i)));
+  }
+  return h;
+}
+
+/// FNV-1a over a word sequence, starting from the standard offset basis.
+[[nodiscard]] constexpr std::uint64_t fnv1aWords(const std::uint64_t* words,
+                                                 std::size_t count) {
+  std::uint64_t h = kFnv1aOffsetBasis;
+  for (std::size_t i = 0; i < count; ++i) h = fnv1aWord(h, words[i]);
+  return h;
+}
+
+/// IEEE-754 bit pattern of `d` with the sign of zero normalized away, so
+/// -0.0 and +0.0 (numerically equal, hence interchangeable inputs to any
+/// downstream arithmetic) map to the same key word.
+[[nodiscard]] inline std::uint64_t canonicalBits(double d) {
+  if (d == 0.0) return 0;  // +0.0 and -0.0 alike
+  return std::bit_cast<std::uint64_t>(d);
+}
+
+}  // namespace dds

@@ -51,6 +51,34 @@ struct ThroughputProjection {
     const Dataflow& df, const Deployment& deployment, double input_rate,
     const std::vector<double>& pe_power);
 
+/// Reusable projection engine behind projectThroughput(): bind() hoists
+/// everything that depends only on (dataflow, alternates, input rate) —
+/// the demand vector, the expected output rates and the active
+/// alternates' cost/selectivity — so the scale-out/scale-in inner loops
+/// can re-project candidate power vectors without redoing the graph
+/// propagation or allocating. project() produces the same ThroughputProjection,
+/// bit for bit, as the free function.
+class ThroughputProjector {
+ public:
+  /// Capture the current alternate choices and input rate. Must be called
+  /// again after any setActiveAlternate() before the next project().
+  void bind(const Dataflow& df, const Deployment& deployment,
+            double input_rate);
+
+  /// Project Omega for `pe_power`. The returned reference is owned by the
+  /// projector and overwritten by the next project() call.
+  const ThroughputProjection& project(const std::vector<double>& pe_power);
+
+ private:
+  const Dataflow* df_ = nullptr;
+  double input_rate_ = 0.0;
+  std::vector<double> alt_cost_;  ///< active alternate cost, by PeId.
+  std::vector<double> alt_sel_;   ///< active alternate selectivity.
+  std::vector<double> expected_;  ///< expected output rates, by PeId.
+  std::vector<double> out_;       ///< scratch: capacity-limited outputs.
+  ThroughputProjection proj_;
+};
+
 /// Mutating allocation operations over one cloud provider.
 class ResourceAllocator {
  public:
@@ -100,6 +128,10 @@ class ResourceAllocator {
   /// Normalized power currently allocated to each PE, by PeId.
   [[nodiscard]] std::vector<double> allocatedPower(
       const CorePowerFn& power) const;
+
+  /// Buffer-reusing variant for the scale-out/scale-in inner loops.
+  void allocatedPowerInto(const CorePowerFn& power,
+                          std::vector<double>& pw) const;
 
   /// Give every PE at least one core, walking PEs in forward BFS order and
   /// filling the most recent VM first so dataflow neighbours colocate
@@ -179,6 +211,11 @@ class ResourceAllocator {
   SimTime acquisition_retry_after_ = 0.0;
   int consecutive_unmet_ = 0;
   int rejections_ = 0;
+  // Scale-loop scratch, reused across iterations (and adaptation
+  // intervals) so the steady-state hot paths stay allocation-free.
+  ThroughputProjector projector_;
+  std::vector<double> pw_scratch_;
+  std::vector<double> deficit_scratch_;
 };
 
 }  // namespace dds

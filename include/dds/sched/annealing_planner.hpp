@@ -24,6 +24,15 @@ struct AnnealingOptions {
   double initial_temperature = 0.05;  ///< in Theta units.
   double cooling = 0.9995;            ///< per-iteration multiplier.
   std::uint64_t seed = 1;
+  /// Score candidates through the incremental PlanEvaluator (delta
+  /// demand propagation + feasibility memo). The reference full
+  /// re-evaluation path is kept selectable for tests and benchmarks;
+  /// both paths produce bit-identical plans, Theta values and RNG
+  /// consumption — the evaluator is a pure cache.
+  bool incremental_evaluation = true;
+  /// Feasibility-memo slots (rounded up to a power of two); 0 disables
+  /// memoization while keeping incremental demand maintenance.
+  std::size_t memo_capacity = 8192;
 
   void validate() const {
     DDS_REQUIRE(iterations >= 1, "need at least one iteration");

@@ -1,0 +1,190 @@
+// Incremental plan evaluation for the search-based static planners.
+//
+// A candidate plan is (alternate combination, VM multiset) and its score
+// is Theta = Gamma - sigma * cost, subject to greedy-packing feasibility
+// (paper §6). The annealing and brute-force planners explore this space
+// through single-coordinate moves, yet the naive evaluator recomputes the
+// whole world per candidate: a full DAG selectivity propagation for the
+// demand vector, a full bin-packing run, and fresh heap allocations for
+// every intermediate. PlanEvaluator keeps the evaluation state resident
+// and updates it per move:
+//
+//  * demand rows — arrival rates propagate only through PEs downstream of
+//    a flipped alternate, walked in the same topological order with the
+//    same per-node expression as the full recompute, which makes the
+//    incremental values *bit-identical* to recomputing from scratch (the
+//    inputs of every recomputed node are unchanged or themselves
+//    recomputed; untouched nodes keep their exact values);
+//  * Gamma and multiset cost — re-accumulated in canonical (index) order
+//    from precomputed per-(pe, alternate) value and per-class price
+//    tables. Deliberately *not* maintained as running sums: floating-point
+//    addition does not commute bitwise, and an O(n_pes) re-sum at fixed
+//    order is noise next to packing while guaranteeing the exact doubles
+//    the from-scratch evaluator produces;
+//  * packing feasibility — memoized in a FeasibilityMemo keyed by the
+//    exact (vm_counts, demand-bit-pattern) words; misses fall back to the
+//    verdict-only greedy packing (static_planning::packingFeasible).
+//
+// Everything after construction/reset is allocation-free. The class is a
+// pure cache over referencePlanTheta(): for any reachable state, theta()
+// returns the bit-identical double of the from-scratch evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dds/cloud/resource_class.hpp"
+#include "dds/common/ids.hpp"
+#include "dds/dataflow/dataflow.hpp"
+#include "dds/sched/feasibility_memo.hpp"
+#include "dds/sched/static_planning.hpp"
+#include "dds/sim/deployment.hpp"
+
+namespace dds {
+
+/// Fixed-per-deploy evaluation parameters.
+struct PlanEvaluatorOptions {
+  double input_rate = 0.0;    ///< estimated external input rate (msgs/s).
+  double omega_target = 1.0;  ///< constraint scaling applied to demand.
+  double sigma = 0.0;         ///< cost weight in Theta.
+  double horizon_hours = 1.0; ///< billing horizon (whole hours).
+  std::size_t memo_capacity = 8192;  ///< 0 disables feasibility memoization.
+};
+
+/// Incremental Theta evaluator over (alternates, vm_counts) plan states.
+class PlanEvaluator {
+ public:
+  PlanEvaluator(const Dataflow& df, const ResourceCatalog& catalog,
+                const PlanEvaluatorOptions& options);
+
+  /// Load a plan state wholesale (full recompute of arrivals and demand).
+  void reset(const std::vector<AlternateId>& alternates,
+             const std::vector<int>& vm_counts);
+
+  /// Switch one PE's active alternate; recomputes the PE's demand row and
+  /// re-propagates arrivals through its downstream cone only.
+  void setAlternate(std::size_t pe, AlternateId alt);
+
+  /// Switch any number of alternates at once (one downstream sweep for
+  /// the union of changed PEs; bit-identical to applying them one by one).
+  void setAlternates(const std::vector<AlternateId>& alternates);
+
+  /// Set one class's VM count (O(1): demand does not depend on counts).
+  void setVmCount(std::size_t cls, int count);
+
+  /// Theta of the current state; -inf when the multiset cannot host the
+  /// demand. Bit-identical to referencePlanTheta() on the same state.
+  [[nodiscard]] double theta();
+
+  /// Greedy-packing feasibility of the current state (memoized).
+  [[nodiscard]] bool feasible();
+
+  /// Feasibility of hosting the *current demand* on an arbitrary multiset
+  /// (memoized); used by the brute-force multiset odometer.
+  [[nodiscard]] bool feasibleFor(const std::vector<int>& vm_counts);
+
+  /// Mean relative alternate value of the current state.
+  [[nodiscard]] double gamma() const;
+
+  /// Dollar cost of the current multiset over the horizon.
+  [[nodiscard]] double planCost() const;
+
+  [[nodiscard]] const std::vector<double>& demand() const { return demand_; }
+  [[nodiscard]] const std::vector<AlternateId>& alternates() const {
+    return alternates_;
+  }
+  [[nodiscard]] const std::vector<int>& vmCounts() const {
+    return vm_counts_;
+  }
+
+  [[nodiscard]] std::uint64_t memoLookups() const { return memo_.lookups(); }
+  [[nodiscard]] std::uint64_t memoHits() const { return memo_.hits(); }
+
+ private:
+  [[nodiscard]] double altSelectivity(std::size_t pe) const {
+    return alt_selectivity_[alt_offset_[pe] + alternates_[pe].value()];
+  }
+  [[nodiscard]] double altCostSec(std::size_t pe) const {
+    return alt_cost_sec_[alt_offset_[pe] + alternates_[pe].value()];
+  }
+
+  /// arrival[pe] from its predecessors (same expression and predecessor
+  /// order as expectedArrivalRatesInto); pe must not be an input.
+  void recomputeArrival(std::size_t pe);
+
+  /// demand[pe] from arrival[pe] (same two-step multiply as the full
+  /// evaluator: arrival * cost_core_sec, then * omega_target).
+  void recomputeDemand(std::size_t pe);
+
+  /// Mark every successor of `pe` arrival-dirty under the current epoch.
+  void markSuccessorsDirty(std::size_t pe);
+
+  /// Walk the topological order from `start_pos`, recomputing dirty rows.
+  void propagate(std::size_t start_pos);
+
+  /// Exact integer prescreen: every PE needs at least one core, so fewer
+  /// total cores than PEs can never pack (mirrors tryAssign exactly).
+  [[nodiscard]] bool enoughCores(int total_cores) const {
+    return total_cores >= static_cast<int>(n_pes_);
+  }
+
+  [[nodiscard]] bool packWithMemo(const std::vector<int>& vm_counts);
+
+  const Dataflow* df_;
+  const ResourceCatalog* catalog_;
+  PlanEvaluatorOptions options_;
+  std::size_t n_pes_ = 0;
+  std::size_t n_classes_ = 0;
+
+  // Flattened per-(pe, alternate) tables; index alt_offset_[pe] + alt.
+  std::vector<std::size_t> alt_offset_;
+  std::vector<double> alt_selectivity_;
+  std::vector<double> alt_cost_sec_;
+  std::vector<double> alt_rel_value_;
+  std::vector<std::size_t> alt_count_;
+
+  // Graph structure in flat CSR form (PeId indices).
+  std::vector<std::size_t> topo_;      ///< topological order.
+  std::vector<std::size_t> topo_pos_;  ///< position of each PE in topo_.
+  std::vector<std::size_t> pred_offset_, preds_;
+  std::vector<std::size_t> succ_offset_, succs_;
+  std::vector<bool> is_input_;
+
+  // Per-class tables.
+  std::vector<int> class_cores_;
+  std::vector<double> class_price_;
+
+  // Current plan state.
+  std::vector<AlternateId> alternates_;
+  std::vector<int> vm_counts_;
+  int total_cores_ = 0;
+
+  // Evaluation state.
+  std::vector<double> arrival_;
+  std::vector<double> demand_;
+
+  // Epoch-stamped dirty marks (no clearing between moves).
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> arrival_dirty_;
+  std::vector<std::uint64_t> alt_changed_;
+
+  // Feasibility machinery.
+  static_planning::PackScratch pack_scratch_;
+  FeasibilityMemo memo_;
+  std::vector<std::uint64_t> key_;  ///< n_classes + n_pes words.
+};
+
+/// From-scratch reference evaluation — the exact computation the planners
+/// performed before PlanEvaluator existed, kept as the ground truth the
+/// incremental path is tested (and benchmarked) against. Applies the
+/// alternates to `dep_out`, returns Theta or -inf when infeasible, and
+/// fills `assignment_out` (when non-null) with the greedy core assignment
+/// of a feasible plan.
+[[nodiscard]] double referencePlanTheta(
+    const Dataflow& df, const ResourceCatalog& catalog,
+    const std::vector<AlternateId>& alternates,
+    const std::vector<int>& vm_counts, double input_rate,
+    double omega_target, double sigma, double horizon_hours,
+    Deployment& dep_out, static_planning::Assignment* assignment_out);
+
+}  // namespace dds

@@ -23,6 +23,32 @@ using Assignment = std::vector<std::vector<int>>;
     const ResourceCatalog& catalog, const std::vector<int>& vm_counts,
     const std::vector<double>& demand);
 
+/// Reusable buffers for packingFeasible(): the class ordering and speeds
+/// depend only on the catalog and are computed once; the per-call arrays
+/// are resized on first use and reused allocation-free afterwards.
+struct PackScratch {
+  explicit PackScratch(const ResourceCatalog& catalog);
+
+  std::vector<std::size_t> class_order;  ///< fastest cores first.
+  std::vector<double> class_speed;       ///< core_speed by class index.
+  std::vector<int> class_cores;          ///< cores per VM by class index.
+  std::vector<int> free_cores;           ///< scratch, by class index.
+  std::vector<std::size_t> pe_order;     ///< scratch, by demand rank.
+  /// All class speeds are powers of two, so n sequential additions of a
+  /// speed equal n * speed exactly and the greedy take-one-core-at-a-time
+  /// loop has a closed form with bitwise-identical `covered` values.
+  bool bulk_exact = false;
+};
+
+/// Verdict-only twin of tryAssign(): runs the identical greedy packing
+/// (same orderings, same epsilon, same stopping rules) without building
+/// the Assignment, so search loops can test feasibility allocation-free.
+/// Returns exactly tryAssign(...).has_value() for the same inputs.
+[[nodiscard]] bool packingFeasible(const ResourceCatalog& catalog,
+                                   const std::vector<int>& vm_counts,
+                                   const std::vector<double>& demand,
+                                   PackScratch& scratch);
+
 /// Dollar price of running `vm_counts` for `horizon_hours` whole hours.
 [[nodiscard]] double multisetCost(const ResourceCatalog& catalog,
                                   const std::vector<int>& vm_counts,

@@ -42,4 +42,8 @@ void expectedOutputRatesInto(const Dataflow& df, const Deployment& deployment,
 [[nodiscard]] std::vector<double> requiredCorePower(
     const Dataflow& df, const Deployment& deployment, double input_rate);
 
+/// Buffer-reusing variant for per-interval hot paths (resizes `power`).
+void requiredCorePowerInto(const Dataflow& df, const Deployment& deployment,
+                           double input_rate, std::vector<double>& power);
+
 }  // namespace dds

@@ -43,45 +43,67 @@ CorePowerFn observedCorePowerFn(const MonitoringService& mon, SimTime t) {
   return [&mon, t](VmId vm) { return mon.observedCorePower(vm, t); };
 }
 
-ThroughputProjection projectThroughput(const Dataflow& df,
-                                       const Deployment& deployment,
-                                       double input_rate,
-                                       const std::vector<double>& pe_power) {
+void ThroughputProjector::bind(const Dataflow& df,
+                               const Deployment& deployment,
+                               double input_rate) {
+  df_ = &df;
+  input_rate_ = input_rate;
+  requiredCorePowerInto(df, deployment, input_rate, proj_.required_power);
+  expectedOutputRatesInto(df, deployment, input_rate, expected_);
+  const std::size_t n = df.peCount();
+  alt_cost_.resize(n);
+  alt_sel_.resize(n);
+  for (const auto& pe : df.pes()) {
+    const auto& alt = pe.alternate(deployment.activeAlternate(pe.id()));
+    alt_cost_[pe.id().value()] = alt.cost_core_sec;
+    alt_sel_[pe.id().value()] = alt.selectivity;
+  }
+}
+
+const ThroughputProjection& ThroughputProjector::project(
+    const std::vector<double>& pe_power) {
+  DDS_REQUIRE(df_ != nullptr, "projector used before bind()");
+  const Dataflow& df = *df_;
   DDS_REQUIRE(pe_power.size() == df.peCount(),
               "power vector does not match dataflow");
-  ThroughputProjection proj;
-  proj.required_power = requiredCorePower(df, deployment, input_rate);
-  proj.pe_omega.resize(df.peCount(), 1.0);
+  proj_.pe_omega.assign(df.peCount(), 1.0);
 
   // Finite-capacity steady-state propagation (planning ignores network
   // caps; the simulator applies them when the plan actually runs).
-  std::vector<double> out(df.peCount(), 0.0);
+  out_.assign(df.peCount(), 0.0);
   for (const PeId pe : df.topologicalOrder()) {
     const std::size_t i = pe.value();
     double arrival = 0.0;
     if (df.isInput(pe)) {
-      arrival = input_rate;
+      arrival = input_rate_;
     } else {
-      for (const PeId u : df.predecessors(pe)) arrival += out[u.value()];
+      for (const PeId u : df.predecessors(pe)) arrival += out_[u.value()];
     }
-    const auto& alt = df.pe(pe).alternate(deployment.activeAlternate(pe));
-    const double cap = pe_power[i] / alt.cost_core_sec;
-    out[i] = std::min(arrival, cap) * alt.selectivity;
-    proj.pe_omega[i] = proj.required_power[i] > kEps
-                           ? std::min(1.0, pe_power[i] /
-                                               proj.required_power[i])
-                           : 1.0;
+    const double cap = pe_power[i] / alt_cost_[i];
+    out_[i] = std::min(arrival, cap) * alt_sel_[i];
+    proj_.pe_omega[i] = proj_.required_power[i] > kEps
+                            ? std::min(1.0, pe_power[i] /
+                                                proj_.required_power[i])
+                            : 1.0;
   }
 
-  const auto expected = expectedOutputRates(df, deployment, input_rate);
   double omega_sum = 0.0;
   for (const PeId o : df.outputs()) {
-    const double exp_rate = expected[o.value()];
-    const double ratio = exp_rate > kEps ? out[o.value()] / exp_rate : 1.0;
+    const double exp_rate = expected_[o.value()];
+    const double ratio = exp_rate > kEps ? out_[o.value()] / exp_rate : 1.0;
     omega_sum += std::clamp(ratio, 0.0, 1.0);
   }
-  proj.omega = omega_sum / static_cast<double>(df.outputs().size());
-  return proj;
+  proj_.omega = omega_sum / static_cast<double>(df.outputs().size());
+  return proj_;
+}
+
+ThroughputProjection projectThroughput(const Dataflow& df,
+                                       const Deployment& deployment,
+                                       double input_rate,
+                                       const std::vector<double>& pe_power) {
+  ThroughputProjector projector;
+  projector.bind(df, deployment, input_rate);
+  return projector.project(pe_power);
 }
 
 void ResourceAllocator::traceCoreAlloc(VmId vm, PeId pe, std::int64_t delta,
@@ -109,18 +131,24 @@ ResourceAllocator::ResourceAllocator(const Dataflow& df, CloudProvider& cloud,
               "omega target out of range");
 }
 
-std::vector<double> ResourceAllocator::allocatedPower(
-    const CorePowerFn& power) const {
-  std::vector<double> pw(df_->peCount(), 0.0);
-  for (const VmId id : activeVmIds(*cloud_)) {
-    const VmInstance& vm = cloud_->instance(id);
-    const double per_core = power(id);
+void ResourceAllocator::allocatedPowerInto(const CorePowerFn& power,
+                                           std::vector<double>& pw) const {
+  pw.assign(df_->peCount(), 0.0);
+  for (const VmInstance& vm : cloud_->instances()) {
+    if (!vm.isActive()) continue;
+    const double per_core = power(vm.id());
     for (int c = 0; c < vm.coreCount(); ++c) {
       if (const auto owner = vm.coreOwner(c)) {
         pw[owner->value()] += per_core;
       }
     }
   }
+}
+
+std::vector<double> ResourceAllocator::allocatedPower(
+    const CorePowerFn& power) const {
+  std::vector<double> pw;
+  allocatedPowerInto(power, pw);
   return pw;
 }
 
@@ -208,9 +236,8 @@ bool ResourceAllocator::allocateCoreForPe(PeId pe, SimTime now,
   int best_rank = -1;
   double best_speed = -1.0;
   int best_free = std::numeric_limits<int>::max();
-  for (const VmId id : activeVmIds(*cloud_)) {
-    const VmInstance& vm = cloud_->instance(id);
-    if (vm.freeCoreCount() == 0) continue;
+  for (const VmInstance& vm : cloud_->instances()) {
+    if (!vm.isActive() || vm.freeCoreCount() == 0) continue;
     int rank = 0;
     if (hostsPe(vm, pe)) {
       rank = 2;
@@ -224,7 +251,7 @@ bool ResourceAllocator::allocateCoreForPe(PeId pe, SimTime now,
         (rank == best_rank &&
          (speed > best_speed || (speed == best_speed && free < best_free)));
     if (better) {
-      best = id;
+      best = vm.id();
       best_rank = rank;
       best_speed = speed;
       best_free = free;
@@ -250,9 +277,9 @@ void ResourceAllocator::ensureMinimumCores(SimTime now) {
         cloud_->instance(*last_vm).freeCoreCount() == 0) {
       // Reuse any active VM with spare cores before acquiring a new one.
       last_vm.reset();
-      for (const VmId id : activeVmIds(*cloud_)) {
-        if (cloud_->instance(id).freeCoreCount() > 0) {
-          last_vm = id;
+      for (const VmInstance& vm : cloud_->instances()) {
+        if (vm.isActive() && vm.freeCoreCount() > 0) {
+          last_vm = vm.id();
           break;
         }
       }
@@ -287,17 +314,6 @@ std::vector<double> demandVector(const Dataflow& df,
   return required;
 }
 
-std::vector<double> perPeOmega(const std::vector<double>& power,
-                               const std::vector<double>& required) {
-  std::vector<double> out(power.size(), 1.0);
-  for (std::size_t i = 0; i < power.size(); ++i) {
-    if (required[i] > kEps) {
-      out[i] = std::min(1.0, power[i] / required[i]);
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 void ResourceAllocator::scaleOut(const Deployment& deployment,
@@ -329,18 +345,24 @@ void ResourceAllocator::scaleOut(const Deployment& deployment,
       4 * static_cast<std::size_t>(total_required / min_speed) +
       4 * df_->peCount() + 64;
 
+  // The alternates are fixed for the whole call, so the projection's
+  // graph-propagated tables are bound once and every iteration only
+  // re-projects the updated power vector.
+  if (scope == Strategy::Global) {
+    projector_.bind(*df_, deployment, input_rate);
+  }
   for (std::size_t iter = 0; iter < max_iters; ++iter) {
-    const auto pw = allocatedPower(power);
+    allocatedPowerInto(power, pw_scratch_);
     // Deficit of each PE against its target; the most negative deficit is
     // the bottleneck. A PE at its saturation point (pe_omega == 1) cannot
     // be improved and never counts as a deficit.
-    std::vector<double> deficit(df_->peCount(), 0.0);
+    std::vector<double>& deficit = deficit_scratch_;
+    deficit.assign(df_->peCount(), 0.0);
     bool satisfied = true;
     if (scope == Strategy::Global) {
       // Graph-wide projection at predicted rates: allocate only while the
       // *application* omega trails the target.
-      const auto proj =
-          projectThroughput(*df_, deployment, input_rate, pw);
+      const ThroughputProjection& proj = projector_.project(pw_scratch_);
       satisfied = proj.omega >= target - kEps;
       for (std::size_t i = 0; i < deficit.size(); ++i) {
         deficit[i] = proj.pe_omega[i] - 1.0;
@@ -350,11 +372,14 @@ void ResourceAllocator::scaleOut(const Deployment& deployment,
       // demand. Only the input PEs throttle to the constraint; every
       // downstream PE is sized to serve what actually arrives — otherwise
       // per-stage throttling would compound (0.7^depth at the sink).
-      const auto pe_omega = perPeOmega(pw, required);
-      for (std::size_t i = 0; i < pe_omega.size(); ++i) {
+      for (std::size_t i = 0; i < deficit.size(); ++i) {
         const PeId pe(static_cast<PeId::value_type>(i));
+        double pe_omega = 1.0;
+        if (required[i] > kEps) {
+          pe_omega = std::min(1.0, pw_scratch_[i] / required[i]);
+        }
         const double pe_target = df_->isInput(pe) ? target : 1.0;
-        deficit[i] = pe_omega[i] - pe_target;
+        deficit[i] = pe_omega - pe_target;
         if (deficit[i] < -kEps) satisfied = false;
       }
     }
@@ -379,8 +404,15 @@ std::vector<MigrationEvent> ResourceAllocator::scaleIn(
   const auto required =
       demandVector(*df_, deployment, input_rate, measured_arrivals);
   const int initial_cores = totalAllocatedCores(*cloud_);
+  // Alternates are fixed for the whole call: bind the projection once and
+  // re-project candidate power vectors in place (mutate one entry, test,
+  // restore) instead of copying the vector per candidate.
+  if (scope == Strategy::Global) {
+    projector_.bind(*df_, deployment, input_rate);
+  }
   for (int iter = 0; iter < initial_cores; ++iter) {
-    const auto pw = allocatedPower(power);
+    std::vector<double>& pw = pw_scratch_;
+    allocatedPowerInto(power, pw);
 
     // Candidate = the PE with the largest surplus whose core removal keeps
     // the (scope-dependent) projection at or above the floor. The core we
@@ -394,31 +426,35 @@ std::vector<MigrationEvent> ResourceAllocator::scaleIn(
     std::optional<Candidate> best;
     for (const auto& element : df_->pes()) {
       const PeId pe = element.id();
-      const auto cores = peCores(*cloud_, pe);
+      // One pass over the instances replaces the peCores() snapshot: core
+      // count plus least-loaded hosting VM, visited in the same order.
       int count = 0;
-      for (const auto& vc : cores) count += vc.cores;
-      if (count <= 1) continue;  // every PE keeps at least one core
-
-      // Least-loaded hosting VM.
       std::optional<VmId> victim;
       int victim_load = std::numeric_limits<int>::max();
-      for (const auto& vc : cores) {
-        const int load = cloud_->instance(vc.vm).allocatedCoreCount();
+      for (const VmInstance& vm : cloud_->instances()) {
+        if (!vm.isActive()) continue;
+        const int on_vm = vm.coresOwnedBy(pe);
+        if (on_vm == 0) continue;
+        count += on_vm;
+        const int load = vm.allocatedCoreCount();
         if (load < victim_load) {
           victim_load = load;
-          victim = vc.vm;
+          victim = vm.id();
         }
       }
-      std::vector<double> pw2 = pw;
-      pw2[pe.value()] -= power(*victim);
+      if (count <= 1) continue;  // every PE keeps at least one core
+
+      const double saved = pw[pe.value()];
+      const double reduced = saved - power(*victim);
       bool ok;
       if (scope == Strategy::Global) {
-        ok = projectThroughput(*df_, deployment, input_rate, pw2).omega >=
-             floor_omega - kEps;
+        pw[pe.value()] = reduced;
+        ok = projector_.project(pw).omega >= floor_omega - kEps;
+        pw[pe.value()] = saved;
       } else {
         const double req = required[pe.value()];
         const double pe_floor = df_->isInput(pe) ? floor_omega : 1.0;
-        ok = req <= kEps || pw2[pe.value()] / req >= pe_floor - kEps;
+        ok = req <= kEps || reduced / req >= pe_floor - kEps;
       }
       if (!ok) continue;
       const double surplus =

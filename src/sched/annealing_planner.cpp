@@ -1,12 +1,14 @@
 #include "dds/sched/annealing_planner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <sstream>
 
 #include "dds/common/rng.hpp"
+#include "dds/sched/plan_evaluator.hpp"
 #include "dds/sched/static_planning.hpp"
 #include "dds/sim/rate_model.hpp"
 
@@ -56,25 +58,23 @@ Deployment AnnealingScheduler::deploy(double estimated_input_rate) {
   const double horizon_hours = std::ceil(horizon_s_ / kSecondsPerHour);
   Rng rng(options_.seed);
 
-  // Demand (constraint-scaled) and greedy feasibility for a plan; returns
-  // Theta, or -inf when the multiset cannot host the demand.
-  auto evaluate = [&](const Plan& plan, Deployment& dep_out,
-                      static_planning::Assignment* assignment_out) {
-    for (std::size_t i = 0; i < n_pes; ++i) {
-      dep_out.setActiveAlternate(PeId(static_cast<PeId::value_type>(i)),
-                                 plan.alternates[i]);
-    }
-    auto demand = requiredCorePower(df, dep_out, estimated_input_rate);
-    for (double& d : demand) d *= env_.omega_target;
-    auto assignment =
-        static_planning::tryAssign(catalog, plan.vm_counts, demand);
-    if (!assignment.has_value()) {
-      return -std::numeric_limits<double>::infinity();
-    }
-    if (assignment_out != nullptr) *assignment_out = std::move(*assignment);
-    const double cost = static_planning::multisetCost(
-        catalog, plan.vm_counts, horizon_hours);
-    return static_planning::deploymentGamma(df, dep_out) - sigma_ * cost;
+  const bool incremental = options_.incremental_evaluation;
+  PlanEvaluatorOptions eval_options;
+  eval_options.input_rate = estimated_input_rate;
+  eval_options.omega_target = env_.omega_target;
+  eval_options.sigma = sigma_;
+  eval_options.horizon_hours = horizon_hours;
+  eval_options.memo_capacity = incremental ? options_.memo_capacity : 0;
+  PlanEvaluator eval(df, catalog, eval_options);
+
+  // Reference path (incremental_evaluation == false): the from-scratch
+  // evaluation this planner ran before the evaluator existed. Both paths
+  // score every candidate identically, bit for bit.
+  Deployment scratch(df);
+  auto evaluateFull = [&](const Plan& plan) {
+    return referencePlanTheta(df, catalog, plan.alternates, plan.vm_counts,
+                              estimated_input_rate, env_.omega_target,
+                              sigma_, horizon_hours, scratch, nullptr);
   };
 
   // Seed plan: cheapest-per-value alternates are unknown yet, so start
@@ -83,6 +83,7 @@ Deployment AnnealingScheduler::deploy(double estimated_input_rate) {
   Plan current;
   current.alternates.assign(n_pes, AlternateId(0));
   current.vm_counts.assign(n_classes, 0);
+  const ResourceClassId largest = catalog.largest();
   {
     Deployment probe(df);
     auto demand = requiredCorePower(df, probe, estimated_input_rate);
@@ -91,15 +92,29 @@ Deployment AnnealingScheduler::deploy(double estimated_input_rate) {
       d *= env_.omega_target;
       total += d;
     }
-    const ResourceClassId largest = catalog.largest();
     const auto need = static_cast<int>(
         std::ceil(total / catalog.at(largest).totalPower()));
     current.vm_counts[largest.value()] =
         std::max(need, static_cast<int>((n_pes + 3) / 4)) + 1;
   }
 
-  Deployment scratch(df);
-  double current_theta = evaluate(current, scratch, nullptr);
+  const auto search_start = std::chrono::steady_clock::now();
+  if (incremental) eval.reset(current.alternates, current.vm_counts);
+  double current_theta =
+      incremental ? eval.theta() : evaluateFull(current);
+  // The aggregate-power sizing above ignores core granularity: greedy
+  // packing strands up to one core-equivalent per PE, which on wide
+  // graphs leaves the seed short. Top up until it packs.
+  for (std::size_t extra = 0;
+       !std::isfinite(current_theta) && extra < n_pes; ++extra) {
+    ++current.vm_counts[largest.value()];
+    if (incremental) {
+      eval.setVmCount(largest.value(), current.vm_counts[largest.value()]);
+      current_theta = eval.theta();
+    } else {
+      current_theta = evaluateFull(current);
+    }
+  }
   DDS_ENSURE(std::isfinite(current_theta),
              "annealing seed plan must be feasible");
 
@@ -109,10 +124,25 @@ Deployment AnnealingScheduler::deploy(double estimated_input_rate) {
   // Superseded incumbents become the decision event's rejected
   // candidates; collected only when a tracer is attached.
   std::vector<obs::RejectedPlan> superseded;
+  // Reference-path candidate buffers; assignments below never reallocate
+  // (the sizes are fixed), keeping the loop allocation-free in both modes.
+  Plan candidate = current;
+
+  enum class MoveKind { None, Alternate, VmCount };
 
   for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
-    Plan candidate = current;
-    // Move: 50% flip an alternate (if any PE has >1), 50% nudge a VM count.
+    // Move: 50% flip an alternate (if any PE has >1), 50% nudge a VM
+    // count. The move is described first and applied second so the
+    // incremental path can undo a rejection in place; the RNG is consumed
+    // in exactly the pre-evaluator order.
+    MoveKind kind = MoveKind::None;
+    std::size_t move_pe = 0;
+    AlternateId alt_old(0);
+    AlternateId alt_new(0);
+    std::size_t move_cls = 0;
+    int count_old = 0;
+    int count_new = 0;
+
     const bool flip_alternate = rng.chance(0.5);
     if (flip_alternate) {
       const auto pe = static_cast<std::size_t>(
@@ -120,44 +150,89 @@ Deployment AnnealingScheduler::deploy(double estimated_input_rate) {
       const auto n_alts = df.pe(PeId(static_cast<PeId::value_type>(pe)))
                               .alternateCount();
       if (n_alts > 1) {
-        auto next = candidate.alternates[pe].value();
+        auto next = current.alternates[pe].value();
         next = (next + 1 +
                 static_cast<AlternateId::value_type>(rng.uniformInt(
                     0, static_cast<std::int64_t>(n_alts) - 2))) %
                static_cast<AlternateId::value_type>(n_alts);
-        candidate.alternates[pe] = AlternateId(next);
+        kind = MoveKind::Alternate;
+        move_pe = pe;
+        alt_old = current.alternates[pe];
+        alt_new = AlternateId(next);
       }
     } else {
       const auto cls = static_cast<std::size_t>(
           rng.uniformInt(0, static_cast<std::int64_t>(n_classes) - 1));
       const int delta = rng.chance(0.5) ? 1 : -1;
-      candidate.vm_counts[cls] =
-          std::max(0, candidate.vm_counts[cls] + delta);
+      kind = MoveKind::VmCount;
+      move_cls = cls;
+      count_old = current.vm_counts[cls];
+      count_new = std::max(0, count_old + delta);
     }
 
-    const double candidate_theta = evaluate(candidate, scratch, nullptr);
+    double candidate_theta;
+    if (incremental) {
+      if (kind == MoveKind::Alternate) {
+        eval.setAlternate(move_pe, alt_new);
+      } else if (kind == MoveKind::VmCount) {
+        eval.setVmCount(move_cls, count_new);
+      }
+      candidate_theta = eval.theta();
+    } else {
+      candidate.alternates = current.alternates;
+      candidate.vm_counts = current.vm_counts;
+      if (kind == MoveKind::Alternate) {
+        candidate.alternates[move_pe] = alt_new;
+      } else if (kind == MoveKind::VmCount) {
+        candidate.vm_counts[move_cls] = count_new;
+      }
+      candidate_theta = evaluateFull(candidate);
+    }
+
     const double delta_theta = candidate_theta - current_theta;
     const bool accept =
         std::isfinite(candidate_theta) &&
         (delta_theta >= 0.0 ||
          rng.uniform(0.0, 1.0) < std::exp(delta_theta / temperature));
     if (accept) {
-      current = std::move(candidate);
+      if (kind == MoveKind::Alternate) {
+        current.alternates[move_pe] = alt_new;
+      } else if (kind == MoveKind::VmCount) {
+        current.vm_counts[move_cls] = count_new;
+      }
       current_theta = candidate_theta;
       if (current_theta > best_theta) {
         if (env_.tracer.enabled()) {
           superseded.push_back({planLabel(best), best_theta});
         }
-        best = current;
+        best.alternates = current.alternates;
+        best.vm_counts = current.vm_counts;
         best_theta = current_theta;
+      }
+    } else if (incremental) {
+      // Rejected: restore the evaluator. The undo re-propagates the same
+      // downstream cone from unchanged inputs, which restores every
+      // arrival and demand double exactly.
+      if (kind == MoveKind::Alternate) {
+        eval.setAlternate(move_pe, alt_old);
+      } else if (kind == MoveKind::VmCount) {
+        eval.setVmCount(move_cls, count_old);
       }
     }
     temperature *= options_.cooling;
   }
+  const std::chrono::duration<double> search_elapsed =
+      std::chrono::steady_clock::now() - search_start;
 
+  // Final scoring always goes through the reference path: it doubles as
+  // an exact cross-check of the incremental evaluator (the ENSURE below)
+  // and produces the greedy assignment to materialize.
   Deployment deployment(df);
   static_planning::Assignment assignment;
-  best_theta_ = evaluate(best, deployment, &assignment);
+  best_theta_ = referencePlanTheta(df, catalog, best.alternates,
+                                   best.vm_counts, estimated_input_rate,
+                                   env_.omega_target, sigma_, horizon_hours,
+                                   deployment, &assignment);
   DDS_ENSURE(std::isfinite(best_theta_), "best plan must stay feasible");
   if (env_.tracer.enabled()) {
     // Keep the last few superseded incumbents (best theta first).
@@ -177,6 +252,14 @@ Deployment AnnealingScheduler::deploy(double estimated_input_rate) {
   if (env_.metrics != nullptr) {
     env_.metrics->counter("sched.plans_examined")
         .inc(static_cast<std::uint64_t>(options_.iterations));
+    env_.metrics->counter("sched.evaluator_memo_lookups")
+        .inc(eval.memoLookups());
+    env_.metrics->counter("sched.evaluator_memo_hits").inc(eval.memoHits());
+    if (search_elapsed.count() > 0.0) {
+      env_.metrics->gauge("sched.deploy_decisions_per_s")
+          .set(static_cast<double>(options_.iterations) /
+               search_elapsed.count());
+    }
   }
   static_planning::materialize(*env_.cloud, best.vm_counts, assignment);
   return deployment;

@@ -7,6 +7,7 @@
 #include <optional>
 #include <sstream>
 
+#include "dds/sched/plan_evaluator.hpp"
 #include "dds/sched/static_planning.hpp"
 #include "dds/sim/rate_model.hpp"
 
@@ -55,6 +56,30 @@ Deployment BruteForceScheduler::deploy(double estimated_input_rate) {
   const double horizon_hours = std::ceil(horizon_s_ / kSecondsPerHour);
   plans_examined_ = 0;
 
+  // Incremental evaluator: advancing the alternate odometer changes a
+  // low-order digit most of the time, so re-propagating only the changed
+  // PEs' downstream cones replaces the per-combination full DAG sweep.
+  PlanEvaluatorOptions eval_options;
+  eval_options.input_rate = estimated_input_rate;
+  eval_options.omega_target = env_.omega_target;
+  eval_options.sigma = sigma_;
+  eval_options.horizon_hours = horizon_hours;
+  PlanEvaluator eval(df, catalog, eval_options);
+
+  // Per-class tables hoisted out of the multiset loop; the summations
+  // below keep the original accumulation order and multiply association,
+  // so every total and cost double is unchanged.
+  std::vector<double> class_power(n_classes);
+  std::vector<double> class_price(n_classes);
+  std::vector<int> class_cores(n_classes);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    const auto& cls = catalog.at(
+        ResourceClassId(static_cast<ResourceClassId::value_type>(c)));
+    class_power[c] = cls.totalPower();
+    class_price[c] = cls.price_per_hour;
+    class_cores[c] = cls.cores;
+  }
+
   struct Best {
     double theta = -std::numeric_limits<double>::infinity();
     Deployment deployment;
@@ -70,38 +95,39 @@ Deployment BruteForceScheduler::deploy(double estimated_input_rate) {
   // Odometer over alternate combinations.
   Deployment dep(df);
   std::vector<std::size_t> combo(n_pes, 0);
+  std::vector<AlternateId> combo_alts(n_pes, AlternateId(0));
+  std::vector<int> bounds(n_classes);
+  std::vector<int> counts(n_classes);
   bool combos_left = true;
   while (combos_left) {
     for (std::size_t i = 0; i < n_pes; ++i) {
       dep.setActiveAlternate(
           PeId(static_cast<PeId::value_type>(i)),
           AlternateId(static_cast<AlternateId::value_type>(combo[i])));
+      combo_alts[i] = AlternateId(static_cast<AlternateId::value_type>(combo[i]));
     }
     // Provision to exactly the throughput constraint: meeting
     // Omega >= Omega-hat at the boundary minimizes cost and thus
     // maximizes Theta under the no-variability assumption.
-    auto demand = requiredCorePower(df, dep, estimated_input_rate);
-    for (double& d : demand) d *= env_.omega_target;
+    eval.setAlternates(combo_alts);
+    const std::vector<double>& demand = eval.demand();
     const double total_demand =
         std::accumulate(demand.begin(), demand.end(), 0.0);
-    const double gamma = static_planning::deploymentGamma(df, dep);
+    const double gamma = eval.gamma();
 
     // Per-class count bounds: enough of any single class to host the whole
     // demand (plus one for core-count granularity).
-    std::vector<int> bounds(n_classes);
     for (std::size_t c = 0; c < n_classes; ++c) {
-      const auto& cls = catalog.at(
-          ResourceClassId(static_cast<ResourceClassId::value_type>(c)));
       const int by_power =
-          static_cast<int>(std::ceil(total_demand / cls.totalPower()));
+          static_cast<int>(std::ceil(total_demand / class_power[c]));
       const int by_cores = static_cast<int>(
-          (n_pes + static_cast<std::size_t>(cls.cores) - 1) /
-          static_cast<std::size_t>(cls.cores));
+          (n_pes + static_cast<std::size_t>(class_cores[c]) - 1) /
+          static_cast<std::size_t>(class_cores[c]));
       bounds[c] = std::max(by_power, by_cores) + 1;
     }
 
     // Odometer over VM multisets.
-    std::vector<int> counts(n_classes, 0);
+    std::fill(counts.begin(), counts.end(), 0);
     bool multisets_left = true;
     while (multisets_left) {
       if (++plans_examined_ > max_combinations_) {
@@ -112,29 +138,32 @@ Deployment BruteForceScheduler::deploy(double estimated_input_rate) {
       double total_power = 0.0;
       int total_cores = 0;
       for (std::size_t c = 0; c < n_classes; ++c) {
-        const auto& cls = catalog.at(
-            ResourceClassId(static_cast<ResourceClassId::value_type>(c)));
-        total_power += counts[c] * cls.totalPower();
-        total_cores += counts[c] * cls.cores;
+        total_power += counts[c] * class_power[c];
+        total_cores += counts[c] * class_cores[c];
       }
-      const double cost =
-          static_planning::multisetCost(catalog, counts, horizon_hours);
+      double cost = 0.0;
+      for (std::size_t c = 0; c < n_classes; ++c) {
+        cost += counts[c] * class_price[c] * horizon_hours;
+      }
       const double theta = gamma - sigma_ * cost;
       const bool worth_checking =
           total_power + 1e-9 >= total_demand &&
           total_cores >= static_cast<int>(n_pes) &&
           (!best.has_value() || theta > best->theta);
-      if (worth_checking) {
-        if (auto assignment =
-                static_planning::tryAssign(catalog, counts, demand)) {
-          if (env_.tracer.enabled()) {
-            if (best.has_value()) {
-              superseded.push_back({best_label, best->theta});
-            }
-            best_label = planLabel(combo, counts);
+      // The verdict-only feasibility test screens the (mostly infeasible)
+      // improving candidates without building an Assignment; the full
+      // packing runs only for genuine new optima.
+      if (worth_checking && eval.feasibleFor(counts)) {
+        auto assignment = static_planning::tryAssign(catalog, counts, demand);
+        DDS_ENSURE(assignment.has_value(),
+                   "feasibility verdict disagrees with packing");
+        if (env_.tracer.enabled()) {
+          if (best.has_value()) {
+            superseded.push_back({best_label, best->theta});
           }
-          best = Best{theta, dep, counts, std::move(*assignment)};
+          best_label = planLabel(combo, counts);
         }
+        best = Best{theta, dep, counts, std::move(*assignment)};
       }
       // Advance the multiset odometer.
       std::size_t pos = 0;
@@ -178,6 +207,9 @@ Deployment BruteForceScheduler::deploy(double estimated_input_rate) {
   if (env_.metrics != nullptr) {
     env_.metrics->counter("sched.plans_examined")
         .inc(static_cast<std::uint64_t>(plans_examined_));
+    env_.metrics->counter("sched.evaluator_memo_lookups")
+        .inc(eval.memoLookups());
+    env_.metrics->counter("sched.evaluator_memo_hits").inc(eval.memoHits());
   }
   static_planning::materialize(*env_.cloud, best->vm_counts,
                                best->assignment);

@@ -18,9 +18,9 @@ const double kNoTheta = std::numeric_limits<double>::quiet_NaN();
 /// Free (unallocated) normalized core power across active VMs.
 double freeCorePower(const CloudProvider& cloud, const CorePowerFn& power) {
   double total = 0.0;
-  for (const VmId id : cloud.activeVms()) {
-    const VmInstance& vm = cloud.instance(id);
-    total += static_cast<double>(vm.freeCoreCount()) * power(id);
+  for (const VmInstance& vm : cloud.instances()) {
+    if (!vm.isActive()) continue;
+    total += static_cast<double>(vm.freeCoreCount()) * power(vm.id());
   }
   return total;
 }
@@ -142,8 +142,8 @@ SchedulerTelemetry HeuristicScheduler::telemetry() const {
 
 bool HeuristicScheduler::capacityPending(SimTime now) const {
   if (allocator_.acquisitionBackoffActive(now)) return true;
-  for (const VmId id : env_.cloud->activeVms()) {
-    if (!env_.cloud->instance(id).isReady(now)) return true;
+  for (const VmInstance& vm : env_.cloud->instances()) {
+    if (vm.isActive() && !vm.isReady(now)) return true;
   }
   return false;
 }
@@ -213,6 +213,20 @@ void HeuristicScheduler::alternatePhase(const ObservedState& state,
   const auto allocated = allocator_.allocatedPower(power);
   double available = freeCorePower(*env_.cloud, power);
 
+  // Feasible-set scratch and the downstream-cost prefix, hoisted out of
+  // the per-PE loop. The prefix depends on the active alternates, which
+  // this very loop mutates, so it is recomputed lazily after a switch —
+  // downstreamCosts() is a pure function of the deployment, so each PE
+  // still sees exactly the vector the per-PE recomputation produced.
+  struct Ranked {
+    AlternateId id;
+    double ratio;
+    double needed_power;
+  };
+  std::vector<Ranked> feasible;
+  std::vector<double> succ_costs;
+  bool succ_costs_valid = strategy_ != Strategy::Global;
+
   for (const auto& element : df.pes()) {
     const PeId pe = element.id();
     const AlternateId active_id = deployment.activeAlternate(pe);
@@ -222,15 +236,11 @@ void HeuristicScheduler::alternatePhase(const ObservedState& state,
     // alternates at most as expensive as the active one are candidates
     // (they raise throughput); when comfortably ahead, only alternates at
     // least as expensive (they can raise value).
-    struct Ranked {
-      AlternateId id;
-      double ratio;
-      double needed_power;
-    };
-    std::vector<Ranked> feasible;
-    const auto succ_costs = strategy_ == Strategy::Global
-                                ? downstreamCosts(df, deployment)
-                                : std::vector<double>{};
+    feasible.clear();
+    if (!succ_costs_valid) {
+      succ_costs = downstreamCosts(df, deployment);
+      succ_costs_valid = true;
+    }
     for (std::size_t j = 0; j < element.alternateCount(); ++j) {
       const AlternateId alt_id(static_cast<AlternateId::value_type>(j));
       if (alt_id == active_id) continue;
@@ -270,6 +280,7 @@ void HeuristicScheduler::alternatePhase(const ObservedState& state,
           env_.metrics->counter("sched.alternate_switches").inc();
         }
         deployment.setActiveAlternate(pe, r.id);
+        if (strategy_ == Strategy::Global) succ_costs_valid = false;
         available -= std::max(std::min(extra, available), 0.0);
         break;
       }

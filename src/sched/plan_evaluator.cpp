@@ -1,0 +1,288 @@
+#include "dds/sched/plan_evaluator.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "dds/common/hash.hpp"
+#include "dds/sim/rate_model.hpp"
+
+namespace dds {
+
+PlanEvaluator::PlanEvaluator(const Dataflow& df,
+                             const ResourceCatalog& catalog,
+                             const PlanEvaluatorOptions& options)
+    : df_(&df),
+      catalog_(&catalog),
+      options_(options),
+      n_pes_(df.peCount()),
+      n_classes_(catalog.size()),
+      pack_scratch_(catalog) {
+  DDS_REQUIRE(options.input_rate >= 0.0,
+              "input rate must be non-negative");
+  DDS_REQUIRE(options.omega_target > 0.0 && options.omega_target <= 1.0,
+              "omega target out of range");
+  DDS_REQUIRE(options.sigma >= 0.0, "sigma must be non-negative");
+  DDS_REQUIRE(options.horizon_hours > 0.0, "horizon must be positive");
+
+  // Flatten the per-(pe, alternate) model tables. The relative-value and
+  // cost doubles are the exact ones the reference path reads through
+  // ProcessingElement, so re-summing from these tables reproduces its
+  // results bit for bit.
+  alt_offset_.resize(n_pes_ + 1, 0);
+  alt_count_.resize(n_pes_, 0);
+  for (std::size_t i = 0; i < n_pes_; ++i) {
+    const auto& pe = df.pe(PeId(static_cast<PeId::value_type>(i)));
+    alt_count_[i] = pe.alternateCount();
+    alt_offset_[i + 1] = alt_offset_[i] + pe.alternateCount();
+  }
+  const std::size_t total_alts = alt_offset_[n_pes_];
+  alt_selectivity_.resize(total_alts);
+  alt_cost_sec_.resize(total_alts);
+  alt_rel_value_.resize(total_alts);
+  for (std::size_t i = 0; i < n_pes_; ++i) {
+    const auto& pe = df.pe(PeId(static_cast<PeId::value_type>(i)));
+    for (std::size_t j = 0; j < pe.alternateCount(); ++j) {
+      const AlternateId a(static_cast<AlternateId::value_type>(j));
+      alt_selectivity_[alt_offset_[i] + j] = pe.alternate(a).selectivity;
+      alt_cost_sec_[alt_offset_[i] + j] = pe.alternate(a).cost_core_sec;
+      alt_rel_value_[alt_offset_[i] + j] = pe.relativeValue(a);
+    }
+  }
+
+  // Graph structure: topological order plus CSR predecessor/successor
+  // lists in the Dataflow's own edge order (the arrival sum iterates
+  // predecessors in exactly that order).
+  topo_.reserve(n_pes_);
+  topo_pos_.resize(n_pes_, 0);
+  for (const PeId pe : df.topologicalOrder()) {
+    topo_pos_[pe.value()] = topo_.size();
+    topo_.push_back(pe.value());
+  }
+  pred_offset_.resize(n_pes_ + 1, 0);
+  succ_offset_.resize(n_pes_ + 1, 0);
+  is_input_.resize(n_pes_, false);
+  for (std::size_t i = 0; i < n_pes_; ++i) {
+    const PeId pe(static_cast<PeId::value_type>(i));
+    pred_offset_[i + 1] = pred_offset_[i] + df.predecessors(pe).size();
+    succ_offset_[i + 1] = succ_offset_[i] + df.successors(pe).size();
+    is_input_[i] = df.isInput(pe);
+  }
+  preds_.resize(pred_offset_[n_pes_]);
+  succs_.resize(succ_offset_[n_pes_]);
+  for (std::size_t i = 0; i < n_pes_; ++i) {
+    const PeId pe(static_cast<PeId::value_type>(i));
+    std::size_t k = pred_offset_[i];
+    for (const PeId u : df.predecessors(pe)) preds_[k++] = u.value();
+    k = succ_offset_[i];
+    for (const PeId v : df.successors(pe)) succs_[k++] = v.value();
+  }
+
+  class_cores_.resize(n_classes_);
+  class_price_.resize(n_classes_);
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    const auto& cls = catalog.at(
+        ResourceClassId(static_cast<ResourceClassId::value_type>(c)));
+    class_cores_[c] = cls.cores;
+    class_price_[c] = cls.price_per_hour;
+  }
+
+  alternates_.assign(n_pes_, AlternateId(0));
+  vm_counts_.assign(n_classes_, 0);
+  arrival_.resize(n_pes_, 0.0);
+  demand_.resize(n_pes_, 0.0);
+  arrival_dirty_.assign(n_pes_, 0);
+  alt_changed_.assign(n_pes_, 0);
+  memo_.init(n_classes_ + n_pes_, options_.memo_capacity);
+  key_.resize(n_classes_ + n_pes_, 0);
+
+  reset(alternates_, vm_counts_);
+}
+
+void PlanEvaluator::recomputeArrival(std::size_t pe) {
+  // Same expression and predecessor iteration order as
+  // expectedArrivalRatesInto(): sum of arrival[u] * selectivity(u).
+  double sum = 0.0;
+  for (std::size_t k = pred_offset_[pe]; k < pred_offset_[pe + 1]; ++k) {
+    const std::size_t u = preds_[k];
+    sum += arrival_[u] * altSelectivity(u);
+  }
+  arrival_[pe] = sum;
+}
+
+void PlanEvaluator::recomputeDemand(std::size_t pe) {
+  // Two-step multiply, matching requiredCorePower() followed by the
+  // planners' in-place `d *= omega_target` scaling.
+  demand_[pe] = arrival_[pe] * altCostSec(pe);
+  demand_[pe] *= options_.omega_target;
+}
+
+void PlanEvaluator::markSuccessorsDirty(std::size_t pe) {
+  for (std::size_t k = succ_offset_[pe]; k < succ_offset_[pe + 1]; ++k) {
+    arrival_dirty_[succs_[k]] = epoch_;
+  }
+}
+
+void PlanEvaluator::propagate(std::size_t start_pos) {
+  // Only nodes downstream of a change are recomputed; they are visited in
+  // topological order, so each recomputation sees final predecessor
+  // values — exactly the full recompute restricted to the dirty cone.
+  for (std::size_t pos = start_pos; pos < n_pes_; ++pos) {
+    const std::size_t v = topo_[pos];
+    const bool arrival_dirty = arrival_dirty_[v] == epoch_;
+    if (arrival_dirty) {
+      recomputeArrival(v);
+      markSuccessorsDirty(v);
+    }
+    if (arrival_dirty || alt_changed_[v] == epoch_) {
+      recomputeDemand(v);
+    }
+  }
+}
+
+void PlanEvaluator::reset(const std::vector<AlternateId>& alternates,
+                          const std::vector<int>& vm_counts) {
+  DDS_REQUIRE(alternates.size() == n_pes_,
+              "alternate vector does not match dataflow");
+  DDS_REQUIRE(vm_counts.size() == n_classes_,
+              "vm_counts does not match catalog");
+  if (&alternates != &alternates_) alternates_ = alternates;
+  if (&vm_counts != &vm_counts_) vm_counts_ = vm_counts;
+  for (std::size_t i = 0; i < n_pes_; ++i) {
+    DDS_REQUIRE(alternates_[i].value() < alt_count_[i],
+                "alternate id out of range for PE");
+  }
+  total_cores_ = 0;
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    DDS_REQUIRE(vm_counts_[c] >= 0, "VM counts must be non-negative");
+    total_cores_ += vm_counts_[c] * class_cores_[c];
+  }
+  for (const std::size_t v : topo_) {
+    if (is_input_[v]) {
+      arrival_[v] = options_.input_rate;
+    } else {
+      recomputeArrival(v);
+    }
+  }
+  for (std::size_t i = 0; i < n_pes_; ++i) recomputeDemand(i);
+}
+
+void PlanEvaluator::setAlternate(std::size_t pe, AlternateId alt) {
+  DDS_REQUIRE(pe < n_pes_, "PE index out of range");
+  DDS_REQUIRE(alt.value() < alt_count_[pe],
+              "alternate id out of range for PE");
+  if (alternates_[pe] == alt) return;
+  alternates_[pe] = alt;
+  recomputeDemand(pe);  // own arrival is unaffected by own alternate
+  ++epoch_;
+  markSuccessorsDirty(pe);
+  propagate(topo_pos_[pe] + 1);
+}
+
+void PlanEvaluator::setAlternates(const std::vector<AlternateId>& alternates) {
+  DDS_REQUIRE(alternates.size() == n_pes_,
+              "alternate vector does not match dataflow");
+  ++epoch_;
+  std::size_t first_pos = n_pes_;
+  for (std::size_t i = 0; i < n_pes_; ++i) {
+    if (alternates_[i] == alternates[i]) continue;
+    DDS_REQUIRE(alternates[i].value() < alt_count_[i],
+                "alternate id out of range for PE");
+    alternates_[i] = alternates[i];
+    alt_changed_[i] = epoch_;
+    markSuccessorsDirty(i);
+    first_pos = std::min(first_pos, topo_pos_[i]);
+  }
+  if (first_pos == n_pes_) return;  // nothing changed
+  propagate(first_pos);
+}
+
+void PlanEvaluator::setVmCount(std::size_t cls, int count) {
+  DDS_REQUIRE(cls < n_classes_, "resource class out of range");
+  DDS_REQUIRE(count >= 0, "VM counts must be non-negative");
+  total_cores_ += (count - vm_counts_[cls]) * class_cores_[cls];
+  vm_counts_[cls] = count;
+}
+
+double PlanEvaluator::gamma() const {
+  // Canonical order: PEs by index, exactly as deploymentGamma().
+  double gamma = 0.0;
+  for (std::size_t i = 0; i < n_pes_; ++i) {
+    gamma += alt_rel_value_[alt_offset_[i] + alternates_[i].value()];
+  }
+  return gamma / static_cast<double>(n_pes_);
+}
+
+double PlanEvaluator::planCost() const {
+  // Canonical order and multiply association of multisetCost():
+  // (count * price) * horizon, classes by index.
+  double cost = 0.0;
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    cost += vm_counts_[c] * class_price_[c] * options_.horizon_hours;
+  }
+  return cost;
+}
+
+bool PlanEvaluator::packWithMemo(const std::vector<int>& vm_counts) {
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    key_[c] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(vm_counts[c]));
+  }
+  for (std::size_t i = 0; i < n_pes_; ++i) {
+    key_[n_classes_ + i] = canonicalBits(demand_[i]);
+  }
+  if (const auto cached = memo_.lookup(key_.data())) return *cached;
+  const bool ok =
+      static_planning::packingFeasible(*catalog_, vm_counts, demand_,
+                                       pack_scratch_);
+  memo_.insert(key_.data(), ok);
+  return ok;
+}
+
+bool PlanEvaluator::feasible() {
+  if (!enoughCores(total_cores_)) return false;
+  return packWithMemo(vm_counts_);
+}
+
+bool PlanEvaluator::feasibleFor(const std::vector<int>& vm_counts) {
+  DDS_REQUIRE(vm_counts.size() == n_classes_,
+              "vm_counts does not match catalog");
+  int total_cores = 0;
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    total_cores += vm_counts[c] * class_cores_[c];
+  }
+  if (!enoughCores(total_cores)) return false;
+  return packWithMemo(vm_counts);
+}
+
+double PlanEvaluator::theta() {
+  if (!feasible()) return -std::numeric_limits<double>::infinity();
+  return gamma() - options_.sigma * planCost();
+}
+
+double referencePlanTheta(const Dataflow& df, const ResourceCatalog& catalog,
+                          const std::vector<AlternateId>& alternates,
+                          const std::vector<int>& vm_counts,
+                          double input_rate, double omega_target,
+                          double sigma, double horizon_hours,
+                          Deployment& dep_out,
+                          static_planning::Assignment* assignment_out) {
+  const std::size_t n_pes = df.peCount();
+  DDS_REQUIRE(alternates.size() == n_pes,
+              "alternate vector does not match dataflow");
+  for (std::size_t i = 0; i < n_pes; ++i) {
+    dep_out.setActiveAlternate(PeId(static_cast<PeId::value_type>(i)),
+                               alternates[i]);
+  }
+  auto demand = requiredCorePower(df, dep_out, input_rate);
+  for (double& d : demand) d *= omega_target;
+  auto assignment = static_planning::tryAssign(catalog, vm_counts, demand);
+  if (!assignment.has_value()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  if (assignment_out != nullptr) *assignment_out = std::move(*assignment);
+  const double cost =
+      static_planning::multisetCost(catalog, vm_counts, horizon_hours);
+  return static_planning::deploymentGamma(df, dep_out) - sigma * cost;
+}
+
+}  // namespace dds

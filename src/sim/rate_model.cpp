@@ -49,14 +49,20 @@ std::vector<double> expectedOutputRates(const Dataflow& df,
   return rates;
 }
 
-std::vector<double> requiredCorePower(const Dataflow& df,
-                                      const Deployment& deployment,
-                                      double input_rate) {
-  auto power = expectedArrivalRates(df, deployment, input_rate);
+void requiredCorePowerInto(const Dataflow& df, const Deployment& deployment,
+                           double input_rate, std::vector<double>& power) {
+  expectedArrivalRatesInto(df, deployment, input_rate, power);
   for (const auto& pe : df.pes()) {
     const auto& alt = pe.alternate(deployment.activeAlternate(pe.id()));
     power[pe.id().value()] *= alt.cost_core_sec;
   }
+}
+
+std::vector<double> requiredCorePower(const Dataflow& df,
+                                      const Deployment& deployment,
+                                      double input_rate) {
+  std::vector<double> power;
+  requiredCorePowerInto(df, deployment, input_rate, power);
   return power;
 }
 

@@ -1,0 +1,175 @@
+// Golden regression tests pinning the planners' exact decisions.
+//
+// The incremental PlanEvaluator is a pure cache: it must not change any
+// plan, Theta double, RNG consumption or trace byte relative to the
+// from-scratch evaluation the planners shipped with. These tests pin the
+// plans and Theta values (hexfloat, bitwise) captured from the
+// pre-evaluator implementation, plus two full engine traces compared byte
+// for byte against committed fixtures.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "dds/core/engine.hpp"
+#include "dds/dataflow/standard_graphs.hpp"
+#include "dds/obs/jsonl_sink.hpp"
+#include "dds/sched/annealing_planner.hpp"
+#include "dds/sched/brute_force.hpp"
+
+namespace dds {
+namespace {
+
+struct Fixture {
+  explicit Fixture(Dataflow graph) : df(std::move(graph)) {}
+  Dataflow df;
+  CloudProvider cloud{awsCatalog2013()};
+  TraceReplayer replayer = TraceReplayer::ideal();
+  MonitoringService mon{cloud, replayer};
+
+  SchedulerEnv env() {
+    SchedulerEnv e;
+    e.dataflow = &df;
+    e.cloud = &cloud;
+    e.monitor = &mon;
+    return e;
+  }
+
+  std::map<std::string, int> vmMultiset() const {
+    std::map<std::string, int> by_class;
+    for (const VmId id : cloud.activeVms()) {
+      ++by_class[cloud.instance(id).spec().name];
+    }
+    return by_class;
+  }
+
+  int allocatedCores() const {
+    int cores = 0;
+    for (const VmId id : cloud.activeVms()) {
+      cores += cloud.instance(id).allocatedCoreCount();
+    }
+    return cores;
+  }
+};
+
+TEST(PlannerDeterminism, GoldenAnnealingPlanOnPaperGraph) {
+  Fixture f(makePaperDataflow());
+  AnnealingScheduler s(f.env(), 0.01, kSecondsPerHour, AnnealingOptions{});
+  const Deployment dep = s.deploy(5.0);
+  // Captured from the pre-evaluator implementation (bitwise).
+  EXPECT_EQ(s.bestTheta(), 0x1.e0aa64c2f837bp-1);
+  for (std::size_t i = 0; i < f.df.peCount(); ++i) {
+    EXPECT_EQ(dep.activeAlternate(PeId(static_cast<PeId::value_type>(i)))
+                  .value(),
+              0u);
+  }
+  const std::map<std::string, int> expected_vms{
+      {"m1.medium", 3}, {"m1.small", 8}, {"m1.xlarge", 11}};
+  EXPECT_EQ(f.vmMultiset(), expected_vms);
+  EXPECT_EQ(f.allocatedCores(), 55);
+}
+
+TEST(PlannerDeterminism, GoldenAnnealingPlanOnLayeredGraph) {
+  Rng rng(99);
+  Fixture f(makeLayeredDataflow(6, 4, 3, rng));
+  AnnealingOptions opts;
+  opts.seed = 42;
+  opts.iterations = 4000;
+  AnnealingScheduler s(f.env(), 0.005, 2 * kSecondsPerHour, opts);
+  const Deployment dep = s.deploy(12.0);
+  EXPECT_EQ(s.bestTheta(), 0x1.bc3a8daed086bp-1);
+  const std::vector<unsigned> expected_alts{2, 2, 0, 0, 2, 0, 1, 1, 2,
+                                            1, 2, 0, 0, 1, 2, 1, 0, 1};
+  ASSERT_EQ(f.df.peCount(), expected_alts.size());
+  for (std::size_t i = 0; i < expected_alts.size(); ++i) {
+    EXPECT_EQ(dep.activeAlternate(PeId(static_cast<PeId::value_type>(i)))
+                  .value(),
+              expected_alts[i])
+        << "pe " << i;
+  }
+  const std::map<std::string, int> expected_vms{
+      {"m1.medium", 12}, {"m1.small", 9}, {"m1.xlarge", 15}};
+  EXPECT_EQ(f.vmMultiset(), expected_vms);
+  EXPECT_EQ(f.allocatedCores(), 81);
+}
+
+TEST(PlannerDeterminism, GoldenBruteForcePlanOnPaperGraph) {
+  Fixture f(makePaperDataflow());
+  BruteForceScheduler s(f.env(), 0.01, kSecondsPerHour);
+  (void)s.deploy(3.0);
+  EXPECT_EQ(s.plansExamined(), 766920u);
+  const std::map<std::string, int> expected_vms{
+      {"m1.large", 1}, {"m1.medium", 3}, {"m1.small", 53}};
+  EXPECT_EQ(f.vmMultiset(), expected_vms);
+  EXPECT_EQ(f.allocatedCores(), 58);
+}
+
+TEST(PlannerDeterminism, ReferencePathMatchesIncrementalPath) {
+  auto run = [](bool incremental, std::map<std::string, int>& vms,
+                int& cores, std::vector<unsigned>& alts) {
+    Rng rng(99);
+    Fixture f(makeLayeredDataflow(6, 4, 3, rng));
+    AnnealingOptions opts;
+    opts.seed = 42;
+    opts.iterations = 4000;
+    opts.incremental_evaluation = incremental;
+    AnnealingScheduler s(f.env(), 0.005, 2 * kSecondsPerHour, opts);
+    const Deployment dep = s.deploy(12.0);
+    vms = f.vmMultiset();
+    cores = f.allocatedCores();
+    alts.clear();
+    for (std::size_t i = 0; i < f.df.peCount(); ++i) {
+      alts.push_back(
+          dep.activeAlternate(PeId(static_cast<PeId::value_type>(i)))
+              .value());
+    }
+    return s.bestTheta();
+  };
+  std::map<std::string, int> vms_inc, vms_ref;
+  int cores_inc = 0, cores_ref = 0;
+  std::vector<unsigned> alts_inc, alts_ref;
+  const double theta_inc = run(true, vms_inc, cores_inc, alts_inc);
+  const double theta_ref = run(false, vms_ref, cores_ref, alts_ref);
+  EXPECT_EQ(theta_inc, theta_ref);  // bitwise
+  EXPECT_EQ(alts_inc, alts_ref);
+  EXPECT_EQ(vms_inc, vms_ref);
+  EXPECT_EQ(cores_inc, cores_ref);
+}
+
+std::string readFixture(const std::string& name) {
+  const std::string path = std::string(DDS_SCHED_TESTDATA) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string runTraced(SchedulerKind kind) {
+  ExperimentConfig cfg;
+  cfg.horizon_s = 0.5 * kSecondsPerHour;
+  cfg.workload.mean_rate = 10.0;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
+  cfg.seed = 77;
+  const Dataflow df = makePaperDataflow();
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(out);
+  (void)SimulationEngine(df, cfg).run(kind, &sink);
+  return out.str();
+}
+
+TEST(PlannerDeterminism, GoldenTraceAnnealingByteIdentical) {
+  EXPECT_EQ(runTraced(SchedulerKind::AnnealingStatic),
+            readFixture("golden_trace_annealing.jsonl"));
+}
+
+TEST(PlannerDeterminism, GoldenTraceGlobalAdaptiveByteIdentical) {
+  EXPECT_EQ(runTraced(SchedulerKind::GlobalAdaptive),
+            readFixture("golden_trace_global.jsonl"));
+}
+
+}  // namespace
+}  // namespace dds
