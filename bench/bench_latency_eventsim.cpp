@@ -4,6 +4,16 @@
 // Compares end-to-end latency percentiles of the local and global
 // adaptive heuristics, plus a fixed over/under-provisioned deployment,
 // under a wave workload on the Fig. 1 dataflow.
+//
+// A second section measures raw event throughput (events drained per
+// second of wall clock) of the cached engine against the reference
+// engine over a rate x graph-size sweep. Every row asserts that the two
+// engines' results are bit-identical via fingerprint().
+// `--throughput-json=PATH` writes that sweep as JSON (committed as
+// BENCH_eventsim_throughput.json at the repo root).
+#include <fstream>
+#include <iomanip>
+
 #include "bench_util.hpp"
 
 namespace {
@@ -40,11 +50,170 @@ EventSimResult runPolicy(const Dataflow& df, Strategy strategy,
   return sim.run(profile, std::move(dep), adaptive ? &sched : nullptr);
 }
 
+// --- cached-vs-reference throughput sweep ------------------------------
+
+struct ThroughputCase {
+  std::string graph;
+  double rate = 0.0;
+  bool adaptive = false;
+};
+
+struct ThroughputRow {
+  ThroughputCase c;
+  std::uint64_t events = 0;
+  double reference_s = 0.0;
+  double cached_s = 0.0;
+  std::uint64_t route_refreshes = 0;
+  std::uint64_t core_index_rebuilds = 0;
+  bool identical = false;
+};
+
+Dataflow graphByName(const std::string& name) {
+  if (name == "paper") return makePaperDataflow();
+  if (name == "chain8") return makeChainDataflow(8, 2);
+  Rng rng(99);  // layered6x4
+  return makeLayeredDataflow(6, 4, 2, rng);
+}
+
+/// One full event-sim run on a fresh environment; both engines get the
+/// same seeds, so any result difference is an engine bug.
+EventSimResult runThroughput(const ThroughputCase& c,
+                             EventSimConfig::Engine engine) {
+  const Dataflow df = graphByName(c.graph);
+  CloudProvider cloud(awsCatalog2013());
+  TraceReplayer replayer = TraceReplayer::futureGridLike(2013);
+  MonitoringService mon(cloud, replayer);
+  SchedulerEnv env;
+  env.dataflow = &df;
+  env.cloud = &cloud;
+  env.monitor = &mon;
+  HeuristicOptions opts;
+  opts.adaptive = c.adaptive;
+  HeuristicScheduler sched(env, Strategy::Global, opts);
+
+  EventSimConfig cfg;  // stock 600 s horizon, 60 s intervals
+  cfg.seed = 7;
+  cfg.engine = engine;
+  EventSimulator sim(df, cloud, mon, cfg);
+  ConstantRate profile(c.rate);
+  Deployment dep = sched.deploy(c.rate);
+  return sim.run(profile, std::move(dep), c.adaptive ? &sched : nullptr);
+}
+
+std::vector<ThroughputRow> runThroughputSweep() {
+  // Rates are capped per graph so the *reference* engine finishes each
+  // row in under a minute — layered6x4 deploys ~200 VMs at 50 msg/s and
+  // the reference path is O(VMs) per event.
+  const std::vector<ThroughputCase> cases{
+      {"paper", 20.0, false},    {"paper", 100.0, false},
+      {"paper", 400.0, false},   {"chain8", 100.0, false},
+      {"chain8", 400.0, false},  {"layered6x4", 20.0, false},
+      {"layered6x4", 50.0, false}, {"paper", 100.0, true},
+  };
+  std::vector<ThroughputRow> rows;
+  for (const ThroughputCase& c : cases) {
+    std::cerr << "throughput " << c.graph << " @ " << c.rate << " msg/s"
+              << (c.adaptive ? " adaptive" : "") << ": reference..."
+              << std::flush;
+    const EventSimResult ref =
+        runThroughput(c, EventSimConfig::Engine::Reference);
+    std::cerr << " " << ref.wall_seconds << " s, cached..." << std::flush;
+    const EventSimResult cach =
+        runThroughput(c, EventSimConfig::Engine::Cached);
+    std::cerr << " " << cach.wall_seconds << " s\n";
+
+    ThroughputRow row;
+    row.c = c;
+    row.events = cach.counters.drained();
+    row.reference_s = ref.wall_seconds;
+    row.cached_s = cach.wall_seconds;
+    row.route_refreshes = cach.counters.route_refreshes;
+    row.core_index_rebuilds = cach.counters.core_index_rebuilds;
+    // The cached engine is a memoization, not an approximation: every
+    // sample, counter and interval metric must match bit-for-bit.
+    row.identical = fingerprint(ref) == fingerprint(cach);
+    if (!row.identical) {
+      std::cerr << "RESULT MISMATCH at " << c.graph << " @ " << c.rate
+                << " msg/s\n";
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void printThroughputTable(const std::vector<ThroughputRow>& rows) {
+  TextTable table({"graph", "rate", "adaptive", "events", "ref-ev/s",
+                   "cached-ev/s", "speedup", "identical"});
+  for (const auto& r : rows) {
+    const double ref_eps =
+        r.reference_s > 0.0 ? static_cast<double>(r.events) / r.reference_s
+                            : 0.0;
+    const double cached_eps =
+        r.cached_s > 0.0 ? static_cast<double>(r.events) / r.cached_s : 0.0;
+    table.addRow({r.c.graph, TextTable::num(r.c.rate),
+                  r.c.adaptive ? "yes" : "no", std::to_string(r.events),
+                  TextTable::num(ref_eps), TextTable::num(cached_eps),
+                  TextTable::num(r.cached_s > 0.0
+                                     ? r.reference_s / r.cached_s
+                                     : 0.0),
+                  r.identical ? "yes" : "NO"});
+  }
+  std::cout << table.render() << '\n';
+}
+
+int throughputSweepJson(const std::string& path) {
+  const std::vector<ThroughputRow> rows = runThroughputSweep();
+  printThroughputTable(rows);
+
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return 1;
+  }
+  out << std::setprecision(17);
+  out << "{\n"
+      << "  \"benchmark\": \"eventsim_cached_vs_reference\",\n"
+      << "  \"horizon_s\": " << EventSimConfig{}.horizon_s << ",\n"
+      << "  \"interval_s\": " << EventSimConfig{}.interval_s << ",\n"
+      << "  \"seed\": 7,\n"
+      << "  \"catalog\": \"awsCatalog2013\",\n"
+      << "  \"rows\": [\n";
+  bool mismatch = false;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& r = rows[i];
+    if (!r.identical) mismatch = true;
+    out << "    {\"graph\": \"" << r.c.graph << "\", \"rate\": " << r.c.rate
+        << ", \"adaptive\": " << (r.c.adaptive ? "true" : "false")
+        << ", \"events\": " << r.events
+        << ",\n     \"reference_s\": " << r.reference_s
+        << ", \"cached_s\": " << r.cached_s
+        << ", \"speedup\": " << r.reference_s / r.cached_s
+        << ",\n     \"reference_events_per_s\": "
+        << static_cast<double>(r.events) / r.reference_s
+        << ", \"cached_events_per_s\": "
+        << static_cast<double>(r.events) / r.cached_s
+        << ",\n     \"route_refreshes\": " << r.route_refreshes
+        << ", \"core_index_rebuilds\": " << r.core_index_rebuilds
+        << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return mismatch ? 1 : 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dds;
   using namespace dds::bench;
+
+  const std::string kSweepFlag = "--throughput-json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(kSweepFlag, 0) == 0) {
+      return throughputSweepJson(arg.substr(kSweepFlag.size()));
+    }
+  }
 
   printHeader("Latency",
               "end-to-end message latency (event-level simulation, "
@@ -83,6 +252,15 @@ int main() {
   std::cout << "Reading: the adaptive policies keep the latency tail "
                "bounded through the wave\npeak by scaling ahead of the "
                "backlog; an under-provisioned static run shows\nthe "
-               "queueing blow-up the paper's introduction warns about.\n";
+               "queueing blow-up the paper's introduction warns about.\n\n";
+
+  printHeader("Throughput",
+              "event-loop throughput, cached engine vs reference "
+              "(600 s horizon, constant rate)");
+  printThroughputTable(runThroughputSweep());
+  std::cout << "Reading: the cached engine drains the same event stream "
+               "bit-identically\n(identical = yes on every row) while "
+               "avoiding per-event ledger scans and\nmonitor queries; "
+               "speedup grows with graph size and message rate.\n";
   return 0;
 }

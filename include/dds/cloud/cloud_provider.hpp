@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "dds/cloud/fault_model.hpp"
@@ -58,9 +59,24 @@ class CloudProvider {
     return instances_[id.value()];
   }
 
+  /// Mutable instance access. Callers use this to edit the per-core
+  /// allocation ledger (allocateCore / releaseCoreOf), so every grant is
+  /// treated as a potential ledger change and bumps ledgerGeneration() —
+  /// pessimistic, but exact: the generation never stays put across a
+  /// mutation.
   [[nodiscard]] VmInstance& instance(VmId id) {
     DDS_REQUIRE(id.value() < instances_.size(), "unknown VM id");
+    ++ledger_generation_;
     return instances_[id.value()];
+  }
+
+  /// Monotonic counter that advances whenever the core-allocation ledger
+  /// *may* have changed: VM acquisition, release, or any mutable
+  /// instance() access. Simulator hot paths snapshot per-PE core indexes
+  /// and rebuild them only when this moves (paper §5's allocation state
+  /// changes at adaptation granularity, so rebuilds are rare).
+  [[nodiscard]] std::uint64_t ledgerGeneration() const {
+    return ledger_generation_;
   }
 
   /// Total VMs ever acquired (|R(t)| including stopped ones).
@@ -104,6 +120,7 @@ class CloudProvider {
   obs::Tracer tracer_;
   const AcquisitionFaultModel* acq_faults_ = nullptr;
   std::uint64_t acquisition_attempts_ = 0;
+  std::uint64_t ledger_generation_ = 0;
   int rejections_ = 0;
 };
 

@@ -1,0 +1,48 @@
+// Validity-window cache over MonitoringService lookups.
+//
+// The observed* queries are piecewise constant in time: trace coefficients
+// follow zero-order-hold sampling, and a provisioning VM's power is pinned
+// at zero until its ready time. The *Sample variants expose the exact
+// boundary of each constant stretch, so a cache that re-queries only when
+// a window expires returns bit-identical values to querying every time —
+// it is a memoization, not an approximation.
+//
+// Queries must arrive with non-decreasing `t` per key (the event
+// simulator drains a time-ordered heap, so this holds naturally); a
+// cached window [t0, valid_until) then covers every later query below
+// the boundary.
+#pragma once
+
+#include <vector>
+
+#include "dds/common/ids.hpp"
+#include "dds/common/time.hpp"
+#include "dds/monitor/monitoring.hpp"
+
+namespace dds {
+
+/// Memoized per-VM observed core power with exact invalidation.
+class CorePowerCache {
+ public:
+  explicit CorePowerCache(const MonitoringService& monitor)
+      : monitor_(&monitor) {}
+
+  /// Observed core power of `vm` at `t`; bit-identical to
+  /// monitor.observedCorePower(vm, t) for non-decreasing `t` per VM.
+  [[nodiscard]] double corePower(VmId vm, SimTime t);
+
+  /// Drop every cached window (e.g. when the caller cannot prove query
+  /// times stayed monotone across an epoch).
+  void clear();
+
+ private:
+  struct Entry {
+    double value = 0.0;
+    SimTime valid_until = -1.0;  // below any query time => always refresh
+  };
+
+  const MonitoringService* monitor_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dds

@@ -98,6 +98,42 @@ class MonitoringService {
     return kBaseLatencyMs * replayer_->latencyCoeff(a, b, t) * spatial;
   }
 
+  /// Sample variants of the observed* queries: same value (and same lazy
+  /// trace-assignment RNG consumption) plus the time until which the
+  /// value is guaranteed not to change — callers may cache it for any
+  /// t' in [t, valid_until) and stay bit-identical to per-query replay.
+  /// With a fault model installed the windows collapse to the query time
+  /// (valid_until == t): fault episodes have no boundary query, so the
+  /// only exact window is the empty one and callers recompute per query.
+  [[nodiscard]] CoeffSample observedCorePowerSample(VmId vm,
+                                                    SimTime t) const {
+    const VmInstance& inst = cloud_->instance(vm);
+    if (!inst.isReady(t)) return {0.0, inst.readyTime()};
+    if (faults_ != nullptr) return {observedCorePower(vm, t), t};
+    const CoeffSample c = replayer_->cpuCoeffSample(vm, t);
+    return {ratedCorePower(vm) * c.value, c.valid_until};
+  }
+
+  [[nodiscard]] CoeffSample observedBandwidthSample(VmId a, VmId b,
+                                                    SimTime t) const {
+    DDS_REQUIRE(a != b, "bandwidth between a VM and itself is infinite");
+    if (faults_ != nullptr) return {observedBandwidthMbps(a, b, t), t};
+    const CoeffSample c = replayer_->bandwidthCoeffSample(a, b, t);
+    const double spatial =
+        placement_ != nullptr ? placement_->bandwidthFactor(a, b) : 1.0;
+    return {ratedBandwidthMbps(a, b) * c.value * spatial, c.valid_until};
+  }
+
+  [[nodiscard]] CoeffSample observedLatencySample(VmId a, VmId b,
+                                                  SimTime t) const {
+    DDS_REQUIRE(a != b, "latency between a VM and itself is zero by model");
+    if (faults_ != nullptr) return {observedLatencyMs(a, b, t), t};
+    const CoeffSample c = replayer_->latencyCoeffSample(a, b, t);
+    const double spatial =
+        placement_ != nullptr ? placement_->latencyFactor(a, b) : 1.0;
+    return {kBaseLatencyMs * c.value * spatial, c.valid_until};
+  }
+
   [[nodiscard]] const CloudProvider& cloud() const { return *cloud_; }
 
   [[nodiscard]] const PlacementModel* placement() const {

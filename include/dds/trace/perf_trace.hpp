@@ -7,7 +7,9 @@
 // wrap around, matching the paper's replay of a 4-day window.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "dds/common/error.hpp"
@@ -54,6 +56,37 @@ class PerfTrace {
   /// assigns each VM a random window into a shared trace (§8.1).
   [[nodiscard]] double atOffset(SimTime offset, SimTime t) const {
     return at(offset + t);
+  }
+
+  /// Largest time `u` such that every query atOffset(offset, t') with
+  /// t <= t' < u lands on the same sample as atOffset(offset, t);
+  /// infinity for a single-sample (constant) trace. Lets callers cache a
+  /// coefficient and recompute only at zero-order-hold boundaries.
+  [[nodiscard]] SimTime validUntilAtOffset(SimTime offset, SimTime t) const {
+    if (samples_.size() == 1) {
+      return std::numeric_limits<SimTime>::infinity();
+    }
+    const double k = std::floor((offset + t) / period_);
+    SimTime until = (k + 1.0) * period_ - offset;
+    // Floating-point guard: (offset + until) / period_ may round across
+    // the bin edge either way, and the rounded sum offset + x advances in
+    // steps of ulp(offset + x) — far coarser than ulp(x) when the replay
+    // offset is large. Retreat a few of those coarse steps so everything
+    // below `until` still maps to bin k (conservative but exact; a query
+    // landing in the shaved sliver just recomputes), then verify once and
+    // only walk in the rare case the band was not enough.
+    const double boundary_sum = offset + until;
+    const double sum_step =
+        std::nextafter(boundary_sum,
+                       std::numeric_limits<double>::infinity()) -
+        boundary_sum;
+    until -= 4.0 * sum_step;
+    while (until > t &&
+           std::floor((offset + std::nextafter(until, t)) / period_) > k) {
+      until = std::nextafter(until, t);
+    }
+    // Degenerate rounding (until collapsed onto t): never cache.
+    return until > t ? until : t;
   }
 
   /// Descriptive statistics over all samples (Figs. 2-3 summaries).

@@ -23,6 +23,13 @@
 
 namespace dds {
 
+/// A coefficient plus the time at which it must be re-queried: the value
+/// is exact (zero-order hold) for every query in [query time, valid_until).
+struct CoeffSample {
+  double value = 1.0;
+  SimTime valid_until = 0.0;
+};
+
 /// Deterministic per-VM and per-VM-pair coefficient source.
 class TraceReplayer {
  public:
@@ -49,6 +56,14 @@ class TraceReplayer {
 
   /// Observed-to-rated bandwidth coefficient between two distinct VMs.
   [[nodiscard]] double bandwidthCoeff(VmId a, VmId b, SimTime t);
+
+  /// Sample variants: same value and same (lazy, RNG-consuming) trace
+  /// assignment as the plain queries, plus the zero-order-hold validity
+  /// window — callers may cache the value for any t' in [t, valid_until)
+  /// without drifting from a per-query replay.
+  [[nodiscard]] CoeffSample cpuCoeffSample(VmId vm, SimTime t);
+  [[nodiscard]] CoeffSample latencyCoeffSample(VmId a, VmId b, SimTime t);
+  [[nodiscard]] CoeffSample bandwidthCoeffSample(VmId a, VmId b, SimTime t);
 
  private:
   struct Assignment {

@@ -8,6 +8,7 @@ VmId CloudProvider::acquireInternal(ResourceClassId cls, SimTime t) {
   DDS_REQUIRE(t >= 0.0, "acquire time must be non-negative");
   const VmId id(static_cast<VmId::value_type>(instances_.size()));
   instances_.emplace_back(id, cls, catalog_.at(cls), t);
+  ++ledger_generation_;
   return id;
 }
 

@@ -246,6 +246,9 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
     ev_cfg.interval_s = config_.interval_s;
     ev_cfg.horizon_s = config_.horizon_s;
     ev_cfg.seed = config_.seed ^ 0xe7e9ull;
+    ev_cfg.engine = config_.event_reference_engine
+                        ? EventSimConfig::Engine::Reference
+                        : EventSimConfig::Engine::Cached;
     EventSimulator esim(df, cloud, monitor, ev_cfg);
     const EventSimResult er =
         esim.run(*profile, std::move(deployment), scheduler.get());
@@ -334,6 +337,18 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
     registry.gauge("run.intervals")
         .set(static_cast<double>(er.intervals.intervals().size()));
     registry.gauge("cloud.total_cost").set(result.total_cost);
+    registry.counter("eventsim.arrivals").inc(er.counters.arrivals);
+    registry.counter("eventsim.deliveries").inc(er.counters.deliveries);
+    registry.counter("eventsim.completions").inc(er.counters.completions);
+    registry.counter("eventsim.dispatches").inc(er.counters.dispatches);
+    registry.counter("eventsim.route_refreshes")
+        .inc(er.counters.route_refreshes);
+    registry.counter("eventsim.core_index_rebuilds")
+        .inc(er.counters.core_index_rebuilds);
+    if (er.wall_seconds > 0.0) {
+      registry.gauge("eventsim.events_per_s")
+          .set(static_cast<double>(er.counters.drained()) / er.wall_seconds);
+    }
     result.metrics = registry.snapshot();
     return result;
   }

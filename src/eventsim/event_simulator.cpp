@@ -1,7 +1,10 @@
 #include "dds/eventsim/event_simulator.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <cmath>
+#include <sstream>
 
 #include "dds/common/time.hpp"
 #include "dds/sim/rate_model.hpp"
@@ -22,21 +25,161 @@ double EventSimResult::latencyPercentile(double p) const {
 
 PeId EventSimResult::worstQueueingPe() const {
   std::size_t worst = 0;
-  for (std::size_t i = 1; i < pe_queue_wait.size(); ++i) {
-    if (pe_queue_wait[i].mean() > pe_queue_wait[worst].mean()) worst = i;
+  bool found = false;
+  for (std::size_t i = 0; i < pe_queue_wait.size(); ++i) {
+    if (pe_queue_wait[i].count() == 0) continue;
+    if (!found || pe_queue_wait[i].mean() > pe_queue_wait[worst].mean()) {
+      worst = i;
+      found = true;
+    }
   }
-  return PeId(static_cast<PeId::value_type>(worst));
+  return found ? PeId(static_cast<PeId::value_type>(worst)) : PeId(0);
+}
+
+std::string fingerprint(const EventSimResult& r) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  const auto stats = [&os](const RunningStats& s) {
+    os << s.count() << ' ' << s.mean() << ' ' << s.variance() << ' '
+       << s.min() << ' ' << s.max() << '\n';
+  };
+  os << r.messages_injected << ' ' << r.messages_delivered << '\n';
+  os << r.counters.arrivals << ' ' << r.counters.deliveries << ' '
+     << r.counters.completions << ' ' << r.counters.dispatches << '\n';
+  stats(r.latency);
+  os << r.latency_samples.size() << '\n';
+  for (const double v : r.latency_samples) os << v << ' ';
+  os << '\n';
+  for (const auto& w : r.pe_queue_wait) stats(w);
+  for (const auto& m : r.intervals.intervals()) {
+    os << m.index << ' ' << m.start << ' ' << m.input_rate << ' ' << m.omega
+       << ' ' << m.gamma << ' ' << m.cost_cumulative << ' ' << m.active_vms
+       << ' ' << m.allocated_cores << '\n';
+    for (const auto& ps : m.pe_stats) {
+      os << ps.arrival_rate << ' ' << ps.offered_rate << ' '
+         << ps.processed_rate << ' ' << ps.output_rate << ' '
+         << ps.capacity_rate << ' ' << ps.relative_throughput << ' '
+         << ps.backlog_msgs << ' ' << ps.allocated_cores << '\n';
+    }
+  }
+  return os.str();
 }
 
 EventSimulator::EventSimulator(const Dataflow& df, CloudProvider& cloud,
                                const MonitoringService& mon,
                                EventSimConfig cfg)
-    : df_(&df), cloud_(&cloud), mon_(&mon), cfg_(cfg) {
+    : df_(&df), cloud_(&cloud), mon_(&mon), cfg_(cfg), power_(mon) {
   cfg_.validate();
 }
 
+// ---------------------------------------------------------------------------
+// Shared model logic.
+// ---------------------------------------------------------------------------
+
 void EventSimulator::dispatchIdleCores(PeId pe, SimTime now,
                                        const Deployment& dep) {
+  if (cached_) {
+    dispatchIdleCoresCached(pe, now, dep);
+  } else {
+    dispatchIdleCoresReference(pe, now, dep);
+  }
+}
+
+void EventSimulator::enqueueAt(PeId pe, Message msg, SimTime now,
+                               const Deployment& dep) {
+  msg.enqueued = now;
+  pe_state_[pe.value()].queue.push_back(msg);
+  ++pe_state_[pe.value()].arrivals_in_interval;
+  dispatchIdleCores(pe, now, dep);
+}
+
+void EventSimulator::deliverDownstream(PeId from, VmId from_vm,
+                                       const Message& msg, SimTime now,
+                                       const Deployment& dep) {
+  // And-split: every successor receives a copy. The copy keeps the
+  // original creation time so end-to-end latency spans the whole path.
+  for (const PeId succ : df_->successors(from)) {
+    // Network cost from the producing VM to the successor's best VM;
+    // colocated flows are in-memory (§4).
+    const double delay = cached_ ? cachedRouteDelay(from_vm, succ, now)
+                                 : referenceRouteDelay(from_vm, succ, now);
+    if (delay <= 0.0) {
+      enqueueAt(succ, msg, now, dep);
+    } else if (cached_) {
+      heap_.push(now + delay, EventKind::Delivery, succ, VmId(0), 0,
+                 msg.created, msg.enqueued);
+    } else {
+      deliveries_.push({now + delay, ref_seq_++, succ, msg});
+    }
+  }
+}
+
+void EventSimulator::recordDeliveredLatency(double latency) {
+  result_.latency.add(latency);
+  ++result_.messages_delivered;
+  if (result_.latency_samples.size() < cfg_.max_latency_samples) {
+    result_.latency_samples.push_back(latency);
+    return;
+  }
+  // Algorithm R: past the cap, the i-th delivery replaces a random stored
+  // sample with probability cap/i, keeping the reservoir uniform over all
+  // deliveries. Draws come from a dedicated stream so capping never
+  // perturbs the arrival process.
+  const auto seen = static_cast<std::int64_t>(result_.latency.count());
+  const std::int64_t j = reservoir_rng_.uniformInt(0, seen - 1);
+  if (j < static_cast<std::int64_t>(cfg_.max_latency_samples)) {
+    result_.latency_samples[static_cast<std::size_t>(j)] = latency;
+  }
+}
+
+void EventSimulator::handleCompletion(SimTime time, PeId pe, VmId vm,
+                                      int core, const Message& msg,
+                                      const Deployment& dep) {
+  // Free the physical core (ownership may have changed during
+  // adaptation; the busy flag is positional, so this stays correct).
+  if (vm.value() < core_busy_.size()) {
+    auto& busy = core_busy_[vm.value()];
+    if (static_cast<std::size_t>(core) < busy.size()) {
+      busy[static_cast<std::size_t>(core)] = false;
+      // Mirror the free into the bitmap under the core's *current* owner.
+      // Stale views (ledger moved since the last rebuild) skip this; the
+      // next rebuild reconstructs the bitmap from the busy flags.
+      if (cached_ && slots_valid_ &&
+          slots_gen_ == cloud_->ledgerGeneration() &&
+          vm.value() < slot_ref_.size() &&
+          static_cast<std::size_t>(core) < slot_ref_[vm.value()].size()) {
+        const SlotRef ref =
+            slot_ref_[vm.value()][static_cast<std::size_t>(core)];
+        if (ref.idx != kNoSlot) {
+          pe_free_[ref.owner.value()][ref.idx >> 6] |=
+              std::uint64_t{1} << (ref.idx & 63);
+        }
+      }
+    }
+  }
+  PeState& st = pe_state_[pe.value()];
+  ++st.processed_in_interval;
+
+  const auto& alt = df_->pe(pe).alternate(dep.activeAlternate(pe));
+  if (df_->isOutput(pe)) {
+    recordDeliveredLatency(time - msg.created);
+  }
+  // Selectivity as credit so fractional ratios average out exactly.
+  st.selectivity_credit += alt.selectivity;
+  while (st.selectivity_credit >= 1.0 - 1e-12) {
+    st.selectivity_credit -= 1.0;
+    ++st.emitted_in_interval;
+    deliverDownstream(pe, vm, msg, time, dep);
+  }
+  dispatchIdleCores(pe, time, dep);
+}
+
+// ---------------------------------------------------------------------------
+// Reference engine: scan the ledger and query the monitor per event.
+// ---------------------------------------------------------------------------
+
+void EventSimulator::dispatchIdleCoresReference(PeId pe, SimTime now,
+                                                const Deployment& dep) {
   PeState& st = pe_state_[pe.value()];
   if (st.queue.empty()) return;
   const auto& alt = df_->pe(pe).alternate(dep.activeAlternate(pe));
@@ -58,62 +201,295 @@ void EventSimulator::dispatchIdleCores(PeId pe, SimTime now,
       const Message msg = st.queue.front();
       st.queue.pop_front();
       result_.pe_queue_wait[pe.value()].add(now - msg.enqueued);
+      ++result_.counters.dispatches;
       const double speed = mon_->observedCorePower(vc.vm, now);
       const double service =
           speed > 0.0 ? alt.cost_core_sec / speed
                       : std::numeric_limits<double>::infinity();
-      completions_.push({now + service, pe, vc.vm, c, msg});
+      completions_.push({now + service, ref_seq_++, pe, vc.vm, c, msg});
     }
     if (st.queue.empty()) break;
   }
 }
 
-void EventSimulator::enqueueAt(PeId pe, Message msg, SimTime now,
-                               const Deployment& dep) {
-  msg.enqueued = now;
-  pe_state_[pe.value()].queue.push_back(msg);
-  ++pe_state_[pe.value()].arrivals_in_interval;
-  dispatchIdleCores(pe, now, dep);
-}
-
-void EventSimulator::deliverDownstream(PeId from, VmId from_vm,
-                                       const Message& msg, SimTime now,
-                                       const Deployment& dep) {
-  // And-split: every successor receives a copy. The copy keeps the
-  // original creation time so end-to-end latency spans the whole path.
-  for (const PeId succ : df_->successors(from)) {
-    // Network cost from the producing VM to the successor's best VM;
-    // colocated flows are in-memory (§4).
-    double delay = 0.0;
-    bool colocated = false;
-    double best_mbps = 0.0;
+double EventSimulator::referenceRouteDelay(VmId from_vm, PeId succ,
+                                           SimTime now) const {
+  double delay = 0.0;
+  bool colocated = false;
+  double best_mbps = 0.0;
+  for (const auto& vc : peCores(*cloud_, succ)) {
+    if (vc.vm == from_vm) {
+      colocated = true;
+      break;
+    }
+    best_mbps =
+        std::max(best_mbps, mon_->observedBandwidthMbps(from_vm, vc.vm, now));
+  }
+  if (!colocated && best_mbps > 0.0) {
+    // Route over the best-connected target VM: one-way latency plus the
+    // serialization time of a ~100 KB message at the observed bandwidth.
     for (const auto& vc : peCores(*cloud_, succ)) {
-      if (vc.vm == from_vm) {
-        colocated = true;
+      if (mon_->observedBandwidthMbps(from_vm, vc.vm, now) == best_mbps) {
+        delay = mon_->observedLatencyMs(from_vm, vc.vm, now) / 1000.0 +
+                cfg_.msg_size_bytes * 8.0 / (best_mbps * 1.0e6);
         break;
       }
-      best_mbps = std::max(
-          best_mbps, mon_->observedBandwidthMbps(from_vm, vc.vm, now));
     }
-    if (!colocated && best_mbps > 0.0) {
-      // Route over the best-connected target VM: one-way latency plus the
-      // serialization time of a ~100 KB message at the observed bandwidth.
-      for (const auto& vc : peCores(*cloud_, succ)) {
-        if (mon_->observedBandwidthMbps(from_vm, vc.vm, now) == best_mbps) {
-          delay = mon_->observedLatencyMs(from_vm, vc.vm, now) / 1000.0 +
-                  cfg_.msg_size_bytes * 8.0 / (best_mbps * 1.0e6);
-          break;
-        }
+  }
+  return delay;
+}
+
+void EventSimulator::drainReference(SimTime t0, SimTime t1, double rate,
+                                    const Deployment& dep) {
+  // Piecewise-constant arrival rate within the interval.
+  SimTime next_arrival = std::numeric_limits<SimTime>::infinity();
+  if (rate > 0.0) {
+    next_arrival =
+        t0 + (cfg_.poisson_arrivals ? rng_.exponential(rate) : 1.0 / rate);
+  }
+
+  // Drain events in time order until the interval ends.
+  while (true) {
+    const SimTime completion_time =
+        completions_.empty() ? std::numeric_limits<SimTime>::infinity()
+                             : completions_.top().time;
+    const SimTime delivery_time =
+        deliveries_.empty() ? std::numeric_limits<SimTime>::infinity()
+                            : deliveries_.top().time;
+    const SimTime next_time =
+        std::min({next_arrival, completion_time, delivery_time});
+    if (next_time >= t1) break;
+
+    if (next_arrival <= completion_time && next_arrival <= delivery_time) {
+      // External message enters every input PE (same stream fan-in as
+      // the fluid model).
+      ++result_.messages_injected;
+      ++result_.counters.arrivals;
+      for (const PeId in : df_->inputs()) {
+        enqueueAt(in, Message{next_arrival, next_arrival}, next_arrival,
+                  dep);
       }
-    }
-    if (delay <= 0.0) {
-      enqueueAt(succ, msg, now, dep);
+      next_arrival +=
+          cfg_.poisson_arrivals ? rng_.exponential(rate) : 1.0 / rate;
+    } else if (delivery_time <= completion_time) {
+      const Delivery arriving = deliveries_.top();
+      deliveries_.pop();
+      ++result_.counters.deliveries;
+      enqueueAt(arriving.pe, arriving.msg, arriving.time, dep);
     } else {
-      Message copy = msg;
-      deliveries_.push({now + delay, succ, copy});
+      const Completion done = completions_.top();
+      completions_.pop();
+      ++result_.counters.completions;
+      handleCompletion(done.time, done.pe, done.vm, done.core, done.msg,
+                       dep);
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Cached engine: ledger-generation-guarded indexes, zero-order-hold
+// windowed monitor lookups, one pooled event heap.
+// ---------------------------------------------------------------------------
+
+void EventSimulator::refreshLedgerViews() {
+  const CloudProvider& cloud = *cloud_;  // const: never bump the ledger.
+  const std::uint64_t gen = cloud.ledgerGeneration();
+  if (slots_valid_ && gen == slots_gen_) return;
+  for (auto& v : pe_slots_) v.clear();
+  for (auto& v : pe_vms_) v.clear();
+  for (auto& refs : slot_ref_) {
+    std::fill(refs.begin(), refs.end(), SlotRef{});
+  }
+  for (const VmInstance& vm : cloud.instances()) {
+    if (!vm.isActive()) continue;
+    const std::size_t vmi = vm.id().value();
+    if (vmi >= core_busy_.size()) core_busy_.resize(vmi + 1);
+    auto& busy = core_busy_[vmi];
+    if (busy.size() < static_cast<std::size_t>(vm.coreCount())) {
+      busy.resize(static_cast<std::size_t>(vm.coreCount()), false);
+    }
+    if (vmi >= slot_ref_.size()) slot_ref_.resize(vmi + 1);
+    auto& refs = slot_ref_[vmi];
+    if (refs.size() < static_cast<std::size_t>(vm.coreCount())) {
+      refs.resize(static_cast<std::size_t>(vm.coreCount()));
+    }
+    for (int c = 0; c < vm.coreCount(); ++c) {
+      const auto owner = vm.coreOwner(c);
+      if (!owner.has_value()) continue;
+      auto& slots = pe_slots_[owner->value()];
+      refs[static_cast<std::size_t>(c)] = {
+          *owner, static_cast<std::uint32_t>(slots.size())};
+      slots.push_back({vm.id(), c});
+      auto& vms = pe_vms_[owner->value()];
+      if (vms.empty() || vms.back() != vm.id()) vms.push_back(vm.id());
+    }
+  }
+  // Free-slot bitmaps, from the positional busy flags (ground truth).
+  for (std::size_t p = 0; p < pe_slots_.size(); ++p) {
+    const auto& slots = pe_slots_[p];
+    auto& words = pe_free_[p];
+    words.assign((slots.size() + 63) / 64, 0);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const CoreSlot& s = slots[i];
+      if (!core_busy_[s.vm.value()][static_cast<std::size_t>(s.core)]) {
+        words[i >> 6] |= std::uint64_t{1} << (i & 63);
+      }
+    }
+  }
+  slots_gen_ = gen;
+  slots_valid_ = true;
+  ++result_.counters.core_index_rebuilds;
+}
+
+void EventSimulator::dispatchIdleCoresCached(PeId pe, SimTime now,
+                                             const Deployment& dep) {
+  PeState& st = pe_state_[pe.value()];
+  if (st.queue.empty()) return;
+  refreshLedgerViews();
+  const auto& alt = df_->pe(pe).alternate(dep.activeAlternate(pe));
+  // Find-first-set over the free-slot bitmap claims the lowest slot
+  // index — the reference ledger scan's (vm asc, core asc) order —
+  // without walking the busy prefix.
+  const auto& slots = pe_slots_[pe.value()];
+  auto& words = pe_free_[pe.value()];
+  for (std::size_t w = 0; w < words.size();) {
+    if (words[w] == 0) {
+      ++w;
+      continue;
+    }
+    const auto b = static_cast<std::size_t>(std::countr_zero(words[w]));
+    words[w] &= words[w] - 1;  // claim the slot.
+    const CoreSlot& slot = slots[(w << 6) + b];
+    core_busy_[slot.vm.value()][static_cast<std::size_t>(slot.core)] = true;
+    const Message msg = st.queue.front();
+    st.queue.pop_front();
+    result_.pe_queue_wait[pe.value()].add(now - msg.enqueued);
+    ++result_.counters.dispatches;
+    const double speed = power_.corePower(slot.vm, now);
+    const double service =
+        speed > 0.0 ? alt.cost_core_sec / speed
+                    : std::numeric_limits<double>::infinity();
+    heap_.push(now + service, EventKind::Completion, pe, slot.vm, slot.core,
+               msg.created, msg.enqueued);
+    if (st.queue.empty()) break;
+  }
+}
+
+double EventSimulator::cachedRouteDelay(VmId from_vm, PeId succ,
+                                        SimTime now) {
+  auto& row = routes_[succ.value()];
+  if (from_vm.value() >= row.size()) row.resize(from_vm.value() + 1);
+  RouteEntry& e = row[from_vm.value()];
+  const std::uint64_t gen = cloud_->ledgerGeneration();
+  if (e.ledger_gen == gen && now < e.valid_until) return e.delay;
+
+  // Recompute with the reference's exact scan order and queries (the
+  // first query of a VM pair assigns its replay window, consuming the
+  // replayer RNG — order must match). Fold the zero-order-hold window of
+  // every coefficient consulted; a colocated or network-free route
+  // depends only on core placement, which the generation guard covers.
+  refreshLedgerViews();  // pe_vms_ may predate the current generation.
+  ++result_.counters.route_refreshes;
+  const auto inf = std::numeric_limits<SimTime>::infinity();
+  SimTime until = inf;
+  double delay = 0.0;
+  bool colocated = false;
+  double best_mbps = 0.0;
+  const auto& vms = pe_vms_[succ.value()];
+  if (from_vm.value() >= bw_pairs_.size()) {
+    bw_pairs_.resize(from_vm.value() + 1);
+  }
+  auto& pair_row = bw_pairs_[from_vm.value()];
+  for (const VmId vm : vms) {
+    if (vm == from_vm) {
+      colocated = true;
+      break;
+    }
+    // Per-pair memo: query the replayer only when the pair's own
+    // zero-order-hold window has lapsed. A pair's first-ever touch is
+    // always a miss, so replay-window assignment order (which consumes
+    // the replayer RNG) matches the reference scan exactly.
+    if (vm.value() >= pair_row.size()) pair_row.resize(vm.value() + 1);
+    PairSample& p = pair_row[vm.value()];
+    if (!(now < p.valid_until)) {
+      const CoeffSample s = mon_->observedBandwidthSample(from_vm, vm, now);
+      p.value = s.value;
+      p.valid_until = s.valid_until;
+    }
+    best_mbps = std::max(best_mbps, p.value);
+    until = std::min(until, p.valid_until);
+  }
+  if (!colocated && best_mbps > 0.0) {
+    for (const VmId vm : vms) {
+      if (pair_row[vm.value()].value == best_mbps) {
+        const CoeffSample l = mon_->observedLatencySample(from_vm, vm, now);
+        delay = l.value / 1000.0 +
+                cfg_.msg_size_bytes * 8.0 / (best_mbps * 1.0e6);
+        until = std::min(until, l.valid_until);
+        break;
+      }
+    }
+  }
+  if (colocated) until = inf;
+  e.delay = delay;
+  e.valid_until = until;
+  e.ledger_gen = gen;
+  return delay;
+}
+
+void EventSimulator::drainCached(SimTime t0, SimTime t1, double rate,
+                                 const Deployment& dep) {
+  // The pending arrival lives in the heap as a removable record; like the
+  // reference's local `next_arrival`, it is discarded at the interval end
+  // and re-drawn at the next interval start (rates change per interval).
+  pending_arrival_ = EventHeap::kInvalidSlot;
+  if (rate > 0.0) {
+    const SimTime t =
+        t0 + (cfg_.poisson_arrivals ? rng_.exponential(rate) : 1.0 / rate);
+    pending_arrival_ = heap_.push(t, EventKind::Arrival, PeId(0), VmId(0),
+                                  0, 0.0, 0.0);
+  }
+
+  while (!heap_.empty() && heap_.top().time < t1) {
+    const PooledEvent ev = heap_.popTop();
+    switch (ev.kind) {
+      case EventKind::Arrival: {
+        ++result_.messages_injected;
+        ++result_.counters.arrivals;
+        for (const PeId in : df_->inputs()) {
+          enqueueAt(in, Message{ev.time, ev.time}, ev.time, dep);
+        }
+        const SimTime t =
+            ev.time +
+            (cfg_.poisson_arrivals ? rng_.exponential(rate) : 1.0 / rate);
+        pending_arrival_ = heap_.push(t, EventKind::Arrival, PeId(0),
+                                      VmId(0), 0, 0.0, 0.0);
+        break;
+      }
+      case EventKind::Delivery: {
+        ++result_.counters.deliveries;
+        enqueueAt(ev.pe, Message{ev.msg_created, ev.msg_enqueued}, ev.time,
+                  dep);
+        break;
+      }
+      case EventKind::Completion: {
+        ++result_.counters.completions;
+        handleCompletion(ev.time, ev.pe, ev.vm, ev.core,
+                         Message{ev.msg_created, ev.msg_enqueued}, dep);
+        break;
+      }
+    }
+  }
+
+  if (pending_arrival_ != EventHeap::kInvalidSlot) {
+    heap_.remove(pending_arrival_);
+    pending_arrival_ = EventHeap::kInvalidSlot;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The shared interval loop.
+// ---------------------------------------------------------------------------
 
 EventSimResult EventSimulator::run(const RateProfile& profile,
                                    Deployment deployment,
@@ -123,9 +499,23 @@ EventSimResult EventSimulator::run(const RateProfile& profile,
   core_busy_.clear();
   completions_ = {};
   deliveries_ = {};
+  ref_seq_ = 0;
+  heap_.clear();
+  pending_arrival_ = EventHeap::kInvalidSlot;
+  pe_slots_.assign(n, {});
+  pe_vms_.assign(n, {});
+  pe_free_.assign(n, {});
+  slot_ref_.clear();
+  slots_valid_ = false;
+  slots_gen_ = 0;
+  routes_.assign(n, {});
+  bw_pairs_.clear();
+  power_.clear();
   result_ = {};
   result_.pe_queue_wait.assign(n, RunningStats{});
   rng_ = Rng(cfg_.seed);
+  reservoir_rng_ = Rng(cfg_.seed ^ 0x5ee5a11e5ull);
+  cached_ = cfg_.engine == EventSimConfig::Engine::Cached;
 
   const IntervalClock clock(cfg_.interval_s, cfg_.horizon_s);
   SimConfig fluid_cfg;
@@ -137,6 +527,8 @@ EventSimResult EventSimulator::run(const RateProfile& profile,
   // Messages pulled out of queues by a migration, due back at a deadline.
   std::vector<std::pair<SimTime, std::pair<PeId, std::deque<Message>>>>
       in_transit;
+
+  const auto wall_start = std::chrono::steady_clock::now();
 
   for (IntervalIndex i = 0; i < clock.intervalCount(); ++i) {
     const SimTime t0 = clock.startOf(i);
@@ -168,20 +560,25 @@ EventSimResult EventSimulator::run(const RateProfile& profile,
     }
 
     // Deliver any migrated messages whose transfer completed by t0.
-    for (auto it = in_transit.begin(); it != in_transit.end();) {
-      if (it->first <= t0) {
-        auto& [pe, msgs] = it->second;
+    // Stable swap-free compaction: landed entries are processed in
+    // insertion order and the survivors keep their relative order, like
+    // the old erase() loop but without its O(n^2) shifting.
+    std::size_t keep = 0;
+    for (std::size_t k = 0; k < in_transit.size(); ++k) {
+      if (in_transit[k].first <= t0) {
+        auto& [pe, msgs] = in_transit[k].second;
         auto& queue = pe_state_[pe.value()].queue;
         for (Message m : msgs) {
           m.enqueued = t0;
           queue.push_back(m);
         }
         dispatchIdleCores(pe, t0, deployment);
-        it = in_transit.erase(it);
       } else {
-        ++it;
+        if (keep != k) in_transit[keep] = std::move(in_transit[k]);
+        ++keep;
       }
     }
+    in_transit.resize(keep);
 
     for (auto& st : pe_state_) {
       st.arrivals_in_interval = 0;
@@ -189,75 +586,11 @@ EventSimResult EventSimulator::run(const RateProfile& profile,
       st.emitted_in_interval = 0;
     }
 
-    // Piecewise-constant arrival rate within the interval.
     const double rate = profile.rate(t0);
-    SimTime next_arrival = std::numeric_limits<SimTime>::infinity();
-    if (rate > 0.0) {
-      next_arrival =
-          t0 + (cfg_.poisson_arrivals ? rng_.exponential(rate) : 1.0 / rate);
-    }
-
-    // Drain events in time order until the interval ends.
-    while (true) {
-      const SimTime completion_time =
-          completions_.empty() ? std::numeric_limits<SimTime>::infinity()
-                               : completions_.top().time;
-      const SimTime delivery_time =
-          deliveries_.empty() ? std::numeric_limits<SimTime>::infinity()
-                              : deliveries_.top().time;
-      const SimTime next_time =
-          std::min({next_arrival, completion_time, delivery_time});
-      if (next_time >= t1) break;
-
-      if (next_arrival <= completion_time &&
-          next_arrival <= delivery_time) {
-        // External message enters every input PE (same stream fan-in as
-        // the fluid model).
-        ++result_.messages_injected;
-        for (const PeId in : df_->inputs()) {
-          enqueueAt(in, Message{next_arrival, next_arrival}, next_arrival,
-                    deployment);
-        }
-        next_arrival += cfg_.poisson_arrivals ? rng_.exponential(rate)
-                                              : 1.0 / rate;
-      } else if (delivery_time <= completion_time) {
-        const Delivery arriving = deliveries_.top();
-        deliveries_.pop();
-        enqueueAt(arriving.pe, arriving.msg, arriving.time, deployment);
-      } else {
-        const Completion done = completions_.top();
-        completions_.pop();
-        // Free the physical core (ownership may have changed during
-        // adaptation; the busy flag is positional, so this stays correct).
-        if (done.vm.value() < core_busy_.size()) {
-          auto& busy = core_busy_[done.vm.value()];
-          if (static_cast<std::size_t>(done.core) < busy.size()) {
-            busy[static_cast<std::size_t>(done.core)] = false;
-          }
-        }
-        PeState& st = pe_state_[done.pe.value()];
-        ++st.processed_in_interval;
-
-        const auto& alt =
-            df_->pe(done.pe).alternate(deployment.activeAlternate(done.pe));
-        if (df_->isOutput(done.pe)) {
-          const double latency = done.time - done.msg.created;
-          result_.latency.add(latency);
-          ++result_.messages_delivered;
-          if (result_.latency_samples.size() < cfg_.max_latency_samples) {
-            result_.latency_samples.push_back(latency);
-          }
-        }
-        // Selectivity as credit so fractional ratios average out exactly.
-        st.selectivity_credit += alt.selectivity;
-        while (st.selectivity_credit >= 1.0 - 1e-12) {
-          st.selectivity_credit -= 1.0;
-          ++st.emitted_in_interval;
-          deliverDownstream(done.pe, done.vm, done.msg, done.time,
-                            deployment);
-        }
-        dispatchIdleCores(done.pe, done.time, deployment);
-      }
+    if (cached_) {
+      drainCached(t0, t1, rate, deployment);
+    } else {
+      drainReference(t0, t1, rate, deployment);
     }
 
     // Interval metrics, same shape as the fluid simulator's.
@@ -266,8 +599,7 @@ EventSimResult EventSimulator::run(const RateProfile& profile,
     m.start = t0;
     m.input_rate = rate;
     m.pe_stats.resize(n);
-    const auto expected =
-        expectedOutputRates(*df_, deployment, rate);
+    const auto expected = expectedOutputRates(*df_, deployment, rate);
     double omega_acc = 0.0;
     for (std::size_t p = 0; p < n; ++p) {
       const PeId pe(static_cast<PeId::value_type>(p));
@@ -314,6 +646,11 @@ EventSimResult EventSimulator::run(const RateProfile& profile,
     last = m;
     result_.intervals.add(std::move(m));
   }
+
+  result_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return std::move(result_);
 }
 

@@ -1,0 +1,19 @@
+#include "dds/monitor/lookup_cache.hpp"
+
+namespace dds {
+
+double CorePowerCache::corePower(VmId vm, SimTime t) {
+  const auto idx = static_cast<std::size_t>(vm.value());
+  if (idx >= entries_.size()) entries_.resize(idx + 1);
+  Entry& e = entries_[idx];
+  if (!(t < e.valid_until)) {
+    const CoeffSample s = monitor_->observedCorePowerSample(vm, t);
+    e.value = s.value;
+    e.valid_until = s.valid_until;
+  }
+  return e.value;
+}
+
+void CorePowerCache::clear() { entries_.clear(); }
+
+}  // namespace dds

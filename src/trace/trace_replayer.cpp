@@ -73,4 +73,35 @@ double TraceReplayer::bandwidthCoeff(VmId a, VmId b, SimTime t) {
                                                           t);
 }
 
+namespace {
+
+CoeffSample sampleOf(const PerfTrace& trace,
+                     const SimTime offset, const SimTime t) {
+  return {trace.atOffset(offset, t), trace.validUntilAtOffset(offset, t)};
+}
+
+}  // namespace
+
+CoeffSample TraceReplayer::cpuCoeffSample(VmId vm, SimTime t) {
+  auto [it, inserted] = cpu_assignments_.try_emplace(vm);
+  if (inserted) it->second = assign(cpu_pool_);
+  return sampleOf(cpu_pool_[it->second.trace_index], it->second.offset, t);
+}
+
+CoeffSample TraceReplayer::latencyCoeffSample(VmId a, VmId b, SimTime t) {
+  DDS_REQUIRE(a != b, "latency between a VM and itself is zero by model");
+  auto [it, inserted] = latency_assignments_.try_emplace(pairKey(a, b));
+  if (inserted) it->second = assign(latency_pool_);
+  return sampleOf(latency_pool_[it->second.trace_index], it->second.offset,
+                  t);
+}
+
+CoeffSample TraceReplayer::bandwidthCoeffSample(VmId a, VmId b, SimTime t) {
+  DDS_REQUIRE(a != b, "bandwidth between a VM and itself is infinite");
+  auto [it, inserted] = bandwidth_assignments_.try_emplace(pairKey(a, b));
+  if (inserted) it->second = assign(bandwidth_pool_);
+  return sampleOf(bandwidth_pool_[it->second.trace_index],
+                  it->second.offset, t);
+}
+
 }  // namespace dds

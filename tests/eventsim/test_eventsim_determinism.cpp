@@ -1,0 +1,238 @@
+// Bit-identity, determinism, and golden-trace coverage for the event
+// simulator's cached engine, plus unit tests for the indexed event heap
+// and the latency-sample reservoir. The cached engine is a memoization
+// of the reference engine, not an approximation: every latency sample,
+// counter, interval metric — and the trace bytes of an engine run —
+// must match byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "dds/core/engine.hpp"
+#include "dds/dataflow/standard_graphs.hpp"
+#include "dds/eventsim/event_heap.hpp"
+#include "dds/eventsim/event_simulator.hpp"
+#include "dds/obs/jsonl_sink.hpp"
+#include "dds/sched/heuristic_scheduler.hpp"
+
+namespace dds {
+namespace {
+
+// --- EventHeap -------------------------------------------------------------
+
+TEST(EventHeap, PopsInTimeOrder) {
+  EventHeap h;
+  h.push(3.0, EventKind::Arrival, PeId(0), VmId(0), 0, 0.0, 0.0);
+  h.push(1.0, EventKind::Arrival, PeId(1), VmId(0), 0, 0.0, 0.0);
+  h.push(2.0, EventKind::Arrival, PeId(2), VmId(0), 0, 0.0, 0.0);
+  EXPECT_EQ(h.popTop().pe, PeId(1));
+  EXPECT_EQ(h.popTop().pe, PeId(2));
+  EXPECT_EQ(h.popTop().pe, PeId(0));
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(EventHeap, EqualTimesPopKindThenFifo) {
+  EventHeap h;
+  // Same timestamp: kind priority (Arrival < Delivery < Completion),
+  // then insertion order within a kind.
+  h.push(5.0, EventKind::Completion, PeId(10), VmId(0), 0, 0.0, 0.0);
+  h.push(5.0, EventKind::Delivery, PeId(11), VmId(0), 0, 0.0, 0.0);
+  h.push(5.0, EventKind::Arrival, PeId(12), VmId(0), 0, 0.0, 0.0);
+  h.push(5.0, EventKind::Delivery, PeId(13), VmId(0), 0, 0.0, 0.0);
+  EXPECT_EQ(h.popTop().pe, PeId(12));
+  EXPECT_EQ(h.popTop().pe, PeId(11));
+  EXPECT_EQ(h.popTop().pe, PeId(13));
+  EXPECT_EQ(h.popTop().pe, PeId(10));
+}
+
+TEST(EventHeap, RemoveDiscardsArbitrarySlot) {
+  EventHeap h;
+  (void)h.push(1.0, EventKind::Arrival, PeId(1), VmId(0), 0, 0.0, 0.0);
+  const EventHeap::Slot middle =
+      h.push(2.0, EventKind::Arrival, PeId(2), VmId(0), 0, 0.0, 0.0);
+  (void)h.push(3.0, EventKind::Arrival, PeId(3), VmId(0), 0, 0.0, 0.0);
+  h.remove(middle);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.popTop().pe, PeId(1));
+  EXPECT_EQ(h.popTop().pe, PeId(3));
+}
+
+TEST(EventHeap, RecyclesPooledRecords) {
+  EventHeap h;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      h.push(static_cast<double>(100 - i), EventKind::Completion, PeId(0),
+             VmId(0), i, 0.0, 0.0);
+    }
+    double prev = 0.0;
+    while (!h.empty()) {
+      const PooledEvent ev = h.popTop();
+      EXPECT_GE(ev.time, prev);
+      prev = ev.time;
+    }
+  }
+  // Three rounds of 100 events reuse the same 100 pooled records.
+  EXPECT_LE(h.poolCapacity(), 100u);
+}
+
+// --- cached engine == reference engine -------------------------------------
+
+EventSimResult runEngine(const Dataflow& df, double rate, bool adaptive,
+                         EventSimConfig::Engine engine) {
+  CloudProvider cloud(awsCatalog2013());
+  TraceReplayer replayer = TraceReplayer::futureGridLike(2013);
+  MonitoringService mon(cloud, replayer);
+  SchedulerEnv env;
+  env.dataflow = &df;
+  env.cloud = &cloud;
+  env.monitor = &mon;
+  HeuristicOptions opts;
+  opts.adaptive = adaptive;
+  HeuristicScheduler sched(env, Strategy::Global, opts);
+
+  EventSimConfig cfg;
+  cfg.horizon_s = 300.0;
+  cfg.seed = 7;
+  cfg.engine = engine;
+  EventSimulator sim(df, cloud, mon, cfg);
+  PeriodicWaveRate profile(rate, 0.4 * rate, 300.0, 0.0);
+  Deployment dep = sched.deploy(profile.rate(0.0));
+  return sim.run(profile, std::move(dep), adaptive ? &sched : nullptr);
+}
+
+TEST(EventSimIdentity, CachedMatchesReferenceStatic) {
+  const Dataflow df = makePaperDataflow();
+  const EventSimResult ref =
+      runEngine(df, 20.0, false, EventSimConfig::Engine::Reference);
+  const EventSimResult cached =
+      runEngine(df, 20.0, false, EventSimConfig::Engine::Cached);
+  EXPECT_EQ(fingerprint(ref), fingerprint(cached));
+  EXPECT_GT(cached.counters.drained(), 0u);
+}
+
+TEST(EventSimIdentity, CachedMatchesReferenceAdaptive) {
+  // Adaptation reallocates cores mid-run: the ledger generation moves and
+  // every cache layer must invalidate at exactly the right events.
+  const Dataflow df = makePaperDataflow();
+  const EventSimResult ref =
+      runEngine(df, 25.0, true, EventSimConfig::Engine::Reference);
+  const EventSimResult cached =
+      runEngine(df, 25.0, true, EventSimConfig::Engine::Cached);
+  EXPECT_EQ(fingerprint(ref), fingerprint(cached));
+  EXPECT_GT(cached.counters.core_index_rebuilds, 1u);
+}
+
+TEST(EventSimIdentity, SameSeedSameEngineIsDeterministic) {
+  const Dataflow df = makeChainDataflow(4, 2);
+  const EventSimResult a =
+      runEngine(df, 15.0, true, EventSimConfig::Engine::Cached);
+  const EventSimResult b =
+      runEngine(df, 15.0, true, EventSimConfig::Engine::Cached);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+// --- golden engine trace ---------------------------------------------------
+
+std::string readFixture(const std::string& name) {
+  const std::string path = std::string(DDS_EVENTSIM_TESTDATA) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string runTracedEventBackend(bool reference_engine) {
+  ExperimentConfig cfg;
+  cfg.horizon_s = 10.0 * kSecondsPerMinute;
+  cfg.workload.mean_rate = 10.0;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
+  cfg.seed = 77;
+  cfg.backend = SimBackend::Event;
+  cfg.event_reference_engine = reference_engine;
+  const Dataflow df = makePaperDataflow();
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(out);
+  (void)SimulationEngine(df, cfg).run(SchedulerKind::GlobalAdaptive, &sink);
+  return out.str();
+}
+
+TEST(EventSimGolden, CachedEngineTraceByteIdentical) {
+  EXPECT_EQ(runTracedEventBackend(false),
+            readFixture("golden_eventsim_trace.jsonl"));
+}
+
+TEST(EventSimGolden, ReferenceEngineTraceByteIdentical) {
+  // Same fixture on purpose: the two engines must emit the same bytes.
+  EXPECT_EQ(runTracedEventBackend(true),
+            readFixture("golden_eventsim_trace.jsonl"));
+}
+
+// --- latency-sample reservoir ----------------------------------------------
+
+TEST(EventSimReservoir, CappedRunKeepsPercentilesAndArrivals) {
+  const Dataflow df = makePaperDataflow();
+  auto run = [&](std::size_t cap) {
+    CloudProvider cloud(awsCatalog2013());
+    TraceReplayer replayer = TraceReplayer::futureGridLike(2013);
+    MonitoringService mon(cloud, replayer);
+    SchedulerEnv env;
+    env.dataflow = &df;
+    env.cloud = &cloud;
+    env.monitor = &mon;
+    HeuristicScheduler sched(env, Strategy::Global, HeuristicOptions{});
+    EventSimConfig cfg;
+    cfg.horizon_s = 300.0;
+    cfg.seed = 11;
+    cfg.max_latency_samples = cap;
+    EventSimulator sim(df, cloud, mon, cfg);
+    ConstantRate profile(20.0);
+    Deployment dep = sched.deploy(20.0);
+    return sim.run(profile, std::move(dep), nullptr);
+  };
+  const EventSimResult uncapped = run(1u << 30);
+  const EventSimResult capped = run(500);
+
+  ASSERT_GT(uncapped.latency_samples.size(), 2000u);
+  ASSERT_EQ(capped.latency_samples.size(), 500u);
+  // The reservoir draws from a dedicated RNG stream: arrivals (and the
+  // full-population latency moments) must be unaffected by the cap.
+  EXPECT_EQ(capped.messages_injected, uncapped.messages_injected);
+  EXPECT_EQ(capped.latency.count(), uncapped.latency.count());
+  EXPECT_DOUBLE_EQ(capped.latency.mean(), uncapped.latency.mean());
+  // A uniform 500-sample reservoir estimates the population percentiles;
+  // tolerance scales with the spread of the distribution.
+  const double spread =
+      uncapped.latencyPercentile(95) - uncapped.latencyPercentile(5);
+  for (const double p : {50.0, 90.0, 95.0}) {
+    EXPECT_NEAR(capped.latencyPercentile(p), uncapped.latencyPercentile(p),
+                0.25 * spread)
+        << "p" << p;
+  }
+}
+
+// --- worstQueueingPe -------------------------------------------------------
+
+TEST(EventSimWorstQueue, AllIdleReturnsPeZero) {
+  EventSimResult r;
+  r.pe_queue_wait.assign(4, RunningStats{});
+  EXPECT_EQ(r.worstQueueingPe(), PeId(0));
+}
+
+TEST(EventSimWorstQueue, SkipsIdlePesWithEmptyStats) {
+  // PE 2 is the only one that ever queued; an empty RunningStats mean()
+  // must not decide the winner.
+  EventSimResult r;
+  r.pe_queue_wait.assign(4, RunningStats{});
+  r.pe_queue_wait[2].add(0.25);
+  EXPECT_EQ(r.worstQueueingPe(), PeId(2));
+
+  // A busier PE with a larger mean wait takes over.
+  r.pe_queue_wait[1].add(3.0);
+  EXPECT_EQ(r.worstQueueingPe(), PeId(1));
+}
+
+}  // namespace
+}  // namespace dds
