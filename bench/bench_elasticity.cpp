@@ -1,0 +1,148 @@
+// Elasticity-response sweep: provisioning delays x spot market, every
+// registered policy, under a latency SLO.
+//
+//   bench_elasticity [output.json]   (default: BENCH_elasticity.json)
+//
+// Rapid elasticity is never free: a fresh VM takes minutes to come
+// online, the cheap spot tier can be reclaimed by the provider, and
+// moving a PE's buffered state pauses its service. This sweep crosses
+// mean provisioning delay {0, 60, 300} s with the spot mix {off, half,
+// all} at a 70% discount / 2 h reclaim MTBF / 120 s notice, over every
+// registered scheduler, and reports the recovery posture per run:
+// mean/95p time-to-recover against Omega-hat, total SLO-violation
+// seconds, preemptions suffered and notice-driven drains executed. The
+// JSON lands in BENCH_elasticity.json as the committed baseline.
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "dds/common/json.hpp"
+
+namespace {
+
+using namespace dds;
+
+ExperimentConfig elasticityConfig(double delay_s, double spot_fraction) {
+  ExperimentConfig cfg;
+  cfg.horizon_s = 1.0 * kSecondsPerHour;
+  cfg.workload.mean_rate = 5.0;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.seed = 2013;
+  cfg.max_queue_delay_s = 30.0;  // the latency SLO the intro motivates
+  cfg.elasticity.provisioning_delay_s = delay_s;
+  cfg.elasticity.provisioning_delay_per_core_s = delay_s > 0.0 ? 15.0 : 0.0;
+  if (spot_fraction > 0.0) {
+    cfg.elasticity.spot_discount = 0.7;
+    cfg.elasticity.spot_fraction = spot_fraction;
+    cfg.elasticity.spot_preemption_mtbf_h = 2.0;
+    cfg.elasticity.spot_notice_s = 120.0;
+  }
+  cfg.elasticity.pe_state_mb = 50.0;
+  cfg.elasticity.migration_bandwidth_mbps = 100.0;
+  cfg.resilience.graceful_degradation = true;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dds;
+  using namespace dds::bench;
+
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_elasticity.json");
+
+  printHeader("Elasticity",
+              "provisioning delays x spot market, every policy, 30 s "
+              "latency SLO (5 msg/s wave, 1 h)");
+
+  const Dataflow df = makePaperDataflow();
+  const std::vector<double> delays = {0.0, 60.0, 300.0};
+  const std::vector<double> spot_fractions = {0.0, 0.5, 1.0};
+  const std::vector<SchedulerKind>& kinds = allSchedulerKinds();
+
+  std::vector<ExperimentConfig> rows;
+  std::vector<std::pair<double, double>> knobs;  // (delay, spot fraction)
+  for (const double delay : delays) {
+    for (const double spot : spot_fractions) {
+      rows.push_back(elasticityConfig(delay, spot));
+      knobs.emplace_back(delay, spot);
+    }
+  }
+  const auto outcomes = runGrid(df, rows, kinds);
+
+  TextTable table({"delay(s)", "spot", "policy", "omega", "met", "preempt",
+                   "drains", "mttr(s)", "p95rec(s)", "slo-viol(s)",
+                   "cost$"});
+  JsonWriter w;
+  w.beginObject();
+  w.key("name").value("elasticity-response-sweep");
+  w.key("horizon_s").value(rows.front().horizon_s);
+  w.key("mean_rate").value(rows.front().workload.mean_rate);
+  w.key("latency_slo_s").value(rows.front().max_queue_delay_s);
+  w.key("spot_discount").value(0.7);
+  w.key("spot_preemption_mtbf_h").value(2.0);
+  w.key("spot_notice_s").value(120.0);
+  w.key("pe_state_mb").value(rows.front().elasticity.pe_state_mb);
+  w.key("rows").beginArray();
+  for (std::size_t i = 0; i < knobs.size(); ++i) {
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const auto& o = outcomes[i * kinds.size() + k];
+      const auto& r = o.result;
+      const auto [delay, spot] = knobs[i];
+      if (!o.ok) {
+        // The exhaustive static planner legitimately exceeds its
+        // combination cap on some grid cells; record the failure instead
+        // of a row of zeros.
+        table.addRow({TextTable::num(delay, 0), TextTable::num(spot, 1),
+                      o.label, "(intractable)", "-", "-", "-", "-", "-", "-",
+                      "-"});
+        w.beginObject();
+        w.key("provisioning_delay_s").value(delay);
+        w.key("spot_fraction").value(spot);
+        w.key("scheduler").value(o.label);
+        w.key("error").value(o.error);
+        w.endObject();
+        continue;
+      }
+      table.addRow({TextTable::num(delay, 0), TextTable::num(spot, 1),
+                    r.scheduler_name, TextTable::num(r.average_omega),
+                    constraintMark(r), std::to_string(r.preemptions),
+                    std::to_string(r.resilience.preemption_drains),
+                    TextTable::num(r.recovery.mttr_s, 0),
+                    TextTable::num(r.recovery.p95_episode_s, 0),
+                    TextTable::num(r.recovery.slo_violation_s, 0),
+                    TextTable::num(r.total_cost, 2)});
+      w.beginObject();
+      w.key("provisioning_delay_s").value(delay);
+      w.key("spot_fraction").value(spot);
+      w.key("scheduler").value(r.scheduler_name);
+      w.key("average_omega").value(r.average_omega);
+      w.key("constraint_met").value(r.constraint_met);
+      w.key("preemptions").value(r.preemptions);
+      w.key("preemption_drains").value(r.resilience.preemption_drains);
+      w.key("time_to_recover_mean_s").value(r.recovery.mttr_s);
+      w.key("time_to_recover_p95_s").value(r.recovery.p95_episode_s);
+      w.key("slo_violation_s").value(r.recovery.slo_violation_s);
+      w.key("availability").value(r.recovery.availability);
+      w.key("messages_lost").value(r.messages_lost);
+      w.key("total_cost").value(r.total_cost);
+      w.endObject();
+    }
+  }
+  w.endArray();
+  w.endObject();
+  std::cout << table.render() << '\n';
+
+  std::ofstream out(out_path);
+  DDS_REQUIRE(out.good(), "cannot open bench output file");
+  out << w.str();
+  std::cout << "wrote " << out_path << '\n';
+
+  std::cout << "Reading: provisioning delays alone stretch recovery (fresh "
+               "capacity is\nin the ledger but idle); adding spot cuts the "
+               "bill but injects\npreemptions, which the drain-on-notice "
+               "policies convert from message\nloss into short migration "
+               "pauses backed by on-demand replacements.\n";
+  return 0;
+}

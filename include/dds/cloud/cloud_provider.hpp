@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "dds/cloud/fault_model.hpp"
@@ -33,6 +34,12 @@ class CloudProvider {
     acq_faults_ = faults;
   }
 
+  /// Install the spot-market preemption schedule; nullptr (the default)
+  /// means spot instances are never reclaimed.
+  void setPreemptionModel(const PreemptionFaultModel* model) {
+    preemption_model_ = model;
+  }
+
   /// Attach the run's tracer; VM lifecycle events (acquire, release,
   /// rejected acquisition) are emitted through it.
   void setTracer(obs::Tracer tracer) { tracer_ = tracer; }
@@ -53,6 +60,39 @@ class CloudProvider {
   /// Stop a VM at time `t`. All of its cores must have been released first
   /// (the scheduler migrates PEs away before shutdown).
   void release(VmId id, SimTime t);
+
+  /// Stop a VM at time `t` with an explicit termination reason. Crash and
+  /// preemption terminations do not require the cores to be freed first —
+  /// the instance dies under its tenants. Preempted VMs follow the spot
+  /// convention: the provider forgives the partial final hour.
+  void terminate(VmId id, SimTime t, TerminationReason reason);
+
+  /// Provider-initiated reclamation of a spot VM (terminate + Preempted).
+  void preempt(VmId id, SimTime t) {
+    terminate(id, t, TerminationReason::Preempted);
+  }
+
+  /// When the installed preemption model reclaims `vm`; infinity when the
+  /// VM is not preemptible or no model is installed. Pure in (seed, vm),
+  /// so schedulers may query it freely — this models the provider's
+  /// warning-notice API, not an oracle leak.
+  [[nodiscard]] SimTime preemptionTimeOf(VmId id) const;
+
+  /// Warning-notice lead time of the installed preemption model (0
+  /// without one).
+  [[nodiscard]] SimTime noticeWindow() const {
+    return preemption_model_ != nullptr ? preemption_model_->noticeWindow()
+                                        : 0.0;
+  }
+
+  /// Whether `vm`'s preemption notice has been served by time `t`: the
+  /// provider has announced that the instance will be reclaimed within
+  /// the notice window.
+  [[nodiscard]] bool preemptionImminent(VmId id, SimTime t) const {
+    const SimTime at = preemptionTimeOf(id);
+    return at != std::numeric_limits<SimTime>::infinity() &&
+           t >= at - noticeWindow();
+  }
 
   [[nodiscard]] const VmInstance& instance(VmId id) const {
     DDS_REQUIRE(id.value() < instances_.size(), "unknown VM id");
@@ -119,6 +159,7 @@ class CloudProvider {
   std::vector<VmInstance> instances_;
   obs::Tracer tracer_;
   const AcquisitionFaultModel* acq_faults_ = nullptr;
+  const PreemptionFaultModel* preemption_model_ = nullptr;
   std::uint64_t acquisition_attempts_ = 0;
   std::uint64_t ledger_generation_ = 0;
   int rejections_ = 0;

@@ -20,6 +20,8 @@
 
 namespace dds {
 
+struct ResourceClass;
+
 /// Outcome of an elastic acquisition request. Rejections model IaaS
 /// capacity errors / API failures; `ready_time` models startup delay:
 /// the VM is billed from `t` but its cores deliver no observed power
@@ -45,8 +47,29 @@ class AcquisitionFaultModel {
   [[nodiscard]] virtual bool acquisitionRejected(
       std::uint64_t attempt) const = 0;
 
-  /// Startup lag of a freshly accepted VM, seconds (0 = instant).
-  [[nodiscard]] virtual SimTime provisioningDelay(VmId vm) const = 0;
+  /// Startup lag of a freshly accepted VM, seconds (0 = instant). The
+  /// resource class is passed so providers can model class-dependent
+  /// startup: bigger instances take longer to materialize.
+  [[nodiscard]] virtual SimTime provisioningDelay(
+      VmId vm, const ResourceClass& cls) const = 0;
+};
+
+/// Schedules provider-initiated terminations of spot/preemptible VMs.
+/// Implementations must be deterministic: the preemption time is a pure
+/// function of (seed, vm id, vm start time), independent of query order.
+class PreemptionFaultModel {
+ public:
+  virtual ~PreemptionFaultModel() = default;
+
+  /// Absolute time at which the provider reclaims `vm` (started at
+  /// `vm_start`); infinity when it survives the run.
+  [[nodiscard]] virtual SimTime preemptionTime(VmId vm,
+                                               SimTime vm_start) const = 0;
+
+  /// Warning-notice lead time, seconds: the provider announces an
+  /// impending preemption this long before it happens (AWS-style
+  /// two-minute warning).
+  [[nodiscard]] virtual SimTime noticeWindow() const = 0;
 };
 
 /// Perturbs the performance the monitoring framework observes.

@@ -7,6 +7,7 @@
 // generation (m1.*) on-demand classes the paper evaluates with.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,9 @@ struct ResourceClass {
   double core_speed = 1.0;        ///< pi: rated speed per core, standard = 1.
   double bandwidth_mbps = 100.0;  ///< beta: rated NIC bandwidth, Mbps.
   double price_per_hour = 0.0;    ///< xi: on-demand $ per (started) hour.
+  /// Spot/preemptible market tier: discounted xi, but the provider may
+  /// terminate the instance at any time (after a warning notice).
+  bool preemptible = false;
 
   void validate() const {
     DDS_REQUIRE(!name.empty(), "resource class needs a name");
@@ -63,9 +67,28 @@ class ResourceCatalog {
   /// Find by name; throws PreconditionError when absent.
   [[nodiscard]] ResourceClassId byName(const std::string& name) const;
 
+  /// Whether any class is a spot/preemptible tier.
+  [[nodiscard]] bool hasPreemptible() const;
+
+  /// The on-demand (non-preemptible) class with the same hardware specs
+  /// as `id`; `id` itself when it is already on-demand. Throws
+  /// PreconditionError when a spot class has no on-demand twin.
+  [[nodiscard]] ResourceClassId onDemandTwin(ResourceClassId id) const;
+
+  /// The spot twin (same cores/speed/bandwidth, preemptible) of an
+  /// on-demand class, when the catalog offers one.
+  [[nodiscard]] std::optional<ResourceClassId> spotTwin(
+      ResourceClassId id) const;
+
  private:
   std::vector<ResourceClass> classes_;
 };
+
+/// Extend a catalog with a spot/preemptible tier: every on-demand class
+/// gains a "<name>-spot" twin with identical hardware at
+/// `price * (1 - discount)`. `discount` must be in (0, 1).
+[[nodiscard]] ResourceCatalog withSpotTier(const ResourceCatalog& base,
+                                           double discount);
 
 /// The 2013-era AWS first-generation on-demand catalog used in §8.1:
 /// m1.small (1 core @ 1 ECU, $0.06/h), m1.medium (1 @ 2, $0.12/h),

@@ -17,6 +17,12 @@
 
 namespace dds {
 
+/// Why a VM stopped. Billing depends on who initiated the termination:
+/// tenant-initiated shutdown (Released) and tenant-side crashes bill every
+/// started hour, while provider-initiated spot preemption (Preempted)
+/// forgives the partial final hour per the 2013 spot-market convention.
+enum class TerminationReason { None, Released, Crashed, Preempted };
+
 /// One acquired VM: identity, class, lifetime and core ownership.
 class VmInstance {
  public:
@@ -46,6 +52,9 @@ class VmInstance {
   [[nodiscard]] bool isActive() const {
     return t_off_ == std::numeric_limits<SimTime>::infinity();
   }
+
+  /// How the VM stopped; None while it is still active.
+  [[nodiscard]] TerminationReason terminationReason() const { return reason_; }
 
   [[nodiscard]] int coreCount() const { return spec_.cores; }
 
@@ -111,10 +120,13 @@ class VmInstance {
  private:
   friend class CloudProvider;
 
-  void shutdown(SimTime t) {
+  void shutdown(SimTime t, TerminationReason reason) {
     DDS_REQUIRE(isActive(), "VM already stopped");
     DDS_REQUIRE(t >= t_start_, "shutdown before start");
+    DDS_REQUIRE(reason != TerminationReason::None,
+                "shutdown needs a termination reason");
     t_off_ = t;
+    reason_ = reason;
   }
 
   void setReadyTime(SimTime t) {
@@ -128,6 +140,7 @@ class VmInstance {
   SimTime t_start_;
   SimTime t_ready_ = 0.0;  ///< set to t_start_ by the constructor.
   SimTime t_off_ = std::numeric_limits<SimTime>::infinity();
+  TerminationReason reason_ = TerminationReason::None;
   std::vector<std::optional<PeId>> cores_;
 };
 

@@ -66,6 +66,42 @@ struct FaultConfig {
   void appendErrors(std::vector<std::string>& errors) const;
 };
 
+/// Rapid-elasticity realism knobs (all default off; delays and spot are
+/// fluid-only like the fault families, migration downtime works on both
+/// backends). Disabled, runs are bit-identical to the ideal cloud.
+struct ElasticityConfig {
+  /// Mean exponential provisioning lag between acquire and the VM coming
+  /// online, seconds; the per-core term adds class dependence
+  /// (mean = base + per_core * (cores - 1)). 0/0 = instant delivery.
+  double provisioning_delay_s = 0.0;
+  double provisioning_delay_per_core_s = 0.0;
+  /// Spot market: discount in (0, 1) on the on-demand price (0 disables
+  /// the spot tier entirely), mean time between provider reclamations
+  /// per spot VM in hours, and the warning-notice lead time in seconds.
+  double spot_discount = 0.0;
+  double spot_preemption_mtbf_h = 0.0;
+  double spot_notice_s = 120.0;
+  /// Fraction of the heuristic allocator's acquisitions steered to the
+  /// spot tier when one exists (seed-deterministic per acquisition).
+  double spot_fraction = 1.0;
+  /// Per-PE buffered state, MB; on migration (scale-in, quarantine,
+  /// preemption drain) the moved share pauses service while it transfers
+  /// at `migration_bandwidth_mbps`. 0 = instant migration.
+  double pe_state_mb = 0.0;
+  double migration_bandwidth_mbps = 100.0;
+
+  [[nodiscard]] bool delaysEnabled() const {
+    return provisioning_delay_s > 0.0 || provisioning_delay_per_core_s > 0.0;
+  }
+  [[nodiscard]] bool spotEnabled() const { return spot_discount > 0.0; }
+  [[nodiscard]] bool migrationEnabled() const { return pe_state_mb > 0.0; }
+  [[nodiscard]] bool anyEnabled() const {
+    return delaysEnabled() || spotEnabled() || migrationEnabled();
+  }
+
+  void appendErrors(std::vector<std::string>& errors) const;
+};
+
 /// Scheduler-side responses to cloud turbulence (see
 /// dds/sched/resilience.hpp). Quarantine threshold 0 disables the
 /// straggler guard.
@@ -117,6 +153,7 @@ struct ExperimentConfig {
 
   WorkloadConfig workload;
   FaultConfig faults;
+  ElasticityConfig elasticity;
   ResilienceConfig resilience;
 
   /// Every validation error in the config, one message per field; empty
@@ -142,6 +179,7 @@ struct ExperimentResult {
   int peak_vms = 0;
   int peak_cores = 0;
   int vm_failures = 0;          ///< crashes injected during the run.
+  int preemptions = 0;          ///< spot VMs reclaimed by the provider.
   double messages_lost = 0.0;   ///< queued messages lost to crashes.
   /// Fault-recovery metrics against Omega-hat (meaningful when any fault
   /// family is enabled; availability is 1.0 on a clean run).

@@ -64,6 +64,12 @@ struct EventSimConfig {
   /// as uncapped ones without perturbing the arrival process.
   std::size_t max_latency_samples = 200'000;
   Engine engine = Engine::Cached;
+  /// Per-PE buffered state, MB; a migration pauses the PE's dispatch for
+  /// the time the moved share takes to transfer at
+  /// `migration_bandwidth_mbps` (in-flight service still completes).
+  /// 0 = instant migration, bit-identical to the pre-elasticity model.
+  double pe_state_mb = 0.0;
+  double migration_bandwidth_mbps = 100.0;
 
   void validate() const;
 };
@@ -235,6 +241,9 @@ class EventSimulator {
   bool cached_ = true;
 
   std::vector<PeState> pe_state_;
+  /// Migration downtime: no new dispatch at a PE before this time. Lives
+  /// in the shared model logic so both engines stay bit-identical.
+  std::vector<SimTime> pe_pause_until_;
   /// Busy flag per (vm, core) — indexed by VM id then core index.
   std::vector<std::vector<bool>> core_busy_;
 

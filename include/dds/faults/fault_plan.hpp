@@ -50,9 +50,19 @@ struct FaultPlanConfig {
 
   /// Acquisition family: probability each acquisition attempt is
   /// rejected, and the mean exponential startup lag of accepted VMs
-  /// (0 = instant).
+  /// (0 = instant). The per-core term makes the lag class-dependent:
+  /// mean = provisioning_delay_s + per_core * (cores - 1), so larger
+  /// instances take longer to materialize.
   double acquisition_failure_prob = 0.0;
   double provisioning_delay_s = 0.0;
+  double provisioning_delay_per_core_s = 0.0;
+
+  /// Spot-preemption family: mean time between provider reclamations per
+  /// preemptible VM, hours (<= 0 off), announced `spot_notice_s` seconds
+  /// in advance (the AWS-style warning notice). Only VMs of a
+  /// preemptible resource class are ever reclaimed.
+  double spot_preemption_mtbf_hours = 0.0;
+  double spot_notice_s = 120.0;
 
   /// Partition family: mean gap between transient partitions per
   /// unordered VM pair, hours (<= 0 off), each lasting
@@ -65,21 +75,28 @@ struct FaultPlanConfig {
     return straggler_mtbf_hours > 0.0;
   }
   [[nodiscard]] bool acquisitionFaultsEnabled() const {
-    return acquisition_failure_prob > 0.0 || provisioning_delay_s > 0.0;
+    return acquisition_failure_prob > 0.0 || provisioning_delay_s > 0.0 ||
+           provisioning_delay_per_core_s > 0.0;
   }
   [[nodiscard]] bool partitionsEnabled() const {
     return partition_mtbf_hours > 0.0;
   }
+  [[nodiscard]] bool preemptionsEnabled() const {
+    return spot_preemption_mtbf_hours > 0.0;
+  }
   [[nodiscard]] bool anyEnabled() const {
     return crashesEnabled() || stragglersEnabled() ||
-           acquisitionFaultsEnabled() || partitionsEnabled();
+           acquisitionFaultsEnabled() || partitionsEnabled() ||
+           preemptionsEnabled();
   }
 
   void validate() const;
 };
 
-/// Seed-reproducible oracle for all four fault families.
-class FaultPlan final : public PerfFaultModel, public AcquisitionFaultModel {
+/// Seed-reproducible oracle for all fault families.
+class FaultPlan final : public PerfFaultModel,
+                        public AcquisitionFaultModel,
+                        public PreemptionFaultModel {
  public:
   explicit FaultPlan(FaultPlanConfig config);
 
@@ -121,8 +138,32 @@ class FaultPlan final : public PerfFaultModel, public AcquisitionFaultModel {
   /// AcquisitionFaultModel: the n-th attempt's fate, pure in (seed, n).
   [[nodiscard]] bool acquisitionRejected(std::uint64_t attempt) const override;
 
-  /// AcquisitionFaultModel: startup lag, pure in (seed, vm).
-  [[nodiscard]] SimTime provisioningDelay(VmId vm) const override;
+  /// AcquisitionFaultModel: startup lag, pure in (seed, vm) with a
+  /// class-dependent mean. With provisioning_delay_per_core_s = 0 the
+  /// draw is bit-identical to the class-independent model.
+  [[nodiscard]] SimTime provisioningDelay(
+      VmId vm, const ResourceClass& cls) const override;
+
+  // -- spot-preemption family --
+
+  /// PreemptionFaultModel: when the provider reclaims a preemptible VM
+  /// started at `vm_start`; infinity when the family is off. Pure in
+  /// (seed, vm, vm_start).
+  [[nodiscard]] SimTime preemptionTime(VmId vm,
+                                       SimTime vm_start) const override;
+
+  /// PreemptionFaultModel: warning-notice lead time, seconds.
+  [[nodiscard]] SimTime noticeWindow() const override {
+    return config_.spot_notice_s;
+  }
+
+  /// Preempt every active preemptible VM whose preemption time is at or
+  /// before `now`: frees its cores, terminates it with the Preempted
+  /// billing rule, and reports per-PE backlog-loss fractions (undrained
+  /// buffers on the reclaimed VM are lost, exactly like a crash).
+  /// Idempotent across repeated calls at the same time.
+  [[nodiscard]] std::vector<FailureEvent> injectPreemptionsUpTo(
+      CloudProvider& cloud, SimTime now) const;
 
   /// Whether this plan perturbs what monitoring observes (stragglers or
   /// partitions) — callers skip installing the hook otherwise.
@@ -133,6 +174,11 @@ class FaultPlan final : public PerfFaultModel, public AcquisitionFaultModel {
   /// Whether this plan perturbs acquisitions.
   [[nodiscard]] bool perturbsAcquisition() const {
     return config_.acquisitionFaultsEnabled();
+  }
+
+  /// Whether this plan schedules spot preemptions.
+  [[nodiscard]] bool perturbsSpot() const {
+    return config_.preemptionsEnabled();
   }
 
  private:

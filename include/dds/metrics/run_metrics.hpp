@@ -90,6 +90,12 @@ struct RecoveryStats {
   double longest_episode_s = 0.0;
   /// Fraction of intervals with Omega(t) >= Omega-hat, in [0, 1].
   double availability = 1.0;
+  /// Total time spent below Omega-hat across the run, seconds
+  /// (violating intervals x interval length, open episodes included).
+  double slo_violation_s = 0.0;
+  /// 95th-percentile episode length in seconds (linear interpolation
+  /// over all episodes, recovered or not); 0 without episodes.
+  double p95_episode_s = 0.0;
 };
 
 /// Compute recovery statistics from a finished run against `omega_hat`.

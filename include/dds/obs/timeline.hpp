@@ -34,6 +34,10 @@ struct TimelineRow {
   std::int64_t faults = 0;
   std::int64_t quarantines = 0;
   std::int64_t decisions = 0;
+  std::int64_t provisioning_completions = 0;
+  std::int64_t preemption_notices = 0;
+  std::int64_t preemptions = 0;
+  std::int64_t migrations = 0;  ///< migration_begin events in the interval.
 };
 
 /// Run-level fold of a trace.
@@ -50,6 +54,14 @@ struct TraceAnalysis {
   std::int64_t violations = 0;
   double peak_vms = 0.0;
   double peak_cores = 0.0;
+  /// Elasticity summary derived from the violated-interval runs: one
+  /// "episode" is a maximal run of consecutive Ω̂-violating intervals;
+  /// its length is the time-to-recover. slo_violation_s totals the time
+  /// spent below the target across the run (open episodes included).
+  std::int64_t recovery_episodes = 0;
+  double mean_recovery_s = 0.0;
+  double p95_recovery_s = 0.0;
+  double slo_violation_s = 0.0;
 };
 
 /// Fold events (in emission order) into a timeline. Discrete events

@@ -129,6 +129,45 @@ struct FaultInjectionEvent {
   double messages_lost = 0.0;
 };
 
+/// A provisioning VM's capacity came online: `vm` was acquired earlier
+/// and its cores start delivering observed power at `t` (= ready time).
+struct ProvisioningCompleteEvent {
+  SimTime t = 0.0;
+  std::uint32_t vm = 0;
+};
+
+/// The provider announced it will reclaim spot VM `vm` at `preempt_at`
+/// (the warning notice; `preempt_at - t` is the notice window remaining).
+struct PreemptionNoticeEvent {
+  SimTime t = 0.0;
+  std::uint32_t vm = 0;
+  SimTime preempt_at = 0.0;
+};
+
+/// The provider reclaimed spot VM `vm`; `messages_lost` is the undrained
+/// backlog charged against the hosted PEs.
+struct PreemptionEvent {
+  SimTime t = 0.0;
+  std::uint32_t vm = 0;
+  double messages_lost = 0.0;
+};
+
+/// PE `pe` began migrating `backlog_fraction` of its buffered state;
+/// service on the moved share pauses for `downtime_s` seconds while the
+/// buffers transfer.
+struct MigrationBeginEvent {
+  SimTime t = 0.0;
+  std::uint32_t pe = 0;
+  double backlog_fraction = 0.0;
+  double downtime_s = 0.0;
+};
+
+/// PE `pe` finished its buffer migration and resumed full service.
+struct MigrationEndEvent {
+  SimTime t = 0.0;
+  std::uint32_t pe = 0;
+};
+
 /// The interval's Ω dropped below the target Ω̂ (paper constraint
 /// Ω̄ ≥ Ω̂; per-interval dips show *where* the average was lost).
 struct OmegaViolationEvent {
@@ -165,8 +204,10 @@ using TraceEvent =
                  VmAcquireEvent, VmReleaseEvent, AcquisitionFailureEvent,
                  CoreAllocEvent, AlternateSwitchEvent,
                  StragglerQuarantineEvent, StragglerRecoveryEvent,
-                 FaultInjectionEvent, OmegaViolationEvent,
-                 SchedulerDecisionEvent>;
+                 FaultInjectionEvent, ProvisioningCompleteEvent,
+                 PreemptionNoticeEvent, PreemptionEvent,
+                 MigrationBeginEvent, MigrationEndEvent,
+                 OmegaViolationEvent, SchedulerDecisionEvent>;
 
 /// Stable wire name of the event's type ("interval_end", "vm_acquire",
 /// ...); used as the "ev" discriminator in JSONL records.

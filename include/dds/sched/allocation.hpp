@@ -107,6 +107,22 @@ class ResourceAllocator {
     resilience_ = options;
   }
 
+  /// Steer `fraction` of fresh acquisitions to the catalog's spot tier
+  /// (when one exists): each acquisition decision hashes (seed, ordinal)
+  /// so the spot/on-demand choice is pure in the run seed and the
+  /// acquisition order. fraction == 0 keeps the allocator bit-identical
+  /// to a spot-unaware one.
+  void setSpotPreference(double fraction, std::uint64_t seed) {
+    DDS_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+                "spot fraction out of range");
+    spot_fraction_ = fraction;
+    spot_seed_ = seed;
+  }
+
+  /// Temporarily veto the spot tier (e.g. while replacing capacity lost
+  /// to a preemption — the replacement must be reliable).
+  void suppressSpot(bool suppressed) { spot_suppressed_ = suppressed; }
+
   /// Attach the run's tracer and metrics; the allocator then emits a
   /// CoreAllocEvent per core it (de)allocates on the scale-out/in paths
   /// and bumps alloc.cores_allocated / alloc.cores_released. Repacking
@@ -206,6 +222,10 @@ class ResourceAllocator {
   double omega_target_;
   AcquisitionPolicy acquisition_;
   ResilienceOptions resilience_;
+  double spot_fraction_ = 0.0;
+  std::uint64_t spot_seed_ = 0;
+  std::uint64_t spot_ordinal_ = 0;  ///< acquisitions decided so far.
+  bool spot_suppressed_ = false;
   obs::Tracer tracer_;
   obs::MetricsRegistry* metrics_ = nullptr;
   SimTime acquisition_retry_after_ = 0.0;

@@ -44,6 +44,11 @@ struct HeuristicOptions {
   /// Resilience knobs: acquisition retry/backoff, straggler quarantine,
   /// graceful degradation (see dds/sched/resilience.hpp).
   ResilienceOptions resilience;
+  /// Fraction of fresh acquisitions steered to the catalog's spot tier
+  /// when one exists; the choice hashes (spot_seed, acquisition ordinal)
+  /// so it is pure in the run seed. 0 keeps acquisitions on-demand.
+  double spot_fraction = 0.0;
+  std::uint64_t spot_seed = 42;
 };
 
 /// Local/global deployment + adaptation heuristic (Alg. 1 + Alg. 2).
@@ -92,6 +97,14 @@ class HeuristicScheduler final : public Scheduler {
                             const Deployment& deployment,
                             std::vector<MigrationEvent>& migrations);
 
+  /// Drain-and-migrate on preemption notice: release every spot VM the
+  /// provider flagged as imminent (migrating its buffered share instead
+  /// of losing it to the reclaim), then pre-acquire reliable replacement
+  /// capacity with the spot tier suppressed.
+  void drainPreemptionNotices(const ObservedState& state,
+                              const Deployment& deployment,
+                              std::vector<MigrationEvent>& migrations);
+
   /// Whether replacement capacity is still on order: any active VM not yet
   /// ready, or the allocator backing off after rejected acquisitions.
   [[nodiscard]] bool capacityPending(SimTime now) const;
@@ -102,6 +115,7 @@ class HeuristicScheduler final : public Scheduler {
   ResourceAllocator allocator_;
   std::unique_ptr<StragglerGuard> guard_;
   int graceful_degradations_ = 0;
+  int preemption_drains_ = 0;
 };
 
 }  // namespace dds

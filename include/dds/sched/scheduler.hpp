@@ -98,6 +98,7 @@ struct SchedulerTelemetry {
   int graceful_degradations = 0;    ///< off-cadence alternate downgrades.
   int acquisition_rejections = 0;   ///< acquisition attempts the provider
                                     ///< rejected against this scheduler.
+  int preemption_drains = 0;        ///< spot VMs evacuated on notice.
 };
 
 /// Abstract deployment + runtime-adaptation policy.
@@ -154,6 +155,9 @@ struct SchedulerTuning {
   /// Buy cheapest-per-power instead of Alg. 1's largest-first.
   bool cheapest_class_acquisition = false;
   double max_queue_delay_s = 0.0;  ///< queue-delay SLA; 0 disables.
+  /// Fraction of fresh acquisitions steered to the catalog's spot tier
+  /// when one exists (seed-deterministic per acquisition); 0 disables.
+  double spot_fraction = 0.0;
   ResilienceOptions resilience;
 };
 

@@ -86,6 +86,17 @@ class DataflowSimulator {
   /// buffered messages with it). Returns the number of messages lost.
   double dropBacklog(PeId pe, double fraction);
 
+  /// Pause `pe`'s service for `seconds` (state migration downtime): the
+  /// pause is consumed from the start of subsequent intervals, shrinking
+  /// the capacity-seconds available to process messages. Pauses stack.
+  void pauseService(PeId pe, SimTime seconds);
+
+  /// Remaining unconsumed service pause of `pe`, seconds.
+  [[nodiscard]] SimTime pauseRemaining(PeId pe) const {
+    DDS_REQUIRE(pe.value() < pause_remaining_.size(), "PE id out of range");
+    return pause_remaining_[pe.value()];
+  }
+
  private:
   /// Refresh the per-PE core lists from the cloud ledger (one pass) and
   /// invalidate the per-interval monitoring memos.
@@ -111,6 +122,7 @@ class DataflowSimulator {
   std::uint64_t traced_intervals_ = 0;
   std::vector<double> backlog_;     ///< msgs queued per PE.
   std::vector<double> in_transit_;  ///< msgs arriving next interval per PE.
+  std::vector<SimTime> pause_remaining_;  ///< migration downtime per PE.
 
   // Per-interval working state, reused across step() calls.
   SimTime t_mid_ = 0.0;

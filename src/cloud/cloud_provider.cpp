@@ -41,8 +41,9 @@ AcquisitionResult CloudProvider::tryAcquire(ResourceClassId cls, SimTime t) {
   result.accepted = true;
   result.vm = acquireInternal(cls, t);
   result.ready_time =
-      acq_faults_ != nullptr ? t + acq_faults_->provisioningDelay(result.vm)
-                             : t;
+      acq_faults_ != nullptr
+          ? t + acq_faults_->provisioningDelay(result.vm, catalog_.at(cls))
+          : t;
   instances_[result.vm.value()].setReadyTime(result.ready_time);
   if (tracer_.enabled()) {
     const ResourceClass& spec = catalog_.at(cls);
@@ -57,16 +58,28 @@ AcquisitionResult CloudProvider::tryAcquire(ResourceClassId cls, SimTime t) {
 }
 
 void CloudProvider::release(VmId id, SimTime t) {
-  VmInstance& vm = instance(id);
-  DDS_REQUIRE(vm.allocatedCoreCount() == 0,
+  DDS_REQUIRE(instance(id).allocatedCoreCount() == 0,
               "release requires all cores to be freed first");
-  vm.shutdown(t);
+  terminate(id, t, TerminationReason::Released);
+}
+
+void CloudProvider::terminate(VmId id, SimTime t, TerminationReason reason) {
+  VmInstance& vm = instance(id);
+  vm.shutdown(t, reason);
   if (tracer_.enabled()) {
     tracer_.emit(obs::VmReleaseEvent{.t = t,
                                      .vm = id.value(),
                                      .vm_class = vm.spec().name,
                                      .billed_cost = instanceCost(id, t)});
   }
+}
+
+SimTime CloudProvider::preemptionTimeOf(VmId id) const {
+  const VmInstance& vm = instance(id);
+  if (preemption_model_ == nullptr || !vm.spec().preemptible) {
+    return std::numeric_limits<SimTime>::infinity();
+  }
+  return preemption_model_->preemptionTime(id, vm.startTime());
 }
 
 std::vector<VmId> CloudProvider::activeVms() const {
@@ -82,6 +95,13 @@ int CloudProvider::billedHours(VmId id, SimTime t) const {
   const SimTime end = std::min(vm.offTime(), t);
   if (end <= vm.startTime()) return 0;
   const double hours = (end - vm.startTime()) / kSecondsPerHour;
+  // Spot convention (2013 AWS): when the *provider* reclaims the instance,
+  // the partial started hour is forgiven — only whole elapsed hours bill.
+  // Tenant-initiated release and tenant-side crashes keep the round-up rule.
+  if (vm.terminationReason() == TerminationReason::Preempted &&
+      t >= vm.offTime()) {
+    return static_cast<int>(std::floor(hours + 1e-12));
+  }
   return static_cast<int>(std::ceil(hours - 1e-12));
 }
 

@@ -50,6 +50,61 @@ ResourceClassId ResourceCatalog::byName(const std::string& name) const {
   throw PreconditionError("no such resource class: " + name);
 }
 
+namespace {
+
+bool sameHardware(const ResourceClass& a, const ResourceClass& b) {
+  return a.cores == b.cores && a.core_speed == b.core_speed &&
+         a.bandwidth_mbps == b.bandwidth_mbps;
+}
+
+}  // namespace
+
+bool ResourceCatalog::hasPreemptible() const {
+  for (const auto& c : classes_) {
+    if (c.preemptible) return true;
+  }
+  return false;
+}
+
+ResourceClassId ResourceCatalog::onDemandTwin(ResourceClassId id) const {
+  const ResourceClass& spot = at(id);
+  if (!spot.preemptible) return id;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (!classes_[i].preemptible && sameHardware(classes_[i], spot)) {
+      return ResourceClassId(static_cast<ResourceClassId::value_type>(i));
+    }
+  }
+  throw PreconditionError("spot class has no on-demand twin: " + spot.name);
+}
+
+std::optional<ResourceClassId> ResourceCatalog::spotTwin(
+    ResourceClassId id) const {
+  const ResourceClass& od = at(id);
+  if (od.preemptible) return id;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].preemptible && sameHardware(classes_[i], od)) {
+      return ResourceClassId(static_cast<ResourceClassId::value_type>(i));
+    }
+  }
+  return std::nullopt;
+}
+
+ResourceCatalog withSpotTier(const ResourceCatalog& base, double discount) {
+  DDS_REQUIRE(discount > 0.0 && discount < 1.0,
+              "spot discount must be in (0, 1)");
+  std::vector<ResourceClass> classes = base.classes();
+  const std::size_t n = classes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (classes[i].preemptible) continue;
+    ResourceClass spot = classes[i];
+    spot.name += "-spot";
+    spot.price_per_hour *= 1.0 - discount;
+    spot.preemptible = true;
+    classes.push_back(std::move(spot));
+  }
+  return ResourceCatalog(std::move(classes));
+}
+
 ResourceCatalog awsCatalog2013() {
   return ResourceCatalog({
       {"m1.small", 1, 1.0, 100.0, 0.06},

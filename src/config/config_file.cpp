@@ -219,7 +219,15 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv,
       "omega_target", "epsilon",        "alternate_period",
       "resource_period", "sigma",       "output_csv",
       "catalog",      "placement_racks", "power_smoothing_alpha",
-      "backend",      "max_queue_delay_s"};
+      "backend",      "max_queue_delay_s",
+      "elasticity.provisioning_delay_s",
+      "elasticity.provisioning_delay_per_core_s",
+      "elasticity.spot_discount",
+      "elasticity.spot_fraction",
+      "elasticity.spot_preemption_mtbf_h",
+      "elasticity.spot_notice_s",
+      "elasticity.pe_state_mb",
+      "elasticity.migration_bandwidth_mbps"};
   for (const auto& [canon, flat] : keyAliases()) {
     known_keys.push_back(canon);
     known_keys.push_back(flat);
@@ -284,6 +292,24 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv,
       keys.resolve("fault.partition_mtbf_h"), fl.partition_mtbf_hours);
   fl.partition_duration_s = kv.getDouble(
       keys.resolve("fault.partition_duration_s"), fl.partition_duration_s);
+
+  ElasticityConfig& el = cfg.elasticity;
+  el.provisioning_delay_s = kv.getDouble("elasticity.provisioning_delay_s",
+                                         el.provisioning_delay_s);
+  el.provisioning_delay_per_core_s =
+      kv.getDouble("elasticity.provisioning_delay_per_core_s",
+                   el.provisioning_delay_per_core_s);
+  el.spot_discount =
+      kv.getDouble("elasticity.spot_discount", el.spot_discount);
+  el.spot_fraction =
+      kv.getDouble("elasticity.spot_fraction", el.spot_fraction);
+  el.spot_preemption_mtbf_h = kv.getDouble(
+      "elasticity.spot_preemption_mtbf_h", el.spot_preemption_mtbf_h);
+  el.spot_notice_s = kv.getDouble("elasticity.spot_notice_s",
+                                  el.spot_notice_s);
+  el.pe_state_mb = kv.getDouble("elasticity.pe_state_mb", el.pe_state_mb);
+  el.migration_bandwidth_mbps = kv.getDouble(
+      "elasticity.migration_bandwidth_mbps", el.migration_bandwidth_mbps);
 
   ResilienceConfig& rl = cfg.resilience;
   rl.quarantine_threshold =

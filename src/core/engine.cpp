@@ -27,10 +27,27 @@ FaultPlanConfig faultPlanConfigOf(const ExperimentConfig& config) {
   fc.straggler_factor = config.faults.straggler_factor;
   fc.straggler_duration_s = config.faults.straggler_duration_s;
   fc.acquisition_failure_prob = config.faults.acquisition_failure_prob;
-  fc.provisioning_delay_s = config.faults.provisioning_delay_s;
+  // Validation rejects configs setting the delay under both fault.* and
+  // elasticity.*; whichever is set feeds the same seed-deterministic draw.
+  fc.provisioning_delay_s = config.faults.provisioning_delay_s > 0.0
+                                ? config.faults.provisioning_delay_s
+                                : config.elasticity.provisioning_delay_s;
+  fc.provisioning_delay_per_core_s =
+      config.elasticity.provisioning_delay_per_core_s;
+  fc.spot_preemption_mtbf_hours = config.elasticity.spot_preemption_mtbf_h;
+  fc.spot_notice_s = config.elasticity.spot_notice_s;
   fc.partition_mtbf_hours = config.faults.partition_mtbf_hours;
   fc.partition_duration_s = config.faults.partition_duration_s;
   return fc;
+}
+
+/// Seconds a PE's service pauses while `fraction` of its buffered state
+/// (pe_state_mb megabytes total) migrates over the elasticity model's
+/// migration bandwidth. Zero when migration cost is disabled.
+double migrationDowntime(const ElasticityConfig& ec, double fraction) {
+  if (!ec.migrationEnabled() || fraction <= 0.0) return 0.0;
+  // MB -> megabits over Mbps gives seconds.
+  return ec.pe_state_mb * fraction * 8.0 / ec.migration_bandwidth_mbps;
 }
 
 /// The resilience knobs of `config`, as scheduler ResilienceOptions.
@@ -80,6 +97,27 @@ void FaultConfig::appendErrors(std::vector<std::string>& errors) const {
           "partition duration must be positive");
 }
 
+void ElasticityConfig::appendErrors(std::vector<std::string>& errors) const {
+  require(errors, provisioning_delay_s >= 0.0,
+          "elasticity provisioning delay must be non-negative");
+  require(errors, provisioning_delay_per_core_s >= 0.0,
+          "per-core provisioning delay must be non-negative");
+  require(errors, spot_discount >= 0.0 && spot_discount < 1.0,
+          "spot discount must be in [0, 1)");
+  require(errors, spot_preemption_mtbf_h >= 0.0,
+          "spot preemption MTBF must be non-negative");
+  require(errors, spot_notice_s >= 0.0,
+          "spot notice window must be non-negative");
+  require(errors, spot_fraction >= 0.0 && spot_fraction <= 1.0,
+          "spot fraction must be in [0, 1]");
+  require(errors, spot_discount > 0.0 || spot_preemption_mtbf_h <= 0.0,
+          "spot preemption requires a spot tier (set the spot discount)");
+  require(errors, pe_state_mb >= 0.0,
+          "per-PE state size must be non-negative");
+  require(errors, migration_bandwidth_mbps > 0.0,
+          "migration bandwidth must be positive");
+}
+
 void ResilienceConfig::appendErrors(std::vector<std::string>& errors) const {
   require(errors, acquisition_max_retries >= 1,
           "acquisition retries must be at least 1");
@@ -114,9 +152,19 @@ std::vector<std::string> ExperimentConfig::validationErrors() const {
   }
   workload.appendErrors(errors);
   faults.appendErrors(errors);
+  elasticity.appendErrors(errors);
   resilience.appendErrors(errors);
   require(errors, backend == SimBackend::Fluid || !faults.anyEnabled(),
           "fault injection is only supported by the fluid backend");
+  require(errors,
+          backend == SimBackend::Fluid ||
+              (!elasticity.delaysEnabled() && !elasticity.spotEnabled()),
+          "elasticity delays and the spot tier are only supported by the "
+          "fluid backend");
+  require(errors,
+          !(faults.provisioning_delay_s > 0.0 && elasticity.delaysEnabled()),
+          "set the provisioning delay under fault.* or elasticity.*, not "
+          "both");
   return errors;
 }
 
@@ -169,7 +217,13 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
   const Dataflow& df = *dataflow_;
   const obs::Tracer tracer(sink);
   obs::MetricsRegistry registry;
-  CloudProvider cloud(catalogByName(config_.catalog));
+  // The spot tier is a pure catalog extension: disabled, the catalog (and
+  // with it every class id and plan) is byte-identical to the pre-spot
+  // behavior.
+  CloudProvider cloud(config_.elasticity.spotEnabled()
+                          ? withSpotTier(catalogByName(config_.catalog),
+                                         config_.elasticity.spot_discount)
+                          : catalogByName(config_.catalog));
   cloud.setTracer(tracer);
   TraceReplayer replayer =
       config_.workload.infra_variability
@@ -186,6 +240,7 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
   const FaultPlan faults(faultPlanConfigOf(config_));
   cloud.setAcquisitionFaults(faults.perturbsAcquisition() ? &faults
                                                           : nullptr);
+  cloud.setPreemptionModel(faults.perturbsSpot() ? &faults : nullptr);
   MonitoringService monitor(
       cloud, replayer,
       config_.placement_racks > 0 ? &placement : nullptr,
@@ -215,6 +270,9 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
   tuning.resource_period = config_.resource_period;
   tuning.cheapest_class_acquisition = config_.cheapest_class_acquisition;
   tuning.max_queue_delay_s = config_.max_queue_delay_s;
+  tuning.spot_fraction = config_.elasticity.spotEnabled()
+                             ? config_.elasticity.spot_fraction
+                             : 0.0;
   tuning.resilience = resilienceOptionsOf(config_);
 
   std::unique_ptr<Scheduler> scheduler = makeScheduler(kind, env, tuning);
@@ -249,6 +307,9 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
     ev_cfg.engine = config_.event_reference_engine
                         ? EventSimConfig::Engine::Reference
                         : EventSimConfig::Engine::Cached;
+    ev_cfg.pe_state_mb = config_.elasticity.pe_state_mb;
+    ev_cfg.migration_bandwidth_mbps =
+        config_.elasticity.migration_bandwidth_mbps;
     EventSimulator esim(df, cloud, monitor, ev_cfg);
     const EventSimResult er =
         esim.run(*profile, std::move(deployment), scheduler.get());
@@ -366,11 +427,50 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
 
   double omega_sum = 0.0;
   IntervalMetrics last{};
+  // Per-VM "already announced" flags for the elasticity trace records;
+  // indexed by VmId, grown lazily as instances appear.
+  std::vector<bool> provisioning_announced;
+  std::vector<bool> notice_announced;
   for (IntervalIndex i = 0; i < clock.intervalCount(); ++i) {
     const SimTime now = clock.startOf(i);
     if (tracer.enabled()) {
       tracer.emit(obs::IntervalBeginEvent{
           .t = now, .interval = i, .input_rate = profile->rate(now)});
+    }
+    // Provisioning-complete records: a delayed VM's capacity came online
+    // since the last interval boundary.
+    if (tracer.enabled() && faults.perturbsAcquisition()) {
+      const auto& instances = cloud.instances();
+      provisioning_announced.resize(instances.size(), false);
+      for (const VmInstance& vm : instances) {
+        if (provisioning_announced[vm.id().value()]) continue;
+        if (vm.readyTime() <= vm.startTime()) {
+          provisioning_announced[vm.id().value()] = true;
+          continue;
+        }
+        if (vm.readyTime() > now || vm.readyTime() > vm.offTime()) continue;
+        provisioning_announced[vm.id().value()] = true;
+        tracer.emit(obs::ProvisioningCompleteEvent{
+            .t = vm.readyTime(), .vm = vm.id().value()});
+      }
+    }
+    // Preemption notices precede the reclamation itself: the provider
+    // announces `spot_notice_s` ahead, and the scheduler's next
+    // resource phase (this interval) sees preemptionImminent() flip.
+    if (faults.perturbsSpot()) {
+      const auto& instances = cloud.instances();
+      notice_announced.resize(instances.size(), false);
+      for (const VmInstance& vm : instances) {
+        if (notice_announced[vm.id().value()] || !vm.isActive()) continue;
+        if (!cloud.preemptionImminent(vm.id(), now)) continue;
+        notice_announced[vm.id().value()] = true;
+        if (tracer.enabled()) {
+          tracer.emit(obs::PreemptionNoticeEvent{
+              .t = now,
+              .vm = vm.id().value(),
+              .preempt_at = cloud.preemptionTimeOf(vm.id())});
+        }
+      }
     }
     // Crashes land before the adaptation step observes the world, so the
     // scheduler reacts to the reduced capacity this very interval.
@@ -389,6 +489,22 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
                                              .messages_lost = lost_here});
       }
     }
+    // Spot reclamations work exactly like crashes (undrained backlog on
+    // the reclaimed VM is lost) but bill under the preemption rule.
+    for (const FailureEvent& ev : faults.injectPreemptionsUpTo(cloud, now)) {
+      ++result.preemptions;
+      registry.counter("run.preemptions").inc();
+      double lost_here = 0.0;
+      for (const BacklogLoss& loss : ev.losses) {
+        lost_here += simulator.dropBacklog(loss.pe, loss.fraction);
+      }
+      result.messages_lost += lost_here;
+      if (tracer.enabled()) {
+        tracer.emit(obs::PreemptionEvent{.t = now,
+                                         .vm = ev.vm.value(),
+                                         .messages_lost = lost_here});
+      }
+    }
     if (env.probes != nullptr) probes.probe(now);
     if (i > 0) {
       ObservedState state;
@@ -402,6 +518,22 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
       for (const MigrationEvent& ev :
            scheduler->adapt(state, deployment)) {
         simulator.migrateBacklog(ev.pe, ev.backlog_fraction);
+        // Buffer migration is not free: the moved share's service pauses
+        // while its state transfers (fluid model: lost capacity-seconds).
+        const double downtime =
+            migrationDowntime(config_.elasticity, ev.backlog_fraction);
+        if (downtime > 0.0) {
+          simulator.pauseService(ev.pe, downtime);
+          if (tracer.enabled()) {
+            tracer.emit(obs::MigrationBeginEvent{
+                .t = now,
+                .pe = ev.pe.value(),
+                .backlog_fraction = ev.backlog_fraction,
+                .downtime_s = downtime});
+            tracer.emit(obs::MigrationEndEvent{.t = now + downtime,
+                                               .pe = ev.pe.value()});
+          }
+        }
       }
     }
     last = simulator.step(i, profile->rate(now), deployment);

@@ -16,6 +16,9 @@ void EventSimConfig::validate() const {
   DDS_REQUIRE(interval_s > 0.0, "interval must be positive");
   DDS_REQUIRE(horizon_s >= interval_s, "horizon shorter than one interval");
   DDS_REQUIRE(max_latency_samples > 0, "latency sample cap must be > 0");
+  DDS_REQUIRE(pe_state_mb >= 0.0, "PE state size must be non-negative");
+  DDS_REQUIRE(migration_bandwidth_mbps > 0.0,
+              "migration bandwidth must be positive");
 }
 
 double EventSimResult::latencyPercentile(double p) const {
@@ -78,6 +81,13 @@ EventSimulator::EventSimulator(const Dataflow& df, CloudProvider& cloud,
 
 void EventSimulator::dispatchIdleCores(PeId pe, SimTime now,
                                        const Deployment& dep) {
+  // Migration downtime gate: while the PE's buffered state is in flight,
+  // no new message may start service (queued arrivals wait; cores already
+  // busy run to completion). Shared by both engines for bit-identity.
+  if (pe.value() < pe_pause_until_.size() &&
+      now < pe_pause_until_[pe.value()]) {
+    return;
+  }
   if (cached_) {
     dispatchIdleCoresCached(pe, now, dep);
   } else {
@@ -496,6 +506,7 @@ EventSimResult EventSimulator::run(const RateProfile& profile,
                                    Scheduler* scheduler) {
   const std::size_t n = df_->peCount();
   pe_state_.assign(n, {});
+  pe_pause_until_.assign(n, 0.0);
   core_busy_.clear();
   completions_ = {};
   deliveries_ = {};
@@ -555,6 +566,31 @@ EventSimResult EventSimulator::run(const RateProfile& profile,
         }
         if (!moved.empty()) {
           in_transit.push_back({t1, {ev.pe, std::move(moved)}});
+        }
+        // State-size migration cost: moving the PE's buffered state
+        // pauses its dispatch while the share transfers (same formula as
+        // the fluid engine's downtime: MB -> Mb over Mbps). Pauses from
+        // several migrations of the same PE extend, not stack.
+        if (cfg_.pe_state_mb > 0.0 && ev.backlog_fraction > 0.0) {
+          const SimTime downtime = cfg_.pe_state_mb * ev.backlog_fraction *
+                                   8.0 / cfg_.migration_bandwidth_mbps;
+          pe_pause_until_[ev.pe.value()] =
+              std::max(pe_pause_until_[ev.pe.value()], t0 + downtime);
+        }
+      }
+    }
+
+    // Resume PEs whose migration pause lapsed before this interval: their
+    // queued messages got no dispatch kick while the gate was closed.
+    // Guarded so disabled runs make exactly the pre-elasticity calls.
+    if (cfg_.pe_state_mb > 0.0) {
+      for (std::size_t p = 0; p < n; ++p) {
+        if (pe_pause_until_[p] > 0.0 && t0 >= pe_pause_until_[p]) {
+          pe_pause_until_[p] = 0.0;
+          if (!pe_state_[p].queue.empty()) {
+            dispatchIdleCores(PeId(static_cast<PeId::value_type>(p)), t0,
+                              deployment);
+          }
         }
       }
     }

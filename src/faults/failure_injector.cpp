@@ -55,11 +55,13 @@ std::vector<FailureEvent> FailureInjector::injectUpTo(CloudProvider& cloud,
       ev.losses.push_back(
           {*owner, static_cast<double>(on_vm) / static_cast<double>(total)});
     }
-    // Crash: cores vanish, billing stops at the failure time.
+    // Crash: cores vanish, billing stops at the failure time. The started
+    // hour is still paid — a tenant-side fault, not provider-initiated.
     for (const auto& loss : ev.losses) {
       vm.releaseAllCoresOf(loss.pe);
     }
-    cloud.release(id, std::max(death, vm.startTime()));
+    cloud.terminate(id, std::max(death, vm.startTime()),
+                    TerminationReason::Crashed);
     events.push_back(std::move(ev));
   }
   return events;

@@ -1,9 +1,11 @@
 #include "dds/faults/fault_plan.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "dds/common/error.hpp"
 #include "dds/common/rng.hpp"
+#include "dds/sim/deployment.hpp"
 
 namespace dds {
 namespace {
@@ -14,6 +16,7 @@ constexpr std::uint64_t kStragglerTag = 0x5742a6f1ull;
 constexpr std::uint64_t kPartitionTag = 0x9e11f0adull;
 constexpr std::uint64_t kRejectTag = 0x1c8f3b27ull;
 constexpr std::uint64_t kDelayTag = 0x6d5e9c43ull;
+constexpr std::uint64_t kPreemptTag = 0x3f84d5b9ull;
 
 // Renewal-process episode bound: at typical MTBFs (fractions of an hour
 // and up) and horizons of days this is never reached; it only guards
@@ -67,6 +70,12 @@ void FaultPlanConfig::validate() const {
       "acquisition failure probability must be in [0, 1)");
   DDS_REQUIRE(provisioning_delay_s >= 0.0,
               "provisioning delay must be non-negative");
+  DDS_REQUIRE(provisioning_delay_per_core_s >= 0.0,
+              "per-core provisioning delay must be non-negative");
+  DDS_REQUIRE(spot_preemption_mtbf_hours >= 0.0,
+              "spot preemption MTBF must be non-negative");
+  DDS_REQUIRE(!preemptionsEnabled() || spot_notice_s >= 0.0,
+              "spot notice window must be non-negative");
   DDS_REQUIRE(partition_mtbf_hours >= 0.0,
               "partition MTBF must be non-negative");
   DDS_REQUIRE(!partitionsEnabled() || partition_duration_s > 0.0,
@@ -107,10 +116,67 @@ bool FaultPlan::acquisitionRejected(std::uint64_t attempt) const {
   return hashToUnitInterval(h) <= config_.acquisition_failure_prob;
 }
 
-SimTime FaultPlan::provisioningDelay(VmId vm) const {
-  if (config_.provisioning_delay_s <= 0.0) return 0.0;
-  return expDraw(config_.seed, kDelayTag, vm.value(), 0,
-                 config_.provisioning_delay_s);
+SimTime FaultPlan::provisioningDelay(VmId vm,
+                                     const ResourceClass& cls) const {
+  const double mean =
+      config_.provisioning_delay_s +
+      config_.provisioning_delay_per_core_s * static_cast<double>(cls.cores - 1);
+  if (mean <= 0.0) return 0.0;
+  // Same tag/key/index as the class-independent model: with a zero
+  // per-core term the draw is bit-identical to the pre-class behavior.
+  return expDraw(config_.seed, kDelayTag, vm.value(), 0, mean);
+}
+
+SimTime FaultPlan::preemptionTime(VmId vm, SimTime vm_start) const {
+  if (!config_.preemptionsEnabled()) {
+    return std::numeric_limits<SimTime>::infinity();
+  }
+  return vm_start +
+         expDraw(config_.seed, kPreemptTag, vm.value(), 0,
+                 config_.spot_preemption_mtbf_hours * kSecondsPerHour);
+}
+
+std::vector<FailureEvent> FaultPlan::injectPreemptionsUpTo(
+    CloudProvider& cloud, SimTime now) const {
+  std::vector<FailureEvent> events;
+  if (!config_.preemptionsEnabled()) return events;
+
+  for (const VmId id : cloud.activeVms()) {
+    VmInstance& vm = cloud.instance(id);
+    if (!vm.spec().preemptible) continue;
+    const SimTime at = preemptionTime(id, vm.startTime());
+    if (at > now) continue;
+
+    FailureEvent ev;
+    ev.vm = id;
+    ev.time = at;
+    // Undrained backlog on the reclaimed VM is lost exactly like a crash:
+    // the share of each PE's cores living there approximates its share of
+    // queued messages.
+    for (int c = 0; c < vm.coreCount(); ++c) {
+      const auto owner = vm.coreOwner(c);
+      if (!owner.has_value()) continue;
+      bool seen = false;
+      for (const auto& loss : ev.losses) {
+        if (loss.pe == *owner) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      const int on_vm = vm.coresOwnedBy(*owner);
+      const int total = totalCores(cloud, *owner);
+      DDS_ENSURE(total >= on_vm, "core ledger inconsistent");
+      ev.losses.push_back(
+          {*owner, static_cast<double>(on_vm) / static_cast<double>(total)});
+    }
+    for (const auto& loss : ev.losses) {
+      vm.releaseAllCoresOf(loss.pe);
+    }
+    cloud.preempt(id, std::max(at, vm.startTime()));
+    events.push_back(std::move(ev));
+  }
+  return events;
 }
 
 }  // namespace dds

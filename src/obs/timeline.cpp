@@ -82,6 +82,20 @@ struct Fold {
 
   void operator()(const FaultInjectionEvent& e) { ++rowAt(e.t).faults; }
 
+  void operator()(const ProvisioningCompleteEvent& e) {
+    ++rowAt(e.t).provisioning_completions;
+  }
+
+  void operator()(const PreemptionNoticeEvent& e) {
+    ++rowAt(e.t).preemption_notices;
+  }
+
+  void operator()(const PreemptionEvent& e) { ++rowAt(e.t).preemptions; }
+
+  void operator()(const MigrationBeginEvent& e) { ++rowAt(e.t).migrations; }
+
+  void operator()(const MigrationEndEvent&) {}
+
   void operator()(const OmegaViolationEvent& e) {
     row(e.interval).violated = true;
     ++out.violations;
@@ -115,6 +129,41 @@ TraceAnalysis analyzeTrace(const std::vector<TraceEvent>& events) {
   fold.out.theta = fold.out.average_gamma -
                    (fold.out.has_header ? fold.out.header.sigma : 0.0) *
                        fold.out.final_cost;
+
+  // Elasticity summary: episodes are maximal runs of violated intervals.
+  const double interval_s =
+      fold.out.has_header ? fold.out.header.interval_s : 0.0;
+  std::vector<double> episodes;
+  std::int64_t streak = 0;
+  std::int64_t violated_intervals = 0;
+  for (const TimelineRow& r : fold.out.rows) {
+    if (r.violated) {
+      ++streak;
+      ++violated_intervals;
+    } else if (streak > 0) {
+      episodes.push_back(static_cast<double>(streak) * interval_s);
+      streak = 0;
+    }
+  }
+  if (streak > 0) {
+    episodes.push_back(static_cast<double>(streak) * interval_s);
+  }
+  fold.out.slo_violation_s =
+      static_cast<double>(violated_intervals) * interval_s;
+  fold.out.recovery_episodes = static_cast<std::int64_t>(episodes.size());
+  if (!episodes.empty()) {
+    double sum = 0.0;
+    for (const double e : episodes) sum += e;
+    fold.out.mean_recovery_s = sum / static_cast<double>(episodes.size());
+    std::sort(episodes.begin(), episodes.end());
+    const double rank =
+        0.95 * static_cast<double>(episodes.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    fold.out.p95_recovery_s =
+        episodes[lo] + (episodes[hi] - episodes[lo]) * frac;
+  }
   return fold.out;
 }
 

@@ -32,6 +32,19 @@ std::string_view wireName(const StragglerRecoveryEvent&) {
 std::string_view wireName(const FaultInjectionEvent&) {
   return "fault_injection";
 }
+std::string_view wireName(const ProvisioningCompleteEvent&) {
+  return "provisioning_complete";
+}
+std::string_view wireName(const PreemptionNoticeEvent&) {
+  return "preemption_notice";
+}
+std::string_view wireName(const PreemptionEvent&) { return "preemption"; }
+std::string_view wireName(const MigrationBeginEvent&) {
+  return "migration_begin";
+}
+std::string_view wireName(const MigrationEndEvent&) {
+  return "migration_end";
+}
 std::string_view wireName(const OmegaViolationEvent&) {
   return "omega_violation";
 }
@@ -129,6 +142,35 @@ void writeBody(JsonWriter& w, const FaultInjectionEvent& e) {
   w.key("vm").value(std::uint64_t{e.vm});
   w.key("family").value(e.family);
   w.key("messages_lost").value(e.messages_lost);
+}
+
+void writeBody(JsonWriter& w, const ProvisioningCompleteEvent& e) {
+  w.key("t").value(e.t);
+  w.key("vm").value(std::uint64_t{e.vm});
+}
+
+void writeBody(JsonWriter& w, const PreemptionNoticeEvent& e) {
+  w.key("t").value(e.t);
+  w.key("vm").value(std::uint64_t{e.vm});
+  w.key("preempt_at").value(e.preempt_at);
+}
+
+void writeBody(JsonWriter& w, const PreemptionEvent& e) {
+  w.key("t").value(e.t);
+  w.key("vm").value(std::uint64_t{e.vm});
+  w.key("messages_lost").value(e.messages_lost);
+}
+
+void writeBody(JsonWriter& w, const MigrationBeginEvent& e) {
+  w.key("t").value(e.t);
+  w.key("pe").value(std::uint64_t{e.pe});
+  w.key("backlog_fraction").value(e.backlog_fraction);
+  w.key("downtime_s").value(e.downtime_s);
+}
+
+void writeBody(JsonWriter& w, const MigrationEndEvent& e) {
+  w.key("t").value(e.t);
+  w.key("pe").value(std::uint64_t{e.pe});
 }
 
 void writeBody(JsonWriter& w, const OmegaViolationEvent& e) {

@@ -362,6 +362,40 @@ TraceEvent buildEvent(const std::string& ev, const JsonObject& o) {
     e.messages_lost = getNum(o, "messages_lost");
     return e;
   }
+  if (ev == "provisioning_complete") {
+    ProvisioningCompleteEvent e;
+    e.t = getNum(o, "t");
+    e.vm = getId(o, "vm");
+    return e;
+  }
+  if (ev == "preemption_notice") {
+    PreemptionNoticeEvent e;
+    e.t = getNum(o, "t");
+    e.vm = getId(o, "vm");
+    e.preempt_at = getNum(o, "preempt_at");
+    return e;
+  }
+  if (ev == "preemption") {
+    PreemptionEvent e;
+    e.t = getNum(o, "t");
+    e.vm = getId(o, "vm");
+    e.messages_lost = getNum(o, "messages_lost");
+    return e;
+  }
+  if (ev == "migration_begin") {
+    MigrationBeginEvent e;
+    e.t = getNum(o, "t");
+    e.pe = getId(o, "pe");
+    e.backlog_fraction = getNum(o, "backlog_fraction");
+    e.downtime_s = getNum(o, "downtime_s");
+    return e;
+  }
+  if (ev == "migration_end") {
+    MigrationEndEvent e;
+    e.t = getNum(o, "t");
+    e.pe = getId(o, "pe");
+    return e;
+  }
   if (ev == "omega_violation") {
     OmegaViolationEvent e;
     e.t = getNum(o, "t");

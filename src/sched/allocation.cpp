@@ -5,12 +5,16 @@
 #include <limits>
 #include <optional>
 
+#include "dds/common/rng.hpp"
 #include "dds/sim/rate_model.hpp"
 
 namespace dds {
 namespace {
 
 constexpr double kEps = 1e-9;
+
+/// Hash-family tag for the per-acquisition spot/on-demand choice.
+constexpr std::uint64_t kSpotChoiceTag = 0x7a3d91c5ull;
 
 /// Active VM ids, cheapest-to-query helper.
 std::vector<VmId> activeVmIds(const CloudProvider& cloud) {
@@ -153,27 +157,42 @@ std::vector<double> ResourceAllocator::allocatedPower(
 }
 
 ResourceClassId ResourceAllocator::preferredClass() const {
+  // The preference is computed over the on-demand classes only: the spot
+  // tier mirrors their hardware at a discount, so ranking would otherwise
+  // always land on a spot twin. Whether to *take* the spot twin is a
+  // separate per-acquisition decision in acquireNew(). Catalogs with no
+  // spot tier walk exactly the pre-spot candidate set.
   const ResourceCatalog& catalog = cloud_->catalog();
-  if (acquisition_ == AcquisitionPolicy::LargestFirst) {
-    return catalog.largest();
-  }
-  // CheapestPower: best dollars per unit of rated power; ties go to the
-  // larger class (fewer VMs, better colocation).
-  std::size_t best = 0;
-  for (std::size_t c = 1; c < catalog.size(); ++c) {
+  std::optional<std::size_t> best;
+  for (std::size_t c = 0; c < catalog.size(); ++c) {
     const auto& cand = catalog.at(
         ResourceClassId(static_cast<ResourceClassId::value_type>(c)));
-    const auto& cur = catalog.at(
-        ResourceClassId(static_cast<ResourceClassId::value_type>(best)));
-    const double cand_rate = cand.price_per_hour / cand.totalPower();
-    const double cur_rate = cur.price_per_hour / cur.totalPower();
-    if (cand_rate < cur_rate - kEps ||
-        (std::abs(cand_rate - cur_rate) <= kEps &&
-         cand.totalPower() > cur.totalPower())) {
+    if (cand.preemptible) continue;
+    if (!best.has_value()) {
       best = c;
+      continue;
     }
+    const auto& cur = catalog.at(
+        ResourceClassId(static_cast<ResourceClassId::value_type>(*best)));
+    bool better;
+    if (acquisition_ == AcquisitionPolicy::LargestFirst) {
+      // Alg. 1's "VMClasses.First": most aggregate power, ties cheaper.
+      better = cand.totalPower() > cur.totalPower() ||
+               (cand.totalPower() == cur.totalPower() &&
+                cand.price_per_hour < cur.price_per_hour);
+    } else {
+      // CheapestPower: best dollars per unit of rated power; ties go to
+      // the larger class (fewer VMs, better colocation).
+      const double cand_rate = cand.price_per_hour / cand.totalPower();
+      const double cur_rate = cur.price_per_hour / cur.totalPower();
+      better = cand_rate < cur_rate - kEps ||
+               (std::abs(cand_rate - cur_rate) <= kEps &&
+                cand.totalPower() > cur.totalPower());
+    }
+    if (better) best = c;
   }
-  return ResourceClassId(static_cast<ResourceClassId::value_type>(best));
+  DDS_ENSURE(best.has_value(), "catalog has no on-demand class");
+  return ResourceClassId(static_cast<ResourceClassId::value_type>(*best));
 }
 
 std::optional<VmId> ResourceAllocator::acquireNew(SimTime now) {
@@ -183,13 +202,29 @@ std::optional<VmId> ResourceAllocator::acquireNew(SimTime now) {
   // Candidate order: the policy-preferred class first, then the cheaper
   // fallback classes by descending price — when the provider cannot
   // deliver the preferred class, any cheaper capacity is better than none
-  // (the incremental loop tops up with further VMs as needed).
+  // (the incremental loop tops up with further VMs as needed). When a
+  // spot tier exists and the per-acquisition hash lands inside the spot
+  // fraction, the preferred class's spot twin is tried before it; the
+  // fallback chain stays on-demand either way, so a rejected spot bid
+  // degrades to reliable capacity, never to more spot.
   const ResourceClassId preferred = preferredClass();
-  std::vector<ResourceClassId> candidates{preferred};
+  std::vector<ResourceClassId> candidates;
+  if (spot_fraction_ > 0.0 && !spot_suppressed_ &&
+      catalog.hasPreemptible()) {
+    const std::uint64_t h = splitmix64(spot_seed_ ^ kSpotChoiceTag ^
+                                       splitmix64(spot_ordinal_));
+    ++spot_ordinal_;
+    if (hashToUnitInterval(h) <= spot_fraction_) {
+      if (const auto spot = catalog.spotTwin(preferred)) {
+        candidates.push_back(*spot);
+      }
+    }
+  }
+  candidates.push_back(preferred);
   std::vector<ResourceClassId> fallbacks;
   for (std::size_t c = 0; c < catalog.size(); ++c) {
     const ResourceClassId id(static_cast<ResourceClassId::value_type>(c));
-    if (id != preferred &&
+    if (id != preferred && !catalog.at(id).preemptible &&
         catalog.at(id).price_per_hour <
             catalog.at(preferred).price_per_hour + kEps) {
       fallbacks.push_back(id);
@@ -506,8 +541,11 @@ void ResourceAllocator::repackPes(const Deployment& deployment,
         vm.releaseAllCoresOf(pe);
         continue;
       }
-      const ResourceClassId target_cls =
-          cloud_->catalog().smallestFitting(std::max(residual, kEps));
+      // Repacking is a cost move, not a reliability bet: a spot twin is
+      // always the cheapest fitting class, so map back to its on-demand
+      // hardware (identity when the catalog has no spot tier).
+      const ResourceClassId target_cls = cloud_->catalog().onDemandTwin(
+          cloud_->catalog().smallestFitting(std::max(residual, kEps)));
       const ResourceClass& target_spec = cloud_->catalog().at(target_cls);
       if (target_spec.price_per_hour >= vm.spec().price_per_hour) continue;
 

@@ -40,6 +40,7 @@ HeuristicScheduler::HeuristicScheduler(SchedulerEnv env, Strategy strategy,
   DDS_REQUIRE(options_.resource_period >= 1,
               "resource period must be at least one interval");
   allocator_.setResilience(options_.resilience);
+  allocator_.setSpotPreference(options_.spot_fraction, options_.spot_seed);
   allocator_.setObservability(env_.tracer, env_.metrics);
   if (options_.resilience.quarantineEnabled()) {
     guard_ = std::make_unique<StragglerGuard>(*env_.cloud, *env_.monitor,
@@ -137,6 +138,7 @@ SchedulerTelemetry HeuristicScheduler::telemetry() const {
       guard_ != nullptr ? guard_->quarantineCount() : 0;
   t.graceful_degradations = graceful_degradations_;
   t.acquisition_rejections = allocator_.acquisitionRejections();
+  t.preemption_drains = preemption_drains_;
   return t;
 }
 
@@ -340,6 +342,76 @@ void HeuristicScheduler::quarantineStragglers(
                       strategy_);
 }
 
+void HeuristicScheduler::drainPreemptionNotices(
+    const ObservedState& state, const Deployment& deployment,
+    std::vector<MigrationEvent>& migrations) {
+  CloudProvider& cloud = *env_.cloud;
+  // Without a preemption model (or a zero warning window) there is
+  // nothing actionable: the reclaim lands with no lead time.
+  if (cloud.noticeWindow() <= 0.0) return;
+
+  std::vector<VmId> doomed;
+  for (const VmInstance& vm : cloud.instances()) {
+    if (!vm.isActive() || !vm.spec().preemptible) continue;
+    if (cloud.preemptionImminent(vm.id(), state.now)) {
+      doomed.push_back(vm.id());
+    }
+  }
+  if (doomed.empty()) return;
+
+  for (const VmId id : doomed) {
+    VmInstance& vm = cloud.instance(id);
+    // Graceful drain: each hosted PE's share of buffered messages
+    // migrates over the network instead of dying with the reclaim. The
+    // voluntary release forfeits the partial-hour billing break a
+    // provider-initiated preemption would have earned — paying cents to
+    // keep the backlog is the whole point of the notice window.
+    std::vector<PeId> owners;
+    for (int c = 0; c < vm.coreCount(); ++c) {
+      const auto owner = vm.coreOwner(c);
+      if (owner.has_value() &&
+          std::find(owners.begin(), owners.end(), *owner) == owners.end()) {
+        owners.push_back(*owner);
+      }
+    }
+    for (const PeId pe : owners) {
+      const int on_vm = vm.coresOwnedBy(pe);
+      const int total = totalCores(*env_.cloud, pe);
+      vm.releaseAllCoresOf(pe);
+      migrations.push_back(
+          {pe, static_cast<double>(on_vm) / static_cast<double>(total)});
+    }
+    cloud.release(id, state.now);
+    ++preemption_drains_;
+    if (env_.tracer.enabled()) {
+      env_.tracer.emit(obs::SchedulerDecisionEvent{
+          .t = state.now,
+          .interval = state.interval,
+          .phase = "resource",
+          .action = "preemption_drain",
+          .omega = state.last_interval != nullptr
+                       ? state.last_interval->omega
+                       : 1.0,
+          .omega_bar = state.average_omega,
+          .theta = kNoTheta,
+          .rejected = {}});
+    }
+    if (env_.metrics != nullptr) {
+      env_.metrics->counter("sched.preemption_drains").inc();
+    }
+  }
+
+  // Pre-acquire reliable replacement capacity: the VMs we just walked
+  // away from were spot, so steering their replacements back to spot
+  // would re-enter the same reclaim lottery mid-incident.
+  allocator_.suppressSpot(true);
+  const CorePowerFn power = runtimePowerFn(state.now);
+  allocator_.ensureMinimumCores(state.now);
+  allocator_.scaleOut(deployment, state.input_rate, power, state.now,
+                      strategy_);
+  allocator_.suppressSpot(false);
+}
+
 std::vector<MigrationEvent> HeuristicScheduler::resourcePhase(
     const ObservedState& state, Deployment& deployment) {
   const double omega_hat = env_.omega_target;
@@ -351,6 +423,7 @@ std::vector<MigrationEvent> HeuristicScheduler::resourcePhase(
 
   std::vector<MigrationEvent> migrations;
   quarantineStragglers(state, deployment, migrations);
+  drainPreemptionNotices(state, deployment, migrations);
 
   // Local decisions are based on per-PE measurements only (one interval
   // stale for anything an upstream change is about to cause).

@@ -63,6 +63,8 @@ HeuristicOptions heuristicOptionsOf(const SchedulerTuning& tuning) {
   }
   opts.max_queue_delay_s = tuning.max_queue_delay_s;
   opts.resilience = tuning.resilience;
+  opts.spot_fraction = tuning.spot_fraction;
+  opts.spot_seed = tuning.seed;
   return opts;
 }
 

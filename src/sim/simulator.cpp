@@ -28,6 +28,7 @@ DataflowSimulator::DataflowSimulator(const Dataflow& df,
       cfg_(cfg),
       backlog_(df.peCount(), 0.0),
       in_transit_(df.peCount(), 0.0),
+      pause_remaining_(df.peCount(), 0.0),
       pe_cores_(df.peCount()),
       output_rate_(df.peCount(), 0.0) {
   DDS_REQUIRE(cfg_.msg_size_bytes > 0.0, "message size must be positive");
@@ -56,6 +57,12 @@ double DataflowSimulator::dropBacklog(PeId pe, double fraction) {
   const double dropped = backlog_[pe.value()] * fraction;
   backlog_[pe.value()] -= dropped;
   return dropped;
+}
+
+void DataflowSimulator::pauseService(PeId pe, SimTime seconds) {
+  DDS_REQUIRE(pe.value() < pause_remaining_.size(), "PE id out of range");
+  DDS_REQUIRE(seconds >= 0.0, "pause must be non-negative");
+  pause_remaining_[pe.value()] += seconds;
 }
 
 void DataflowSimulator::beginInterval(SimTime t_mid) {
@@ -200,8 +207,17 @@ IntervalMetrics DataflowSimulator::step(IntervalIndex index,
     st.capacity_rate = capacity_rate;
     st.allocated_cores = cores;
 
+    // Migration downtime consumes service time from the front of the
+    // interval. The guarded path keeps the no-pause arithmetic (and with
+    // it every pre-elasticity trace byte) untouched.
+    SimTime service_dt = dt;
+    if (pause_remaining_[i] > 0.0) {
+      const SimTime pause = std::min(pause_remaining_[i], dt);
+      pause_remaining_[i] -= pause;
+      service_dt = dt - pause;
+    }
     const double processed_msgs =
-        std::min(available_msgs, capacity_rate * dt);
+        std::min(available_msgs, capacity_rate * service_dt);
     backlog_[i] = available_msgs - processed_msgs;
     st.processed_rate = processed_msgs / dt;
     st.backlog_msgs = backlog_[i];

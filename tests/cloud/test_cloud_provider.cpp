@@ -150,7 +150,8 @@ class ScriptedAcquisitionFaults final : public AcquisitionFaultModel {
       std::uint64_t attempt) const override {
     return attempt < reject_below_;
   }
-  [[nodiscard]] SimTime provisioningDelay(VmId) const override {
+  [[nodiscard]] SimTime provisioningDelay(VmId,
+                                          const ResourceClass&) const override {
     return delay_;
   }
 
@@ -195,6 +196,125 @@ TEST(TryAcquire, ProvisioningDelaySetsReadyTimeButBillsFromStart) {
   // The clock (and the bill) started at acquisition, not readiness.
   EXPECT_DOUBLE_EQ(vm.startTime(), 100.0);
   EXPECT_GT(cloud.instanceCost(got.vm, 200.0), 0.0);
+}
+
+// --- spot billing audit (provider-initiated preemption forgives the
+// --- partial started hour; tenant-initiated terminations never do) ---
+
+CloudProvider makeSpotCloud() {
+  return CloudProvider(withSpotTier(awsCatalog2013(), 0.7));
+}
+
+TEST(SpotBilling, PreemptedMidHourDoesNotBillTheStartedHour) {
+  auto cloud = makeSpotCloud();
+  // m1.small-spot: $0.06 * 0.3 = $0.018/h.
+  const VmId id = cloud.acquire(cloud.catalog().byName("m1.small-spot"), 0.0);
+  cloud.preempt(id, 5400.0);  // reclaimed at 1.5 h
+  EXPECT_EQ(cloud.billedHours(id, 5400.0), 1);  // not 2: the partial hour
+  EXPECT_DOUBLE_EQ(cloud.instanceCost(id, 5400.0), 0.018);
+  EXPECT_EQ(cloud.instance(id).terminationReason(),
+            TerminationReason::Preempted);
+}
+
+TEST(SpotBilling, PreemptedAtExactBoundaryBillsWholeHours) {
+  auto cloud = makeSpotCloud();
+  const VmId id = cloud.acquire(cloud.catalog().byName("m1.small-spot"), 0.0);
+  cloud.preempt(id, 2.0 * 3600.0);
+  EXPECT_EQ(cloud.billedHours(id, 2.0 * 3600.0), 2);
+}
+
+TEST(SpotBilling, PreemptedInFirstHourIsFree) {
+  auto cloud = makeSpotCloud();
+  const VmId id = cloud.acquire(cloud.catalog().byName("m1.small-spot"), 0.0);
+  cloud.preempt(id, 1800.0);
+  EXPECT_EQ(cloud.billedHours(id, 1800.0), 0);
+  EXPECT_DOUBLE_EQ(cloud.instanceCost(id, 1800.0), 0.0);
+}
+
+TEST(SpotBilling, NoAccrualAfterPreemption) {
+  auto cloud = makeSpotCloud();
+  const VmId id = cloud.acquire(cloud.catalog().byName("m1.medium-spot"), 0.0);
+  cloud.preempt(id, 5400.0);
+  const double at_death = cloud.instanceCost(id, 5400.0);
+  EXPECT_DOUBLE_EQ(cloud.instanceCost(id, 100000.0), at_death);
+  EXPECT_EQ(cloud.billedHours(id, 100000.0),
+            cloud.billedHours(id, 5400.0));
+}
+
+TEST(SpotBilling, VoluntaryReleaseOfASpotVmStillBillsTheStartedHour) {
+  auto cloud = makeSpotCloud();
+  // A tenant-initiated drain (e.g. on a preemption notice) forfeits the
+  // spot break: the started hour is charged like any on-demand release.
+  const VmId id = cloud.acquire(cloud.catalog().byName("m1.small-spot"), 0.0);
+  cloud.release(id, 5400.0);
+  EXPECT_EQ(cloud.billedHours(id, 5400.0), 2);
+  EXPECT_EQ(cloud.instance(id).terminationReason(),
+            TerminationReason::Released);
+}
+
+TEST(SpotBilling, CrashStillBillsTheStartedHour) {
+  auto cloud = makeSpotCloud();
+  const VmId id = cloud.acquire(cloud.catalog().byName("m1.small-spot"), 0.0);
+  cloud.terminate(id, 5400.0, TerminationReason::Crashed);
+  EXPECT_EQ(cloud.billedHours(id, 5400.0), 2);
+}
+
+TEST(SpotBilling, PreemptionKillsTheVmUnderItsTenants) {
+  auto cloud = makeSpotCloud();
+  const VmId id = cloud.acquire(cloud.catalog().byName("m1.large-spot"), 0.0);
+  cloud.instance(id).allocateCore(PeId(3));
+  // Provider-initiated reclamation does not wait for core releases.
+  EXPECT_NO_THROW(cloud.preempt(id, 100.0));
+  EXPECT_FALSE(cloud.instance(id).isActive());
+}
+
+// --- the provider's preemption-notice API ---
+
+/// Fixed-schedule preemption model: every VM is reclaimed at `at` with a
+/// `notice` second warning.
+class ScriptedPreemptions final : public PreemptionFaultModel {
+ public:
+  ScriptedPreemptions(SimTime at, SimTime notice)
+      : at_(at), notice_(notice) {}
+  [[nodiscard]] SimTime preemptionTime(VmId, SimTime) const override {
+    return at_;
+  }
+  [[nodiscard]] SimTime noticeWindow() const override { return notice_; }
+
+ private:
+  SimTime at_;
+  SimTime notice_;
+};
+
+TEST(PreemptionNotice, NoModelMeansNoPreemptions) {
+  auto cloud = makeSpotCloud();
+  const VmId id = cloud.acquire(cloud.catalog().byName("m1.small-spot"), 0.0);
+  EXPECT_EQ(cloud.preemptionTimeOf(id),
+            std::numeric_limits<SimTime>::infinity());
+  EXPECT_DOUBLE_EQ(cloud.noticeWindow(), 0.0);
+  EXPECT_FALSE(cloud.preemptionImminent(id, 1e9));
+}
+
+TEST(PreemptionNotice, OnDemandVmsAreNeverImminent) {
+  auto cloud = makeSpotCloud();
+  const ScriptedPreemptions model(1000.0, 120.0);
+  cloud.setPreemptionModel(&model);
+  const VmId od = cloud.acquire(cloud.catalog().byName("m1.small"), 0.0);
+  EXPECT_EQ(cloud.preemptionTimeOf(od),
+            std::numeric_limits<SimTime>::infinity());
+  EXPECT_FALSE(cloud.preemptionImminent(od, 1e9));
+}
+
+TEST(PreemptionNotice, ImminentExactlyInsideTheNoticeWindow) {
+  auto cloud = makeSpotCloud();
+  const ScriptedPreemptions model(1000.0, 120.0);
+  cloud.setPreemptionModel(&model);
+  const VmId id = cloud.acquire(cloud.catalog().byName("m1.small-spot"), 0.0);
+  EXPECT_DOUBLE_EQ(cloud.preemptionTimeOf(id), 1000.0);
+  EXPECT_DOUBLE_EQ(cloud.noticeWindow(), 120.0);
+  EXPECT_FALSE(cloud.preemptionImminent(id, 879.0));
+  EXPECT_TRUE(cloud.preemptionImminent(id, 880.0));  // notice served
+  EXPECT_TRUE(cloud.preemptionImminent(id, 1500.0));
 }
 
 TEST(TryAcquire, PlainAcquireIsUnaffectedByTheFaultModel) {

@@ -94,5 +94,67 @@ TEST(ResourceCatalog, AtRejectsOutOfRange) {
   EXPECT_THROW((void)cat.at(ResourceClassId(4)), PreconditionError);
 }
 
+// ---- spot/preemptible tier ----
+
+TEST(SpotTier, WithSpotTierAppendsDiscountedTwins) {
+  const auto cat = withSpotTier(awsCatalog2013(), 0.7);
+  ASSERT_EQ(cat.size(), 8u);
+  EXPECT_TRUE(cat.hasPreemptible());
+  // The on-demand classes keep their original ids (existing deployments
+  // stay valid); the spot twins are appended after them.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto& od = cat.at(ResourceClassId(i));
+    const auto& spot = cat.at(ResourceClassId(i + 4));
+    EXPECT_FALSE(od.preemptible);
+    EXPECT_TRUE(spot.preemptible);
+    EXPECT_EQ(spot.name, od.name + "-spot");
+    EXPECT_EQ(spot.cores, od.cores);
+    EXPECT_DOUBLE_EQ(spot.core_speed, od.core_speed);
+    EXPECT_DOUBLE_EQ(spot.bandwidth_mbps, od.bandwidth_mbps);
+    EXPECT_NEAR(spot.price_per_hour, od.price_per_hour * 0.3, 1e-12);
+  }
+}
+
+TEST(SpotTier, DiscountMustBeStrictlyBetweenZeroAndOne) {
+  EXPECT_THROW((void)withSpotTier(awsCatalog2013(), 0.0), PreconditionError);
+  EXPECT_THROW((void)withSpotTier(awsCatalog2013(), 1.0), PreconditionError);
+  EXPECT_THROW((void)withSpotTier(awsCatalog2013(), -0.5), PreconditionError);
+}
+
+TEST(SpotTier, WithSpotTierNeverMintsSpotOfSpot) {
+  // Re-applying the tier twins the on-demand classes again but never
+  // derives a "-spot-spot" class from an existing spot one.
+  const auto twice = withSpotTier(withSpotTier(awsCatalog2013(), 0.5), 0.5);
+  for (const auto& cls : twice.classes()) {
+    EXPECT_EQ(cls.name.find("-spot-spot"), std::string::npos) << cls.name;
+  }
+}
+
+TEST(SpotTier, TwinLookupsRoundTrip) {
+  const auto cat = withSpotTier(awsCatalog2013(), 0.7);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const ResourceClassId od(i);
+    const auto spot = cat.spotTwin(od);
+    ASSERT_TRUE(spot.has_value()) << cat.at(od).name;
+    EXPECT_EQ(cat.onDemandTwin(*spot), od);
+    // Twin lookups are idempotent on their own tier.
+    EXPECT_EQ(cat.onDemandTwin(od), od);
+    EXPECT_EQ(cat.spotTwin(*spot), *spot);
+  }
+}
+
+TEST(SpotTier, PlainCatalogHasNoTwins) {
+  const auto cat = awsCatalog2013();
+  EXPECT_FALSE(cat.hasPreemptible());
+  EXPECT_FALSE(cat.spotTwin(ResourceClassId(0)).has_value());
+  EXPECT_EQ(cat.onDemandTwin(ResourceClassId(2)), ResourceClassId(2));
+}
+
+TEST(SpotTier, OrphanSpotClassHasNoOnDemandTwin) {
+  const ResourceCatalog cat(
+      {{"od", 1, 1.0, 100.0, 0.1, false}, {"orphan", 2, 1.0, 100.0, 0.05, true}});
+  EXPECT_THROW((void)cat.onDemandTwin(ResourceClassId(1)), PreconditionError);
+}
+
 }  // namespace
 }  // namespace dds

@@ -251,6 +251,82 @@ TEST(ExperimentFromConfig, BothSpellingsOfOneKnobIsAnError) {
   }
 }
 
+TEST(ExperimentFromConfig, ParsesElasticityKeys) {
+  const auto ex = experimentFromConfig(KeyValueConfig::parse(
+      "elasticity.provisioning_delay_s = 180\n"
+      "elasticity.provisioning_delay_per_core_s = 20\n"
+      "elasticity.spot_discount = 0.7\n"
+      "elasticity.spot_fraction = 0.5\n"
+      "elasticity.spot_preemption_mtbf_h = 2\n"
+      "elasticity.spot_notice_s = 90\n"
+      "elasticity.pe_state_mb = 64\n"
+      "elasticity.migration_bandwidth_mbps = 250\n"));
+  const auto& el = ex.config.elasticity;
+  EXPECT_DOUBLE_EQ(el.provisioning_delay_s, 180.0);
+  EXPECT_DOUBLE_EQ(el.provisioning_delay_per_core_s, 20.0);
+  EXPECT_DOUBLE_EQ(el.spot_discount, 0.7);
+  EXPECT_DOUBLE_EQ(el.spot_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(el.spot_preemption_mtbf_h, 2.0);
+  EXPECT_DOUBLE_EQ(el.spot_notice_s, 90.0);
+  EXPECT_DOUBLE_EQ(el.pe_state_mb, 64.0);
+  EXPECT_DOUBLE_EQ(el.migration_bandwidth_mbps, 250.0);
+  EXPECT_TRUE(el.anyEnabled());
+}
+
+TEST(ExperimentFromConfig, ElasticityDefaultsAreAllOff) {
+  const auto ex = experimentFromConfig(KeyValueConfig::parse("graph=paper\n"));
+  EXPECT_FALSE(ex.config.elasticity.anyEnabled());
+}
+
+TEST(ExperimentFromConfig, SpotPreemptionWithoutATierIsAnError) {
+  EXPECT_THROW((void)experimentFromConfig(KeyValueConfig::parse(
+                   "elasticity.spot_preemption_mtbf_h = 2\n")),
+               PreconditionError);
+}
+
+TEST(ExperimentFromConfig, ProvisioningDelayUnderBothPrefixesIsAnError) {
+  try {
+    (void)experimentFromConfig(KeyValueConfig::parse(
+        "fault.provisioning_delay_s = 60\n"
+        "elasticity.provisioning_delay_s = 60\n"));
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("not both"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ExperimentFromConfig, ElasticityOnTheEventBackendIsAnError) {
+  // Migration cost works on both backends; delays and spot are fluid-only.
+  EXPECT_NO_THROW((void)experimentFromConfig(KeyValueConfig::parse(
+      "backend = event\n"
+      "elasticity.pe_state_mb = 50\n")));
+  EXPECT_THROW((void)experimentFromConfig(KeyValueConfig::parse(
+                   "backend = event\n"
+                   "elasticity.spot_discount = 0.7\n")),
+               PreconditionError);
+  EXPECT_THROW((void)experimentFromConfig(KeyValueConfig::parse(
+                   "backend = event\n"
+                   "elasticity.provisioning_delay_s = 60\n")),
+               PreconditionError);
+}
+
+TEST(ElasticityConfigValidate, ReportsEveryBadKnob) {
+  ExperimentConfig cfg;
+  cfg.elasticity.provisioning_delay_s = -1.0;       // error 1
+  cfg.elasticity.spot_discount = 1.0;               // error 2 (must be < 1)
+  cfg.elasticity.spot_fraction = 1.5;               // error 3
+  cfg.elasticity.pe_state_mb = -5.0;                // error 4
+  cfg.elasticity.migration_bandwidth_mbps = 0.0;    // error 5
+  const auto errors = cfg.validationErrors();
+  EXPECT_EQ(errors.size(), 5u);
+  bool saw_discount = false;
+  for (const auto& e : errors) {
+    saw_discount = saw_discount || e.find("spot discount") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_discount);
+}
+
 TEST(ExperimentConfigValidate, ReportsAllErrorsAtOnce) {
   ExperimentConfig cfg;
   cfg.horizon_s = -1.0;                     // error 1

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "dds/common/stats.hpp"
@@ -167,11 +168,12 @@ TEST(FaultPlan, AcquisitionRejectionRateMatchesProbability) {
 
 TEST(FaultPlan, ProvisioningDelayIsExponentialPerVm) {
   const FaultPlan plan(allFamiliesConfig());
+  const ResourceClass one_core{"c1", 1, 1.0, 100.0, 0.0};
   RunningStats delays;
   for (std::uint32_t v = 0; v < 5000; ++v) {
-    const SimTime d = plan.provisioningDelay(VmId(v));
+    const SimTime d = plan.provisioningDelay(VmId(v), one_core);
     EXPECT_GE(d, 0.0);
-    EXPECT_DOUBLE_EQ(d, plan.provisioningDelay(VmId(v)));  // pure
+    EXPECT_DOUBLE_EQ(d, plan.provisioningDelay(VmId(v), one_core));  // pure
     delays.add(d);
   }
   EXPECT_NEAR(delays.mean(), 120.0, 10.0);
@@ -186,7 +188,109 @@ TEST(FaultPlan, DisabledFamiliesAreInert) {
   EXPECT_DOUBLE_EQ(plan.cpuFactor(VmId(0), 0.0, 1e6), 1.0);
   EXPECT_FALSE(plan.linkPartitioned(VmId(0), VmId(1), 1e6));
   EXPECT_FALSE(plan.acquisitionRejected(0));
-  EXPECT_DOUBLE_EQ(plan.provisioningDelay(VmId(0)), 0.0);
+  const ResourceClass big{"c8", 8, 1.0, 100.0, 0.0};
+  EXPECT_DOUBLE_EQ(plan.provisioningDelay(VmId(0), big), 0.0);
+  EXPECT_FALSE(plan.perturbsSpot());
+  EXPECT_EQ(plan.preemptionTime(VmId(0), 0.0),
+            std::numeric_limits<SimTime>::infinity());
+}
+
+// -- spot-preemption family --
+
+FaultPlanConfig preemptionConfig(std::uint64_t seed = 11) {
+  FaultPlanConfig cfg;
+  cfg.seed = seed;
+  cfg.spot_preemption_mtbf_hours = 2.0;
+  cfg.spot_notice_s = 120.0;
+  return cfg;
+}
+
+TEST(FaultPlanPreemption, TimesArePureInSeedVmAndStart) {
+  const FaultPlan a(preemptionConfig());
+  const FaultPlan b(preemptionConfig());
+  for (std::uint32_t v = 0; v < 64; ++v) {
+    const SimTime t = a.preemptionTime(VmId(v), 100.0);
+    EXPECT_GT(t, 100.0);
+    EXPECT_DOUBLE_EQ(t, a.preemptionTime(VmId(v), 100.0));  // re-query
+    EXPECT_DOUBLE_EQ(t, b.preemptionTime(VmId(v), 100.0));  // fresh plan
+  }
+  // A different seed reshuffles the schedule.
+  const FaultPlan c(preemptionConfig(12));
+  int moved = 0;
+  for (std::uint32_t v = 0; v < 64; ++v) {
+    moved += a.preemptionTime(VmId(v), 0.0) != c.preemptionTime(VmId(v), 0.0)
+                 ? 1
+                 : 0;
+  }
+  EXPECT_GT(moved, 32);
+}
+
+TEST(FaultPlanPreemption, TimesShiftWithVmStart) {
+  const FaultPlan plan(preemptionConfig());
+  for (std::uint32_t v = 0; v < 32; ++v) {
+    EXPECT_DOUBLE_EQ(plan.preemptionTime(VmId(v), 500.0),
+                     plan.preemptionTime(VmId(v), 0.0) + 500.0);
+  }
+}
+
+TEST(FaultPlanPreemption, MeanLifetimeTracksMtbf) {
+  const FaultPlan plan(preemptionConfig());
+  RunningStats lifetimes;
+  for (std::uint32_t v = 0; v < 5000; ++v) {
+    lifetimes.add(plan.preemptionTime(VmId(v), 0.0));
+  }
+  EXPECT_NEAR(lifetimes.mean(), 2.0 * 3600.0, 0.05 * 2.0 * 3600.0);
+}
+
+TEST(FaultPlanPreemption, NoticeWindowIsTheConfiguredLeadTime) {
+  EXPECT_DOUBLE_EQ(FaultPlan(preemptionConfig()).noticeWindow(), 120.0);
+  EXPECT_TRUE(FaultPlan(preemptionConfig()).perturbsSpot());
+}
+
+TEST(FaultPlanPreemption, InjectOnlyReclaimsPreemptibleVms) {
+  const FaultPlan plan(preemptionConfig());
+  CloudProvider cloud(withSpotTier(awsCatalog2013(), 0.7));
+  const VmId od = cloud.acquire(cloud.catalog().byName("m1.small"), 0.0);
+  const VmId spot =
+      cloud.acquire(cloud.catalog().byName("m1.small-spot"), 0.0);
+  // Far past every finite preemption time.
+  const auto events =
+      plan.injectPreemptionsUpTo(cloud, 1000.0 * kSecondsPerHour);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].vm, spot);
+  EXPECT_TRUE(cloud.instance(od).isActive());
+  EXPECT_FALSE(cloud.instance(spot).isActive());
+  EXPECT_EQ(cloud.instance(spot).terminationReason(),
+            TerminationReason::Preempted);
+  // Idempotent: the reclaimed VM left the active set.
+  EXPECT_TRUE(
+      plan.injectPreemptionsUpTo(cloud, 1000.0 * kSecondsPerHour).empty());
+}
+
+TEST(FaultPlanPreemption, InjectReportsBacklogLossAndFreesCores) {
+  const FaultPlan plan(preemptionConfig());
+  CloudProvider cloud(withSpotTier(awsCatalog2013(), 0.7));
+  const VmId spot =
+      cloud.acquire(cloud.catalog().byName("m1.large-spot"), 0.0);
+  cloud.instance(spot).allocateCore(PeId(2));
+  cloud.instance(spot).allocateCore(PeId(2));
+  const auto events =
+      plan.injectPreemptionsUpTo(cloud, 1000.0 * kSecondsPerHour);
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].losses.size(), 1u);
+  EXPECT_EQ(events[0].losses[0].pe, PeId(2));
+  // Both of the PE's cores sat on the reclaimed VM: all backlog is lost.
+  EXPECT_DOUBLE_EQ(events[0].losses[0].fraction, 1.0);
+}
+
+TEST(FaultPlanPreemption, DisabledFamilyNeverFires) {
+  FaultPlanConfig cfg;
+  cfg.seed = 11;
+  const FaultPlan plan(cfg);
+  CloudProvider cloud(withSpotTier(awsCatalog2013(), 0.7));
+  (void)cloud.acquire(cloud.catalog().byName("m1.small-spot"), 0.0);
+  EXPECT_TRUE(
+      plan.injectPreemptionsUpTo(cloud, 1000.0 * kSecondsPerHour).empty());
 }
 
 TEST(FaultPlan, InjectUpToIsIdempotentAtTheSameTime) {

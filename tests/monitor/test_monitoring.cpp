@@ -134,7 +134,8 @@ TEST(Monitoring, ProvisioningVmObservesZeroPowerUntilReady) {
     [[nodiscard]] bool acquisitionRejected(std::uint64_t) const override {
       return false;
     }
-    [[nodiscard]] SimTime provisioningDelay(VmId) const override {
+    [[nodiscard]] SimTime provisioningDelay(
+        VmId, const ResourceClass&) const override {
       return 250.0;
     }
   };

@@ -340,6 +340,120 @@ TEST(Allocator, ReleaseEmptyVmsImmediate) {
   EXPECT_TRUE(f.cloud.instance(b).isActive());
 }
 
+// ---- spot preference ----
+
+struct SpotFixture {
+  explicit SpotFixture(double discount = 0.7)
+      : df(makePaperDataflow()), cloud(withSpotTier(awsCatalog2013(), discount)) {}
+  Dataflow df;
+  CloudProvider cloud;
+  TraceReplayer replayer = TraceReplayer::ideal();
+  MonitoringService mon{cloud, replayer};
+
+  /// Class names of every VM ever acquired, in acquisition order.
+  std::vector<std::string> acquiredClasses() const {
+    std::vector<std::string> names;
+    for (const auto& vm : cloud.instances()) names.push_back(vm.spec().name);
+    return names;
+  }
+};
+
+TEST(AllocatorSpot, FractionOneBuysTheSpotTwin) {
+  SpotFixture f;
+  ResourceAllocator alloc(f.df, f.cloud, 0.7);
+  alloc.setSpotPreference(1.0, 42);
+  alloc.ensureMinimumCores(0.0);
+  ASSERT_GT(f.cloud.instanceCount(), 0u);
+  for (const auto& vm : f.cloud.instances()) {
+    EXPECT_TRUE(vm.spec().preemptible) << vm.spec().name;
+    EXPECT_EQ(vm.spec().name, "m1.xlarge-spot");
+  }
+}
+
+TEST(AllocatorSpot, FractionZeroIsBitIdenticalToASpotUnawareAllocator) {
+  SpotFixture unaware;
+  SpotFixture zeroed;
+  ResourceAllocator a(unaware.df, unaware.cloud, 0.7);
+  ResourceAllocator b(zeroed.df, zeroed.cloud, 0.7);
+  b.setSpotPreference(0.0, 42);
+  Deployment da(unaware.df);
+  Deployment db(zeroed.df);
+  a.ensureMinimumCores(0.0);
+  a.scaleOut(da, 60.0, ratedCorePowerFn(unaware.cloud), 0.0,
+             Strategy::Global);
+  b.ensureMinimumCores(0.0);
+  b.scaleOut(db, 60.0, ratedCorePowerFn(zeroed.cloud), 0.0,
+             Strategy::Global);
+  EXPECT_EQ(unaware.acquiredClasses(), zeroed.acquiredClasses());
+  for (const auto& vm : zeroed.cloud.instances()) {
+    EXPECT_FALSE(vm.spec().preemptible) << vm.spec().name;
+  }
+}
+
+TEST(AllocatorSpot, PreferredClassSkipsTheSpotTier) {
+  // Even though the spot twin is cheaper at equal power, the unsteered
+  // allocator must never buy preemptible capacity by accident.
+  SpotFixture f;
+  ResourceAllocator alloc(f.df, f.cloud, 0.7);
+  alloc.ensureMinimumCores(0.0);
+  for (const auto& vm : f.cloud.instances()) {
+    EXPECT_FALSE(vm.spec().preemptible) << vm.spec().name;
+  }
+}
+
+TEST(AllocatorSpot, SuppressionVetoesTheSpotTier) {
+  SpotFixture f;
+  ResourceAllocator alloc(f.df, f.cloud, 0.7);
+  alloc.setSpotPreference(1.0, 42);
+  alloc.suppressSpot(true);
+  alloc.ensureMinimumCores(0.0);
+  for (const auto& vm : f.cloud.instances()) {
+    EXPECT_FALSE(vm.spec().preemptible) << vm.spec().name;
+  }
+  // Lifting the veto restores the preference for the next acquisition.
+  alloc.suppressSpot(false);
+  Deployment dep(f.df);
+  alloc.scaleOut(dep, 80.0, ratedCorePowerFn(f.cloud), 0.0,
+                 Strategy::Global);
+  bool any_spot = false;
+  for (const auto& vm : f.cloud.instances()) {
+    any_spot = any_spot || vm.spec().preemptible;
+  }
+  EXPECT_TRUE(any_spot);
+}
+
+TEST(AllocatorSpot, ChoicesAreSeedDeterministic) {
+  auto classesFor = [](std::uint64_t seed) {
+    SpotFixture f;
+    ResourceAllocator alloc(f.df, f.cloud, 0.7);
+    alloc.setSpotPreference(0.5, seed);
+    Deployment dep(f.df);
+    alloc.ensureMinimumCores(0.0);
+    alloc.scaleOut(dep, 120.0, ratedCorePowerFn(f.cloud), 0.0,
+                   Strategy::Global);
+    return f.acquiredClasses();
+  };
+  EXPECT_EQ(classesFor(42), classesFor(42));
+}
+
+TEST(AllocatorSpot, PlainCatalogIgnoresThePreference) {
+  Fixture f(makePaperDataflow());  // on-demand-only catalog
+  ResourceAllocator alloc(f.df, f.cloud, 0.7);
+  alloc.setSpotPreference(1.0, 42);
+  alloc.ensureMinimumCores(0.0);
+  ASSERT_GT(f.cloud.instanceCount(), 0u);
+  for (const auto& vm : f.cloud.instances()) {
+    EXPECT_FALSE(vm.spec().preemptible);
+  }
+}
+
+TEST(AllocatorSpot, PreferenceValidatesTheFraction) {
+  SpotFixture f;
+  ResourceAllocator alloc(f.df, f.cloud, 0.7);
+  EXPECT_THROW(alloc.setSpotPreference(-0.1, 1), PreconditionError);
+  EXPECT_THROW(alloc.setSpotPreference(1.1, 1), PreconditionError);
+}
+
 TEST(Allocator, ReleaseAtHourBoundaryKeepsMidHourVms) {
   Fixture f(makePaperDataflow());
   const VmId a = f.cloud.acquire(ResourceClassId(0), 0.0);

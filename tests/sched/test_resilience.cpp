@@ -38,7 +38,8 @@ class RejectFirstN final : public AcquisitionFaultModel {
       std::uint64_t attempt) const override {
     return attempt < n_;
   }
-  [[nodiscard]] SimTime provisioningDelay(VmId) const override {
+  [[nodiscard]] SimTime provisioningDelay(VmId,
+                                          const ResourceClass&) const override {
     return 0.0;
   }
 
@@ -136,7 +137,8 @@ TEST(StragglerGuard, SkipsProvisioningVms) {
     [[nodiscard]] bool acquisitionRejected(std::uint64_t) const override {
       return false;
     }
-    [[nodiscard]] SimTime provisioningDelay(VmId) const override {
+    [[nodiscard]] SimTime provisioningDelay(
+        VmId, const ResourceClass&) const override {
       return 500.0;
     }
   };

@@ -181,6 +181,72 @@ TEST(Simulator, MigrationFractionValidated) {
   EXPECT_THROW(sim.migrateBacklog(PeId(7), 0.5), PreconditionError);
 }
 
+// ---- migration downtime (pauseService) ----
+
+TEST(Simulator, PauseConsumesServiceTimeFromTheIntervalFront) {
+  Fixture f(makePipeline());
+  f.giveSmallCores(PeId(0), 1);  // 10 msg/s capacity
+  f.giveSmallCores(PeId(1), 1);
+  Deployment dep(f.df);
+  DataflowSimulator sim(f.df, f.cloud, f.mon, {});
+  sim.pauseService(PeId(0), 30.0);
+  EXPECT_DOUBLE_EQ(sim.pauseRemaining(PeId(0)), 30.0);
+  // Arrivals 10 msg/s * 60 s = 600; only 30 s of service remain, so the
+  // paused source processes 300 and queues the rest.
+  const auto m = sim.step(0, 10.0, dep);
+  EXPECT_NEAR(m.pe_stats[0].processed_rate, 5.0, 1e-9);
+  EXPECT_NEAR(sim.backlog(PeId(0)), 300.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sim.pauseRemaining(PeId(0)), 0.0);
+  // The unpaused sink is unaffected (it only sees fewer arrivals).
+  EXPECT_NEAR(m.pe_stats[1].processed_rate, 5.0, 1e-9);
+}
+
+TEST(Simulator, PausesStackAndSpanIntervals) {
+  Fixture f(makePipeline());
+  f.giveSmallCores(PeId(0), 1);
+  f.giveSmallCores(PeId(1), 1);
+  Deployment dep(f.df);
+  DataflowSimulator sim(f.df, f.cloud, f.mon, {});
+  sim.pauseService(PeId(0), 50.0);
+  sim.pauseService(PeId(0), 40.0);  // 90 s total: more than one interval
+  const auto m0 = sim.step(0, 10.0, dep);
+  EXPECT_NEAR(m0.pe_stats[0].processed_rate, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sim.pauseRemaining(PeId(0)), 30.0);
+  // Second interval: 30 s of pause left, 30 s of service at 10 msg/s
+  // against 600 queued + 600 fresh arrivals.
+  const auto m1 = sim.step(1, 10.0, dep);
+  EXPECT_NEAR(m1.pe_stats[0].processed_rate, 5.0, 1e-9);
+  EXPECT_NEAR(sim.backlog(PeId(0)), 900.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sim.pauseRemaining(PeId(0)), 0.0);
+}
+
+TEST(Simulator, ZeroPauseLeavesMetricsUntouched) {
+  auto run = [](bool with_noop_pause) {
+    Fixture f(makePipeline());
+    f.giveSmallCores(PeId(0), 1);
+    f.giveSmallCores(PeId(1), 1);
+    Deployment dep(f.df);
+    DataflowSimulator sim(f.df, f.cloud, f.mon, {});
+    if (with_noop_pause) sim.pauseService(PeId(0), 0.0);
+    return sim.step(0, 10.0, dep);
+  };
+  const auto a = run(false);
+  const auto b = run(true);
+  EXPECT_DOUBLE_EQ(a.omega, b.omega);
+  for (std::size_t i = 0; i < a.pe_stats.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.pe_stats[i].processed_rate,
+                     b.pe_stats[i].processed_rate);
+  }
+}
+
+TEST(Simulator, PauseValidatesArguments) {
+  Fixture f(makePipeline());
+  DataflowSimulator sim(f.df, f.cloud, f.mon, {});
+  EXPECT_THROW(sim.pauseService(PeId(7), 1.0), PreconditionError);
+  EXPECT_THROW(sim.pauseService(PeId(0), -1.0), PreconditionError);
+  EXPECT_THROW((void)sim.pauseRemaining(PeId(7)), PreconditionError);
+}
+
 TEST(Simulator, CostTracksCloudProvider) {
   Fixture f(makePipeline());
   f.giveSmallCores(PeId(0), 1);

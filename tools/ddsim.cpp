@@ -51,7 +51,8 @@ void printUsage(std::ostream& out) {
   for (const SchedulerKind kind : allSchedulerKinds()) {
     out << ' ' << schedulerName(kind);
   }
-  out << "\nsee tools/example.conf for the config format\n";
+  out << "\nconfig families: workload.* fault.* elasticity.* resilience.*\n"
+         "see tools/example.conf for the config format\n";
 }
 
 /// Parses argv; throws ConfigError on malformed flags.

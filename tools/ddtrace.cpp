@@ -98,7 +98,8 @@ void printAnalysis(const obs::TraceAnalysis& a) {
 
   TextTable timeline({"int", "t_s", "rate", "omega", "omega_bar", "gamma",
                       "rho", "mu", "vms", "cores", "viol", "alt", "vm+",
-                      "vm-", "rej", "fault", "quar", "dec"});
+                      "vm-", "rej", "fault", "quar", "dec", "prov", "noti",
+                      "pre", "mig"});
   for (const obs::TimelineRow& r : a.rows) {
     timeline.addRow({std::to_string(r.interval), TextTable::num(r.t, 0),
                      TextTable::num(r.input_rate, 2),
@@ -116,7 +117,11 @@ void printAnalysis(const obs::TraceAnalysis& a) {
                      std::to_string(r.acquisition_failures),
                      std::to_string(r.faults),
                      std::to_string(r.quarantines),
-                     std::to_string(r.decisions)});
+                     std::to_string(r.decisions),
+                     std::to_string(r.provisioning_completions),
+                     std::to_string(r.preemption_notices),
+                     std::to_string(r.preemptions),
+                     std::to_string(r.migrations)});
   }
   std::cout << timeline.render() << '\n';
 
@@ -140,7 +145,20 @@ void printAnalysis(const obs::TraceAnalysis& a) {
                  std::to_string(a.violations)});
   profit.addRow({"peak VMs", TextTable::num(a.peak_vms, 0)});
   profit.addRow({"peak cores", TextTable::num(a.peak_cores, 0)});
-  std::cout << profit.render();
+  std::cout << profit.render() << '\n';
+
+  // Elasticity summary: how fast the run recovered each time Omega
+  // dropped below the target, and how long it spent in violation total.
+  TextTable elasticity({"elasticity", "value"});
+  elasticity.addRow(
+      {"recovery episodes", std::to_string(a.recovery_episodes)});
+  elasticity.addRow(
+      {"mean time-to-recover (s)", TextTable::num(a.mean_recovery_s, 1)});
+  elasticity.addRow(
+      {"95p time-to-recover (s)", TextTable::num(a.p95_recovery_s, 1)});
+  elasticity.addRow(
+      {"SLO-violation seconds", TextTable::num(a.slo_violation_s, 1)});
+  std::cout << elasticity.render();
 }
 
 }  // namespace
