@@ -2,8 +2,8 @@
 // headline evaluation grid, plus the fluid simulator's per-interval cost
 // (the quantity the interval-cache optimization targets).
 //
-//   bench_campaign [output.json] [trace-overhead.json]
-//   (defaults: BENCH_campaign.json, BENCH_trace_overhead.json)
+//   bench_campaign [output.json] [trace-overhead.json] [tenants] [jobs]
+//   (defaults: BENCH_campaign.json, BENCH_trace_overhead.json, 10, 10)
 //
 // The grid is 4 policies x 4 seeds at 10 msg/s wave + infra variability
 // over 2 h — 16 independent engine runs. Speedup scales with physical
@@ -15,6 +15,13 @@
 // buffer, and streaming JSONL, and records the overhead of each in
 // BENCH_trace_overhead.json (the null-sink overhead is the acceptance
 // budget: < 2%).
+//
+// A third section measures the campaign-service substrate: a tenants x
+// jobs spec grid (default 10 x 10; pass e.g. 100 100 for the full
+// sweep) where every job needs a catalog, FutureGrid trace pools and a
+// planner closure. Per-job cold arena builds are timed against shared
+// substrate lookups, and the whole grid is run twice on one substrate
+// (cold, then warm) — the amortization the multi-tenant redesign buys.
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -24,6 +31,7 @@
 #include "bench_util.hpp"
 #include "dds/common/json.hpp"
 #include "dds/common/thread_pool.hpp"
+#include "dds/exp/substrate.hpp"
 #include "dds/obs/jsonl_sink.hpp"
 
 int main(int argc, char** argv) {
@@ -35,6 +43,10 @@ int main(int argc, char** argv) {
       argc > 1 ? argv[1] : std::string("BENCH_campaign.json");
   const std::string overhead_path =
       argc > 2 ? argv[2] : std::string("BENCH_trace_overhead.json");
+  const std::size_t sweep_tenants =
+      argc > 3 ? static_cast<std::size_t>(std::stoul(argv[3])) : 10;
+  const std::size_t sweep_jobs =
+      argc > 4 ? static_cast<std::size_t>(std::stoul(argv[4])) : 10;
 
   printHeader("Campaign",
               "parallel campaign runner: serial vs all-cores wall-clock");
@@ -111,9 +123,13 @@ int main(int argc, char** argv) {
   w.key("sim_cost_per_interval_us").value(per_interval_us);
   w.key("results_bit_identical").value(true);
   w.endObject();
-  std::ofstream out(out_path);
-  DDS_REQUIRE(out.good(), "cannot open bench output file");
-  out << w.str();
+  {
+    // Scoped: the file is re-written (with the tenant sweep appended)
+    // below, and a still-open handle would flush stale bytes over it.
+    std::ofstream out(out_path);
+    DDS_REQUIRE(out.good(), "cannot open bench output file");
+    out << w.str();
+  }
   std::cout << "wrote " << out_path << '\n';
 
   // --- Trace overhead: untraced vs ring buffer vs streaming JSONL. ---
@@ -182,5 +198,131 @@ int main(int argc, char** argv) {
   DDS_REQUIRE(oout.good(), "cannot open trace-overhead output file");
   oout << ow.str();
   std::cout << "wrote " << overhead_path << '\n';
+
+  // --- Substrate amortization: tenants x jobs on shared arenas. ---
+  printHeader("Campaign service",
+              "tenants x jobs spec grid on a shared substrate");
+
+  // Rates vary by tenant (modulo 8, so large sweeps also exercise
+  // cross-tenant config interning), one seed per job — the substrate
+  // should intern one catalog, one planner closure, and one trace pool
+  // set per seed.
+  Campaign grid;
+  for (std::size_t t = 0; t < sweep_tenants; ++t) {
+    for (std::size_t j = 0; j < sweep_jobs; ++j) {
+      const std::string spec_line =
+          "{\"v\": 1, \"tenant\": \"tenant-" + std::to_string(t) +
+          "\", \"scheduler\": \"global\", \"config\": {\"seed\": " +
+          std::to_string(j) + ", \"horizon_h\": 0.1, " +
+          "\"workload.mean_rate\": " + std::to_string(4 + t % 8) +
+          ", \"workload.profile\": \"wave\", " +
+          "\"workload.infra_variability\": true}}";
+      grid.addSpec(parseJobSpec(spec_line));
+    }
+  }
+  const std::size_t grid_jobs = grid.size();
+
+  // Per-job setup, cold: every job builds its own arenas from scratch
+  // (what the engine did per run before the substrate existed).
+  const auto cold0 = clock::now();
+  for (std::size_t i = 0; i < grid_jobs; ++i) {
+    Substrate fresh;
+    const ExperimentJob job = grid.job(i);
+    (void)fresh.arenasFor(*job.dataflow, job.config);
+  }
+  const double cold_s =
+      std::chrono::duration<double>(clock::now() - cold0).count();
+
+  // Per-job setup, shared: the same lookups against one substrate.
+  Substrate shared;
+  const auto warm0 = clock::now();
+  for (std::size_t i = 0; i < grid_jobs; ++i) {
+    const ExperimentJob job = grid.job(i);
+    (void)shared.arenasFor(*job.dataflow, job.config);
+  }
+  const double shared_s =
+      std::chrono::duration<double>(clock::now() - warm0).count();
+  const Substrate::Stats sstats = shared.stats();
+
+  // The full grid, twice on one substrate: the second pass runs with
+  // every arena warm (steady-state service behaviour).
+  const auto run0 = clock::now();
+  const CampaignResult grid_cold = runCampaign(grid, {.jobs = 0});
+  const double grid_cold_s =
+      std::chrono::duration<double>(clock::now() - run0).count();
+  grid_cold.throwIfAnyFailed();
+  const auto run1 = clock::now();
+  const CampaignResult grid_warm = runCampaign(grid, {.jobs = 0});
+  const double grid_warm_s =
+      std::chrono::duration<double>(clock::now() - run1).count();
+  grid_warm.throwIfAnyFailed();
+  DDS_REQUIRE(campaignJsonl(grid_cold) == campaignJsonl(grid_warm),
+              "warm substrate changed campaign results");
+
+  const double per_job_cold_ms = cold_s * 1.0e3 / grid_jobs;
+  const double per_job_shared_us = shared_s * 1.0e6 / grid_jobs;
+  TextTable sweep({"metric", "value"});
+  sweep.addRow({"tenants", std::to_string(sweep_tenants)});
+  sweep.addRow({"jobs/tenant", std::to_string(sweep_jobs)});
+  sweep.addRow({"grid jobs", std::to_string(grid_jobs)});
+  sweep.addRow({"distinct configs",
+                std::to_string(grid.distinctConfigCount())});
+  sweep.addRow({"arena setup, cold (ms/job)",
+                TextTable::num(per_job_cold_ms, 3)});
+  sweep.addRow({"arena setup, shared (us/job)",
+                TextTable::num(per_job_shared_us, 3)});
+  sweep.addRow({"setup amortization",
+                TextTable::num(shared_s > 0.0 ? cold_s / shared_s : 0.0, 1) +
+                    "x"});
+  sweep.addRow({"pool builds (shared)", std::to_string(sstats.pool_builds)});
+  sweep.addRow({"pool hits (shared)", std::to_string(sstats.pool_hits)});
+  sweep.addRow({"grid wall, cold substrate (s)",
+                TextTable::num(grid_cold_s, 3)});
+  sweep.addRow({"grid wall, warm substrate (s)",
+                TextTable::num(grid_warm_s, 3)});
+  std::cout << sweep.render() << '\n';
+
+  // Re-write the campaign baseline with the sweep section appended.
+  JsonWriter sw;
+  sw.beginObject();
+  sw.key("name").value("campaign-runner-baseline");
+  sw.key("grid").beginObject();
+  sw.key("policies").value(kinds.size());
+  sw.key("seeds_per_policy").value(std::size_t{4});
+  sw.key("jobs_total").value(campaign.size());
+  sw.key("horizon_s").value(cfg.horizon_s);
+  sw.key("mean_rate").value(cfg.workload.mean_rate);
+  sw.endObject();
+  sw.key("host_hardware_concurrency")
+      .value(ThreadPool::hardwareConcurrency());
+  sw.key("serial_wall_s").value(serial.wall_s);
+  sw.key("parallel_wall_s").value(parallel.wall_s);
+  sw.key("parallel_jobs_used").value(parallel.jobs_used);
+  sw.key("speedup").value(speedup);
+  sw.key("intervals_per_run").value(intervals);
+  sw.key("sim_cost_per_interval_us").value(per_interval_us);
+  sw.key("results_bit_identical").value(true);
+  sw.key("tenant_sweep").beginObject();
+  sw.key("tenants").value(sweep_tenants);
+  sw.key("jobs_per_tenant").value(sweep_jobs);
+  sw.key("grid_jobs").value(grid_jobs);
+  sw.key("distinct_configs").value(grid.distinctConfigCount());
+  sw.key("arena_setup_cold_ms_per_job").value(per_job_cold_ms);
+  sw.key("arena_setup_shared_us_per_job").value(per_job_shared_us);
+  sw.key("setup_amortization_x")
+      .value(shared_s > 0.0 ? cold_s / shared_s : 0.0);
+  sw.key("catalog_builds").value(sstats.catalog_builds);
+  sw.key("plan_builds").value(sstats.plan_builds);
+  sw.key("pool_builds").value(sstats.pool_builds);
+  sw.key("pool_hits").value(sstats.pool_hits);
+  sw.key("grid_wall_cold_s").value(grid_cold_s);
+  sw.key("grid_wall_warm_s").value(grid_warm_s);
+  sw.key("warm_results_bit_identical").value(true);
+  sw.endObject();
+  sw.endObject();
+  std::ofstream sout(out_path);
+  DDS_REQUIRE(sout.good(), "cannot re-open bench output file");
+  sout << sw.str();
+  std::cout << "wrote " << out_path << " (with tenant sweep)" << '\n';
   return 0;
 }

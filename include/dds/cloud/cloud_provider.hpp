@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "dds/cloud/fault_model.hpp"
@@ -24,9 +25,24 @@ namespace dds {
 class CloudProvider {
  public:
   explicit CloudProvider(ResourceCatalog catalog)
-      : catalog_(std::move(catalog)) {}
+      : catalog_(std::make_shared<const ResourceCatalog>(
+            std::move(catalog))) {}
 
-  [[nodiscard]] const ResourceCatalog& catalog() const { return catalog_; }
+  /// Share an immutable catalog across providers (one per concurrent job
+  /// in a campaign) instead of copying it into each.
+  explicit CloudProvider(std::shared_ptr<const ResourceCatalog> catalog)
+      : catalog_(std::move(catalog)) {
+    DDS_REQUIRE(catalog_ != nullptr, "catalog must not be null");
+  }
+
+  [[nodiscard]] const ResourceCatalog& catalog() const { return *catalog_; }
+
+  /// The shared handle (for callers wiring sibling components to the
+  /// same arena).
+  [[nodiscard]] const std::shared_ptr<const ResourceCatalog>& catalogPtr()
+      const {
+    return catalog_;
+  }
 
   /// Install a fault model consulted by tryAcquire(); nullptr (the
   /// default) restores the ideal provider whose requests never fail.
@@ -155,7 +171,7 @@ class CloudProvider {
  private:
   VmId acquireInternal(ResourceClassId cls, SimTime t);
 
-  ResourceCatalog catalog_;
+  std::shared_ptr<const ResourceCatalog> catalog_;
   std::vector<VmInstance> instances_;
   obs::Tracer tracer_;
   const AcquisitionFaultModel* acq_faults_ = nullptr;

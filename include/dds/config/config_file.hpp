@@ -40,6 +40,11 @@ class KeyValueConfig {
 
   [[nodiscard]] bool has(const std::string& key) const;
 
+  /// Set or overwrite one key programmatically. This is how structured
+  /// front-ends (the JSON job-spec API) funnel values into the same
+  /// validation pipeline the file parser feeds.
+  void set(const std::string& key, const std::string& value);
+
   /// Typed getters with defaults; throw PreconditionError when the value
   /// exists but cannot be converted.
   [[nodiscard]] std::string getString(const std::string& key,
@@ -79,8 +84,17 @@ struct CliExperiment {
 /// deprecated aliases. When `notes` is non-null, one deprecation note per
 /// alias used is appended (the CLI prints them to stderr). Giving both
 /// spellings of one knob is an error.
+///
+/// `config_schema = strict` promotes every deprecated alias to a hard
+/// ConfigError naming the canonical replacement; the default (`warn`)
+/// keeps the note-and-accept behavior. Structured front-ends (the JSON
+/// job-spec API) always parse strictly.
 [[nodiscard]] CliExperiment experimentFromConfig(
     const KeyValueConfig& kv, std::vector<std::string>* notes = nullptr);
+
+/// The canonical (non-deprecated, non-alias) config keys, sorted — the
+/// vocabulary `config_schema = strict` and the job-spec API accept.
+[[nodiscard]] std::vector<std::string> canonicalConfigKeys();
 
 /// Parse one scheduler name ("global", "local-static", ...). Wraps the
 /// sched-layer parseSchedulerKind, rethrowing as ConfigError.

@@ -23,10 +23,31 @@
 
 namespace dds {
 
+struct TracePools;
+
+/// Immutable shared arenas an engine may consume instead of constructing
+/// its own copies per run: the resolved resource catalog (spot tier
+/// already applied when enabled), the generated trace pools for this
+/// config's seed, and the planner closure for this (dataflow, catalog)
+/// pair. Every field is optional — a null entry falls back to per-run
+/// construction, and a populated one is bit-identical to it by contract
+/// (the exp-layer Substrate builds them through the exact same code
+/// paths). All pointees are const and safely shared across threads.
+struct EngineArenas {
+  std::shared_ptr<const ResourceCatalog> catalog;
+  std::shared_ptr<const TracePools> trace_pools;
+  std::shared_ptr<const PlanStructure> plan_structure;
+};
+
 /// Orchestrates one experiment configuration over any scheduler kind.
 class SimulationEngine {
  public:
   SimulationEngine(const Dataflow& dataflow, ExperimentConfig config);
+
+  /// Same, reading shared substrate arenas instead of rebuilding the
+  /// catalog / trace pools / planner tables inside every run().
+  SimulationEngine(const Dataflow& dataflow, ExperimentConfig config,
+                   EngineArenas arenas);
 
   /// Run the full optimization period under the given policy.
   [[nodiscard]] ExperimentResult run(SchedulerKind kind) const {
@@ -47,6 +68,7 @@ class SimulationEngine {
  private:
   const Dataflow* dataflow_;
   ExperimentConfig config_;
+  EngineArenas arenas_;
   double sigma_;
 };
 

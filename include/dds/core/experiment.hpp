@@ -33,6 +33,8 @@ struct WorkloadConfig {
 
   /// Append one message per invalid field to `errors` (never throws).
   void appendErrors(std::vector<std::string>& errors) const;
+
+  bool operator==(const WorkloadConfig&) const = default;
 };
 
 /// Injected cloud turbulence (all families default off; fluid-only).
@@ -64,6 +66,8 @@ struct FaultConfig {
   [[nodiscard]] bool anyEnabled() const;
 
   void appendErrors(std::vector<std::string>& errors) const;
+
+  bool operator==(const FaultConfig&) const = default;
 };
 
 /// Rapid-elasticity realism knobs (all default off; delays and spot are
@@ -100,6 +104,8 @@ struct ElasticityConfig {
   }
 
   void appendErrors(std::vector<std::string>& errors) const;
+
+  bool operator==(const ElasticityConfig&) const = default;
 };
 
 /// Scheduler-side responses to cloud turbulence (see
@@ -113,6 +119,8 @@ struct ResilienceConfig {
   bool graceful_degradation = false;
 
   void appendErrors(std::vector<std::string>& errors) const;
+
+  bool operator==(const ResilienceConfig&) const = default;
 };
 
 /// One experiment run's knobs (§8.1-8.2 defaults). Workload, fault and
@@ -164,6 +172,9 @@ struct ExperimentConfig {
   /// Throws PreconditionError listing every invalid field; no-op when
   /// valid.
   void validate() const;
+
+  /// Memberwise equality — what campaign config interning dedupes on.
+  bool operator==(const ExperimentConfig&) const = default;
 };
 
 /// Summary of a run, plus the full interval series.

@@ -1,13 +1,21 @@
 // Parallel experiment campaigns (the §8 evaluation grid as a first-class
-// object).
+// object) and the job API of the multi-tenant campaign service.
 //
 // The paper's evaluation is a grid of (policy x rate x variability x seed)
 // runs, each an independent SimulationEngine::run — embarrassingly
 // parallel. A Campaign collects the grid cells; runCampaign() fans them
 // across a work-stealing ThreadPool and returns outcomes in SUBMISSION
 // ORDER, so parallel output is bit-identical to a serial run (every run
-// owns its cloud/replayer/simulator state; nothing is shared, and result
-// aggregation order never depends on completion order).
+// owns its mutable simulator state; immutable substrate arenas are shared
+// read-only, and result aggregation order never depends on completion
+// order).
+//
+// Storage is copy-on-write: a campaign interns each distinct
+// ExperimentConfig once (seed factored out as a per-job delta), so a
+// 10k-job seed sweep stores ONE config plus 10k {seed, policy, label}
+// deltas instead of 10k config copies. jobs()/job() materialize full
+// ExperimentJob values on demand; distinctConfigCount() exposes how many
+// interned bases back the grid.
 //
 //   Campaign c;
 //   for (double rate : rates)
@@ -16,18 +24,27 @@
 //   CampaignResult r = runCampaign(c, {.jobs = 8});
 //   saveCampaignJson("BENCH_campaign.json", r);
 //
+// Jobs can also arrive as versioned JSON specs (see job_spec.hpp):
+// addSpec() resolves a spec against the campaign's Substrate — the
+// shared immutable arenas (catalogs, trace pools, planner closures,
+// standard graphs) every job in the campaign reuses.
+//
 // A job that throws (e.g. BruteForceStatic on an intractable graph) is
 // captured per-outcome (ok = false, error = message) instead of tearing
 // down the whole campaign.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dds/core/engine.hpp"
+#include "dds/exp/job_spec.hpp"
 
 namespace dds {
+
+class Substrate;
 
 /// One (dataflow, config, policy) cell of a campaign grid.
 struct ExperimentJob {
@@ -39,12 +56,15 @@ struct ExperimentJob {
   /// When non-empty, the job streams its trace as JSONL to this path
   /// (one sink per job, so traces stay deterministic at any --jobs).
   std::string trace_path;
+  /// Submitting tenant (multi-tenant service tag); purely descriptive.
+  std::string tenant;
 };
 
 /// What one job produced. `result` is meaningful only when `ok`.
 struct JobOutcome {
   std::size_t index = 0;  ///< submission index within the campaign.
   std::string label;
+  std::string tenant;
   SchedulerKind kind = SchedulerKind::GlobalAdaptive;
   std::uint64_t seed = 0;
   bool ok = false;
@@ -56,8 +76,16 @@ struct JobOutcome {
 /// An ordered list of experiment jobs; jobs are validated on add().
 class Campaign {
  public:
-  /// Append one job; returns its submission index.
+  Campaign();
+
+  /// Append one job; returns its submission index. The config is
+  /// interned: jobs differing only by seed share one stored base.
   std::size_t add(ExperimentJob job);
+
+  /// Append one job described by a v1 JSON job spec, resolved through
+  /// the campaign's substrate (graph shared, config parsed strictly).
+  /// Returns the submission index; throws ConfigError on a bad spec.
+  std::size_t addSpec(const JobSpec& spec);
 
   /// One job per scheduler kind under a fixed (dataflow, config).
   void addPolicySweep(const Dataflow& dataflow, const ExperimentConfig& base,
@@ -73,14 +101,45 @@ class Campaign {
   /// and duplicate labels are further suffixed `.<submission index>`.
   void setTracePaths(const std::string& base);
 
-  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
-  [[nodiscard]] bool empty() const { return jobs_.empty(); }
-  [[nodiscard]] const std::vector<ExperimentJob>& jobs() const {
-    return jobs_;
+  /// The shared immutable arenas this campaign's jobs run against.
+  /// Every campaign owns one by default; point several campaigns at one
+  /// substrate to share arenas across batches (the service case).
+  [[nodiscard]] const std::shared_ptr<Substrate>& substrate() const {
+    return substrate_;
+  }
+  void setSubstrate(std::shared_ptr<Substrate> substrate);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Materialize job `index` (base config + per-job deltas applied).
+  [[nodiscard]] ExperimentJob job(std::size_t index) const;
+
+  /// Materialized view of every job, in submission order. Built on
+  /// demand — storage stays deduplicated.
+  [[nodiscard]] std::vector<ExperimentJob> jobs() const;
+
+  /// How many distinct configs back the grid (<= size()).
+  [[nodiscard]] std::size_t distinctConfigCount() const {
+    return bases_.size();
   }
 
  private:
-  std::vector<ExperimentJob> jobs_;
+  /// Per-job state: everything that may differ between jobs, plus a
+  /// shared pointer to the interned seed-agnostic config base.
+  struct Entry {
+    const Dataflow* dataflow = nullptr;
+    std::shared_ptr<const ExperimentConfig> base;
+    std::uint64_t seed = 0;
+    SchedulerKind kind = SchedulerKind::GlobalAdaptive;
+    std::string label;
+    std::string trace_path;
+    std::string tenant;
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<std::shared_ptr<const ExperimentConfig>> bases_;
+  std::shared_ptr<Substrate> substrate_;
 };
 
 /// Knobs for runCampaign.
@@ -103,18 +162,50 @@ struct CampaignResult {
   void throwIfAnyFailed() const;
 };
 
+/// Execute one job — the routine every runCampaign worker (and the
+/// serve loop) runs. When `substrate` is non-null the engine consumes
+/// its shared arenas; results are bit-identical either way.
+[[nodiscard]] JobOutcome runExperimentJob(const ExperimentJob& job,
+                                          std::size_t index,
+                                          Substrate* substrate);
+
+/// Resolve a v1 job spec into a runnable job against `substrate` (which
+/// owns the returned job's dataflow). Throws ConfigError on a bad spec.
+[[nodiscard]] ExperimentJob jobFromSpec(const JobSpec& spec,
+                                        Substrate& substrate);
+
 /// Run every job; outcomes land in submission order regardless of the
 /// number of workers, so results are reproducible under any parallelism.
 [[nodiscard]] CampaignResult runCampaign(const Campaign& campaign,
                                          const RunnerOptions& options = {});
 
+/// campaignJson knobs.
+struct CampaignJsonOptions {
+  /// Emit wall-clock fields (campaign and per-run). Off, the document
+  /// depends only on the simulation outcomes — byte-identical across
+  /// runs, worker counts, and machines.
+  bool include_timing = true;
+};
+
 /// BENCH_*.json-style export: campaign metadata plus one record per job
 /// with the headline metrics. Deterministic field order, diff-friendly.
 [[nodiscard]] std::string campaignJson(const CampaignResult& result,
-                                       const std::string& name);
+                                       const std::string& name,
+                                       const CampaignJsonOptions& options = {});
 
 /// Write campaignJson() to `path` (IoError on failure).
 void saveCampaignJson(const std::string& path, const CampaignResult& result,
                       const std::string& name);
+
+/// One compact JSONL record for a single outcome. Carries no timing and
+/// no volatile fields, so a record is byte-identical across runs, worker
+/// counts, and serve-vs-batch execution. `index` is the caller's record
+/// index (the serve loop numbers records by input line).
+[[nodiscard]] std::string jobRecordJson(const JobOutcome& outcome,
+                                        std::size_t index);
+
+/// One jobRecordJson per outcome (indexed by position), newline after
+/// each — the batch twin of the serve loop's streamed output.
+[[nodiscard]] std::string campaignJsonl(const CampaignResult& result);
 
 }  // namespace dds

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dds/cloud/resource_class.hpp"
@@ -41,6 +42,42 @@
 #include "dds/sim/deployment.hpp"
 
 namespace dds {
+
+/// The immutable per-(dataflow, catalog) closure a PlanEvaluator reads:
+/// flattened alternate model tables, the DAG in CSR form with its
+/// topological order, and per-class core/price columns. Building this is
+/// the allocation-heavy part of evaluator construction, and the tables
+/// never change across a run — so a campaign substrate precomputes one
+/// structure per (dataflow, catalog) and shares it read-only across every
+/// planner deploy of every job.
+struct PlanStructure {
+  std::size_t n_pes = 0;
+  std::size_t n_classes = 0;
+
+  // Flattened per-(pe, alternate) tables; index alt_offset[pe] + alt.
+  std::vector<std::size_t> alt_offset;
+  std::vector<double> alt_selectivity;
+  std::vector<double> alt_cost_sec;
+  std::vector<double> alt_rel_value;
+  std::vector<std::size_t> alt_count;
+
+  // Graph structure in flat CSR form (PeId indices).
+  std::vector<std::size_t> topo;      ///< topological order.
+  std::vector<std::size_t> topo_pos;  ///< position of each PE in topo.
+  std::vector<std::size_t> pred_offset, preds;
+  std::vector<std::size_t> succ_offset, succs;
+  std::vector<bool> is_input;
+
+  // Per-class tables.
+  std::vector<int> class_cores;
+  std::vector<double> class_price;
+
+  /// Extract the closure; the doubles are the exact ones the reference
+  /// path reads through ProcessingElement / ResourceClass, so evaluation
+  /// over these tables reproduces it bit for bit.
+  [[nodiscard]] static std::shared_ptr<const PlanStructure> build(
+      const Dataflow& df, const ResourceCatalog& catalog);
+};
 
 /// Fixed-per-deploy evaluation parameters.
 struct PlanEvaluatorOptions {
@@ -55,6 +92,12 @@ struct PlanEvaluatorOptions {
 class PlanEvaluator {
  public:
   PlanEvaluator(const Dataflow& df, const ResourceCatalog& catalog,
+                const PlanEvaluatorOptions& options);
+
+  /// Evaluate over a prebuilt shared structure (must have been built from
+  /// this exact dataflow/catalog pair); skips the table extraction.
+  PlanEvaluator(std::shared_ptr<const PlanStructure> structure,
+                const Dataflow& df, const ResourceCatalog& catalog,
                 const PlanEvaluatorOptions& options);
 
   /// Load a plan state wholesale (full recompute of arrivals and demand).
@@ -102,10 +145,10 @@ class PlanEvaluator {
 
  private:
   [[nodiscard]] double altSelectivity(std::size_t pe) const {
-    return alt_selectivity_[alt_offset_[pe] + alternates_[pe].value()];
+    return s_->alt_selectivity[s_->alt_offset[pe] + alternates_[pe].value()];
   }
   [[nodiscard]] double altCostSec(std::size_t pe) const {
-    return alt_cost_sec_[alt_offset_[pe] + alternates_[pe].value()];
+    return s_->alt_cost_sec[s_->alt_offset[pe] + alternates_[pe].value()];
   }
 
   /// arrival[pe] from its predecessors (same expression and predecessor
@@ -136,23 +179,9 @@ class PlanEvaluator {
   std::size_t n_pes_ = 0;
   std::size_t n_classes_ = 0;
 
-  // Flattened per-(pe, alternate) tables; index alt_offset_[pe] + alt.
-  std::vector<std::size_t> alt_offset_;
-  std::vector<double> alt_selectivity_;
-  std::vector<double> alt_cost_sec_;
-  std::vector<double> alt_rel_value_;
-  std::vector<std::size_t> alt_count_;
-
-  // Graph structure in flat CSR form (PeId indices).
-  std::vector<std::size_t> topo_;      ///< topological order.
-  std::vector<std::size_t> topo_pos_;  ///< position of each PE in topo_.
-  std::vector<std::size_t> pred_offset_, preds_;
-  std::vector<std::size_t> succ_offset_, succs_;
-  std::vector<bool> is_input_;
-
-  // Per-class tables.
-  std::vector<int> class_cores_;
-  std::vector<double> class_price_;
+  // Immutable shared closure (tables + CSR graph); per-instance mutable
+  // state lives below it.
+  std::shared_ptr<const PlanStructure> s_;
 
   // Current plan state.
   std::vector<AlternateId> alternates_;

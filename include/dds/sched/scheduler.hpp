@@ -32,6 +32,8 @@
 
 namespace dds {
 
+struct PlanStructure;
+
 /// Which §8 policy an experiment runs. The scheduler registry at the
 /// bottom of this header is the single place that maps kinds to names and
 /// instances — adding a policy means extending the enum, schedulerName()
@@ -64,6 +66,10 @@ struct SchedulerEnv {
   obs::Tracer tracer;
   /// Optional run metrics; schedulers bump named counters when set.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional prebuilt planner closure for this exact (dataflow, catalog)
+  /// pair; search planners reuse it per deploy instead of re-extracting
+  /// the tables. Immutable, safely shared across concurrent jobs.
+  std::shared_ptr<const PlanStructure> plan_structure;
 
   void validate() const {
     DDS_REQUIRE(dataflow != nullptr, "scheduler env needs a dataflow");

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +29,17 @@ namespace dds {
 struct CoeffSample {
   double value = 1.0;
   SimTime valid_until = 0.0;
+};
+
+/// The immutable trace arena a replayer reads from. Generating these
+/// pools dominates replayer construction cost, so a campaign substrate
+/// builds one arena per generation seed and shares it read-only across
+/// every job with that seed; per-job mutability (the assignment RNG and
+/// cursor maps) lives in TraceReplayer itself.
+struct TracePools {
+  std::vector<PerfTrace> cpu;
+  std::vector<PerfTrace> latency;
+  std::vector<PerfTrace> bandwidth;
 };
 
 /// Deterministic per-VM and per-VM-pair coefficient source.
@@ -47,6 +59,21 @@ class TraceReplayer {
                                                            kSecondsPerHour,
                                       SimTime sample_period_s = 300.0,
                                       std::size_t pool_size = 8);
+
+  /// The pool set futureGridLike(seed, ...) would generate, as a shared
+  /// immutable arena. overPools(makeFutureGridPools(seed), seed) is
+  /// bit-identical to futureGridLike(seed) — same traces, same assignment
+  /// RNG stream — without regenerating the pools per job.
+  static std::shared_ptr<const TracePools> makeFutureGridPools(
+      std::uint64_t seed,
+      SimTime duration_s = 4.0 * 24.0 * kSecondsPerHour,
+      SimTime sample_period_s = 300.0, std::size_t pool_size = 8);
+
+  /// A replayer reading a shared arena with fresh per-job cursor state.
+  /// `run_seed` is the experiment seed; the assignment-stream derivation
+  /// matches futureGridLike so replay is bit-identical either way.
+  static TraceReplayer overPools(std::shared_ptr<const TracePools> pools,
+                                 std::uint64_t run_seed);
 
   /// Observed-to-rated CPU speed coefficient for one VM at time `t`.
   [[nodiscard]] double cpuCoeff(VmId vm, SimTime t);
@@ -71,12 +98,15 @@ class TraceReplayer {
     SimTime offset;
   };
 
+  TraceReplayer(std::shared_ptr<const TracePools> pools,
+                std::uint64_t assignment_seed);
+
   Assignment assign(const std::vector<PerfTrace>& pool);
   static std::uint64_t pairKey(VmId a, VmId b);
 
-  std::vector<PerfTrace> cpu_pool_;
-  std::vector<PerfTrace> latency_pool_;
-  std::vector<PerfTrace> bandwidth_pool_;
+  // Shared immutable arena; may be referenced by sibling jobs. All
+  // mutable state below is per-instance.
+  std::shared_ptr<const TracePools> pools_;
   Rng rng_;
   std::unordered_map<VmId, Assignment> cpu_assignments_;
   std::unordered_map<std::uint64_t, Assignment> latency_assignments_;

@@ -7,7 +7,7 @@ namespace dds {
 VmId CloudProvider::acquireInternal(ResourceClassId cls, SimTime t) {
   DDS_REQUIRE(t >= 0.0, "acquire time must be non-negative");
   const VmId id(static_cast<VmId::value_type>(instances_.size()));
-  instances_.emplace_back(id, cls, catalog_.at(cls), t);
+  instances_.emplace_back(id, cls, catalog_->at(cls), t);
   ++ledger_generation_;
   return id;
 }
@@ -15,7 +15,7 @@ VmId CloudProvider::acquireInternal(ResourceClassId cls, SimTime t) {
 VmId CloudProvider::acquire(ResourceClassId cls, SimTime t) {
   const VmId id = acquireInternal(cls, t);
   if (tracer_.enabled()) {
-    const ResourceClass& spec = catalog_.at(cls);
+    const ResourceClass& spec = catalog_->at(cls);
     tracer_.emit(obs::VmAcquireEvent{.t = t,
                                      .vm = id.value(),
                                      .vm_class = spec.name,
@@ -33,7 +33,7 @@ AcquisitionResult CloudProvider::tryAcquire(ResourceClassId cls, SimTime t) {
     ++rejections_;
     if (tracer_.enabled()) {
       tracer_.emit(obs::AcquisitionFailureEvent{
-          .t = t, .vm_class = catalog_.at(cls).name});
+          .t = t, .vm_class = catalog_->at(cls).name});
     }
     return {};
   }
@@ -42,11 +42,11 @@ AcquisitionResult CloudProvider::tryAcquire(ResourceClassId cls, SimTime t) {
   result.vm = acquireInternal(cls, t);
   result.ready_time =
       acq_faults_ != nullptr
-          ? t + acq_faults_->provisioningDelay(result.vm, catalog_.at(cls))
+          ? t + acq_faults_->provisioningDelay(result.vm, catalog_->at(cls))
           : t;
   instances_[result.vm.value()].setReadyTime(result.ready_time);
   if (tracer_.enabled()) {
-    const ResourceClass& spec = catalog_.at(cls);
+    const ResourceClass& spec = catalog_->at(cls);
     tracer_.emit(obs::VmAcquireEvent{.t = t,
                                      .vm = result.vm.value(),
                                      .vm_class = spec.name,

@@ -67,6 +67,11 @@ bool KeyValueConfig::has(const std::string& key) const {
   return values_.contains(key);
 }
 
+void KeyValueConfig::set(const std::string& key, const std::string& value) {
+  DDS_REQUIRE(!key.empty(), "config key must be non-empty");
+  values_[key] = value;
+}
+
 std::string KeyValueConfig::getString(const std::string& key,
                                       const std::string& fallback) const {
   const auto it = values_.find(key);
@@ -173,12 +178,14 @@ const std::vector<std::pair<std::string, std::string>>& keyAliases() {
 /// Resolves canonical-vs-deprecated key spellings against one config.
 class KeyResolver {
  public:
-  KeyResolver(const KeyValueConfig& kv, std::vector<std::string>* notes)
-      : kv_(&kv), notes_(notes) {}
+  KeyResolver(const KeyValueConfig& kv, std::vector<std::string>* notes,
+              bool strict)
+      : kv_(&kv), notes_(notes), strict_(strict) {}
 
   /// The spelling of `canonical` present in the config (preferring the
-  /// canonical form), or `canonical` when absent. Notes deprecated use;
-  /// rejects configs that set both spellings.
+  /// canonical form), or `canonical` when absent. Notes deprecated use
+  /// (or rejects it outright under `config_schema = strict`); rejects
+  /// configs that set both spellings.
   [[nodiscard]] std::string resolve(const std::string& canonical) const {
     std::string deprecated;
     for (const auto& [canon, flat] : keyAliases()) {
@@ -195,6 +202,12 @@ class KeyResolver {
                         deprecated + "' are aliases; set only one");
     }
     if (has_deprecated) {
+      if (strict_) {
+        throw ConfigError("config key '" + deprecated +
+                          "' is deprecated and rejected by config_schema "
+                          "= strict; use '" +
+                          canonical + "'");
+      }
       if (notes_ != nullptr) {
         notes_->push_back("config key '" + deprecated +
                           "' is deprecated; use '" + canonical + "'");
@@ -207,19 +220,19 @@ class KeyResolver {
  private:
   const KeyValueConfig* kv_;
   std::vector<std::string>* notes_;
+  bool strict_ = false;
 };
 
 }  // namespace
 
-CliExperiment experimentFromConfig(const KeyValueConfig& kv,
-                                   std::vector<std::string>* notes) {
-  std::vector<std::string> known_keys = {
+std::vector<std::string> canonicalConfigKeys() {
+  std::vector<std::string> keys = {
       "graph",        "chain_length",   "scheduler",
       "horizon_h",    "interval_s",     "seed",
       "omega_target", "epsilon",        "alternate_period",
       "resource_period", "sigma",       "output_csv",
       "catalog",      "placement_racks", "power_smoothing_alpha",
-      "backend",      "max_queue_delay_s",
+      "backend",      "max_queue_delay_s", "config_schema",
       "elasticity.provisioning_delay_s",
       "elasticity.provisioning_delay_per_core_s",
       "elasticity.spot_discount",
@@ -228,8 +241,15 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv,
       "elasticity.spot_notice_s",
       "elasticity.pe_state_mb",
       "elasticity.migration_bandwidth_mbps"};
+  for (const auto& [canon, flat] : keyAliases()) keys.push_back(canon);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+CliExperiment experimentFromConfig(const KeyValueConfig& kv,
+                                   std::vector<std::string>* notes) {
+  std::vector<std::string> known_keys = canonicalConfigKeys();
   for (const auto& [canon, flat] : keyAliases()) {
-    known_keys.push_back(canon);
     known_keys.push_back(flat);
   }
   for (const auto& key : kv.keys()) {
@@ -238,7 +258,12 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv,
       throw ConfigError("unknown config key: '" + key + "'");
     }
   }
-  const KeyResolver keys(kv, notes);
+  const std::string schema = kv.getString("config_schema", "warn");
+  if (schema != "warn" && schema != "strict") {
+    throw ConfigError("unknown config_schema: '" + schema +
+                      "' (expected warn or strict)");
+  }
+  const KeyResolver keys(kv, notes, schema == "strict");
 
   CliExperiment ex;
   ex.graph = kv.getString("graph", "paper");

@@ -204,7 +204,14 @@ double deriveSigma(const Dataflow& df, double mean_rate, SimTime horizon_s) {
 
 SimulationEngine::SimulationEngine(const Dataflow& dataflow,
                                    ExperimentConfig config)
-    : dataflow_(&dataflow), config_(config) {
+    : SimulationEngine(dataflow, std::move(config), EngineArenas{}) {}
+
+SimulationEngine::SimulationEngine(const Dataflow& dataflow,
+                                   ExperimentConfig config,
+                                   EngineArenas arenas)
+    : dataflow_(&dataflow),
+      config_(std::move(config)),
+      arenas_(std::move(arenas)) {
   config_.validate();
   sigma_ = config_.sigma_override >= 0.0
                ? config_.sigma_override
@@ -219,15 +226,25 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
   obs::MetricsRegistry registry;
   // The spot tier is a pure catalog extension: disabled, the catalog (and
   // with it every class id and plan) is byte-identical to the pre-spot
-  // behavior.
-  CloudProvider cloud(config_.elasticity.spotEnabled()
-                          ? withSpotTier(catalogByName(config_.catalog),
-                                         config_.elasticity.spot_discount)
-                          : catalogByName(config_.catalog));
+  // behavior. A substrate-provided catalog arena was resolved through
+  // these same calls once per campaign instead of once per run.
+  CloudProvider cloud(
+      arenas_.catalog != nullptr
+          ? CloudProvider(arenas_.catalog)
+          : CloudProvider(config_.elasticity.spotEnabled()
+                              ? withSpotTier(catalogByName(config_.catalog),
+                                             config_.elasticity.spot_discount)
+                              : catalogByName(config_.catalog)));
   cloud.setTracer(tracer);
+  // Shared trace-pool arenas skip regeneration but keep the per-run
+  // assignment RNG stream: overPools(pools(seed), seed) replays exactly
+  // what futureGridLike(seed) would.
   TraceReplayer replayer =
       config_.workload.infra_variability
-          ? TraceReplayer::futureGridLike(config_.seed)
+          ? (arenas_.trace_pools != nullptr
+                 ? TraceReplayer::overPools(arenas_.trace_pools,
+                                            config_.seed)
+                 : TraceReplayer::futureGridLike(config_.seed))
           : TraceReplayer::ideal();
   PlacementConfig placement_cfg;
   placement_cfg.racks = std::max(config_.placement_racks, 1);
@@ -261,6 +278,7 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
   env.epsilon = config_.epsilon;
   env.tracer = tracer;
   env.metrics = &registry;
+  env.plan_structure = arenas_.plan_structure;
 
   SchedulerTuning tuning;
   tuning.sigma = sigma_;

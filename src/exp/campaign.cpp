@@ -4,9 +4,11 @@
 #include <fstream>
 #include <future>
 #include <map>
+#include <utility>
 
 #include "dds/common/json.hpp"
 #include "dds/common/thread_pool.hpp"
+#include "dds/exp/substrate.hpp"
 #include "dds/obs/jsonl_sink.hpp"
 
 namespace dds {
@@ -18,16 +20,23 @@ double secondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Execute one job, capturing success or failure into the outcome.
-JobOutcome runJob(const ExperimentJob& job, std::size_t index) {
+}  // namespace
+
+JobOutcome runExperimentJob(const ExperimentJob& job, std::size_t index,
+                            Substrate* substrate) {
   JobOutcome out;
   out.index = index;
   out.label = job.label.empty() ? schedulerName(job.kind) : job.label;
+  out.tenant = job.tenant;
   out.kind = job.kind;
   out.seed = job.config.seed;
   const auto start = Clock::now();
   try {
-    const SimulationEngine engine(*job.dataflow, job.config);
+    const SimulationEngine engine(
+        *job.dataflow, job.config,
+        substrate == nullptr
+            ? EngineArenas{}
+            : substrate->arenasFor(*job.dataflow, job.config));
     if (job.trace_path.empty()) {
       out.result = engine.run(job.kind);
     } else {
@@ -42,13 +51,60 @@ JobOutcome runJob(const ExperimentJob& job, std::size_t index) {
   return out;
 }
 
-}  // namespace
+ExperimentJob jobFromSpec(const JobSpec& spec, Substrate& substrate) {
+  const CliExperiment ex = experimentFromSpec(spec);
+  if (ex.schedulers.size() != 1) {
+    throw ConfigError("a job spec must name exactly one scheduler, got '" +
+                      spec.scheduler + "'");
+  }
+  // The substrate cache owns the graph; it outlives any job built here
+  // as long as the substrate itself is kept alive by the caller.
+  const std::shared_ptr<const Dataflow> df =
+      substrate.graphFor(spec.graph, spec.chain_length);
+  ExperimentJob job;
+  job.dataflow = df.get();
+  job.config = ex.config;
+  job.kind = ex.schedulers.front();
+  job.label = spec.label;
+  job.tenant = spec.tenant;
+  return job;
+}
+
+Campaign::Campaign() : substrate_(std::make_shared<Substrate>()) {}
 
 std::size_t Campaign::add(ExperimentJob job) {
   DDS_REQUIRE(job.dataflow != nullptr, "campaign job needs a dataflow");
   job.config.validate();
-  jobs_.push_back(std::move(job));
-  return jobs_.size() - 1;
+
+  Entry entry;
+  entry.dataflow = job.dataflow;
+  entry.seed = job.config.seed;
+  entry.kind = job.kind;
+  entry.label = std::move(job.label);
+  entry.trace_path = std::move(job.trace_path);
+  entry.tenant = std::move(job.tenant);
+
+  // Intern the config with the seed factored out: a seed sweep collapses
+  // to one shared base. Linear scan — distinct configs are few compared
+  // to jobs, which is the whole point.
+  ExperimentConfig base = std::move(job.config);
+  base.seed = 0;
+  for (const auto& interned : bases_) {
+    if (*interned == base) {
+      entry.base = interned;
+      break;
+    }
+  }
+  if (entry.base == nullptr) {
+    entry.base = std::make_shared<const ExperimentConfig>(std::move(base));
+    bases_.push_back(entry.base);
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+std::size_t Campaign::addSpec(const JobSpec& spec) {
+  return add(jobFromSpec(spec, *substrate_));
 }
 
 void Campaign::addPolicySweep(const Dataflow& dataflow,
@@ -72,25 +128,53 @@ void Campaign::addSeedSweep(const Dataflow& dataflow,
 
 void Campaign::setTracePaths(const std::string& base) {
   DDS_REQUIRE(!base.empty(), "trace path base must be non-empty");
-  if (jobs_.size() == 1) {
-    jobs_.front().trace_path = base;
+  if (entries_.size() == 1) {
+    entries_.front().trace_path = base;
     return;
   }
   std::map<std::string, int> label_uses;
-  for (const ExperimentJob& job : jobs_) {
+  for (const Entry& entry : entries_) {
     const std::string label =
-        job.label.empty() ? schedulerName(job.kind) : job.label;
+        entry.label.empty() ? schedulerName(entry.kind) : entry.label;
     ++label_uses[label];
   }
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    ExperimentJob& job = jobs_[i];
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
     const std::string label =
-        job.label.empty() ? schedulerName(job.kind) : job.label;
-    job.trace_path = base + "." + label;
+        entry.label.empty() ? schedulerName(entry.kind) : entry.label;
+    entry.trace_path = base + "." + label;
     if (label_uses[label] > 1) {
-      job.trace_path += "." + std::to_string(i);
+      entry.trace_path += "." + std::to_string(i);
     }
   }
+}
+
+void Campaign::setSubstrate(std::shared_ptr<Substrate> substrate) {
+  DDS_REQUIRE(substrate != nullptr, "campaign substrate must be non-null");
+  substrate_ = std::move(substrate);
+}
+
+ExperimentJob Campaign::job(std::size_t index) const {
+  DDS_REQUIRE(index < entries_.size(), "job index out of range");
+  const Entry& entry = entries_[index];
+  ExperimentJob job;
+  job.dataflow = entry.dataflow;
+  job.config = *entry.base;
+  job.config.seed = entry.seed;
+  job.kind = entry.kind;
+  job.label = entry.label;
+  job.trace_path = entry.trace_path;
+  job.tenant = entry.tenant;
+  return job;
+}
+
+std::vector<ExperimentJob> Campaign::jobs() const {
+  std::vector<ExperimentJob> out;
+  out.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out.push_back(job(i));
+  }
+  return out;
 }
 
 std::size_t CampaignResult::failureCount() const {
@@ -114,6 +198,7 @@ CampaignResult runCampaign(const Campaign& campaign,
                            const RunnerOptions& options) {
   const std::size_t workers =
       options.jobs == 0 ? ThreadPool::hardwareConcurrency() : options.jobs;
+  Substrate* substrate = campaign.substrate().get();
   CampaignResult result;
   result.jobs_used = workers;
   result.outcomes.reserve(campaign.size());
@@ -122,7 +207,7 @@ CampaignResult runCampaign(const Campaign& campaign,
   if (workers <= 1 || campaign.size() <= 1) {
     // Serial reference path: no pool, same code path per job.
     for (std::size_t i = 0; i < campaign.size(); ++i) {
-      result.outcomes.push_back(runJob(campaign.jobs()[i], i));
+      result.outcomes.push_back(runExperimentJob(campaign.job(i), i, substrate));
     }
     result.jobs_used = 1;
     result.wall_s = secondsSince(start);
@@ -133,8 +218,11 @@ CampaignResult runCampaign(const Campaign& campaign,
   std::vector<std::future<JobOutcome>> futures;
   futures.reserve(campaign.size());
   for (std::size_t i = 0; i < campaign.size(); ++i) {
-    const ExperimentJob* job = &campaign.jobs()[i];
-    futures.push_back(pool.submit([job, i]() { return runJob(*job, i); }));
+    // Materialize inside the worker: peak config copies stay O(workers),
+    // not O(jobs).
+    futures.push_back(pool.submit([&campaign, substrate, i]() {
+      return runExperimentJob(campaign.job(i), i, substrate);
+    }));
   }
   // Collect in submission order — completion order never leaks into the
   // result, which is what makes parallel output bit-identical to serial.
@@ -146,12 +234,15 @@ CampaignResult runCampaign(const Campaign& campaign,
 }
 
 std::string campaignJson(const CampaignResult& result,
-                         const std::string& name) {
+                         const std::string& name,
+                         const CampaignJsonOptions& options) {
   JsonWriter w;
   w.beginObject();
   w.key("name").value(name);
   w.key("jobs_used").value(result.jobs_used);
-  w.key("wall_s").value(result.wall_s);
+  if (options.include_timing) {
+    w.key("wall_s").value(result.wall_s);
+  }
   w.key("job_count").value(result.outcomes.size());
   w.key("failures").value(result.failureCount());
   w.key("runs").beginArray();
@@ -159,10 +250,15 @@ std::string campaignJson(const CampaignResult& result,
     w.beginObject();
     w.key("index").value(o.index);
     w.key("label").value(o.label);
+    if (!o.tenant.empty()) {
+      w.key("tenant").value(o.tenant);
+    }
     w.key("scheduler").value(schedulerName(o.kind));
     w.key("seed").value(o.seed);
     w.key("ok").value(o.ok);
-    w.key("wall_s").value(o.wall_s);
+    if (options.include_timing) {
+      w.key("wall_s").value(o.wall_s);
+    }
     if (o.ok) {
       w.key("omega").value(o.result.average_omega);
       w.key("gamma").value(o.result.average_gamma);
@@ -213,6 +309,42 @@ void saveCampaignJson(const std::string& path, const CampaignResult& result,
   if (!out) throw IoError("cannot open for writing: " + path);
   out << campaignJson(result, name);
   if (!out) throw IoError("failed writing: " + path);
+}
+
+std::string jobRecordJson(const JobOutcome& o, std::size_t index) {
+  JsonWriter w(JsonWriter::Options{JsonWriter::Style::Compact,
+                                   JsonWriter::NonFinitePolicy::StringSentinel});
+  w.beginObject();
+  w.key("v").value(JobSpec::kVersion);
+  w.key("index").value(static_cast<std::uint64_t>(index));
+  w.key("tenant").value(o.tenant);
+  w.key("label").value(o.label);
+  w.key("scheduler").value(schedulerName(o.kind));
+  w.key("seed").value(o.seed);
+  w.key("ok").value(o.ok);
+  if (o.ok) {
+    w.key("omega").value(o.result.average_omega);
+    w.key("gamma").value(o.result.average_gamma);
+    w.key("cost").value(o.result.total_cost);
+    w.key("theta").value(o.result.theta);
+    w.key("constraint_met").value(o.result.constraint_met);
+    w.key("peak_vms").value(o.result.peak_vms);
+    w.key("peak_cores").value(o.result.peak_cores);
+    w.key("intervals").value(o.result.run.intervals().size());
+  } else {
+    w.key("error").value(o.error);
+  }
+  w.endObject();
+  return w.str();
+}
+
+std::string campaignJsonl(const CampaignResult& result) {
+  std::string out;
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    out += jobRecordJson(result.outcomes[i], i);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace dds

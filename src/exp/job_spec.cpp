@@ -1,0 +1,180 @@
+#include "dds/exp/job_spec.hpp"
+
+#include <cmath>
+
+#include "dds/common/json.hpp"
+#include "dds/common/json_value.hpp"
+
+namespace dds {
+namespace {
+
+/// Keys a spec may not smuggle inside "config": the first three are
+/// top-level spec fields, the last two are CLI-file-only controls.
+bool reservedConfigKey(const std::string& key) {
+  return key == "graph" || key == "chain_length" || key == "scheduler" ||
+         key == "output_csv" || key == "config_schema";
+}
+
+std::string expectString(const JsonValue& v, const std::string& field) {
+  const std::string* s = v.asString();
+  if (s == nullptr) {
+    throw ConfigError("job-spec field '" + field + "' must be a string");
+  }
+  return *s;
+}
+
+std::int64_t expectIntegral(const JsonValue& v, const std::string& field) {
+  const double* n = v.asNumber();
+  if (n == nullptr || !std::isfinite(*n) || *n != std::floor(*n)) {
+    throw ConfigError("job-spec field '" + field +
+                      "' must be an integral number");
+  }
+  return static_cast<std::int64_t>(*n);
+}
+
+JobSpec::ConfigValue configValueFrom(const JsonValue& v,
+                                     const std::string& key) {
+  JobSpec::ConfigValue out;
+  if (const bool* b = v.asBool()) {
+    out.kind = JobSpec::ConfigValue::Kind::Bool;
+    out.boolean = *b;
+  } else if (const double* n = v.asNumber()) {
+    out.kind = JobSpec::ConfigValue::Kind::Number;
+    out.number = *n;
+  } else if (const std::string* s = v.asString()) {
+    out.kind = JobSpec::ConfigValue::Kind::String;
+    out.text = *s;
+  } else {
+    throw ConfigError("job-spec config key '" + key +
+                      "' must be a number, bool or string");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string JobSpec::ConfigValue::asConfigString() const {
+  switch (kind) {
+    case Kind::Bool:
+      return boolean ? "true" : "false";
+    case Kind::Number:
+      return jsonNumber(number);
+    case Kind::String:
+      return text;
+  }
+  throw PreconditionError("unreachable: bad ConfigValue kind");
+}
+
+std::string JobSpec::toJson() const {
+  JsonWriter w(JsonWriter::Options{JsonWriter::Style::Compact,
+                                   JsonWriter::NonFinitePolicy::Throw});
+  w.beginObject();
+  w.key("v").value(kVersion);
+  if (!tenant.empty()) w.key("tenant").value(tenant);
+  if (!label.empty()) w.key("label").value(label);
+  w.key("graph").value(graph);
+  if (graph == "chain") {
+    w.key("chain_length").value(static_cast<std::uint64_t>(chain_length));
+  }
+  w.key("scheduler").value(scheduler);
+  w.key("config").beginObject();
+  for (const auto& [key, value] : config) {
+    w.key(key);
+    switch (value.kind) {
+      case ConfigValue::Kind::Bool:
+        w.value(value.boolean);
+        break;
+      case ConfigValue::Kind::Number:
+        w.value(value.number);
+        break;
+      case ConfigValue::Kind::String:
+        w.value(value.text);
+        break;
+    }
+  }
+  w.endObject();
+  w.endObject();
+  return w.str();
+}
+
+JobSpec parseJobSpec(const std::string& json_line) {
+  JsonValue root;
+  try {
+    root = parseJson(json_line);
+  } catch (const IoError& e) {
+    throw ConfigError(std::string("job spec is not valid JSON: ") + e.what());
+  }
+  const JsonObject* obj = root.asObject();
+  if (obj == nullptr) {
+    throw ConfigError("job spec must be a JSON object");
+  }
+
+  JobSpec spec;
+  bool saw_version = false;
+  for (const auto& [field, value] : *obj) {
+    if (field == "v") {
+      const std::int64_t v = expectIntegral(value, "v");
+      if (v != JobSpec::kVersion) {
+        throw ConfigError("unsupported job-spec version " +
+                          std::to_string(v) + " (this build speaks v" +
+                          std::to_string(JobSpec::kVersion) + ")");
+      }
+      saw_version = true;
+    } else if (field == "tenant") {
+      spec.tenant = expectString(value, field);
+    } else if (field == "label") {
+      spec.label = expectString(value, field);
+    } else if (field == "graph") {
+      spec.graph = expectString(value, field);
+    } else if (field == "chain_length") {
+      const std::int64_t n = expectIntegral(value, field);
+      if (n < 1) {
+        throw ConfigError("job-spec chain_length must be >= 1");
+      }
+      spec.chain_length = static_cast<std::size_t>(n);
+    } else if (field == "scheduler") {
+      spec.scheduler = expectString(value, field);
+    } else if (field == "config") {
+      const JsonObject* cfg = value.asObject();
+      if (cfg == nullptr) {
+        throw ConfigError("job-spec field 'config' must be an object");
+      }
+      for (const auto& [key, cv] : *cfg) {
+        if (reservedConfigKey(key)) {
+          throw ConfigError(
+              "job-spec config key '" + key + "' is reserved" +
+              (key == "output_csv" || key == "config_schema"
+                   ? " (it has no meaning in a job spec)"
+                   : " (set it as a top-level spec field)"));
+        }
+        spec.config.emplace_back(key, configValueFrom(cv, key));
+      }
+    } else {
+      throw ConfigError("unknown job-spec field '" + field +
+                        "' (schema v" + std::to_string(JobSpec::kVersion) +
+                        ")");
+    }
+  }
+  if (!saw_version) {
+    throw ConfigError("job spec is missing required field 'v'");
+  }
+  return spec;
+}
+
+CliExperiment experimentFromSpec(const JobSpec& spec) {
+  KeyValueConfig kv;
+  // Specs always parse strictly: deprecated flat aliases are rejected
+  // with the canonical replacement named, same as a strict config file.
+  kv.set("config_schema", "strict");
+  kv.set("graph", spec.graph);
+  if (spec.graph == "chain") {
+    kv.set("chain_length", std::to_string(spec.chain_length));
+  }
+  kv.set("scheduler", spec.scheduler);
+  for (const auto& [key, value] : spec.config) {
+    kv.set(key, value.asConfigString());
+  }
+  return experimentFromConfig(kv);
+}
+
+}  // namespace dds

@@ -1,0 +1,121 @@
+#include "dds/exp/serve.hpp"
+
+#include <deque>
+#include <future>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "dds/common/json.hpp"
+#include "dds/common/thread_pool.hpp"
+
+namespace dds {
+namespace {
+
+bool blankLine(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+/// One window slot: either a running job or an already-known rejection.
+/// Rejections occupy a slot too, which is what keeps emission in line
+/// order without any reordering logic.
+struct Pending {
+  std::size_t index = 0;
+  std::future<JobOutcome> future;
+  bool rejected = false;
+  std::string error;
+};
+
+void emitRecord(std::ostream& out, const std::string& record) {
+  out << record << '\n';
+  out.flush();
+}
+
+}  // namespace
+
+std::string specErrorJson(std::size_t index, const std::string& error) {
+  JsonWriter w(JsonWriter::Options{JsonWriter::Style::Compact,
+                                   JsonWriter::NonFinitePolicy::Throw});
+  w.beginObject();
+  w.key("v").value(JobSpec::kVersion);
+  w.key("index").value(static_cast<std::uint64_t>(index));
+  w.key("ok").value(false);
+  w.key("rejected").value(true);
+  w.key("error").value(error);
+  w.endObject();
+  return w.str();
+}
+
+ServeStats serveCampaign(std::istream& in, std::ostream& out,
+                         const ServeOptions& options) {
+  const std::size_t workers =
+      options.jobs == 0 ? ThreadPool::hardwareConcurrency() : options.jobs;
+  const std::shared_ptr<Substrate> substrate =
+      options.substrate != nullptr ? options.substrate
+                                   : std::make_shared<Substrate>();
+  Substrate* sub = substrate.get();
+  ServeStats stats;
+  std::string line;
+  std::size_t index = 0;
+
+  if (workers <= 1) {
+    // Serial reference path: parse, run, emit, one line at a time.
+    while (std::getline(in, line)) {
+      if (blankLine(line)) continue;
+      const std::size_t i = index++;
+      ++stats.specs;
+      try {
+        const ExperimentJob job = jobFromSpec(parseJobSpec(line), *sub);
+        const JobOutcome outcome = runExperimentJob(job, i, sub);
+        outcome.ok ? ++stats.ok : ++stats.failed;
+        emitRecord(out, jobRecordJson(outcome, i));
+      } catch (const ConfigError& e) {
+        ++stats.rejected;
+        emitRecord(out, specErrorJson(i, e.what()));
+      }
+    }
+    return stats;
+  }
+
+  ThreadPool pool(workers);
+  const std::size_t capacity = options.queue == 0 ? 2 * workers : options.queue;
+  std::deque<Pending> window;
+
+  auto drainFront = [&]() {
+    Pending front = std::move(window.front());
+    window.pop_front();
+    if (front.rejected) {
+      ++stats.rejected;
+      emitRecord(out, specErrorJson(front.index, front.error));
+      return;
+    }
+    const JobOutcome outcome = front.future.get();
+    outcome.ok ? ++stats.ok : ++stats.failed;
+    emitRecord(out, jobRecordJson(outcome, front.index));
+  };
+
+  while (std::getline(in, line)) {
+    if (blankLine(line)) continue;
+    const std::size_t i = index++;
+    ++stats.specs;
+    // Bounded admission: a full window blocks the reader on the oldest
+    // job — input backpressure, ordered streaming output.
+    while (window.size() >= capacity) drainFront();
+    Pending pending;
+    pending.index = i;
+    try {
+      ExperimentJob job = jobFromSpec(parseJobSpec(line), *sub);
+      pending.future = pool.submit([job = std::move(job), i, sub]() {
+        return runExperimentJob(job, i, sub);
+      });
+    } catch (const ConfigError& e) {
+      pending.rejected = true;
+      pending.error = e.what();
+    }
+    window.push_back(std::move(pending));
+  }
+  while (!window.empty()) drainFront();
+  return stats;
+}
+
+}  // namespace dds

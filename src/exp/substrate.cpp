@@ -1,0 +1,102 @@
+#include "dds/exp/substrate.hpp"
+
+#include "dds/dataflow/standard_graphs.hpp"
+#include "dds/sched/plan_evaluator.hpp"
+
+namespace dds {
+
+std::shared_ptr<const ResourceCatalog> Substrate::catalogFor(
+    const ExperimentConfig& config) {
+  const double discount = config.elasticity.spotEnabled()
+                              ? config.elasticity.spot_discount
+                              : 0.0;
+  const std::pair<std::string, double> key{config.catalog, discount};
+  std::scoped_lock lock(mutex_);
+  auto it = catalogs_.find(key);
+  if (it != catalogs_.end()) {
+    ++stats_.catalog_hits;
+    return it->second;
+  }
+  ++stats_.catalog_builds;
+  // The exact resolution the engine performs standalone.
+  auto catalog = std::make_shared<const ResourceCatalog>(
+      discount > 0.0 ? withSpotTier(catalogByName(config.catalog), discount)
+                     : catalogByName(config.catalog));
+  catalogs_.emplace(key, catalog);
+  return catalog;
+}
+
+std::shared_ptr<const TracePools> Substrate::tracePoolsFor(
+    std::uint64_t seed) {
+  std::scoped_lock lock(mutex_);
+  auto it = pools_.find(seed);
+  if (it != pools_.end()) {
+    ++stats_.pool_hits;
+    return it->second;
+  }
+  ++stats_.pool_builds;
+  auto pools = TraceReplayer::makeFutureGridPools(seed);
+  pools_.emplace(seed, pools);
+  return pools;
+}
+
+std::shared_ptr<const PlanStructure> Substrate::planStructureFor(
+    const Dataflow& df, std::shared_ptr<const ResourceCatalog> catalog) {
+  DDS_REQUIRE(catalog != nullptr, "plan structure needs a catalog");
+  const std::pair<const void*, const void*> key{&df, catalog.get()};
+  std::scoped_lock lock(mutex_);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++stats_.plan_hits;
+    return it->second;
+  }
+  ++stats_.plan_builds;
+  auto plan = PlanStructure::build(df, *catalog);
+  plans_.emplace(key, plan);
+  return plan;
+}
+
+std::shared_ptr<const Dataflow> Substrate::graphFor(
+    const std::string& graph, std::size_t chain_length) {
+  // Only "chain" reads the length; normalize the key so "paper" jobs with
+  // different chain_length defaults share one graph.
+  const std::pair<std::string, std::size_t> key{
+      graph, graph == "chain" ? chain_length : 0};
+  std::scoped_lock lock(mutex_);
+  auto it = graphs_.find(key);
+  if (it != graphs_.end()) {
+    ++stats_.graph_hits;
+    return it->second;
+  }
+  ++stats_.graph_builds;
+  std::shared_ptr<const Dataflow> df;
+  if (graph == "paper") {
+    df = std::make_shared<const Dataflow>(makePaperDataflow());
+  } else if (graph == "diamond") {
+    df = std::make_shared<const Dataflow>(makeDiamondDataflow());
+  } else if (graph == "chain") {
+    df = std::make_shared<const Dataflow>(makeChainDataflow(chain_length, 2));
+  } else {
+    throw PreconditionError("unknown graph: '" + graph + "'");
+  }
+  graphs_.emplace(key, df);
+  return df;
+}
+
+EngineArenas Substrate::arenasFor(const Dataflow& df,
+                                  const ExperimentConfig& config) {
+  EngineArenas arenas;
+  arenas.catalog = catalogFor(config);
+  if (config.workload.infra_variability) {
+    arenas.trace_pools = tracePoolsFor(config.seed);
+  }
+  arenas.plan_structure = planStructureFor(df, arenas.catalog);
+  return arenas;
+}
+
+Substrate::Stats Substrate::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dds

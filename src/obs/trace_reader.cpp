@@ -1,246 +1,41 @@
 #include "dds/obs/trace_reader.hpp"
 
-#include <cctype>
-#include <cmath>
-#include <cstdlib>
 #include <limits>
-#include <map>
 #include <memory>
 #include <string>
 #include <utility>
 
 #include "dds/common/error.hpp"
+#include "dds/common/json_value.hpp"
 
 namespace dds::obs {
 
 namespace {
 
-// Minimal recursive-descent JSON parser — just enough for the trace
-// records this module itself writes. Internal on purpose: the repo's
-// public JSON surface stays emit-only (common/json).
-struct JsonValue;
-using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
-      v = nullptr;
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue value = parseValue();
-    skipWs();
-    if (pos_ != text_.size()) fail("trailing characters after JSON value");
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw IoError("trace JSON parse error at offset " +
-                  std::to_string(pos_) + ": " + what);
-  }
-
-  void skipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue parseValue() {
-    skipWs();
-    const char c = peek();
-    switch (c) {
-      case '{':
-        return parseObject();
-      case '[':
-        return parseArray();
-      case '"':
-        return JsonValue{parseString()};
-      case 't':
-        parseLiteral("true");
-        return JsonValue{true};
-      case 'f':
-        parseLiteral("false");
-        return JsonValue{false};
-      case 'n':
-        parseLiteral("null");
-        return JsonValue{nullptr};
-      default:
-        return JsonValue{parseNumber()};
-    }
-  }
-
-  void parseLiteral(const std::string& lit) {
-    if (text_.compare(pos_, lit.size(), lit) != 0) {
-      fail("invalid literal");
-    }
-    pos_ += lit.size();
-  }
-
-  JsonValue parseObject() {
-    expect('{');
-    auto obj = std::make_shared<JsonObject>();
-    skipWs();
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue{std::move(obj)};
-    }
-    while (true) {
-      skipWs();
-      std::string key = parseString();
-      skipWs();
-      expect(':');
-      obj->emplace_back(std::move(key), parseValue());
-      skipWs();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return JsonValue{std::move(obj)};
-    }
-  }
-
-  JsonValue parseArray() {
-    expect('[');
-    auto arr = std::make_shared<JsonArray>();
-    skipWs();
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue{std::move(arr)};
-    }
-    while (true) {
-      arr->push_back(parseValue());
-      skipWs();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return JsonValue{std::move(arr)};
-    }
-  }
-
-  std::string parseString() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("dangling escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"':
-          out += '"';
-          break;
-        case '\\':
-          out += '\\';
-          break;
-        case '/':
-          out += '/';
-          break;
-        case 'n':
-          out += '\n';
-          break;
-        case 'r':
-          out += '\r';
-          break;
-        case 't':
-          out += '\t';
-          break;
-        case 'b':
-          out += '\b';
-          break;
-        case 'f':
-          out += '\f';
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("short \\u escape");
-          const std::string hex = text_.substr(pos_, 4);
-          pos_ += 4;
-          const unsigned long code = std::strtoul(hex.c_str(), nullptr, 16);
-          // Trace strings are ASCII; control characters round-trip,
-          // anything else is preserved as a raw byte.
-          out += static_cast<char>(code);
-          break;
-        }
-        default:
-          fail("unknown escape");
-      }
-    }
-  }
-
-  double parseNumber() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("invalid number");
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double v = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') fail("invalid number");
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-const JsonValue* find(const JsonObject& obj, const std::string& key) {
-  for (const auto& [k, v] : obj) {
-    if (k == key) return &v;
-  }
-  return nullptr;
-}
-
+// JSON parsing lives in common/json_value; this module keeps only the
+// trace-specific field accessors (non-finite sentinels, id widths) and
+// the per-event-type record builders.
 [[noreturn]] void missing(const std::string& key) {
   throw IoError("trace record missing field: " + key);
 }
 
 const JsonValue& get(const JsonObject& obj, const std::string& key) {
-  const JsonValue* v = find(obj, key);
+  const JsonValue* v = jsonFind(obj, key);
   if (v == nullptr) missing(key);
   return *v;
 }
 
 std::string getStr(const JsonObject& obj, const std::string& key) {
   const JsonValue& v = get(obj, key);
-  if (const auto* s = std::get_if<std::string>(&v.v)) return *s;
+  if (const auto* s = v.asString()) return *s;
   throw IoError("trace field is not a string: " + key);
 }
 
 // Numeric fields may carry the writer's non-finite string sentinels.
 double getNum(const JsonObject& obj, const std::string& key) {
   const JsonValue& v = get(obj, key);
-  if (const auto* d = std::get_if<double>(&v.v)) return *d;
-  if (const auto* s = std::get_if<std::string>(&v.v)) {
+  if (const auto* d = v.asNumber()) return *d;
+  if (const auto* s = v.asString()) {
     if (*s == "NaN") return std::numeric_limits<double>::quiet_NaN();
     if (*s == "Infinity") return std::numeric_limits<double>::infinity();
     if (*s == "-Infinity") return -std::numeric_limits<double>::infinity();
@@ -258,9 +53,7 @@ std::uint32_t getId(const JsonObject& obj, const std::string& key) {
 
 const JsonArray& getArr(const JsonObject& obj, const std::string& key) {
   const JsonValue& v = get(obj, key);
-  if (const auto* a = std::get_if<std::shared_ptr<JsonArray>>(&v.v)) {
-    return **a;
-  }
+  if (const auto* a = v.asArray()) return *a;
   throw IoError("trace field is not an array: " + key);
 }
 
@@ -414,13 +207,13 @@ TraceEvent buildEvent(const std::string& ev, const JsonObject& o) {
     e.omega_bar = getNum(o, "omega_bar");
     e.theta = getNum(o, "theta");
     for (const JsonValue& item : getArr(o, "rejected")) {
-      const auto* robj = std::get_if<std::shared_ptr<JsonObject>>(&item.v);
+      const JsonObject* robj = item.asObject();
       if (robj == nullptr) {
         throw IoError("rejected plan entry is not an object");
       }
       RejectedPlan r;
-      r.plan = getStr(**robj, "plan");
-      r.theta = getNum(**robj, "theta");
+      r.plan = getStr(*robj, "plan");
+      r.theta = getNum(*robj, "theta");
       e.rejected.push_back(std::move(r));
     }
     return e;
@@ -431,10 +224,10 @@ TraceEvent buildEvent(const std::string& ev, const JsonObject& o) {
 }  // namespace
 
 TraceEvent parseTraceEventJson(const std::string& line) {
-  const JsonValue root = Parser(line).parse();
-  const auto* obj = std::get_if<std::shared_ptr<JsonObject>>(&root.v);
+  const JsonValue root = parseJson(line);
+  const JsonObject* obj = root.asObject();
   if (obj == nullptr) throw IoError("trace record is not a JSON object");
-  return buildEvent(getStr(**obj, "ev"), **obj);
+  return buildEvent(getStr(*obj, "ev"), *obj);
 }
 
 std::vector<TraceEvent> readTraceJsonl(std::istream& in) {

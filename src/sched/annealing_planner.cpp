@@ -65,7 +65,10 @@ Deployment AnnealingScheduler::deploy(double estimated_input_rate) {
   eval_options.sigma = sigma_;
   eval_options.horizon_hours = horizon_hours;
   eval_options.memo_capacity = incremental ? options_.memo_capacity : 0;
-  PlanEvaluator eval(df, catalog, eval_options);
+  PlanEvaluator eval(env_.plan_structure != nullptr
+                         ? env_.plan_structure
+                         : PlanStructure::build(df, catalog),
+                     df, catalog, eval_options);
 
   // Reference path (incremental_evaluation == false): the from-scratch
   // evaluation this planner ran before the evaluator existed. Both paths

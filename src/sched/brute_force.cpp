@@ -64,7 +64,10 @@ Deployment BruteForceScheduler::deploy(double estimated_input_rate) {
   eval_options.omega_target = env_.omega_target;
   eval_options.sigma = sigma_;
   eval_options.horizon_hours = horizon_hours;
-  PlanEvaluator eval(df, catalog, eval_options);
+  PlanEvaluator eval(env_.plan_structure != nullptr
+                         ? env_.plan_structure
+                         : PlanStructure::build(df, catalog),
+                     df, catalog, eval_options);
 
   // Per-class tables hoisted out of the multiset loop; the summations
   // below keep the original accumulation order and multiply association,

@@ -8,7 +8,86 @@
 
 namespace dds {
 
+std::shared_ptr<const PlanStructure> PlanStructure::build(
+    const Dataflow& df, const ResourceCatalog& catalog) {
+  auto s = std::make_shared<PlanStructure>();
+  s->n_pes = df.peCount();
+  s->n_classes = catalog.size();
+  const std::size_t n_pes = s->n_pes;
+  const std::size_t n_classes = s->n_classes;
+
+  // Flatten the per-(pe, alternate) model tables. The relative-value and
+  // cost doubles are the exact ones the reference path reads through
+  // ProcessingElement, so re-summing from these tables reproduces its
+  // results bit for bit.
+  s->alt_offset.resize(n_pes + 1, 0);
+  s->alt_count.resize(n_pes, 0);
+  for (std::size_t i = 0; i < n_pes; ++i) {
+    const auto& pe = df.pe(PeId(static_cast<PeId::value_type>(i)));
+    s->alt_count[i] = pe.alternateCount();
+    s->alt_offset[i + 1] = s->alt_offset[i] + pe.alternateCount();
+  }
+  const std::size_t total_alts = s->alt_offset[n_pes];
+  s->alt_selectivity.resize(total_alts);
+  s->alt_cost_sec.resize(total_alts);
+  s->alt_rel_value.resize(total_alts);
+  for (std::size_t i = 0; i < n_pes; ++i) {
+    const auto& pe = df.pe(PeId(static_cast<PeId::value_type>(i)));
+    for (std::size_t j = 0; j < pe.alternateCount(); ++j) {
+      const AlternateId a(static_cast<AlternateId::value_type>(j));
+      s->alt_selectivity[s->alt_offset[i] + j] = pe.alternate(a).selectivity;
+      s->alt_cost_sec[s->alt_offset[i] + j] = pe.alternate(a).cost_core_sec;
+      s->alt_rel_value[s->alt_offset[i] + j] = pe.relativeValue(a);
+    }
+  }
+
+  // Graph structure: topological order plus CSR predecessor/successor
+  // lists in the Dataflow's own edge order (the arrival sum iterates
+  // predecessors in exactly that order).
+  s->topo.reserve(n_pes);
+  s->topo_pos.resize(n_pes, 0);
+  for (const PeId pe : df.topologicalOrder()) {
+    s->topo_pos[pe.value()] = s->topo.size();
+    s->topo.push_back(pe.value());
+  }
+  s->pred_offset.resize(n_pes + 1, 0);
+  s->succ_offset.resize(n_pes + 1, 0);
+  s->is_input.resize(n_pes, false);
+  for (std::size_t i = 0; i < n_pes; ++i) {
+    const PeId pe(static_cast<PeId::value_type>(i));
+    s->pred_offset[i + 1] = s->pred_offset[i] + df.predecessors(pe).size();
+    s->succ_offset[i + 1] = s->succ_offset[i] + df.successors(pe).size();
+    s->is_input[i] = df.isInput(pe);
+  }
+  s->preds.resize(s->pred_offset[n_pes]);
+  s->succs.resize(s->succ_offset[n_pes]);
+  for (std::size_t i = 0; i < n_pes; ++i) {
+    const PeId pe(static_cast<PeId::value_type>(i));
+    std::size_t k = s->pred_offset[i];
+    for (const PeId u : df.predecessors(pe)) s->preds[k++] = u.value();
+    k = s->succ_offset[i];
+    for (const PeId v : df.successors(pe)) s->succs[k++] = v.value();
+  }
+
+  s->class_cores.resize(n_classes);
+  s->class_price.resize(n_classes);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    const auto& cls = catalog.at(
+        ResourceClassId(static_cast<ResourceClassId::value_type>(c)));
+    s->class_cores[c] = cls.cores;
+    s->class_price[c] = cls.price_per_hour;
+  }
+  return s;
+}
+
 PlanEvaluator::PlanEvaluator(const Dataflow& df,
+                             const ResourceCatalog& catalog,
+                             const PlanEvaluatorOptions& options)
+    : PlanEvaluator(PlanStructure::build(df, catalog), df, catalog,
+                    options) {}
+
+PlanEvaluator::PlanEvaluator(std::shared_ptr<const PlanStructure> structure,
+                             const Dataflow& df,
                              const ResourceCatalog& catalog,
                              const PlanEvaluatorOptions& options)
     : df_(&df),
@@ -16,6 +95,7 @@ PlanEvaluator::PlanEvaluator(const Dataflow& df,
       options_(options),
       n_pes_(df.peCount()),
       n_classes_(catalog.size()),
+      s_(std::move(structure)),
       pack_scratch_(catalog) {
   DDS_REQUIRE(options.input_rate >= 0.0,
               "input rate must be non-negative");
@@ -23,68 +103,9 @@ PlanEvaluator::PlanEvaluator(const Dataflow& df,
               "omega target out of range");
   DDS_REQUIRE(options.sigma >= 0.0, "sigma must be non-negative");
   DDS_REQUIRE(options.horizon_hours > 0.0, "horizon must be positive");
-
-  // Flatten the per-(pe, alternate) model tables. The relative-value and
-  // cost doubles are the exact ones the reference path reads through
-  // ProcessingElement, so re-summing from these tables reproduces its
-  // results bit for bit.
-  alt_offset_.resize(n_pes_ + 1, 0);
-  alt_count_.resize(n_pes_, 0);
-  for (std::size_t i = 0; i < n_pes_; ++i) {
-    const auto& pe = df.pe(PeId(static_cast<PeId::value_type>(i)));
-    alt_count_[i] = pe.alternateCount();
-    alt_offset_[i + 1] = alt_offset_[i] + pe.alternateCount();
-  }
-  const std::size_t total_alts = alt_offset_[n_pes_];
-  alt_selectivity_.resize(total_alts);
-  alt_cost_sec_.resize(total_alts);
-  alt_rel_value_.resize(total_alts);
-  for (std::size_t i = 0; i < n_pes_; ++i) {
-    const auto& pe = df.pe(PeId(static_cast<PeId::value_type>(i)));
-    for (std::size_t j = 0; j < pe.alternateCount(); ++j) {
-      const AlternateId a(static_cast<AlternateId::value_type>(j));
-      alt_selectivity_[alt_offset_[i] + j] = pe.alternate(a).selectivity;
-      alt_cost_sec_[alt_offset_[i] + j] = pe.alternate(a).cost_core_sec;
-      alt_rel_value_[alt_offset_[i] + j] = pe.relativeValue(a);
-    }
-  }
-
-  // Graph structure: topological order plus CSR predecessor/successor
-  // lists in the Dataflow's own edge order (the arrival sum iterates
-  // predecessors in exactly that order).
-  topo_.reserve(n_pes_);
-  topo_pos_.resize(n_pes_, 0);
-  for (const PeId pe : df.topologicalOrder()) {
-    topo_pos_[pe.value()] = topo_.size();
-    topo_.push_back(pe.value());
-  }
-  pred_offset_.resize(n_pes_ + 1, 0);
-  succ_offset_.resize(n_pes_ + 1, 0);
-  is_input_.resize(n_pes_, false);
-  for (std::size_t i = 0; i < n_pes_; ++i) {
-    const PeId pe(static_cast<PeId::value_type>(i));
-    pred_offset_[i + 1] = pred_offset_[i] + df.predecessors(pe).size();
-    succ_offset_[i + 1] = succ_offset_[i] + df.successors(pe).size();
-    is_input_[i] = df.isInput(pe);
-  }
-  preds_.resize(pred_offset_[n_pes_]);
-  succs_.resize(succ_offset_[n_pes_]);
-  for (std::size_t i = 0; i < n_pes_; ++i) {
-    const PeId pe(static_cast<PeId::value_type>(i));
-    std::size_t k = pred_offset_[i];
-    for (const PeId u : df.predecessors(pe)) preds_[k++] = u.value();
-    k = succ_offset_[i];
-    for (const PeId v : df.successors(pe)) succs_[k++] = v.value();
-  }
-
-  class_cores_.resize(n_classes_);
-  class_price_.resize(n_classes_);
-  for (std::size_t c = 0; c < n_classes_; ++c) {
-    const auto& cls = catalog.at(
-        ResourceClassId(static_cast<ResourceClassId::value_type>(c)));
-    class_cores_[c] = cls.cores;
-    class_price_[c] = cls.price_per_hour;
-  }
+  DDS_REQUIRE(s_ != nullptr, "plan structure is null");
+  DDS_REQUIRE(s_->n_pes == n_pes_ && s_->n_classes == n_classes_,
+              "plan structure does not match dataflow/catalog");
 
   alternates_.assign(n_pes_, AlternateId(0));
   vm_counts_.assign(n_classes_, 0);
@@ -102,8 +123,8 @@ void PlanEvaluator::recomputeArrival(std::size_t pe) {
   // Same expression and predecessor iteration order as
   // expectedArrivalRatesInto(): sum of arrival[u] * selectivity(u).
   double sum = 0.0;
-  for (std::size_t k = pred_offset_[pe]; k < pred_offset_[pe + 1]; ++k) {
-    const std::size_t u = preds_[k];
+  for (std::size_t k = s_->pred_offset[pe]; k < s_->pred_offset[pe + 1]; ++k) {
+    const std::size_t u = s_->preds[k];
     sum += arrival_[u] * altSelectivity(u);
   }
   arrival_[pe] = sum;
@@ -117,8 +138,8 @@ void PlanEvaluator::recomputeDemand(std::size_t pe) {
 }
 
 void PlanEvaluator::markSuccessorsDirty(std::size_t pe) {
-  for (std::size_t k = succ_offset_[pe]; k < succ_offset_[pe + 1]; ++k) {
-    arrival_dirty_[succs_[k]] = epoch_;
+  for (std::size_t k = s_->succ_offset[pe]; k < s_->succ_offset[pe + 1]; ++k) {
+    arrival_dirty_[s_->succs[k]] = epoch_;
   }
 }
 
@@ -127,7 +148,7 @@ void PlanEvaluator::propagate(std::size_t start_pos) {
   // topological order, so each recomputation sees final predecessor
   // values — exactly the full recompute restricted to the dirty cone.
   for (std::size_t pos = start_pos; pos < n_pes_; ++pos) {
-    const std::size_t v = topo_[pos];
+    const std::size_t v = s_->topo[pos];
     const bool arrival_dirty = arrival_dirty_[v] == epoch_;
     if (arrival_dirty) {
       recomputeArrival(v);
@@ -148,16 +169,16 @@ void PlanEvaluator::reset(const std::vector<AlternateId>& alternates,
   if (&alternates != &alternates_) alternates_ = alternates;
   if (&vm_counts != &vm_counts_) vm_counts_ = vm_counts;
   for (std::size_t i = 0; i < n_pes_; ++i) {
-    DDS_REQUIRE(alternates_[i].value() < alt_count_[i],
+    DDS_REQUIRE(alternates_[i].value() < s_->alt_count[i],
                 "alternate id out of range for PE");
   }
   total_cores_ = 0;
   for (std::size_t c = 0; c < n_classes_; ++c) {
     DDS_REQUIRE(vm_counts_[c] >= 0, "VM counts must be non-negative");
-    total_cores_ += vm_counts_[c] * class_cores_[c];
+    total_cores_ += vm_counts_[c] * s_->class_cores[c];
   }
-  for (const std::size_t v : topo_) {
-    if (is_input_[v]) {
+  for (const std::size_t v : s_->topo) {
+    if (s_->is_input[v]) {
       arrival_[v] = options_.input_rate;
     } else {
       recomputeArrival(v);
@@ -168,14 +189,14 @@ void PlanEvaluator::reset(const std::vector<AlternateId>& alternates,
 
 void PlanEvaluator::setAlternate(std::size_t pe, AlternateId alt) {
   DDS_REQUIRE(pe < n_pes_, "PE index out of range");
-  DDS_REQUIRE(alt.value() < alt_count_[pe],
+  DDS_REQUIRE(alt.value() < s_->alt_count[pe],
               "alternate id out of range for PE");
   if (alternates_[pe] == alt) return;
   alternates_[pe] = alt;
   recomputeDemand(pe);  // own arrival is unaffected by own alternate
   ++epoch_;
   markSuccessorsDirty(pe);
-  propagate(topo_pos_[pe] + 1);
+  propagate(s_->topo_pos[pe] + 1);
 }
 
 void PlanEvaluator::setAlternates(const std::vector<AlternateId>& alternates) {
@@ -185,12 +206,12 @@ void PlanEvaluator::setAlternates(const std::vector<AlternateId>& alternates) {
   std::size_t first_pos = n_pes_;
   for (std::size_t i = 0; i < n_pes_; ++i) {
     if (alternates_[i] == alternates[i]) continue;
-    DDS_REQUIRE(alternates[i].value() < alt_count_[i],
+    DDS_REQUIRE(alternates[i].value() < s_->alt_count[i],
                 "alternate id out of range for PE");
     alternates_[i] = alternates[i];
     alt_changed_[i] = epoch_;
     markSuccessorsDirty(i);
-    first_pos = std::min(first_pos, topo_pos_[i]);
+    first_pos = std::min(first_pos, s_->topo_pos[i]);
   }
   if (first_pos == n_pes_) return;  // nothing changed
   propagate(first_pos);
@@ -199,7 +220,7 @@ void PlanEvaluator::setAlternates(const std::vector<AlternateId>& alternates) {
 void PlanEvaluator::setVmCount(std::size_t cls, int count) {
   DDS_REQUIRE(cls < n_classes_, "resource class out of range");
   DDS_REQUIRE(count >= 0, "VM counts must be non-negative");
-  total_cores_ += (count - vm_counts_[cls]) * class_cores_[cls];
+  total_cores_ += (count - vm_counts_[cls]) * s_->class_cores[cls];
   vm_counts_[cls] = count;
 }
 
@@ -207,7 +228,7 @@ double PlanEvaluator::gamma() const {
   // Canonical order: PEs by index, exactly as deploymentGamma().
   double gamma = 0.0;
   for (std::size_t i = 0; i < n_pes_; ++i) {
-    gamma += alt_rel_value_[alt_offset_[i] + alternates_[i].value()];
+    gamma += s_->alt_rel_value[s_->alt_offset[i] + alternates_[i].value()];
   }
   return gamma / static_cast<double>(n_pes_);
 }
@@ -217,7 +238,7 @@ double PlanEvaluator::planCost() const {
   // (count * price) * horizon, classes by index.
   double cost = 0.0;
   for (std::size_t c = 0; c < n_classes_; ++c) {
-    cost += vm_counts_[c] * class_price_[c] * options_.horizon_hours;
+    cost += vm_counts_[c] * s_->class_price[c] * options_.horizon_hours;
   }
   return cost;
 }
@@ -248,7 +269,7 @@ bool PlanEvaluator::feasibleFor(const std::vector<int>& vm_counts) {
               "vm_counts does not match catalog");
   int total_cores = 0;
   for (std::size_t c = 0; c < n_classes_; ++c) {
-    total_cores += vm_counts[c] * class_cores_[c];
+    total_cores += vm_counts[c] * s_->class_cores[c];
   }
   if (!enoughCores(total_cores)) return false;
   return packWithMemo(vm_counts);

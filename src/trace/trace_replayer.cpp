@@ -8,13 +8,19 @@ TraceReplayer::TraceReplayer(std::vector<PerfTrace> cpu_pool,
                              std::vector<PerfTrace> latency_pool,
                              std::vector<PerfTrace> bandwidth_pool,
                              std::uint64_t seed)
-    : cpu_pool_(std::move(cpu_pool)),
-      latency_pool_(std::move(latency_pool)),
-      bandwidth_pool_(std::move(bandwidth_pool)),
-      rng_(seed) {
-  DDS_REQUIRE(!cpu_pool_.empty(), "CPU trace pool is empty");
-  DDS_REQUIRE(!latency_pool_.empty(), "latency trace pool is empty");
-  DDS_REQUIRE(!bandwidth_pool_.empty(), "bandwidth trace pool is empty");
+    : TraceReplayer(
+          std::make_shared<const TracePools>(TracePools{
+              std::move(cpu_pool), std::move(latency_pool),
+              std::move(bandwidth_pool)}),
+          seed) {}
+
+TraceReplayer::TraceReplayer(std::shared_ptr<const TracePools> pools,
+                             std::uint64_t assignment_seed)
+    : pools_(std::move(pools)), rng_(assignment_seed) {
+  DDS_REQUIRE(pools_ != nullptr, "trace pool arena is null");
+  DDS_REQUIRE(!pools_->cpu.empty(), "CPU trace pool is empty");
+  DDS_REQUIRE(!pools_->latency.empty(), "latency trace pool is empty");
+  DDS_REQUIRE(!pools_->bandwidth.empty(), "bandwidth trace pool is empty");
 }
 
 TraceReplayer TraceReplayer::ideal() {
@@ -27,15 +33,30 @@ TraceReplayer TraceReplayer::futureGridLike(std::uint64_t seed,
                                             SimTime duration_s,
                                             SimTime sample_period_s,
                                             std::size_t pool_size) {
+  return overPools(
+      makeFutureGridPools(seed, duration_s, sample_period_s, pool_size),
+      seed);
+}
+
+std::shared_ptr<const TracePools> TraceReplayer::makeFutureGridPools(
+    std::uint64_t seed, SimTime duration_s, SimTime sample_period_s,
+    std::size_t pool_size) {
   Rng rng(seed);
-  auto cpu = generateTracePool(cpuTraceParams(), pool_size, duration_s,
-                               sample_period_s, rng);
-  auto lat = generateTracePool(latencyTraceParams(), pool_size, duration_s,
-                               sample_period_s, rng);
-  auto bw = generateTracePool(bandwidthTraceParams(), pool_size, duration_s,
-                              sample_period_s, rng);
-  return TraceReplayer(std::move(cpu), std::move(lat), std::move(bw),
-                       seed ^ 0xabcdef1234567890ull);
+  auto pools = std::make_shared<TracePools>();
+  pools->cpu = generateTracePool(cpuTraceParams(), pool_size, duration_s,
+                                 sample_period_s, rng);
+  pools->latency = generateTracePool(latencyTraceParams(), pool_size,
+                                     duration_s, sample_period_s, rng);
+  pools->bandwidth = generateTracePool(bandwidthTraceParams(), pool_size,
+                                       duration_s, sample_period_s, rng);
+  return pools;
+}
+
+TraceReplayer TraceReplayer::overPools(
+    std::shared_ptr<const TracePools> pools, std::uint64_t run_seed) {
+  // Same assignment-stream derivation as futureGridLike historically
+  // used, so shared-arena replay stays bit-identical to pool-per-job.
+  return TraceReplayer(std::move(pools), run_seed ^ 0xabcdef1234567890ull);
 }
 
 TraceReplayer::Assignment TraceReplayer::assign(
@@ -54,22 +75,22 @@ std::uint64_t TraceReplayer::pairKey(VmId a, VmId b) {
 
 double TraceReplayer::cpuCoeff(VmId vm, SimTime t) {
   auto [it, inserted] = cpu_assignments_.try_emplace(vm);
-  if (inserted) it->second = assign(cpu_pool_);
-  return cpu_pool_[it->second.trace_index].atOffset(it->second.offset, t);
+  if (inserted) it->second = assign(pools_->cpu);
+  return pools_->cpu[it->second.trace_index].atOffset(it->second.offset, t);
 }
 
 double TraceReplayer::latencyCoeff(VmId a, VmId b, SimTime t) {
   DDS_REQUIRE(a != b, "latency between a VM and itself is zero by model");
   auto [it, inserted] = latency_assignments_.try_emplace(pairKey(a, b));
-  if (inserted) it->second = assign(latency_pool_);
-  return latency_pool_[it->second.trace_index].atOffset(it->second.offset, t);
+  if (inserted) it->second = assign(pools_->latency);
+  return pools_->latency[it->second.trace_index].atOffset(it->second.offset, t);
 }
 
 double TraceReplayer::bandwidthCoeff(VmId a, VmId b, SimTime t) {
   DDS_REQUIRE(a != b, "bandwidth between a VM and itself is infinite");
   auto [it, inserted] = bandwidth_assignments_.try_emplace(pairKey(a, b));
-  if (inserted) it->second = assign(bandwidth_pool_);
-  return bandwidth_pool_[it->second.trace_index].atOffset(it->second.offset,
+  if (inserted) it->second = assign(pools_->bandwidth);
+  return pools_->bandwidth[it->second.trace_index].atOffset(it->second.offset,
                                                           t);
 }
 
@@ -84,23 +105,23 @@ CoeffSample sampleOf(const PerfTrace& trace,
 
 CoeffSample TraceReplayer::cpuCoeffSample(VmId vm, SimTime t) {
   auto [it, inserted] = cpu_assignments_.try_emplace(vm);
-  if (inserted) it->second = assign(cpu_pool_);
-  return sampleOf(cpu_pool_[it->second.trace_index], it->second.offset, t);
+  if (inserted) it->second = assign(pools_->cpu);
+  return sampleOf(pools_->cpu[it->second.trace_index], it->second.offset, t);
 }
 
 CoeffSample TraceReplayer::latencyCoeffSample(VmId a, VmId b, SimTime t) {
   DDS_REQUIRE(a != b, "latency between a VM and itself is zero by model");
   auto [it, inserted] = latency_assignments_.try_emplace(pairKey(a, b));
-  if (inserted) it->second = assign(latency_pool_);
-  return sampleOf(latency_pool_[it->second.trace_index], it->second.offset,
+  if (inserted) it->second = assign(pools_->latency);
+  return sampleOf(pools_->latency[it->second.trace_index], it->second.offset,
                   t);
 }
 
 CoeffSample TraceReplayer::bandwidthCoeffSample(VmId a, VmId b, SimTime t) {
   DDS_REQUIRE(a != b, "bandwidth between a VM and itself is infinite");
   auto [it, inserted] = bandwidth_assignments_.try_emplace(pairKey(a, b));
-  if (inserted) it->second = assign(bandwidth_pool_);
-  return sampleOf(bandwidth_pool_[it->second.trace_index],
+  if (inserted) it->second = assign(pools_->bandwidth);
+  return sampleOf(pools_->bandwidth[it->second.trace_index],
                   it->second.offset, t);
 }
 

@@ -1,0 +1,121 @@
+#include "dds/common/json_value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "dds/common/error.hpp"
+#include "dds/common/json.hpp"
+
+namespace dds {
+namespace {
+
+TEST(JsonValueTest, ParsesScalars) {
+  EXPECT_TRUE(parseJson("null").isNull());
+  ASSERT_NE(parseJson("true").asBool(), nullptr);
+  EXPECT_TRUE(*parseJson("true").asBool());
+  EXPECT_FALSE(*parseJson("false").asBool());
+  EXPECT_DOUBLE_EQ(*parseJson("42").asNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(*parseJson("-1.5e3").asNumber(), -1500.0);
+  EXPECT_EQ(*parseJson("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonValueTest, ParsesNestedContainers) {
+  const JsonValue root = parseJson(R"({"a": [1, 2, {"b": "x"}], "c": null})");
+  const JsonObject* obj = root.asObject();
+  ASSERT_NE(obj, nullptr);
+  ASSERT_EQ(obj->size(), 2u);
+  const JsonValue* a = jsonFind(*obj, "a");
+  ASSERT_NE(a, nullptr);
+  const JsonArray* arr = a->asArray();
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->size(), 3u);
+  EXPECT_DOUBLE_EQ(*(*arr)[0].asNumber(), 1.0);
+  const JsonObject* inner = (*arr)[2].asObject();
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(*jsonFind(*inner, "b")->asString(), "x");
+  EXPECT_TRUE(jsonFind(*obj, "c")->isNull());
+  EXPECT_EQ(jsonFind(*obj, "missing"), nullptr);
+}
+
+TEST(JsonValueTest, PreservesKeyOrder) {
+  const JsonValue root = parseJson(R"({"z": 1, "a": 2, "m": 3})");
+  const JsonObject& obj = *root.asObject();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(JsonValueTest, DecodesEscapes) {
+  EXPECT_EQ(*parseJson(R"("a\"b\\c\/d\n\t")").asString(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(*parseJson(R"("A")").asString(), "A");
+}
+
+TEST(JsonValueTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)parseJson(""), IoError);
+  EXPECT_THROW((void)parseJson("{"), IoError);
+  EXPECT_THROW((void)parseJson("[1,]"), IoError);
+  EXPECT_THROW((void)parseJson("{\"a\" 1}"), IoError);
+  EXPECT_THROW((void)parseJson("tru"), IoError);
+  EXPECT_THROW((void)parseJson("\"unterminated"), IoError);
+  EXPECT_THROW((void)parseJson("1 2"), IoError);
+  EXPECT_THROW((void)parseJson("1.2.3"), IoError);
+  EXPECT_THROW((void)parseJson("\"bad \\q escape\""), IoError);
+}
+
+TEST(JsonValueTest, ErrorsCarryByteOffset) {
+  try {
+    (void)parseJson("[1, ?]");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+// The reader must accept everything JsonWriter emits — the two halves
+// form the round-trip used by job specs and trace records.
+TEST(JsonValueTest, RoundTripsWriterOutput) {
+  JsonWriter w(JsonWriter::Options{JsonWriter::Style::Compact,
+                                   JsonWriter::NonFinitePolicy::Null});
+  {
+    w.beginObject();
+    w.key("name");
+    w.value("grid \"q\" \\ check");
+    w.key("seed");
+    w.value(static_cast<std::int64_t>(123456789));
+    w.key("ratio");
+    w.value(0.1);
+    w.key("flags");
+    w.beginArray();
+    w.value(true);
+    w.value(false);
+    w.null();
+    w.endArray();
+    w.endObject();
+  }
+  const JsonValue root = parseJson(w.str());
+  const JsonObject& obj = *root.asObject();
+  EXPECT_EQ(*jsonFind(obj, "name")->asString(), "grid \"q\" \\ check");
+  EXPECT_DOUBLE_EQ(*jsonFind(obj, "seed")->asNumber(), 123456789.0);
+  EXPECT_DOUBLE_EQ(*jsonFind(obj, "ratio")->asNumber(), 0.1);
+  const JsonArray& flags = *jsonFind(obj, "flags")->asArray();
+  ASSERT_EQ(flags.size(), 3u);
+  EXPECT_TRUE(*flags[0].asBool());
+  EXPECT_FALSE(*flags[1].asBool());
+  EXPECT_TRUE(flags[2].isNull());
+}
+
+// jsonNumber's shortest-round-trip doubles must survive parse exactly.
+TEST(JsonValueTest, ExactDoubleRoundTrip) {
+  for (const double d : {0.1, 1.0 / 3.0, 6.02e23, 5e-324, 1e308, -0.0}) {
+    const JsonValue v = parseJson(jsonNumber(d));
+    ASSERT_NE(v.asNumber(), nullptr);
+    EXPECT_EQ(*v.asNumber(), d) << jsonNumber(d);
+  }
+}
+
+}  // namespace
+}  // namespace dds

@@ -238,6 +238,45 @@ TEST(ExperimentFromConfig, FlatAliasesStillWorkAndAreNoted) {
   EXPECT_NE(notes[1].find("'vm_mtbf_h' is deprecated"), std::string::npos);
 }
 
+TEST(ExperimentFromConfig, StrictSchemaRejectsFlatAliases) {
+  // `config_schema = strict` turns the deprecation note into a hard
+  // error that names the canonical replacement. Canonical spellings are
+  // unaffected.
+  try {
+    (void)experimentFromConfig(
+        KeyValueConfig::parse("config_schema = strict\n"
+                              "mean_rate = 9\n"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'mean_rate' is deprecated"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("config_schema = strict"), std::string::npos) << what;
+    EXPECT_NE(what.find("workload.mean_rate"), std::string::npos) << what;
+  }
+  std::vector<std::string> notes;
+  const auto ex = experimentFromConfig(
+      KeyValueConfig::parse("config_schema = strict\n"
+                            "workload.mean_rate = 9\n"
+                            "fault.vm_mtbf_h = 4\n"),
+      &notes);
+  EXPECT_DOUBLE_EQ(ex.config.workload.mean_rate, 9.0);
+  EXPECT_DOUBLE_EQ(ex.config.faults.vm_mtbf_hours, 4.0);
+  EXPECT_TRUE(notes.empty());
+}
+
+TEST(ExperimentFromConfig, UnknownSchemaValueIsRejected) {
+  try {
+    (void)experimentFromConfig(
+        KeyValueConfig::parse("config_schema = pedantic\n"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pedantic"), std::string::npos) << what;
+    EXPECT_NE(what.find("warn or strict"), std::string::npos) << what;
+  }
+}
+
 TEST(ExperimentFromConfig, BothSpellingsOfOneKnobIsAnError) {
   try {
     (void)experimentFromConfig(

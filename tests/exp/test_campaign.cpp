@@ -131,6 +131,76 @@ TEST(Campaign, JobFailureIsCapturedNotFatal) {
   EXPECT_THROW(res.throwIfAnyFailed(), PreconditionError);
 }
 
+TEST(Campaign, ConfigInterningCollapsesSeedSweeps) {
+  const Dataflow df = makePaperDataflow();
+  Campaign campaign;
+  campaign.addSeedSweep(df, shortConfig(), SchedulerKind::GlobalAdaptive, 50);
+  campaign.addSeedSweep(df, shortConfig(), SchedulerKind::LocalAdaptive, 50);
+  // 100 jobs, one distinct config: seeds are deltas, policies are
+  // per-entry fields, the base is interned once.
+  EXPECT_EQ(campaign.size(), 100u);
+  EXPECT_EQ(campaign.distinctConfigCount(), 1u);
+
+  // A genuinely different config gets its own base...
+  ExperimentConfig other = shortConfig();
+  other.workload.mean_rate = 20.0;
+  campaign.addSeedSweep(df, other, SchedulerKind::GlobalAdaptive, 10);
+  EXPECT_EQ(campaign.distinctConfigCount(), 2u);
+  // ...and materialized jobs still carry their own seeds.
+  EXPECT_EQ(campaign.job(0).config.seed, 77u);
+  EXPECT_EQ(campaign.job(49).config.seed, 77u + 49);
+  EXPECT_EQ(campaign.job(100).config.workload.mean_rate, 20.0);
+}
+
+TEST(Campaign, InterningDoesNotChangeCampaignJson) {
+  // The dedup redesign must be invisible in the output: a grid built
+  // from wholesale config copies and the same grid built via spec
+  // deltas produce byte-identical campaign JSON (timing stripped, which
+  // is the only nondeterministic part).
+  const Dataflow df = makePaperDataflow();
+  Campaign copies;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ExperimentConfig cfg = shortConfig();
+    cfg.seed = 101 + i;
+    copies.add({&df, cfg, SchedulerKind::GlobalAdaptive, "", ""});
+  }
+  Campaign deltas;
+  ExperimentConfig base = shortConfig();
+  base.seed = 101;
+  deltas.addSeedSweep(df, base, SchedulerKind::GlobalAdaptive, 4);
+  EXPECT_EQ(deltas.distinctConfigCount(), 1u);
+
+  // Same worker count on both sides: jobs_used is a header field, and
+  // parallel-vs-serial invariance is covered elsewhere.
+  const CampaignResult a = runCampaign(copies, {.jobs = 2});
+  const CampaignResult b = runCampaign(deltas, {.jobs = 2});
+  const CampaignJsonOptions no_timing{.include_timing = false};
+  EXPECT_EQ(campaignJson(a, "grid", no_timing),
+            campaignJson(b, "grid", no_timing));
+  EXPECT_EQ(campaignJsonl(a), campaignJsonl(b));
+}
+
+TEST(Campaign, AddSpecResolvesAgainstSubstrate) {
+  Campaign campaign;
+  const JobSpec spec = parseJobSpec(
+      R"({"v": 1, "tenant": "team-a", "graph": "diamond",)"
+      R"( "scheduler": "local", "config": {"seed": 9, "horizon_h": 0.5}})");
+  const std::size_t index = campaign.addSpec(spec);
+  EXPECT_EQ(index, 0u);
+  const ExperimentJob job = campaign.job(0);
+  EXPECT_EQ(job.kind, SchedulerKind::LocalAdaptive);
+  EXPECT_EQ(job.tenant, "team-a");
+  EXPECT_EQ(job.config.seed, 9u);
+  EXPECT_EQ(job.config.horizon_s, 0.5 * kSecondsPerHour);
+  ASSERT_NE(job.dataflow, nullptr);
+  EXPECT_EQ(job.dataflow->name(), "diamond");
+
+  const CampaignResult res = runCampaign(campaign, {.jobs = 1});
+  ASSERT_EQ(res.outcomes.size(), 1u);
+  EXPECT_TRUE(res.outcomes[0].ok) << res.outcomes[0].error;
+  EXPECT_EQ(res.outcomes[0].tenant, "team-a");
+}
+
 TEST(Campaign, JsonExportIsWellFormedAndDeterministic) {
   const Dataflow df = makePaperDataflow();
   Campaign campaign;

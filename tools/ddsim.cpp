@@ -1,24 +1,41 @@
-// ddsim — run dynamic-dataflow experiments from a config file.
+// ddsim — run dynamic-dataflow experiments from a config file, a batch
+// of JSON job specs, or a streaming spec service.
 //
-//   ddsim [options] experiment.conf
+//   ddsim [options] experiment.conf      # config mode
+//   ddsim --specs FILE [--jsonl OUT]     # batch spec mode
+//   ddsim --serve [--queue N]            # service mode (specs on stdin)
 //
 // Options:
-//   --jobs N      run the schedulers on N worker threads (default: all
-//                 hardware threads; 1 = serial). Results are identical
-//                 at any job count — only the wall clock changes.
+//   --jobs N      run on N worker threads (default: all hardware
+//                 threads; 1 = serial). Results are identical at any
+//                 job count — only the wall clock changes.
 //   --json FILE   write the campaign results as a JSON document.
+//   --jsonl FILE  write one compact JSON record per job (the serve-mode
+//                 record format; timing-free, byte-stable).
 //   --trace FILE  stream each run's event trace as JSONL (one file per
 //                 scheduler when the config runs several); inspect the
 //                 files with the ddtrace tool.
+//   --specs FILE  read v1 JSON job specs, one per line; with --serve
+//                 they stream, without it they run as one campaign.
+//   --serve       read specs from stdin (or --specs FILE) and stream a
+//                 result record per spec to stdout as each finishes.
+//   --queue N     serve-mode backpressure: at most N jobs in flight
+//                 (default 2x workers).
 //   --help        print usage and exit.
+//
+// Serve/batch records are byte-identical for the same specs at any
+// --jobs, which is what the CI smoke job diffs.
 //
 // The config format is documented in dds/config/config_file.hpp; see
 // tools/example.conf for a ready-made experiment. Prints a summary row
 // per scheduler and, when `output_csv` is set, writes the per-interval
 // series of each run as `<output_csv>.<scheduler>.csv`.
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "dds/exp/serve.hpp"
 
 #include "dds/config/config_file.hpp"
 #include "dds/core/report.hpp"
@@ -31,19 +48,29 @@ using namespace dds;
 struct CliOptions {
   std::string config_path;
   std::string json_path;
+  std::string jsonl_path;
   std::string trace_path;
-  std::size_t jobs = 0;  ///< 0 = hardware concurrency.
+  std::string specs_path;
+  std::size_t jobs = 0;   ///< 0 = hardware concurrency.
+  std::size_t queue = 0;  ///< 0 = serve default (2x workers).
+  bool serve = false;
   bool help = false;
 };
 
 void printUsage(std::ostream& out) {
   out << "usage: ddsim [options] <config-file>\n"
+         "       ddsim --specs FILE [--jsonl OUT]   batch job specs\n"
+         "       ddsim --serve [--queue N]          spec service on stdin\n"
          "  --jobs N      worker threads for the scheduler runs\n"
          "                (default: all hardware threads; 1 = serial)\n"
          "  --json FILE   write campaign results as JSON\n"
+         "  --jsonl FILE  write one compact record per job (timing-free)\n"
          "  --trace FILE  stream each run's event trace as JSONL\n"
          "                (per-scheduler files FILE.<label> when the\n"
          "                config runs several; inspect with ddtrace)\n"
+         "  --specs FILE  v1 JSON job specs, one per line\n"
+         "  --serve       stream one result record per spec, in order\n"
+         "  --queue N     serve backpressure window (default 2x workers)\n"
          "  --help        show this message\n"
          "schedulers (config `scheduler = ...`):";
   // The list is generated from the registry so --help can never drift
@@ -52,6 +79,8 @@ void printUsage(std::ostream& out) {
     out << ' ' << schedulerName(kind);
   }
   out << "\nconfig families: workload.* fault.* elasticity.* resilience.*\n"
+         "(canonical nested keys; `config_schema = strict` rejects the\n"
+         "deprecated flat spellings, job specs always parse strictly)\n"
          "see tools/example.conf for the config format\n";
 }
 
@@ -75,6 +104,24 @@ CliOptions parseArgs(int argc, char** argv) {
     } else if (arg == "--json") {
       if (i + 1 >= argc) throw ConfigError("--json requires a file path");
       opts.json_path = argv[++i];
+    } else if (arg == "--jsonl") {
+      if (i + 1 >= argc) throw ConfigError("--jsonl requires a file path");
+      opts.jsonl_path = argv[++i];
+    } else if (arg == "--specs") {
+      if (i + 1 >= argc) throw ConfigError("--specs requires a file path");
+      opts.specs_path = argv[++i];
+    } else if (arg == "--serve") {
+      opts.serve = true;
+    } else if (arg == "--queue") {
+      if (i + 1 >= argc) throw ConfigError("--queue requires a count");
+      const std::string v = argv[++i];
+      try {
+        const long n = std::stol(v);
+        if (n < 1) throw ConfigError("--queue must be >= 1, got '" + v + "'");
+        opts.queue = static_cast<std::size_t>(n);
+      } catch (const std::logic_error&) {
+        throw ConfigError("--queue is not a number: '" + v + "'");
+      }
     } else if (arg == "--trace") {
       if (i + 1 >= argc) throw ConfigError("--trace requires a file path");
       opts.trace_path = argv[++i];
@@ -87,6 +134,96 @@ CliOptions parseArgs(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+bool blankLine(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+/// Serve mode: stream records as jobs finish, bounded in-flight window.
+int runServe(const CliOptions& opts) {
+  std::ifstream file_in;
+  std::istream* in = &std::cin;
+  if (!opts.specs_path.empty()) {
+    file_in.open(opts.specs_path);
+    if (!file_in) throw IoError("cannot open spec file: " + opts.specs_path);
+    in = &file_in;
+  }
+  std::ofstream file_out;
+  std::ostream* out = &std::cout;
+  if (!opts.jsonl_path.empty()) {
+    file_out.open(opts.jsonl_path);
+    if (!file_out) {
+      throw IoError("cannot open for writing: " + opts.jsonl_path);
+    }
+    out = &file_out;
+  }
+  ServeOptions serve;
+  serve.jobs = opts.jobs;
+  serve.queue = opts.queue;
+  const ServeStats stats = serveCampaign(*in, *out, serve);
+  std::cerr << "ddsim: served " << stats.specs << " specs (" << stats.ok
+            << " ok, " << stats.failed << " failed, " << stats.rejected
+            << " rejected)\n";
+  return 0;
+}
+
+/// Batch spec mode: same records as serve, produced via Campaign +
+/// runCampaign — the reference the serve path is diffed against.
+int runSpecBatch(const CliOptions& opts) {
+  std::ifstream in(opts.specs_path);
+  if (!in) throw IoError("cannot open spec file: " + opts.specs_path);
+
+  Campaign campaign;
+  // Per non-blank line: the campaign job index, or -1 with the rejection
+  // message (a bad line still gets its record, like in serve mode).
+  std::vector<long> line_job;
+  std::vector<std::string> line_error;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (blankLine(line)) continue;
+    try {
+      const std::size_t job = campaign.addSpec(parseJobSpec(line));
+      line_job.push_back(static_cast<long>(job));
+      line_error.emplace_back();
+    } catch (const ConfigError& e) {
+      line_job.push_back(-1);
+      line_error.emplace_back(e.what());
+    }
+  }
+
+  RunnerOptions runner;
+  runner.jobs = opts.jobs;
+  const CampaignResult res = runCampaign(campaign, runner);
+
+  std::ofstream file_out;
+  std::ostream* out = &std::cout;
+  if (!opts.jsonl_path.empty()) {
+    file_out.open(opts.jsonl_path);
+    if (!file_out) {
+      throw IoError("cannot open for writing: " + opts.jsonl_path);
+    }
+    out = &file_out;
+  }
+  for (std::size_t i = 0; i < line_job.size(); ++i) {
+    if (line_job[i] < 0) {
+      *out << specErrorJson(i, line_error[i]) << '\n';
+    } else {
+      *out << jobRecordJson(
+                  res.outcomes[static_cast<std::size_t>(line_job[i])], i)
+           << '\n';
+    }
+  }
+  if (!opts.json_path.empty()) {
+    saveCampaignJson(opts.json_path, res, "specs");
+  }
+  std::cerr << "ddsim: ran " << res.outcomes.size() << " spec jobs ("
+            << res.failureCount() << " failed, "
+            << (line_job.size() - res.outcomes.size()) << " rejected) on "
+            << res.jobs_used << (res.jobs_used == 1 ? " thread" : " threads")
+            << ", " << campaign.distinctConfigCount()
+            << " distinct configs\n";
+  return 0;
 }
 
 Dataflow buildGraph(const CliExperiment& ex, const KeyValueConfig& kv) {
@@ -105,6 +242,15 @@ int main(int argc, char** argv) {
     if (opts.help) {
       printUsage(std::cout);
       return 0;
+    }
+    if (opts.serve || !opts.specs_path.empty()) {
+      if (!opts.config_path.empty()) {
+        // A mode conflict is a usage error, not a config error.
+        std::cerr << "ddsim: spec modes (--serve/--specs) do not take a "
+                     "config file\n";
+        return 2;
+      }
+      return opts.serve ? runServe(opts) : runSpecBatch(opts);
     }
     if (opts.config_path.empty()) {
       printUsage(std::cerr);
@@ -153,6 +299,12 @@ int main(int argc, char** argv) {
     if (!opts.json_path.empty()) {
       dds::saveCampaignJson(opts.json_path, res, df.name());
       std::cout << "wrote " << opts.json_path << '\n';
+    }
+    if (!opts.jsonl_path.empty()) {
+      std::ofstream jsonl(opts.jsonl_path);
+      if (!jsonl) throw dds::IoError("cannot open for writing: " + opts.jsonl_path);
+      jsonl << dds::campaignJsonl(res);
+      std::cout << "wrote " << opts.jsonl_path << '\n';
     }
     if (!opts.trace_path.empty()) {
       for (const auto& job : campaign.jobs()) {
