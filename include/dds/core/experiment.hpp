@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dds/common/time.hpp"
+#include "dds/forecast/forecaster.hpp"
 #include "dds/metrics/run_metrics.hpp"
 #include "dds/obs/metrics_registry.hpp"
 #include "dds/sched/scheduler.hpp"
@@ -123,6 +124,37 @@ struct ResilienceConfig {
   bool operator==(const ResilienceConfig&) const = default;
 };
 
+/// Rate forecasting + predictive scheduling (default off; fluid-only
+/// like the fault families). Off, runs are bit-identical to reactive:
+/// no forecaster is built, schedulers see a null forecast pointer.
+struct ForecastConfig {
+  /// Which model predicts future input rates (see dds/forecast):
+  /// Off disables the subsystem entirely.
+  ForecastModel model = ForecastModel::Off;
+  /// How many intervals ahead each forecast covers. The predictive
+  /// schedulers score alternates over this whole vector and scan it
+  /// (bounded by the pre-acquisition lead) for peaks.
+  int horizon_intervals = 5;
+  /// Model parameters (see ForecastOptions for semantics).
+  double ewma_alpha = 0.3;
+  double hw_alpha = 0.3;
+  double hw_beta = 0.05;
+  double hw_gamma = 0.3;
+  int hw_season_intervals = 30;
+  /// A predicted peak must exceed the current rate by this fraction
+  /// before the scheduler pre-acquires (and holds off scale-in).
+  double preacquire_margin = 0.1;
+  /// Score alternate switches against the whole forecast vector (mean
+  /// Theta) instead of the last observed interval only.
+  bool lookahead_alternates = true;
+
+  [[nodiscard]] bool enabled() const { return model != ForecastModel::Off; }
+
+  void appendErrors(std::vector<std::string>& errors) const;
+
+  bool operator==(const ForecastConfig&) const = default;
+};
+
 /// One experiment run's knobs (§8.1-8.2 defaults). Workload, fault and
 /// resilience knobs live in nested sub-structs; the remaining fields are
 /// the engine-level controls.
@@ -163,6 +195,7 @@ struct ExperimentConfig {
   FaultConfig faults;
   ElasticityConfig elasticity;
   ResilienceConfig resilience;
+  ForecastConfig forecast;
 
   /// Every validation error in the config, one message per field; empty
   /// when the config is valid. Unlike a fail-fast check this reports ALL

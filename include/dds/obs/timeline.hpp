@@ -38,6 +38,23 @@ struct TimelineRow {
   std::int64_t preemption_notices = 0;
   std::int64_t preemptions = 0;
   std::int64_t migrations = 0;  ///< migration_begin events in the interval.
+  /// One-step forecast of this interval's rate (forecast event's
+  /// rates[0]); valid only when has_prediction is set.
+  double predicted_rate = 0.0;
+  bool has_prediction = false;
+  std::int64_t preacquires = 0;  ///< preacquire events in the interval.
+};
+
+/// One forecast-driven pre-acquisition, with whether the new VMs were
+/// ready by the start of the predicted peak interval.
+struct PreAcquireRecord {
+  std::int64_t interval = 0;
+  std::int64_t peak_interval = 0;
+  double peak_rate = 0.0;
+  double lead_s = 0.0;
+  std::int64_t vms = 0;
+  SimTime ready_by = 0.0;
+  bool beat_peak = false;
 };
 
 /// Run-level fold of a trace.
@@ -62,6 +79,17 @@ struct TraceAnalysis {
   double mean_recovery_s = 0.0;
   double p95_recovery_s = 0.0;
   double slo_violation_s = 0.0;
+  /// Forecast summary (empty model / zero samples when the run had
+  /// forecasting off). Accuracy is one-step: each interval's predicted
+  /// rate against the realized input rate; MAPE skips near-zero
+  /// realized rates, bias is the signed mean error.
+  std::string forecast_model;
+  std::int64_t forecast_samples = 0;
+  double forecast_mape = 0.0;
+  double forecast_bias = 0.0;
+  std::vector<PreAcquireRecord> preacquires;
+  std::int64_t preacquires_beat = 0;    ///< VMs ready before their peak.
+  std::int64_t preacquires_missed = 0;  ///< peak landed first.
 };
 
 /// Fold events (in emission order) into a timeline. Discrete events

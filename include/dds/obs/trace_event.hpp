@@ -199,6 +199,30 @@ struct SchedulerDecisionEvent {
   std::vector<RejectedPlan> rejected;
 };
 
+/// The forecaster's predicted rate vector: rates[k] predicts interval
+/// + k (the model has observed rates up to interval − 1, so rates[0]
+/// is the one-step prediction of the current interval). Emitted once
+/// per interval while forecasting is enabled.
+struct ForecastEvent {
+  SimTime t = 0.0;
+  std::int64_t interval = 0;
+  std::string model;
+  std::vector<double> rates;
+};
+
+/// The predictive scheduler bought `vms` VMs ahead of a forecast peak:
+/// `peak_rate` predicted at `peak_interval`, `lead_s` seconds ahead of
+/// now; the last of the new VMs finishes provisioning at `ready_by`.
+struct PreAcquireEvent {
+  SimTime t = 0.0;
+  std::int64_t interval = 0;
+  std::int64_t peak_interval = 0;
+  double peak_rate = 0.0;
+  double lead_s = 0.0;
+  std::int64_t vms = 0;
+  SimTime ready_by = 0.0;
+};
+
 using TraceEvent =
     std::variant<RunHeaderEvent, IntervalBeginEvent, IntervalEndEvent,
                  VmAcquireEvent, VmReleaseEvent, AcquisitionFailureEvent,
@@ -207,7 +231,8 @@ using TraceEvent =
                  FaultInjectionEvent, ProvisioningCompleteEvent,
                  PreemptionNoticeEvent, PreemptionEvent,
                  MigrationBeginEvent, MigrationEndEvent,
-                 OmegaViolationEvent, SchedulerDecisionEvent>;
+                 OmegaViolationEvent, SchedulerDecisionEvent,
+                 ForecastEvent, PreAcquireEvent>;
 
 /// Stable wire name of the event's type ("interval_end", "vm_acquire",
 /// ...); used as the "ev" discriminator in JSONL records.

@@ -13,6 +13,7 @@
 
 #include "dds/sched/allocation.hpp"
 #include "dds/sched/alternate_selection.hpp"
+#include "dds/sched/lookahead_planner.hpp"
 #include "dds/sched/scheduler.hpp"
 
 namespace dds {
@@ -49,6 +50,24 @@ struct HeuristicOptions {
   /// so it is pure in the run seed. 0 keeps acquisitions on-demand.
   double spot_fraction = 0.0;
   std::uint64_t spot_seed = 42;
+  /// Predictive scheduling: act on ObservedState::forecast. Off (the
+  /// default) keeps every adaptation path bit-identical to reactive.
+  bool predictive = false;
+  /// A predicted peak must exceed the current rate by this fraction to
+  /// trigger pre-acquisition (and to hold off scale-in meanwhile).
+  double preacquire_margin = 0.1;
+  /// Pre-acquisition lead, seconds: how far ahead the resource phase
+  /// scans the forecast for peaks, normally the worst-case mean
+  /// provisioning delay so VMs ordered now are ready when the peak lands.
+  double preacquire_lead_s = 0.0;
+  /// Score alternates against the whole forecast vector via the
+  /// incremental PlanEvaluator (mean Theta over the horizon) instead of
+  /// the last interval only.
+  bool lookahead_alternates = true;
+  /// Theta parameters for the lookahead scoring (the factory copies the
+  /// run's sigma and billing horizon here).
+  double lookahead_sigma = 0.0;
+  SimTime lookahead_horizon_s = 3600.0;
 };
 
 /// Local/global deployment + adaptation heuristic (Alg. 1 + Alg. 2).
@@ -67,6 +86,22 @@ class HeuristicScheduler final : public Scheduler {
   [[nodiscard]] SchedulerTelemetry telemetry() const override;
 
  private:
+  /// Predictive alternate selection: greedy lookahead over the forecast
+  /// vector (mean Theta across the horizon, via LookaheadPlanner);
+  /// applies the winning switches and emits one decision event carrying
+  /// the achieved score.
+  void lookaheadPhase(const ObservedState& state, Deployment& deployment);
+
+  /// Predictive pre-acquisition: scan the forecast up to the lead window
+  /// for a peak exceeding the current rate by the margin; when found,
+  /// scale out against the peak now so provisioning-delayed VMs are
+  /// ready when it lands. Returns how many VMs were acquired (and
+  /// whether a peak is pending, via the out-parameter, so the caller can
+  /// hold off scale-in).
+  int preacquireForForecast(const ObservedState& state,
+                            const Deployment& deployment,
+                            const CorePowerFn& power, bool& peak_pending);
+
   /// Alg. 2 alternate-selection phase. Builds the feasible set from the
   /// observed instantaneous throughput (underprovisioned -> alternates
   /// needing at most the active one's cost; overprovisioned -> at least),
@@ -114,6 +149,7 @@ class HeuristicScheduler final : public Scheduler {
   HeuristicOptions options_;
   ResourceAllocator allocator_;
   std::unique_ptr<StragglerGuard> guard_;
+  std::unique_ptr<LookaheadPlanner> lookahead_;  ///< built on first use.
   int graceful_degradations_ = 0;
   int preemption_drains_ = 0;
 };

@@ -1,0 +1,64 @@
+// Multi-step alternate lookahead for the predictive schedulers.
+//
+// Reactive alternate selection (Alg. 2) optimizes against the last
+// observed interval only; with a forecast vector in hand the choice can
+// instead maximize the *mean* Theta over the predicted horizon, so an
+// alternate that will be wrong in three intervals is never picked now.
+// The incremental PlanEvaluator makes this affordable: one evaluator per
+// forecast step, all sharing one PlanStructure closure, and greedy
+// coordinate ascent over per-PE alternates where each candidate move is
+// an O(downstream cone) delta instead of a full re-evaluation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dds/cloud/cloud_provider.hpp"
+#include "dds/dataflow/dataflow.hpp"
+#include "dds/sched/plan_evaluator.hpp"
+#include "dds/sim/deployment.hpp"
+
+namespace dds {
+
+/// Picks the alternate combination maximizing mean Theta across a
+/// predicted rate vector, holding the current VM multiset fixed.
+class LookaheadPlanner {
+ public:
+  /// `structure` may be null — the planner then builds its own closure
+  /// from (dataflow, catalog) once. `horizon_s` is the billing horizon
+  /// the evaluators charge plan cost over.
+  LookaheadPlanner(const Dataflow& df, const CloudProvider& cloud,
+                   std::shared_ptr<const PlanStructure> structure,
+                   double omega_target, double sigma, SimTime horizon_s);
+
+  struct Result {
+    std::vector<AlternateId> alternates;  ///< chosen alternate, by PeId.
+    double mean_theta = 0.0;  ///< score of the chosen combination.
+    int switches = 0;         ///< PEs whose choice differs from the start.
+  };
+
+  /// Greedy coordinate ascent from the deployment's active alternates.
+  /// Infeasible (rate, alternates) steps score a fixed large penalty
+  /// instead of -inf, so combinations feasible at more forecast steps
+  /// always dominate. Pure in its inputs (seed-deterministic).
+  [[nodiscard]] Result plan(const Deployment& deployment,
+                            const std::vector<double>& forecast);
+
+ private:
+  /// Mean per-step score of the evaluators' current state.
+  [[nodiscard]] double score(std::size_t steps);
+
+  const Dataflow* df_;
+  const CloudProvider* cloud_;
+  std::shared_ptr<const PlanStructure> structure_;
+  double omega_target_;
+  double sigma_;
+  double horizon_hours_;
+  /// One evaluator per forecast step, grown lazily and reused across
+  /// calls (setInputRate + reset re-bind them to the new vector).
+  std::vector<std::unique_ptr<PlanEvaluator>> evals_;
+  std::vector<AlternateId> current_;
+  std::vector<int> vm_counts_;
+};
+
+}  // namespace dds

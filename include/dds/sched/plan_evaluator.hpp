@@ -104,6 +104,14 @@ class PlanEvaluator {
   void reset(const std::vector<AlternateId>& alternates,
              const std::vector<int>& vm_counts);
 
+  /// Re-bind the external input rate (the predictive lookahead reuses one
+  /// evaluator per forecast step across calls). Takes effect at the next
+  /// reset(), which recomputes arrivals and demand from scratch.
+  void setInputRate(double rate) {
+    DDS_REQUIRE(rate >= 0.0, "input rate must be non-negative");
+    options_.input_rate = rate;
+  }
+
   /// Switch one PE's active alternate; recomputes the PE's demand row and
   /// re-propagates arrivals through its downstream cone only.
   void setAlternate(std::size_t pe, AlternateId alt);

@@ -48,6 +48,8 @@ enum class SchedulerKind {
   BruteForceStatic,     ///< exhaustive static optimal (small graphs only).
   ReactiveBaseline,     ///< queue-threshold autoscaler (related work).
   AnnealingStatic,      ///< simulated-annealing static planner.
+  LocalPredictive,      ///< local adaptive + forecast-driven pre-acquisition.
+  GlobalPredictive,     ///< global adaptive + forecast-driven pre-acquisition.
 };
 
 /// Everything a scheduler needs to see and touch, wired once per run.
@@ -88,6 +90,10 @@ struct ObservedState {
   double input_rate = 0.0;      ///< observed external rate, msgs/s.
   double average_omega = 1.0;   ///< Omega-bar so far (constraint tracker).
   const IntervalMetrics* last_interval = nullptr;  ///< may be null at t0.
+  /// Predicted external rates for intervals [interval, interval + H)
+  /// when the engine runs a forecaster; null otherwise (the default — so
+  /// reactive runs stay bit-identical to the pre-forecast behaviour).
+  const std::vector<double>* forecast = nullptr;
 };
 
 /// Buffered messages stranded on a released VM; the engine forwards this
@@ -165,6 +171,20 @@ struct SchedulerTuning {
   /// when one exists (seed-deterministic per acquisition); 0 disables.
   double spot_fraction = 0.0;
   ResilienceOptions resilience;
+  /// Predictive scheduling (the *Predictive kinds): act on the forecast
+  /// vector in ObservedState instead of reacting to the last interval
+  /// only. All off by default — reactive runs stay bit-identical.
+  bool predictive = false;
+  /// A predicted peak must exceed the current rate by this fraction to
+  /// trigger pre-acquisition (and to hold off scale-in).
+  double preacquire_margin = 0.1;
+  /// How far ahead pre-acquisition looks, seconds — the engine sets it to
+  /// the worst-case mean provisioning delay so VMs ordered at the edge of
+  /// the window are ready when their forecast peak lands.
+  double preacquire_lead_s = 0.0;
+  /// Score alternate choices against the whole forecast vector (mean
+  /// Theta over the horizon via PlanEvaluator) on the alternate cadence.
+  bool lookahead_alternates = true;
 };
 
 /// Build a scheduler for `kind` against `env`. The factory owns the

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "dds/common/rng.hpp"
 #include "dds/common/time.hpp"
@@ -110,7 +111,31 @@ class CompositeRate final : public RateProfile {
 /// only by mean rate.
 enum class ProfileKind { Constant, PeriodicWave, RandomWalk, Spike };
 
-[[nodiscard]] std::string toString(ProfileKind kind);
+// ---------------------------------------------------------------------------
+// Profile registry: the one place that knows every profile shape. Config
+// parsing, ddsim --help and the bench sweeps all go through it, so adding
+// a shape means extending the enum, profileName(), profileSummary() and
+// makeProfile() — all in the workload layer.
+// ---------------------------------------------------------------------------
+
+/// Canonical CLI/config name of a shape ("constant", "wave", ...).
+[[nodiscard]] std::string profileName(ProfileKind kind);
+
+/// Inverse of profileName(); throws PreconditionError on unknown names.
+[[nodiscard]] ProfileKind parseProfileKind(const std::string& name);
+
+/// Every ProfileKind, in enum order — for sweeps, help text and
+/// round-trip tests.
+[[nodiscard]] const std::vector<ProfileKind>& allProfileKinds();
+
+/// One-line description of the shape's default parameters, for help and
+/// config documentation.
+[[nodiscard]] std::string profileSummary(ProfileKind kind);
+
+/// Compat alias; prefer profileName().
+[[nodiscard]] inline std::string toString(ProfileKind kind) {
+  return profileName(kind);
+}
 
 /// Build a profile of the given kind around `mean_rate`, with the
 /// evaluation's default shape parameters (wave amplitude 40% of mean with

@@ -7,9 +7,22 @@
 #include <sstream>
 
 #include "dds/common/error.hpp"
+#include "dds/forecast/forecaster.hpp"
+#include "dds/workload/rate_profile.hpp"
 
 namespace dds {
 namespace {
+
+/// Comma-joined registry names, for "expected ..." error suffixes.
+template <typename Kinds, typename NameFn>
+std::string joinNames(const Kinds& kinds, NameFn name) {
+  std::string out;
+  for (const auto& kind : kinds) {
+    if (!out.empty()) out += ", ";
+    out += name(kind);
+  }
+  return out;
+}
 
 std::string trim(const std::string& s) {
   std::size_t begin = 0;
@@ -240,7 +253,16 @@ std::vector<std::string> canonicalConfigKeys() {
       "elasticity.spot_preemption_mtbf_h",
       "elasticity.spot_notice_s",
       "elasticity.pe_state_mb",
-      "elasticity.migration_bandwidth_mbps"};
+      "elasticity.migration_bandwidth_mbps",
+      "forecast.model",
+      "forecast.horizon_intervals",
+      "forecast.ewma_alpha",
+      "forecast.hw_alpha",
+      "forecast.hw_beta",
+      "forecast.hw_gamma",
+      "forecast.hw_season_intervals",
+      "forecast.preacquire_margin",
+      "forecast.lookahead_alternates"};
   for (const auto& [canon, flat] : keyAliases()) keys.push_back(canon);
   std::sort(keys.begin(), keys.end());
   return keys;
@@ -351,19 +373,37 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv,
       kv.getBool(keys.resolve("resilience.graceful_degradation"),
                  rl.graceful_degradation);
 
+  ForecastConfig& fo = cfg.forecast;
+  const std::string model =
+      kv.getString("forecast.model", forecastModelName(fo.model));
+  try {
+    fo.model = parseForecastModel(model);
+  } catch (const PreconditionError&) {
+    throw ConfigError("unknown forecast model: '" + model +
+                      "' (expected " +
+                      joinNames(allForecastModels(), forecastModelName) +
+                      ")");
+  }
+  fo.horizon_intervals = static_cast<int>(
+      kv.getInt("forecast.horizon_intervals", fo.horizon_intervals));
+  fo.ewma_alpha = kv.getDouble("forecast.ewma_alpha", fo.ewma_alpha);
+  fo.hw_alpha = kv.getDouble("forecast.hw_alpha", fo.hw_alpha);
+  fo.hw_beta = kv.getDouble("forecast.hw_beta", fo.hw_beta);
+  fo.hw_gamma = kv.getDouble("forecast.hw_gamma", fo.hw_gamma);
+  fo.hw_season_intervals = static_cast<int>(
+      kv.getInt("forecast.hw_season_intervals", fo.hw_season_intervals));
+  fo.preacquire_margin =
+      kv.getDouble("forecast.preacquire_margin", fo.preacquire_margin);
+  fo.lookahead_alternates =
+      kv.getBool("forecast.lookahead_alternates", fo.lookahead_alternates);
+
   const std::string profile =
       kv.getString(keys.resolve("workload.profile"), "constant");
-  if (profile == "constant") {
-    wl.profile = ProfileKind::Constant;
-  } else if (profile == "wave") {
-    wl.profile = ProfileKind::PeriodicWave;
-  } else if (profile == "random-walk") {
-    wl.profile = ProfileKind::RandomWalk;
-  } else if (profile == "spike") {
-    wl.profile = ProfileKind::Spike;
-  } else {
-    throw ConfigError("unknown profile: '" + profile +
-                      "' (expected constant, wave, random-walk or spike)");
+  try {
+    wl.profile = parseProfileKind(profile);
+  } catch (const PreconditionError&) {
+    throw ConfigError("unknown profile: '" + profile + "' (expected " +
+                      joinNames(allProfileKinds(), profileName) + ")");
   }
 
   const std::string backend = kv.getString("backend", "fluid");
@@ -380,6 +420,17 @@ CliExperiment experimentFromConfig(const KeyValueConfig& kv,
   if (names.empty()) names = {"global"};
   for (const auto& name : names) {
     ex.schedulers.push_back(schedulerKindFromName(name));
+  }
+  for (const SchedulerKind kind : ex.schedulers) {
+    if ((kind == SchedulerKind::LocalPredictive ||
+         kind == SchedulerKind::GlobalPredictive) &&
+        !cfg.forecast.enabled()) {
+      throw ConfigError(
+          "scheduler '" + schedulerName(kind) +
+          "' needs forecasting on; set forecast.model to one of " +
+          joinNames(allForecastModels(), forecastModelName) +
+          " (other than off)");
+    }
   }
   ex.output_csv = kv.getString("output_csv", "");
   // Report every config mistake at once, as a ConfigError (one clean CLI

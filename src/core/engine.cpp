@@ -129,6 +129,23 @@ void ResilienceConfig::appendErrors(std::vector<std::string>& errors) const {
           "straggler probe count must be at least 1");
 }
 
+void ForecastConfig::appendErrors(std::vector<std::string>& errors) const {
+  require(errors, horizon_intervals >= 1,
+          "forecast horizon must be at least 1 interval");
+  require(errors, ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+          "EWMA alpha must be in (0, 1]");
+  require(errors, hw_alpha > 0.0 && hw_alpha <= 1.0,
+          "Holt-Winters alpha must be in (0, 1]");
+  require(errors, hw_beta >= 0.0 && hw_beta <= 1.0,
+          "Holt-Winters beta must be in [0, 1]");
+  require(errors, hw_gamma >= 0.0 && hw_gamma <= 1.0,
+          "Holt-Winters gamma must be in [0, 1]");
+  require(errors, hw_season_intervals >= 2,
+          "Holt-Winters season must be at least 2 intervals");
+  require(errors, preacquire_margin >= 0.0,
+          "pre-acquisition margin must be non-negative");
+}
+
 std::vector<std::string> ExperimentConfig::validationErrors() const {
   std::vector<std::string> errors;
   require(errors, horizon_s > 0.0, "horizon must be positive");
@@ -154,8 +171,11 @@ std::vector<std::string> ExperimentConfig::validationErrors() const {
   faults.appendErrors(errors);
   elasticity.appendErrors(errors);
   resilience.appendErrors(errors);
+  forecast.appendErrors(errors);
   require(errors, backend == SimBackend::Fluid || !faults.anyEnabled(),
           "fault injection is only supported by the fluid backend");
+  require(errors, backend == SimBackend::Fluid || !forecast.enabled(),
+          "rate forecasting is only supported by the fluid backend");
   require(errors,
           backend == SimBackend::Fluid ||
               (!elasticity.delaysEnabled() && !elasticity.spotEnabled()),
@@ -292,6 +312,24 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
                              ? config_.elasticity.spot_fraction
                              : 0.0;
   tuning.resilience = resilienceOptionsOf(config_);
+  tuning.preacquire_margin = config_.forecast.preacquire_margin;
+  tuning.lookahead_alternates = config_.forecast.lookahead_alternates;
+  // Pre-acquisition lead: the worst-case *mean* provisioning delay over
+  // the catalog, so VMs ordered now are (in expectation) ready when the
+  // forecast peak lands. Zero when delivery is instant — pre-acquisition
+  // then fires only one resource period ahead.
+  {
+    const double base = config_.faults.provisioning_delay_s > 0.0
+                            ? config_.faults.provisioning_delay_s
+                            : config_.elasticity.provisioning_delay_s;
+    int max_cores = 1;
+    for (const auto& cls : cloud.catalog().classes()) {
+      max_cores = std::max(max_cores, cls.cores);
+    }
+    tuning.preacquire_lead_s =
+        base + config_.elasticity.provisioning_delay_per_core_s *
+                   static_cast<double>(max_cores - 1);
+  }
 
   std::unique_ptr<Scheduler> scheduler = makeScheduler(kind, env, tuning);
 
@@ -445,6 +483,21 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
 
   double omega_sum = 0.0;
   IntervalMetrics last{};
+  // Rate forecasting (fluid-only; validation rejects it on the event
+  // backend). Off, the forecaster stays null and schedulers see a null
+  // forecast pointer — bit-identical to the reactive behaviour.
+  std::unique_ptr<Forecaster> forecaster;
+  if (config_.forecast.enabled()) {
+    ForecastOptions fopts;
+    fopts.ewma_alpha = config_.forecast.ewma_alpha;
+    fopts.hw_alpha = config_.forecast.hw_alpha;
+    fopts.hw_beta = config_.forecast.hw_beta;
+    fopts.hw_gamma = config_.forecast.hw_gamma;
+    fopts.hw_season_intervals = config_.forecast.hw_season_intervals;
+    forecaster = makeForecaster(config_.forecast.model, fopts);
+  }
+  ForecastErrorTracker forecast_errors;
+  std::vector<double> forecast_rates;
   // Per-VM "already announced" flags for the elasticity trace records;
   // indexed by VmId, grown lazily as instances appear.
   std::vector<bool> provisioning_announced;
@@ -533,6 +586,23 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
       state.input_rate = profile->rate(clock.startOf(i - 1));
       state.average_omega = omega_sum / static_cast<double>(i);
       state.last_interval = &last;
+      if (forecaster != nullptr) {
+        // The model sees exactly what the scheduler sees: the rate
+        // measured over the interval that just ended. forecast[0] is
+        // then the one-step prediction of the current interval.
+        forecaster->observe(state.input_rate);
+        forecast_rates =
+            forecaster->forecast(config_.forecast.horizon_intervals);
+        forecast_errors.record(forecast_rates.front(), profile->rate(now));
+        state.forecast = &forecast_rates;
+        registry.counter("forecast.predictions").inc();
+        if (tracer.enabled()) {
+          tracer.emit(obs::ForecastEvent{.t = now,
+                                         .interval = i,
+                                         .model = forecaster->name(),
+                                         .rates = forecast_rates});
+        }
+      }
       for (const MigrationEvent& ev :
            scheduler->adapt(state, deployment)) {
         simulator.migrateBacklog(ev.pe, ev.backlog_fraction);
@@ -594,6 +664,10 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
       .set(static_cast<double>(cloud.instanceCount()));
   registry.gauge("cloud.acquisition_rejections")
       .set(static_cast<double>(cloud.rejectedAcquisitions()));
+  if (forecaster != nullptr && forecast_errors.count() > 0) {
+    registry.gauge("forecast.mape").set(forecast_errors.mape());
+    registry.gauge("forecast.bias").set(forecast_errors.bias());
+  }
   result.metrics = registry.snapshot();
   return result;
 }

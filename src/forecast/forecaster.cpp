@@ -1,0 +1,132 @@
+#include "dds/forecast/forecaster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dds/common/error.hpp"
+
+namespace dds {
+namespace {
+
+/// Realized rates below this are treated as "zero" for MAPE purposes:
+/// a percentage error against a near-zero denominator is noise, not
+/// signal, and one such interval would dominate the whole run's score.
+constexpr double kMapeRateFloor = 1e-6;
+
+std::vector<double> flat(double value, int horizon) {
+  DDS_REQUIRE(horizon >= 1, "forecast horizon must be at least 1");
+  return std::vector<double>(static_cast<std::size_t>(horizon),
+                             std::max(0.0, value));
+}
+
+}  // namespace
+
+void NaiveForecaster::observe(double rate) {
+  DDS_REQUIRE(rate >= 0.0, "observed rate must be non-negative");
+  last_ = rate;
+  ++count_;
+}
+
+std::vector<double> NaiveForecaster::forecast(int horizon) const {
+  return flat(count_ > 0 ? last_ : 0.0, horizon);
+}
+
+EwmaForecaster::EwmaForecaster(double alpha) : alpha_(alpha) {
+  DDS_REQUIRE(alpha_ > 0.0 && alpha_ <= 1.0,
+              "EWMA alpha must be in (0, 1]");
+}
+
+void EwmaForecaster::observe(double rate) {
+  DDS_REQUIRE(rate >= 0.0, "observed rate must be non-negative");
+  level_ = count_ == 0 ? rate : alpha_ * rate + (1.0 - alpha_) * level_;
+  ++count_;
+}
+
+std::vector<double> EwmaForecaster::forecast(int horizon) const {
+  return flat(count_ > 0 ? level_ : 0.0, horizon);
+}
+
+HoltWintersForecaster::HoltWintersForecaster(double alpha, double beta,
+                                             double gamma,
+                                             int season_intervals)
+    : alpha_(alpha),
+      beta_(beta),
+      gamma_(gamma),
+      season_(static_cast<std::size_t>(season_intervals)) {
+  DDS_REQUIRE(alpha_ > 0.0 && alpha_ <= 1.0,
+              "Holt-Winters alpha must be in (0, 1]");
+  DDS_REQUIRE(beta_ >= 0.0 && beta_ <= 1.0,
+              "Holt-Winters beta must be in [0, 1]");
+  DDS_REQUIRE(gamma_ >= 0.0 && gamma_ <= 1.0,
+              "Holt-Winters gamma must be in [0, 1]");
+  DDS_REQUIRE(season_intervals >= 2,
+              "Holt-Winters season must span at least 2 intervals");
+  warmup_.reserve(season_);
+}
+
+void HoltWintersForecaster::observe(double rate) {
+  DDS_REQUIRE(rate >= 0.0, "observed rate must be non-negative");
+  if (!initialized_) {
+    warmup_.push_back(rate);
+    // EWMA-level fallback so pre-warm-up forecasts are still sensible.
+    level_ = count_ == 0 ? rate : alpha_ * rate + (1.0 - alpha_) * level_;
+    ++count_;
+    if (warmup_.size() == season_) {
+      double sum = 0.0;
+      for (const double v : warmup_) sum += v;
+      level_ = sum / static_cast<double>(season_);
+      trend_ = 0.0;
+      seasonal_.resize(season_);
+      for (std::size_t i = 0; i < season_; ++i) {
+        seasonal_[i] = warmup_[i] - level_;
+      }
+      initialized_ = true;
+      warmup_.clear();
+      warmup_.shrink_to_fit();
+    }
+    return;
+  }
+  const std::size_t idx =
+      static_cast<std::size_t>(count_) % season_;
+  const double level_prev = level_;
+  level_ = alpha_ * (rate - seasonal_[idx]) +
+           (1.0 - alpha_) * (level_ + trend_);
+  trend_ = beta_ * (level_ - level_prev) + (1.0 - beta_) * trend_;
+  seasonal_[idx] = gamma_ * (rate - level_) + (1.0 - gamma_) * seasonal_[idx];
+  ++count_;
+}
+
+std::vector<double> HoltWintersForecaster::forecast(int horizon) const {
+  DDS_REQUIRE(horizon >= 1, "forecast horizon must be at least 1");
+  if (!initialized_) return flat(count_ > 0 ? level_ : 0.0, horizon);
+  std::vector<double> out(static_cast<std::size_t>(horizon));
+  for (int h = 1; h <= horizon; ++h) {
+    const std::size_t idx =
+        (static_cast<std::size_t>(count_) + static_cast<std::size_t>(h) -
+         1) %
+        season_;
+    out[static_cast<std::size_t>(h - 1)] = std::max(
+        0.0, level_ + static_cast<double>(h) * trend_ + seasonal_[idx]);
+  }
+  return out;
+}
+
+void ForecastErrorTracker::record(double predicted, double realized) {
+  ++count_;
+  bias_sum_ += predicted - realized;
+  if (realized > kMapeRateFloor) {
+    mape_sum_ += std::abs(predicted - realized) / realized;
+    ++mape_count_;
+  }
+}
+
+double ForecastErrorTracker::mape() const {
+  return mape_count_ > 0 ? mape_sum_ / static_cast<double>(mape_count_)
+                         : 0.0;
+}
+
+double ForecastErrorTracker::bias() const {
+  return count_ > 0 ? bias_sum_ / static_cast<double>(count_) : 0.0;
+}
+
+}  // namespace dds

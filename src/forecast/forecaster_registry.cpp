@@ -1,0 +1,59 @@
+// The forecaster registry: names, parsing and construction for every
+// concrete model. Adding a ForecastModel is a change to this file (plus
+// the enum) — engine, tools and bench code go through the factory.
+#include <sstream>
+
+#include "dds/common/error.hpp"
+#include "dds/forecast/forecaster.hpp"
+
+namespace dds {
+
+std::string forecastModelName(ForecastModel model) {
+  switch (model) {
+    case ForecastModel::Off:
+      return "off";
+    case ForecastModel::Naive:
+      return "naive";
+    case ForecastModel::Ewma:
+      return "ewma";
+    case ForecastModel::HoltWinters:
+      return "holt-winters";
+  }
+  return "unknown";
+}
+
+const std::vector<ForecastModel>& allForecastModels() {
+  static const std::vector<ForecastModel> kModels = {
+      ForecastModel::Off, ForecastModel::Naive, ForecastModel::Ewma,
+      ForecastModel::HoltWinters};
+  return kModels;
+}
+
+ForecastModel parseForecastModel(const std::string& name) {
+  for (const ForecastModel model : allForecastModels()) {
+    if (forecastModelName(model) == name) return model;
+  }
+  throw PreconditionError("unknown forecast model: '" + name + "'");
+}
+
+std::unique_ptr<Forecaster> makeForecaster(ForecastModel model,
+                                           const ForecastOptions& options) {
+  switch (model) {
+    case ForecastModel::Off:
+      break;  // fall through to the error below.
+    case ForecastModel::Naive:
+      return std::make_unique<NaiveForecaster>();
+    case ForecastModel::Ewma:
+      return std::make_unique<EwmaForecaster>(options.ewma_alpha);
+    case ForecastModel::HoltWinters:
+      return std::make_unique<HoltWintersForecaster>(
+          options.hw_alpha, options.hw_beta, options.hw_gamma,
+          options.hw_season_intervals);
+  }
+  std::ostringstream os;
+  os << "makeForecaster: no forecaster for model '"
+     << forecastModelName(model) << "'";
+  throw PreconditionError(os.str());
+}
+
+}  // namespace dds

@@ -104,7 +104,30 @@ struct Fold {
   void operator()(const SchedulerDecisionEvent& e) {
     ++row(e.interval).decisions;
   }
+
+  void operator()(const ForecastEvent& e) {
+    out.forecast_model = e.model;
+    if (e.rates.empty()) return;
+    TimelineRow& r = row(e.interval);
+    r.predicted_rate = e.rates.front();
+    r.has_prediction = true;
+  }
+
+  void operator()(const PreAcquireEvent& e) {
+    ++row(e.interval).preacquires;
+    out.preacquires.push_back({.interval = e.interval,
+                               .peak_interval = e.peak_interval,
+                               .peak_rate = e.peak_rate,
+                               .lead_s = e.lead_s,
+                               .vms = e.vms,
+                               .ready_by = e.ready_by,
+                               .beat_peak = false});
+  }
 };
+
+/// Near-zero realized rates are excluded from MAPE (the relative error
+/// is unbounded there); bias keeps every joined sample.
+constexpr double kMapeRateFloor = 1e-6;
 
 }  // namespace
 
@@ -163,6 +186,34 @@ TraceAnalysis analyzeTrace(const std::vector<TraceEvent>& events) {
     const double frac = rank - std::floor(rank);
     fold.out.p95_recovery_s =
         episodes[lo] + (episodes[hi] - episodes[lo]) * frac;
+  }
+
+  // Forecast accuracy: join each interval's one-step prediction with
+  // the realized input rate the interval_begin event recorded.
+  double ape_sum = 0.0;
+  double bias_sum = 0.0;
+  std::int64_t mape_samples = 0;
+  for (const TimelineRow& r : fold.out.rows) {
+    if (!r.has_prediction) continue;
+    ++fold.out.forecast_samples;
+    bias_sum += r.predicted_rate - r.input_rate;
+    if (r.input_rate > kMapeRateFloor) {
+      ape_sum += std::abs(r.predicted_rate - r.input_rate) / r.input_rate;
+      ++mape_samples;
+    }
+  }
+  if (fold.out.forecast_samples > 0) {
+    fold.out.forecast_bias =
+        bias_sum / static_cast<double>(fold.out.forecast_samples);
+  }
+  if (mape_samples > 0) {
+    fold.out.forecast_mape = ape_sum / static_cast<double>(mape_samples);
+  }
+  for (PreAcquireRecord& p : fold.out.preacquires) {
+    p.beat_peak =
+        p.ready_by <= static_cast<double>(p.peak_interval) * interval_s;
+    ++(p.beat_peak ? fold.out.preacquires_beat
+                   : fold.out.preacquires_missed);
   }
   return fold.out;
 }

@@ -51,6 +51,8 @@ std::string_view wireName(const OmegaViolationEvent&) {
 std::string_view wireName(const SchedulerDecisionEvent&) {
   return "scheduler_decision";
 }
+std::string_view wireName(const ForecastEvent&) { return "forecast"; }
+std::string_view wireName(const PreAcquireEvent&) { return "preacquire"; }
 
 JsonWriter makeLineWriter() {
   return JsonWriter{{.style = JsonWriter::Style::Compact,
@@ -196,6 +198,25 @@ void writeBody(JsonWriter& w, const SchedulerDecisionEvent& e) {
     w.endObject();
   }
   w.endArray();
+}
+
+void writeBody(JsonWriter& w, const ForecastEvent& e) {
+  w.key("t").value(e.t);
+  w.key("interval").value(e.interval);
+  w.key("model").value(e.model);
+  w.key("rates").beginArray();
+  for (const double r : e.rates) w.value(r);
+  w.endArray();
+}
+
+void writeBody(JsonWriter& w, const PreAcquireEvent& e) {
+  w.key("t").value(e.t);
+  w.key("interval").value(e.interval);
+  w.key("peak_interval").value(e.peak_interval);
+  w.key("peak_rate").value(e.peak_rate);
+  w.key("lead_s").value(e.lead_s);
+  w.key("vms").value(e.vms);
+  w.key("ready_by").value(e.ready_by);
 }
 
 }  // namespace

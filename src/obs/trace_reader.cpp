@@ -218,6 +218,29 @@ TraceEvent buildEvent(const std::string& ev, const JsonObject& o) {
     }
     return e;
   }
+  if (ev == "forecast") {
+    ForecastEvent e;
+    e.t = getNum(o, "t");
+    e.interval = getInt(o, "interval");
+    e.model = getStr(o, "model");
+    for (const JsonValue& item : getArr(o, "rates")) {
+      const double* d = item.asNumber();
+      if (d == nullptr) throw IoError("forecast rate is not a number");
+      e.rates.push_back(*d);
+    }
+    return e;
+  }
+  if (ev == "preacquire") {
+    PreAcquireEvent e;
+    e.t = getNum(o, "t");
+    e.interval = getInt(o, "interval");
+    e.peak_interval = getInt(o, "peak_interval");
+    e.peak_rate = getNum(o, "peak_rate");
+    e.lead_s = getNum(o, "lead_s");
+    e.vms = getInt(o, "vms");
+    e.ready_by = getNum(o, "ready_by");
+    return e;
+  }
   throw IoError("unknown trace event type: " + ev);
 }
 

@@ -53,6 +53,7 @@ std::string HeuristicScheduler::name() const {
   std::string n = toString(strategy_);
   if (!options_.adaptive) n += "-static";
   if (!options_.use_dynamism) n += "-nodyn";
+  if (options_.predictive) n += "-predictive";
   return n;
 }
 
@@ -96,7 +97,15 @@ std::vector<MigrationEvent> HeuristicScheduler::adapt(
       options_.use_dynamism &&
       state.interval % options_.alternate_period == 0;
   if (alternate_ran) {
-    alternatePhase(state, deployment);
+    // Predictive runs score alternates against the whole forecast vector
+    // when one is available; without a forecast (or with lookahead
+    // disabled) they fall back to the reactive Alg. 2 phase.
+    if (options_.predictive && options_.lookahead_alternates &&
+        state.forecast != nullptr && !state.forecast->empty()) {
+      lookaheadPhase(state, deployment);
+    } else {
+      alternatePhase(state, deployment);
+    }
   }
   // Graceful degradation: the constraint is breached and replacement
   // capacity is still on order (provisioning, or acquisitions backing
@@ -290,6 +299,112 @@ void HeuristicScheduler::alternatePhase(const ObservedState& state,
   }
 }
 
+void HeuristicScheduler::lookaheadPhase(const ObservedState& state,
+                                        Deployment& deployment) {
+  if (lookahead_ == nullptr) {
+    lookahead_ = std::make_unique<LookaheadPlanner>(
+        *env_.dataflow, *env_.cloud, env_.plan_structure, env_.omega_target,
+        options_.lookahead_sigma, options_.lookahead_horizon_s);
+  }
+  const LookaheadPlanner::Result result =
+      lookahead_->plan(deployment, *state.forecast);
+  for (const auto& element : env_.dataflow->pes()) {
+    const PeId pe = element.id();
+    const AlternateId from = deployment.activeAlternate(pe);
+    const AlternateId to = result.alternates[pe.value()];
+    if (to == from) continue;
+    if (env_.tracer.enabled()) {
+      env_.tracer.emit(obs::AlternateSwitchEvent{
+          .t = state.now,
+          .pe = pe.value(),
+          .from = from.value(),
+          .to = to.value(),
+          .gamma_from = element.relativeValue(from),
+          .gamma_to = element.relativeValue(to)});
+    }
+    if (env_.metrics != nullptr) {
+      env_.metrics->counter("sched.alternate_switches").inc();
+    }
+    deployment.setActiveAlternate(pe, to);
+  }
+  if (env_.tracer.enabled()) {
+    env_.tracer.emit(obs::SchedulerDecisionEvent{
+        .t = state.now,
+        .interval = state.interval,
+        .phase = "alternate",
+        .action = "lookahead",
+        .omega = state.last_interval != nullptr ? state.last_interval->omega
+                                                : 1.0,
+        .omega_bar = state.average_omega,
+        .theta = result.mean_theta,
+        .rejected = {}});
+  }
+  if (env_.metrics != nullptr) {
+    env_.metrics->counter("sched.lookahead_plans").inc();
+  }
+}
+
+int HeuristicScheduler::preacquireForForecast(const ObservedState& state,
+                                              const Deployment& deployment,
+                                              const CorePowerFn& power,
+                                              bool& peak_pending) {
+  peak_pending = false;
+  if (state.forecast == nullptr || state.forecast->empty()) return 0;
+  const std::vector<double>& fc = *state.forecast;
+  const double interval_s = env_.sim_config.interval_s;
+  // Scan as far ahead as a VM ordered *now* needs to come online, plus
+  // the cadence gap until the next resource phase gets its own chance.
+  const auto lead_intervals = static_cast<std::size_t>(
+      interval_s > 0.0 ? std::ceil(options_.preacquire_lead_s / interval_s)
+                       : 0.0);
+  const std::size_t window = std::min(
+      fc.size(),
+      lead_intervals + static_cast<std::size_t>(options_.resource_period));
+  std::size_t peak_k = 0;
+  double peak = fc[0];
+  for (std::size_t k = 1; k < window; ++k) {
+    if (fc[k] > peak) {
+      peak = fc[k];
+      peak_k = k;
+    }
+  }
+  if (peak <= state.input_rate * (1.0 + options_.preacquire_margin)) {
+    return 0;
+  }
+  peak_pending = true;
+
+  // Provision for the peak now; the allocator self-guards when current
+  // capacity already covers it, so a repeated forecast costs nothing.
+  const std::size_t before = env_.cloud->instanceCount();
+  allocator_.ensureMinimumCores(state.now);
+  allocator_.scaleOut(deployment, peak, power, state.now, strategy_);
+  int vms = 0;
+  SimTime ready_by = state.now;
+  for (const VmInstance& vm : env_.cloud->instances()) {
+    if (vm.id().value() < before || !vm.isActive()) continue;
+    ++vms;
+    ready_by = std::max(ready_by, vm.readyTime());
+  }
+  if (vms > 0) {
+    if (env_.tracer.enabled()) {
+      env_.tracer.emit(obs::PreAcquireEvent{
+          .t = state.now,
+          .interval = state.interval,
+          .peak_interval =
+              state.interval + static_cast<IntervalIndex>(peak_k),
+          .peak_rate = peak,
+          .lead_s = static_cast<double>(peak_k) * interval_s,
+          .vms = vms,
+          .ready_by = ready_by});
+    }
+    if (env_.metrics != nullptr) {
+      env_.metrics->counter("sched.preacquired_vms")
+          .inc(static_cast<std::uint64_t>(vms));
+    }
+  }
+  return vms;
+}
+
 void HeuristicScheduler::quarantineStragglers(
     const ObservedState& state, const Deployment& deployment,
     std::vector<MigrationEvent>& migrations) {
@@ -425,6 +540,17 @@ std::vector<MigrationEvent> HeuristicScheduler::resourcePhase(
   quarantineStragglers(state, deployment, migrations);
   drainPreemptionNotices(state, deployment, migrations);
 
+  // Predictive pre-acquisition: order capacity against forecast peaks
+  // inside the provisioning-delay lead window, before Omega sags. A
+  // pending peak also vetoes scale-in below — shedding cores that the
+  // forecast says will be needed again would pay the delay twice.
+  bool forecast_peak_pending = false;
+  int preacquired = 0;
+  if (options_.predictive) {
+    preacquired = preacquireForForecast(state, deployment, power,
+                                        forecast_peak_pending);
+  }
+
   // Local decisions are based on per-PE measurements only (one interval
   // stale for anything an upstream change is about to cause).
   std::vector<double> measured;
@@ -466,7 +592,9 @@ std::vector<MigrationEvent> HeuristicScheduler::resourcePhase(
   // constraint. The instantaneous check supplements it so a sudden rate or
   // performance drop is answered this interval, not after the long-run
   // average has decayed below the threshold.
-  const char* action = latency_breach ? "latency_scale_out" : "hold";
+  const char* action = latency_breach   ? "latency_scale_out"
+                       : preacquired > 0 ? "preacquire"
+                                         : "hold";
   if (omega_bar < omega_hat || omega_t < omega_hat - epsilon) {
     allocator_.scaleOut(deployment, state.input_rate, power, state.now,
                         strategy_, -1.0, measured_ptr);
@@ -476,14 +604,23 @@ std::vector<MigrationEvent> HeuristicScheduler::resourcePhase(
              omega_t > omega_hat + epsilon) {
     // (scale-in yields to an active latency breach: stripping the cores
     // that were just added to drain a queue would ping-pong forever)
-    // Over-provisioned: shed cores while the projection stays safely above
-    // the constraint (half the tolerance is kept as hysteresis margin).
-    auto shed = allocator_.scaleIn(deployment, state.input_rate, power,
-                                   strategy_, omega_hat + 0.5 * epsilon,
-                                   measured_ptr, state.now);
-    migrations.insert(migrations.end(), shed.begin(), shed.end());
-    action = "scale_in";
-    if (env_.metrics != nullptr) env_.metrics->counter("sched.scale_ins").inc();
+    if (forecast_peak_pending) {
+      // A forecast peak is due inside the lead window: hold the surplus
+      // rather than shedding capacity the spike is about to need.
+      action = "hold_forecast";
+      if (env_.metrics != nullptr) {
+        env_.metrics->counter("sched.forecast_holds").inc();
+      }
+    } else {
+      // Over-provisioned: shed cores while the projection stays safely
+      // above the constraint (half the tolerance kept as hysteresis).
+      auto shed = allocator_.scaleIn(deployment, state.input_rate, power,
+                                     strategy_, omega_hat + 0.5 * epsilon,
+                                     measured_ptr, state.now);
+      migrations.insert(migrations.end(), shed.begin(), shed.end());
+      action = "scale_in";
+      if (env_.metrics != nullptr) env_.metrics->counter("sched.scale_ins").inc();
+    }
   }
   if (env_.tracer.enabled()) {
     env_.tracer.emit(obs::SchedulerDecisionEvent{.t = state.now,

@@ -31,6 +31,10 @@ std::string schedulerName(SchedulerKind kind) {
       return "reactive-autoscaler";
     case SchedulerKind::AnnealingStatic:
       return "annealing-static";
+    case SchedulerKind::LocalPredictive:
+      return "local-predictive";
+    case SchedulerKind::GlobalPredictive:
+      return "global-predictive";
   }
   return "unknown";
 }
@@ -41,7 +45,8 @@ const std::vector<SchedulerKind>& allSchedulerKinds() {
       SchedulerKind::LocalStatic,        SchedulerKind::GlobalStatic,
       SchedulerKind::LocalAdaptiveNoDyn, SchedulerKind::GlobalAdaptiveNoDyn,
       SchedulerKind::BruteForceStatic,   SchedulerKind::ReactiveBaseline,
-      SchedulerKind::AnnealingStatic};
+      SchedulerKind::AnnealingStatic,    SchedulerKind::LocalPredictive,
+      SchedulerKind::GlobalPredictive};
   return kKinds;
 }
 
@@ -65,6 +70,12 @@ HeuristicOptions heuristicOptionsOf(const SchedulerTuning& tuning) {
   opts.resilience = tuning.resilience;
   opts.spot_fraction = tuning.spot_fraction;
   opts.spot_seed = tuning.seed;
+  opts.predictive = tuning.predictive;
+  opts.preacquire_margin = tuning.preacquire_margin;
+  opts.preacquire_lead_s = tuning.preacquire_lead_s;
+  opts.lookahead_alternates = tuning.lookahead_alternates;
+  opts.lookahead_sigma = tuning.sigma;
+  opts.lookahead_horizon_s = tuning.horizon_s;
   return opts;
 }
 
@@ -105,6 +116,13 @@ std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind,
       return std::make_unique<AnnealingScheduler>(env, tuning.sigma,
                                                   tuning.horizon_s, ann);
     }
+    case SchedulerKind::LocalPredictive:
+      opts.predictive = true;
+      return std::make_unique<HeuristicScheduler>(env, Strategy::Local, opts);
+    case SchedulerKind::GlobalPredictive:
+      opts.predictive = true;
+      return std::make_unique<HeuristicScheduler>(env, Strategy::Global,
+                                                  opts);
   }
   std::ostringstream os;
   os << "makeScheduler: unhandled SchedulerKind " << static_cast<int>(kind);

@@ -134,7 +134,7 @@ std::string CompositeRate::describe() const {
   return os.str();
 }
 
-std::string toString(ProfileKind kind) {
+std::string profileName(ProfileKind kind) {
   switch (kind) {
     case ProfileKind::Constant:
       return "constant";
@@ -144,6 +144,34 @@ std::string toString(ProfileKind kind) {
       return "random-walk";
     case ProfileKind::Spike:
       return "spike";
+  }
+  return "unknown";
+}
+
+const std::vector<ProfileKind>& allProfileKinds() {
+  static const std::vector<ProfileKind> kKinds = {
+      ProfileKind::Constant, ProfileKind::PeriodicWave,
+      ProfileKind::RandomWalk, ProfileKind::Spike};
+  return kKinds;
+}
+
+ProfileKind parseProfileKind(const std::string& name) {
+  for (const ProfileKind kind : allProfileKinds()) {
+    if (profileName(kind) == name) return kind;
+  }
+  throw PreconditionError("unknown profile name: '" + name + "'");
+}
+
+std::string profileSummary(ProfileKind kind) {
+  switch (kind) {
+    case ProfileKind::Constant:
+      return "fixed rate at the mean";
+    case ProfileKind::PeriodicWave:
+      return "sine wave, amplitude 40% of mean, 30 min period";
+    case ProfileKind::RandomWalk:
+      return "mean-reverting walk clamped to [0.2x, 2x] mean";
+    case ProfileKind::Spike:
+      return "3x flash crowd for a tenth of the horizon, 40% in";
   }
   return "unknown";
 }

@@ -394,6 +394,86 @@ TEST(ExperimentConfigValidate, CleanConfigHasNoErrors) {
   EXPECT_NO_THROW(cfg.validate());
 }
 
+TEST(ExperimentFromConfig, ParsesForecastKeys) {
+  const auto ex = experimentFromConfig(KeyValueConfig::parse(
+      "scheduler = global-predictive\n"
+      "forecast.model = holt-winters\n"
+      "forecast.horizon_intervals = 8\n"
+      "forecast.ewma_alpha = 0.5\n"
+      "forecast.hw_alpha = 0.4\n"
+      "forecast.hw_beta = 0.1\n"
+      "forecast.hw_gamma = 0.2\n"
+      "forecast.hw_season_intervals = 20\n"
+      "forecast.preacquire_margin = 0.25\n"
+      "forecast.lookahead_alternates = false\n"));
+  const auto& fo = ex.config.forecast;
+  EXPECT_EQ(fo.model, ForecastModel::HoltWinters);
+  EXPECT_EQ(fo.horizon_intervals, 8);
+  EXPECT_DOUBLE_EQ(fo.ewma_alpha, 0.5);
+  EXPECT_DOUBLE_EQ(fo.hw_alpha, 0.4);
+  EXPECT_DOUBLE_EQ(fo.hw_beta, 0.1);
+  EXPECT_DOUBLE_EQ(fo.hw_gamma, 0.2);
+  EXPECT_EQ(fo.hw_season_intervals, 20);
+  EXPECT_DOUBLE_EQ(fo.preacquire_margin, 0.25);
+  EXPECT_FALSE(fo.lookahead_alternates);
+  EXPECT_TRUE(fo.enabled());
+}
+
+TEST(ExperimentFromConfig, ForecastDefaultsOff) {
+  const auto ex = experimentFromConfig(KeyValueConfig::parse("graph=paper\n"));
+  EXPECT_FALSE(ex.config.forecast.enabled());
+}
+
+TEST(ExperimentFromConfig, UnknownForecastModelListsTheRegistry) {
+  try {
+    (void)experimentFromConfig(
+        KeyValueConfig::parse("forecast.model = oracle\n"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    // The message is generated from the registry, so it names every
+    // model the binary actually knows.
+    for (const char* name : {"off", "naive", "ewma", "holt-winters"}) {
+      EXPECT_NE(what.find(name), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(ExperimentFromConfig, UnknownProfileListsTheRegistry) {
+  try {
+    (void)experimentFromConfig(
+        KeyValueConfig::parse("workload.profile = sawtooth\n"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    for (const char* name : {"constant", "wave", "random-walk", "spike"}) {
+      EXPECT_NE(what.find(name), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(ExperimentFromConfig, PredictiveSchedulerNeedsForecastOn) {
+  try {
+    (void)experimentFromConfig(
+        KeyValueConfig::parse("scheduler = local-predictive\n"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("forecast.model"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_NO_THROW((void)experimentFromConfig(
+      KeyValueConfig::parse("scheduler = local-predictive\n"
+                            "forecast.model = naive\n")));
+}
+
+TEST(ExperimentFromConfig, ForecastOnTheEventBackendIsAnError) {
+  EXPECT_THROW((void)experimentFromConfig(
+                   KeyValueConfig::parse("backend = event\n"
+                                         "forecast.model = ewma\n")),
+               ConfigError);
+}
+
 TEST(ExperimentFromConfig, ShippedExampleConfParses) {
   // Keep tools/example.conf working as documentation.
   const auto path = std::filesystem::path(__FILE__)

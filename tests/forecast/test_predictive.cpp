@@ -1,0 +1,190 @@
+// End-to-end predictive scheduling: the forecast-off bit-identity gate
+// (golden fixture + live byte compare against a pre-forecast-shaped
+// run), forecast-on seed determinism, the predictive schedulers' effect
+// under provisioning delays, and the forecast observability surface.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "dds/core/engine.hpp"
+#include "dds/dataflow/standard_graphs.hpp"
+#include "dds/obs/jsonl_sink.hpp"
+#include "dds/obs/timeline.hpp"
+#include "dds/obs/trace_reader.hpp"
+
+namespace dds {
+namespace {
+
+/// The forecast smoke scenario: a wave the seasonal model can learn,
+/// with real provisioning delays so pre-acquisition has a lag to beat.
+ExperimentConfig predictiveConfig() {
+  ExperimentConfig cfg;
+  cfg.horizon_s = 1.0 * kSecondsPerHour;
+  cfg.workload.mean_rate = 10.0;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.seed = 2013;
+  cfg.elasticity.provisioning_delay_s = 120.0;
+  cfg.elasticity.provisioning_delay_per_core_s = 15.0;
+  cfg.forecast.model = ForecastModel::HoltWinters;
+  cfg.forecast.horizon_intervals = 5;
+  cfg.forecast.hw_season_intervals = 30;  // the wave period, in intervals
+  return cfg;
+}
+
+std::string traceOf(const ExperimentConfig& cfg, SchedulerKind kind) {
+  const Dataflow df = makePaperDataflow();
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(out);
+  (void)SimulationEngine(df, cfg).run(kind, &sink);
+  return out.str();
+}
+
+double violationSeconds(const ExperimentResult& r, double target,
+                        double interval_s) {
+  double out = 0.0;
+  for (const auto& m : r.run.intervals()) {
+    if (m.omega < target) out += interval_s;
+  }
+  return out;
+}
+
+TEST(ForecastOff, TraceBytesUnchangedByTheSubsystem) {
+  // The bit-identity gate, live: a run with forecast.model = off must
+  // produce byte-identical traces whether or not the rest of the
+  // forecast block is populated — the subsystem is inert when off.
+  ExperimentConfig base = predictiveConfig();
+  base.forecast = ForecastConfig{};
+  ASSERT_FALSE(base.forecast.enabled());
+  ExperimentConfig decorated = base;
+  decorated.forecast.horizon_intervals = 12;
+  decorated.forecast.hw_alpha = 0.9;
+  decorated.forecast.preacquire_margin = 0.5;
+  EXPECT_EQ(traceOf(base, SchedulerKind::GlobalAdaptive),
+            traceOf(decorated, SchedulerKind::GlobalAdaptive));
+}
+
+std::string readFixture(const std::string& name) {
+  const std::string path = std::string(DDS_FORECAST_TESTDATA) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ForecastGolden, ForecastOffTraceByteIdentical) {
+  // Golden forecast-off fixture: the same elasticity-heavy scenario with
+  // the forecast block defaulted must keep producing exactly the bytes
+  // the pre-forecast engine produced (the fixture was generated against
+  // it). Any drift here means the subsystem is not inert when off.
+  ExperimentConfig cfg = predictiveConfig();
+  cfg.forecast = ForecastConfig{};
+  cfg.horizon_s = 20.0 * kSecondsPerMinute;
+  EXPECT_EQ(traceOf(cfg, SchedulerKind::GlobalAdaptive),
+            readFixture("golden_forecast_off_trace.jsonl"));
+}
+
+TEST(ForecastGolden, PredictiveTraceByteIdentical) {
+  // Forecast-on golden: pins the predictive scheduler's full event
+  // stream (forecast + preacquire records included) for one seed.
+  ExperimentConfig cfg = predictiveConfig();
+  cfg.horizon_s = 20.0 * kSecondsPerMinute;
+  EXPECT_EQ(traceOf(cfg, SchedulerKind::GlobalPredictive),
+            readFixture("golden_predictive_trace.jsonl"));
+}
+
+TEST(ForecastOn, SeedDeterministic) {
+  const ExperimentConfig cfg = predictiveConfig();
+  const std::string a = traceOf(cfg, SchedulerKind::GlobalPredictive);
+  const std::string b = traceOf(cfg, SchedulerKind::GlobalPredictive);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"ev\":\"forecast\""), std::string::npos);
+  EXPECT_NE(a.find("\"ev\":\"preacquire\""), std::string::npos);
+}
+
+TEST(ForecastOn, PredictiveReducesSloViolationUnderDelay) {
+  // The subsystem's reason to exist: with provisioning delays charging
+  // real boot lag, pre-acquiring ahead of the forecast wave peak must
+  // cut the seconds spent below the Omega target vs reactive.
+  const Dataflow df = makePaperDataflow();
+  const ExperimentConfig cfg = predictiveConfig();
+  const SimulationEngine engine(df, cfg);
+  const ExperimentResult reactive =
+      engine.run(SchedulerKind::GlobalAdaptive);
+  const ExperimentResult predictive =
+      engine.run(SchedulerKind::GlobalPredictive);
+  EXPECT_LT(
+      violationSeconds(predictive, cfg.omega_target, cfg.interval_s),
+      violationSeconds(reactive, cfg.omega_target, cfg.interval_s));
+  EXPECT_GT(predictive.average_omega, reactive.average_omega);
+}
+
+TEST(ForecastOn, MetricsAndTimelineSurfaceTheRun) {
+  const Dataflow df = makePaperDataflow();
+  const ExperimentConfig cfg = predictiveConfig();
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(out);
+  const ExperimentResult result =
+      SimulationEngine(df, cfg).run(SchedulerKind::GlobalPredictive, &sink);
+
+  bool saw_predictions = false;
+  bool saw_mape = false;
+  bool saw_preacquired = false;
+  for (const auto& m : result.metrics) {
+    if (m.name == "forecast.predictions" && m.value > 0) {
+      saw_predictions = true;
+    }
+    if (m.name == "sched.preacquired_vms" && m.value > 0) {
+      saw_preacquired = true;
+    }
+    if (m.name == "forecast.mape") saw_mape = true;
+  }
+  EXPECT_TRUE(saw_predictions);
+  EXPECT_TRUE(saw_mape);
+  EXPECT_TRUE(saw_preacquired);
+
+  std::istringstream in(out.str());
+  const obs::TraceAnalysis a =
+      obs::analyzeTrace(obs::readTraceJsonl(in));
+  EXPECT_EQ(a.forecast_model, "holt-winters");
+  EXPECT_GT(a.forecast_samples, 0);
+  // The wave is exactly periodic: after warm-up the seasonal model is
+  // near-exact, so the whole-run MAPE stays modest even with the
+  // warm-up season included.
+  EXPECT_LT(a.forecast_mape, 0.25);
+  EXPECT_EQ(a.preacquires_beat + a.preacquires_missed,
+            static_cast<std::int64_t>(a.preacquires.size()));
+  EXPECT_GT(a.preacquires_beat, 0);
+}
+
+TEST(ForecastOn, SchedulerNamesCarryThePredictiveSuffix) {
+  const Dataflow df = makePaperDataflow();
+  const ExperimentConfig cfg = predictiveConfig();
+  const ExperimentResult r =
+      SimulationEngine(df, cfg).run(SchedulerKind::LocalPredictive);
+  EXPECT_NE(r.scheduler_name.find("-predictive"), std::string::npos);
+}
+
+TEST(ForecastConfigValidation, RejectsBadKnobsAndEventBackend) {
+  ExperimentConfig cfg = predictiveConfig();
+  cfg.forecast.horizon_intervals = 0;
+  cfg.forecast.ewma_alpha = 2.0;
+  cfg.forecast.hw_season_intervals = 1;
+  const auto errors = cfg.validationErrors();
+  EXPECT_GE(errors.size(), 3u);
+
+  ExperimentConfig ev = predictiveConfig();
+  ev.backend = SimBackend::Event;
+  ev.elasticity = ElasticityConfig{};  // delays are fluid-only too
+  bool saw_forecast_gate = false;
+  for (const auto& e : ev.validationErrors()) {
+    if (e.find("forecasting") != std::string::npos) {
+      saw_forecast_gate = true;
+    }
+  }
+  EXPECT_TRUE(saw_forecast_gate);
+}
+
+}  // namespace
+}  // namespace dds

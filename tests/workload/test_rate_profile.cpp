@@ -135,6 +135,59 @@ TEST(ToStringProfileKind, Names) {
   EXPECT_EQ(toString(ProfileKind::Spike), "spike");
 }
 
+TEST(ProfileRegistry, NamesRoundTrip) {
+  for (const ProfileKind kind : allProfileKinds()) {
+    EXPECT_EQ(parseProfileKind(profileName(kind)), kind);
+    EXPECT_FALSE(profileSummary(kind).empty());
+  }
+}
+
+TEST(ProfileRegistry, KnowsEveryKindOnce) {
+  EXPECT_EQ(allProfileKinds().size(), 4u);
+}
+
+TEST(ProfileRegistry, RejectsUnknownNames) {
+  EXPECT_THROW(parseProfileKind("sawtooth"), PreconditionError);
+  EXPECT_THROW(parseProfileKind(""), PreconditionError);
+  // The old informal spelling must not silently parse.
+  EXPECT_THROW(parseProfileKind("periodic-wave"), PreconditionError);
+}
+
+TEST(MakeProfile, RandomWalkStaysInsideTheDocumentedClamp) {
+  // The factory documents a [0.2x, 2x]-of-mean clamp; scan several
+  // seeds across two days of minutes and check both bounds hold.
+  for (const std::uint64_t seed : {1ull, 7ull, 23ull, 2013ull}) {
+    const auto p =
+        makeProfile(ProfileKind::RandomWalk, 10.0, 48.0 * 3600.0, seed);
+    for (double t = 0.0; t < 48.0 * 3600.0; t += 60.0) {
+      ASSERT_GE(p->rate(t), 2.0) << "seed " << seed << " @" << t;
+      ASSERT_LE(p->rate(t), 20.0) << "seed " << seed << " @" << t;
+    }
+  }
+}
+
+TEST(MakeProfile, SpikeBoundariesAreHalfOpen) {
+  // Flash crowd at [0.4 * horizon, 0.5 * horizon): start inclusive,
+  // end exclusive, base rate either side.
+  const auto p = makeProfile(ProfileKind::Spike, 10.0, 1000.0, 1);
+  EXPECT_DOUBLE_EQ(p->rate(399.999999), 10.0);
+  EXPECT_DOUBLE_EQ(p->rate(400.0), 30.0);
+  EXPECT_DOUBLE_EQ(p->rate(499.999999), 30.0);
+  EXPECT_DOUBLE_EQ(p->rate(500.0), 10.0);
+}
+
+TEST(MakeProfile, SpikeBoundariesOnAnUnevenHorizon) {
+  // A horizon that is not a multiple of ten still puts the burst at
+  // exactly [0.4 h, 0.5 h).
+  const auto p = makeProfile(ProfileKind::Spike, 10.0, 777.0, 1);
+  const double start = 0.4 * 777.0;
+  const double end = start + 0.1 * 777.0;
+  EXPECT_DOUBLE_EQ(p->rate(start - 1e-6), 10.0);
+  EXPECT_DOUBLE_EQ(p->rate(start), 30.0);
+  EXPECT_DOUBLE_EQ(p->rate(end - 1e-6), 30.0);
+  EXPECT_DOUBLE_EQ(p->rate(end), 10.0);
+}
+
 TEST(CompositeRate, SumsParts) {
   std::vector<std::unique_ptr<RateProfile>> parts;
   parts.push_back(std::make_unique<ConstantRate>(3.0));

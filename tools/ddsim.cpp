@@ -78,9 +78,18 @@ void printUsage(std::ostream& out) {
   for (const SchedulerKind kind : allSchedulerKinds()) {
     out << ' ' << schedulerName(kind);
   }
+  out << "\nrate profiles (config `workload.profile = ...`):";
+  for (const ProfileKind kind : allProfileKinds()) {
+    out << ' ' << profileName(kind);
+  }
+  out << "\nforecast models (config `forecast.model = ...`):";
+  for (const ForecastModel model : allForecastModels()) {
+    out << ' ' << forecastModelName(model);
+  }
   out << "\nconfig families: workload.* fault.* elasticity.* resilience.*\n"
-         "(canonical nested keys; `config_schema = strict` rejects the\n"
-         "deprecated flat spellings, job specs always parse strictly)\n"
+         "forecast.* (canonical nested keys; `config_schema = strict`\n"
+         "rejects the deprecated flat spellings, job specs always parse\n"
+         "strictly)\n"
          "see tools/example.conf for the config format\n";
 }
 

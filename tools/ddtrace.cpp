@@ -159,6 +159,52 @@ void printAnalysis(const obs::TraceAnalysis& a) {
   elasticity.addRow(
       {"SLO-violation seconds", TextTable::num(a.slo_violation_s, 1)});
   std::cout << elasticity.render();
+
+  // Forecast tables (only for runs that had forecasting on): one-step
+  // predicted vs realized rate per interval, accuracy summary, and
+  // whether each pre-acquisition's VMs were ready before their peak.
+  if (a.forecast_samples > 0) {
+    TextTable fc({"int", "predicted", "realized", "err%"});
+    for (const obs::TimelineRow& r : a.rows) {
+      if (!r.has_prediction) continue;
+      const double err =
+          r.input_rate > 1e-6
+              ? 100.0 * (r.predicted_rate - r.input_rate) / r.input_rate
+              : 0.0;
+      fc.addRow({std::to_string(r.interval),
+                 TextTable::num(r.predicted_rate, 2),
+                 TextTable::num(r.input_rate, 2), TextTable::num(err, 1)});
+    }
+    std::cout << '\n' << fc.render() << '\n';
+
+    TextTable summary({"forecast", "value"});
+    summary.addRow({"model", a.forecast_model});
+    summary.addRow({"samples", std::to_string(a.forecast_samples)});
+    summary.addRow({"MAPE (%)", TextTable::num(100.0 * a.forecast_mape, 1)});
+    summary.addRow({"bias (msgs/s)", TextTable::num(a.forecast_bias, 3)});
+    summary.addRow({"pre-acquisitions",
+                    std::to_string(a.preacquires_beat +
+                                   a.preacquires_missed)});
+    summary.addRow(
+        {"  beat their peak", std::to_string(a.preacquires_beat)});
+    summary.addRow(
+        {"  missed (peak landed first)",
+         std::to_string(a.preacquires_missed)});
+    std::cout << summary.render();
+
+    if (!a.preacquires.empty()) {
+      TextTable pa({"int", "peak_int", "peak_rate", "lead_s", "vms",
+                    "ready_by", "beat"});
+      for (const obs::PreAcquireRecord& p : a.preacquires) {
+        pa.addRow({std::to_string(p.interval),
+                   std::to_string(p.peak_interval),
+                   TextTable::num(p.peak_rate, 2),
+                   TextTable::num(p.lead_s, 0), std::to_string(p.vms),
+                   TextTable::num(p.ready_by, 0), p.beat_peak ? "*" : ""});
+      }
+      std::cout << '\n' << pa.render();
+    }
+  }
 }
 
 }  // namespace
