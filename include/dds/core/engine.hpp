@@ -24,6 +24,7 @@
 namespace dds {
 
 struct TracePools;
+struct FluidGraphLayout;
 
 /// Immutable shared arenas an engine may consume instead of constructing
 /// its own copies per run: the resolved resource catalog (spot tier
@@ -37,6 +38,7 @@ struct EngineArenas {
   std::shared_ptr<const ResourceCatalog> catalog;
   std::shared_ptr<const TracePools> trace_pools;
   std::shared_ptr<const PlanStructure> plan_structure;
+  std::shared_ptr<const FluidGraphLayout> fluid_layout;
 };
 
 /// Orchestrates one experiment configuration over any scheduler kind.

@@ -183,7 +183,9 @@ struct CampaignResult {
 struct CampaignJsonOptions {
   /// Emit wall-clock fields (campaign and per-run). Off, the document
   /// depends only on the simulation outcomes — byte-identical across
-  /// runs, worker counts, and machines.
+  /// runs, worker counts, and machines; throughput gauges whose name
+  /// ends in "_per_s" (eventsim.events_per_s, fluid.intervals_per_s, …)
+  /// are wall-clock-derived and are stripped along with the wall fields.
   bool include_timing = true;
 };
 

@@ -62,6 +62,12 @@ class Substrate {
   [[nodiscard]] std::shared_ptr<const Dataflow> graphFor(
       const std::string& graph, std::size_t chain_length);
 
+  /// The cached fluid kernel's immutable SoA graph image for `df`.
+  /// Cached by dataflow address (same lifetime contract as
+  /// planStructureFor); jobs COW only the kernel's dynamic arrays.
+  [[nodiscard]] std::shared_ptr<const FluidGraphLayout> fluidLayoutFor(
+      const Dataflow& df);
+
   /// The full per-job arena view for one (dataflow, config) cell; one
   /// call builds (or reuses) all applicable arenas. Trace pools are only
   /// attached when the config replays infrastructure variability.
@@ -78,6 +84,8 @@ class Substrate {
     std::uint64_t plan_hits = 0;
     std::uint64_t graph_builds = 0;
     std::uint64_t graph_hits = 0;
+    std::uint64_t fluid_layout_builds = 0;
+    std::uint64_t fluid_layout_hits = 0;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -94,6 +102,8 @@ class Substrate {
   std::map<std::pair<std::string, std::size_t>,
            std::shared_ptr<const Dataflow>>
       graphs_;
+  std::map<const void*, std::shared_ptr<const FluidGraphLayout>>
+      fluid_layouts_;
 };
 
 }  // namespace dds

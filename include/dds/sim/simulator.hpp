@@ -15,18 +15,26 @@
 // The step() result carries Omega(t) (Def. 4), Gamma(t) (Def. 3) and the
 // cumulative dollar cost, plus per-PE stats for the adaptation heuristics.
 //
-// Hot-path note: step() is the inner loop of every campaign run, so it
-// avoids re-paying per-interval costs — the core-allocation ledger is
-// snapshotted once per interval (one pass over the VM ledger instead of
-// one per edge endpoint), monitoring pi/beta lookups are memoized for the
-// interval (the cloud is steady within one interval by construction), and
-// all working buffers are pre-sized once and reused across intervals.
-// Memoization is lazy so the first-touch order of the trace replayer —
-// which draws its per-VM trace assignments on first query — is exactly
-// the order of the unmemoized code, keeping results bit-identical.
+// Hot-path note: step() is the inner loop of every campaign run. Two
+// interval kernels implement the identical arithmetic (SimConfig::Engine,
+// mirroring the event simulator's dual-engine design):
+//  * Cached (default) — the structure-of-arrays FluidKernel: the ledger
+//    image, per-edge bandwidth-cap entries and coefficient caches live in
+//    flat arrays rebuilt only when the cloud's allocation-ledger
+//    generation changes, and monitoring queries are skipped whenever a
+//    cached sample's validity window still covers the interval midpoint.
+//  * Reference — the original per-object walk below: the ledger is
+//    snapshotted every interval and pi/beta lookups are memoized per
+//    interval. It is the bit-identity oracle for the cached kernel
+//    (golden fixtures + fuzzing gate the pair).
+// Both kernels accumulate every reduction in the same canonical sequence
+// and issue first-ever monitoring queries in the same global order — the
+// trace replayer draws per-VM trace assignments on first query, so query
+// order is part of the observable result.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -41,10 +49,18 @@
 
 namespace dds {
 
+struct FluidGraphLayout;
+class FluidKernel;
+
 /// Simulation constants for one run.
 struct SimConfig {
+  /// Which interval kernel to run (see the header comment). Cached is the
+  /// SoA kernel; Reference is the retained per-object oracle.
+  enum class Engine { Cached, Reference };
+
   double msg_size_bytes = 100.0e3;  ///< ~100 KB/msg (§8.1).
   SimTime interval_s = 60.0;        ///< adaptation interval length.
+  Engine engine = Engine::Cached;
 
   /// Messages/s a link of `mbps` megabits/s can carry at this msg size.
   [[nodiscard]] double linkMsgsPerSec(double mbps) const {
@@ -55,8 +71,13 @@ struct SimConfig {
 /// Stateful per-run simulator; owns the backlog queues.
 class DataflowSimulator {
  public:
+  /// `layout` optionally shares a prebuilt immutable SoA graph image
+  /// (Substrate hands the same one to every job on the same dataflow);
+  /// when null the cached engine builds its own.
   DataflowSimulator(const Dataflow& df, const CloudProvider& cloud,
-                    const MonitoringService& mon, SimConfig cfg);
+                    const MonitoringService& mon, SimConfig cfg,
+                    std::shared_ptr<const FluidGraphLayout> layout = nullptr);
+  ~DataflowSimulator();
 
   /// Attach the run's tracer; step() then closes each interval with an
   /// IntervalEnd event (Ω, Γ, μ, ρ utilization, backlog, footprint).
@@ -97,6 +118,12 @@ class DataflowSimulator {
     return pause_remaining_[pe.value()];
   }
 
+  /// How many times the interval kernel rebuilt its ledger image: the
+  /// cached engine rebuilds only on allocation-ledger generation changes,
+  /// the reference engine snapshots once per interval. Feeds the
+  /// `fluid.kernel_rebuilds` metric.
+  [[nodiscard]] std::uint64_t kernelRebuilds() const;
+
  private:
   /// Refresh the per-PE core lists from the cloud ledger (one pass) and
   /// invalidate the per-interval monitoring memos.
@@ -113,10 +140,17 @@ class DataflowSimulator {
   /// Deliverable msgs/s on edge (u -> v) given this interval's snapshot.
   [[nodiscard]] double deliverableRate(double flow_rate, PeId u, PeId v);
 
+  /// Close the interval with an IntervalEnd trace event (both kernels).
+  void emitIntervalEnd(const IntervalMetrics& m, SimTime t_start, SimTime dt,
+                       IntervalIndex index);
+
   const Dataflow* df_;
   const CloudProvider* cloud_;
   const MonitoringService* mon_;
   SimConfig cfg_;
+  std::shared_ptr<const FluidGraphLayout> layout_;
+  std::unique_ptr<FluidKernel> kernel_;  ///< null on the reference engine.
+  std::uint64_t reference_snapshots_ = 0;
   obs::Tracer tracer_;
   double traced_omega_sum_ = 0.0;  ///< running Ω̄ for IntervalEnd events.
   std::uint64_t traced_intervals_ = 0;

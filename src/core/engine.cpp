@@ -1,6 +1,7 @@
 #include "dds/core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "dds/cloud/cloud_provider.hpp"
@@ -286,6 +287,9 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
   SimConfig sim_cfg;
   sim_cfg.msg_size_bytes = config_.workload.msg_size_bytes;
   sim_cfg.interval_s = config_.interval_s;
+  sim_cfg.engine = config_.fluid_reference_engine
+                       ? SimConfig::Engine::Reference
+                       : SimConfig::Engine::Cached;
 
   ProbeHistory probes(monitor, config_.power_smoothing_alpha);
   SchedulerEnv env;
@@ -470,7 +474,8 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
     return result;
   }
 
-  DataflowSimulator simulator(df, cloud, monitor, sim_cfg);
+  DataflowSimulator simulator(df, cloud, monitor, sim_cfg,
+                              arenas_.fluid_layout);
   simulator.setTracer(tracer);
 
   ExperimentResult result;
@@ -482,6 +487,7 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
   obs::Histogram& h_rate = registry.histogram("interval.input_rate");
 
   double omega_sum = 0.0;
+  double fluid_wall_s = 0.0;  ///< wall-clock inside simulator.step only.
   IntervalMetrics last{};
   // Rate forecasting (fluid-only; validation rejects it on the event
   // backend). Off, the forecaster stays null and schedulers see a null
@@ -624,7 +630,14 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
         }
       }
     }
-    last = simulator.step(i, profile->rate(now), deployment);
+    {
+      const auto wall_begin = std::chrono::steady_clock::now();
+      last = simulator.step(i, profile->rate(now), deployment);
+      fluid_wall_s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_begin)
+              .count();
+    }
     omega_sum += last.omega;
     h_omega.observe(last.omega);
     h_gamma.observe(last.gamma);
@@ -667,6 +680,15 @@ ExperimentResult SimulationEngine::run(SchedulerKind kind,
   if (forecaster != nullptr && forecast_errors.count() > 0) {
     registry.gauge("forecast.mape").set(forecast_errors.mape());
     registry.gauge("forecast.bias").set(forecast_errors.bias());
+  }
+  // Fluid-kernel health: ledger-image rebuilds are deterministic (the
+  // cached kernel rebuilds per allocation-ledger generation, the
+  // reference kernel once per interval); intervals/s is wall-clock and —
+  // like every *_per_s gauge — stripped from timing-free campaign JSON.
+  registry.counter("fluid.kernel_rebuilds").inc(simulator.kernelRebuilds());
+  if (fluid_wall_s > 0.0) {
+    registry.gauge("fluid.intervals_per_s")
+        .set(static_cast<double>(clock.intervalCount()) / fluid_wall_s);
   }
   result.metrics = registry.snapshot();
   return result;

@@ -271,6 +271,13 @@ std::string campaignJson(const CampaignResult& result,
       if (!o.result.metrics.empty()) {
         w.key("metrics").beginObject();
         for (const obs::MetricSample& m : o.result.metrics) {
+          // *_per_s gauges are wall-clock measurements; a timing-free
+          // document must not depend on them.
+          if (!options.include_timing &&
+              m.kind == obs::MetricSample::Kind::Gauge &&
+              m.name.ends_with("_per_s")) {
+            continue;
+          }
           w.key(m.name).beginObject();
           switch (m.kind) {
             case obs::MetricSample::Kind::Counter:

@@ -2,6 +2,7 @@
 
 #include "dds/dataflow/standard_graphs.hpp"
 #include "dds/sched/plan_evaluator.hpp"
+#include "dds/sim/fluid_layout.hpp"
 
 namespace dds {
 
@@ -83,6 +84,20 @@ std::shared_ptr<const Dataflow> Substrate::graphFor(
   return df;
 }
 
+std::shared_ptr<const FluidGraphLayout> Substrate::fluidLayoutFor(
+    const Dataflow& df) {
+  std::scoped_lock lock(mutex_);
+  auto it = fluid_layouts_.find(&df);
+  if (it != fluid_layouts_.end()) {
+    ++stats_.fluid_layout_hits;
+    return it->second;
+  }
+  ++stats_.fluid_layout_builds;
+  auto layout = buildFluidLayout(df);
+  fluid_layouts_.emplace(&df, layout);
+  return layout;
+}
+
 EngineArenas Substrate::arenasFor(const Dataflow& df,
                                   const ExperimentConfig& config) {
   EngineArenas arenas;
@@ -91,6 +106,9 @@ EngineArenas Substrate::arenasFor(const Dataflow& df,
     arenas.trace_pools = tracePoolsFor(config.seed);
   }
   arenas.plan_structure = planStructureFor(df, arenas.catalog);
+  if (config.backend == SimBackend::Fluid && !config.fluid_reference_engine) {
+    arenas.fluid_layout = fluidLayoutFor(df);
+  }
   return arenas;
 }
 

@@ -1,0 +1,40 @@
+#include "dds/sim/fluid_layout.hpp"
+
+namespace dds {
+
+std::shared_ptr<const FluidGraphLayout> buildFluidLayout(const Dataflow& df) {
+  auto layout = std::make_shared<FluidGraphLayout>();
+  const std::size_t n = df.peCount();
+  layout->pe_count = static_cast<std::uint32_t>(n);
+  layout->is_input.assign(n, 0);
+  layout->topo.reserve(n);
+  layout->edge_offset.reserve(n + 1);
+  layout->edge_offset.push_back(0);
+  layout->edge_u.reserve(df.edgeCount());
+  for (const PeId pe : df.topologicalOrder()) {
+    layout->topo.push_back(pe.value());
+    if (df.isInput(pe)) layout->is_input[pe.value()] = 1;
+    for (const PeId u : df.predecessors(pe)) {
+      layout->edge_u.push_back(u.value());
+    }
+    layout->edge_offset.push_back(
+        static_cast<std::uint32_t>(layout->edge_u.size()));
+  }
+  layout->alt_offset.reserve(n + 1);
+  layout->alt_offset.push_back(0);
+  for (const auto& pe : df.pes()) {
+    for (std::size_t a = 0; a < pe.alternateCount(); ++a) {
+      const AlternateId alt(static_cast<AlternateId::value_type>(a));
+      layout->alt_cost_core_sec.push_back(pe.alternate(alt).cost_core_sec);
+      layout->alt_selectivity.push_back(pe.alternate(alt).selectivity);
+      layout->alt_relative_value.push_back(pe.relativeValue(alt));
+    }
+    layout->alt_offset.push_back(
+        static_cast<std::uint32_t>(layout->alt_selectivity.size()));
+  }
+  layout->outputs.reserve(df.outputs().size());
+  for (const PeId o : df.outputs()) layout->outputs.push_back(o.value());
+  return layout;
+}
+
+}  // namespace dds

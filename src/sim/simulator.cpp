@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "dds/sim/fluid_kernel.hpp"
+#include "dds/sim/fluid_layout.hpp"
 #include "dds/sim/rate_model.hpp"
 
 namespace dds {
@@ -18,14 +20,15 @@ std::uint64_t directionalPairKey(VmId a, VmId b) {
 
 }  // namespace
 
-DataflowSimulator::DataflowSimulator(const Dataflow& df,
-                                     const CloudProvider& cloud,
-                                     const MonitoringService& mon,
-                                     SimConfig cfg)
+DataflowSimulator::DataflowSimulator(
+    const Dataflow& df, const CloudProvider& cloud,
+    const MonitoringService& mon, SimConfig cfg,
+    std::shared_ptr<const FluidGraphLayout> layout)
     : df_(&df),
       cloud_(&cloud),
       mon_(&mon),
       cfg_(cfg),
+      layout_(std::move(layout)),
       backlog_(df.peCount(), 0.0),
       in_transit_(df.peCount(), 0.0),
       pause_remaining_(df.peCount(), 0.0),
@@ -33,6 +36,16 @@ DataflowSimulator::DataflowSimulator(const Dataflow& df,
       output_rate_(df.peCount(), 0.0) {
   DDS_REQUIRE(cfg_.msg_size_bytes > 0.0, "message size must be positive");
   DDS_REQUIRE(cfg_.interval_s > 0.0, "interval length must be positive");
+  if (cfg_.engine == SimConfig::Engine::Cached) {
+    if (layout_ == nullptr) layout_ = buildFluidLayout(df);
+    kernel_ = std::make_unique<FluidKernel>(df, cloud, mon, cfg_, layout_);
+  }
+}
+
+DataflowSimulator::~DataflowSimulator() = default;
+
+std::uint64_t DataflowSimulator::kernelRebuilds() const {
+  return kernel_ != nullptr ? kernel_->rebuilds() : reference_snapshots_;
 }
 
 double DataflowSimulator::totalBacklog() const {
@@ -67,6 +80,7 @@ void DataflowSimulator::pauseService(PeId pe, SimTime seconds) {
 
 void DataflowSimulator::beginInterval(SimTime t_mid) {
   t_mid_ = t_mid;
+  ++reference_snapshots_;
   for (auto& cores : pe_cores_) cores.clear();
   // One pass over the ledger replaces the per-edge-endpoint scans of the
   // naive formulation: O(total cores) instead of O(edges x VMs x cores).
@@ -163,7 +177,6 @@ IntervalMetrics DataflowSimulator::step(IntervalIndex index,
               "deployment does not match dataflow");
   const SimTime dt = cfg_.interval_s;
   const SimTime t_start = static_cast<SimTime>(index) * dt;
-  beginInterval(t_start + 0.5 * dt);
   const std::size_t n = df_->peCount();
 
   IntervalMetrics m;
@@ -172,6 +185,15 @@ IntervalMetrics DataflowSimulator::step(IntervalIndex index,
   m.input_rate = input_rate;
   m.pe_stats.resize(n);
 
+  if (kernel_ != nullptr) {
+    kernel_->runInterval(t_start, dt, input_rate, deployment, m, backlog_,
+                         in_transit_, pause_remaining_, output_rate_,
+                         expected_rate_);
+    emitIntervalEnd(m, t_start, dt, index);
+    return m;
+  }
+
+  beginInterval(t_start + 0.5 * dt);
   std::fill(output_rate_.begin(), output_rate_.end(), 0.0);
   for (const PeId pe : df_->topologicalOrder()) {
     const std::size_t i = pe.value();
@@ -256,31 +278,35 @@ IntervalMetrics DataflowSimulator::step(IntervalIndex index,
   }
   m.allocated_cores = total_cores;
 
-  if (tracer_.enabled()) {
-    traced_omega_sum_ += m.omega;
-    ++traced_intervals_;
-    double processed = 0.0;
-    double capacity = 0.0;
-    for (const PeIntervalStats& st : m.pe_stats) {
-      processed += st.processed_rate;
-      capacity += st.capacity_rate;
-    }
-    const double rho =
-        capacity > 0.0 ? std::clamp(processed / capacity, 0.0, 1.0) : 0.0;
-    tracer_.emit(obs::IntervalEndEvent{
-        .t = t_start + dt,
-        .interval = index,
-        .omega = m.omega,
-        .omega_bar =
-            traced_omega_sum_ / static_cast<double>(traced_intervals_),
-        .gamma = m.gamma,
-        .cost = m.cost_cumulative,
-        .utilization = rho,
-        .backlog_msgs = totalBacklog(),
-        .active_vms = m.active_vms,
-        .allocated_cores = m.allocated_cores});
-  }
+  emitIntervalEnd(m, t_start, dt, index);
   return m;
+}
+
+void DataflowSimulator::emitIntervalEnd(const IntervalMetrics& m,
+                                        SimTime t_start, SimTime dt,
+                                        IntervalIndex index) {
+  if (!tracer_.enabled()) return;
+  traced_omega_sum_ += m.omega;
+  ++traced_intervals_;
+  double processed = 0.0;
+  double capacity = 0.0;
+  for (const PeIntervalStats& st : m.pe_stats) {
+    processed += st.processed_rate;
+    capacity += st.capacity_rate;
+  }
+  const double rho =
+      capacity > 0.0 ? std::clamp(processed / capacity, 0.0, 1.0) : 0.0;
+  tracer_.emit(obs::IntervalEndEvent{
+      .t = t_start + dt,
+      .interval = index,
+      .omega = m.omega,
+      .omega_bar = traced_omega_sum_ / static_cast<double>(traced_intervals_),
+      .gamma = m.gamma,
+      .cost = m.cost_cumulative,
+      .utilization = rho,
+      .backlog_msgs = totalBacklog(),
+      .active_vms = m.active_vms,
+      .allocated_cores = m.allocated_cores});
 }
 
 }  // namespace dds

@@ -180,6 +180,26 @@ TEST(Campaign, InterningDoesNotChangeCampaignJson) {
   EXPECT_EQ(campaignJsonl(a), campaignJsonl(b));
 }
 
+TEST(Campaign, TimingFreeJsonStripsThroughputGauges) {
+  // fluid.intervals_per_s (and every *_per_s gauge) is a wall-clock
+  // measurement; the timing-free document must neither carry it nor
+  // depend on it, while the deterministic rebuild counter stays.
+  const Dataflow df = makePaperDataflow();
+  Campaign campaign;
+  ExperimentConfig cfg = shortConfig();
+  campaign.add({&df, cfg, SchedulerKind::GlobalAdaptive, "", ""});
+  const CampaignResult result = runCampaign(campaign, {.jobs = 1});
+  result.throwIfAnyFailed();
+
+  const std::string timed = campaignJson(result, "grid");
+  const std::string timing_free =
+      campaignJson(result, "grid", {.include_timing = false});
+  EXPECT_NE(timed.find("fluid.intervals_per_s"), std::string::npos);
+  EXPECT_EQ(timing_free.find("fluid.intervals_per_s"), std::string::npos);
+  EXPECT_EQ(timing_free.find("_per_s"), std::string::npos);
+  EXPECT_NE(timing_free.find("fluid.kernel_rebuilds"), std::string::npos);
+}
+
 TEST(Campaign, AddSpecResolvesAgainstSubstrate) {
   Campaign campaign;
   const JobSpec spec = parseJobSpec(

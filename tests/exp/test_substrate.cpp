@@ -71,6 +71,33 @@ TEST(Substrate, ArenasAreSharedNotRebuilt) {
   EXPECT_EQ(third.plan_structure.get(), first.plan_structure.get());
 }
 
+TEST(Substrate, FluidLayoutSharedAcrossJobsOfOneGraph) {
+  Substrate substrate;
+  const Dataflow df = makePaperDataflow();
+  const ExperimentConfig cfg = variedConfig();
+
+  const EngineArenas first = substrate.arenasFor(df, cfg);
+  const EngineArenas second = substrate.arenasFor(df, cfg);
+  ASSERT_NE(first.fluid_layout, nullptr);
+  EXPECT_EQ(first.fluid_layout.get(), second.fluid_layout.get());
+  EXPECT_EQ(substrate.stats().fluid_layout_builds, 1u);
+  EXPECT_EQ(substrate.stats().fluid_layout_hits, 1u);
+
+  // The reference engine bypasses the cached kernel, so no layout is
+  // attached (and none is built for it).
+  ExperimentConfig reference = cfg;
+  reference.fluid_reference_engine = true;
+  EXPECT_EQ(substrate.arenasFor(df, reference).fluid_layout, nullptr);
+  EXPECT_EQ(substrate.stats().fluid_layout_builds, 1u);
+
+  // A different graph gets its own layout.
+  const Dataflow other = makeDiamondDataflow();
+  const EngineArenas third = substrate.arenasFor(other, cfg);
+  ASSERT_NE(third.fluid_layout, nullptr);
+  EXPECT_NE(third.fluid_layout.get(), first.fluid_layout.get());
+  EXPECT_EQ(substrate.stats().fluid_layout_builds, 2u);
+}
+
 TEST(Substrate, GraphCacheSharesByNameAndLength) {
   Substrate substrate;
   EXPECT_EQ(substrate.graphFor("paper", 4).get(),

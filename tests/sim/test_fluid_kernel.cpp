@@ -1,0 +1,269 @@
+// Bit-identity, golden-trace, and rebuild-accounting coverage for the
+// cached SoA fluid kernel. The cached kernel is a memoization of the
+// reference kernel, not an approximation: per-PE stats, Omega/Gamma/cost,
+// the monitoring-query RNG stream — and the trace bytes of an engine run —
+// must match byte-for-byte, with every PR 6-8 feature layered on top
+// (provisioning delays, spot preemption, migration pauses, forecasting,
+// pre-acquisition).
+//
+// Regenerate the golden fixtures with DDS_REGEN_FLUID_FIXTURES=1 (writes
+// into tests/sim/testdata); they pin today's bytes against both kernels.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "dds/common/rng.hpp"
+#include "dds/core/engine.hpp"
+#include "dds/dataflow/standard_graphs.hpp"
+#include "dds/obs/jsonl_sink.hpp"
+#include "dds/sim/simulator.hpp"
+
+namespace dds {
+namespace {
+
+// --- cached engine == reference engine, end to end -------------------------
+
+struct TracedRun {
+  std::string trace;
+  ExperimentResult result;
+};
+
+TracedRun runTracedFluid(const Dataflow& df, ExperimentConfig cfg,
+                         SchedulerKind kind, bool reference_engine) {
+  cfg.fluid_reference_engine = reference_engine;
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(out);
+  ExperimentResult r = SimulationEngine(df, cfg).run(kind, &sink);
+  return {out.str(), std::move(r)};
+}
+
+void expectIdenticalRuns(const Dataflow& df, const ExperimentConfig& cfg,
+                         SchedulerKind kind, const std::string& label) {
+  const TracedRun ref = runTracedFluid(df, cfg, kind, true);
+  const TracedRun cached = runTracedFluid(df, cfg, kind, false);
+  ASSERT_FALSE(cached.trace.empty()) << label;
+  EXPECT_EQ(cached.trace, ref.trace) << label;
+  // Bitwise-equal scalars, not just matching trace bytes.
+  EXPECT_EQ(cached.result.average_omega, ref.result.average_omega) << label;
+  EXPECT_EQ(cached.result.average_gamma, ref.result.average_gamma) << label;
+  EXPECT_EQ(cached.result.total_cost, ref.result.total_cost) << label;
+  EXPECT_EQ(cached.result.theta, ref.result.theta) << label;
+  EXPECT_EQ(cached.result.peak_vms, ref.result.peak_vms) << label;
+  EXPECT_EQ(cached.result.peak_cores, ref.result.peak_cores) << label;
+}
+
+TEST(FluidIdentity, RandomGraphsMatchReferenceAcrossSeeds) {
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    Rng rng(s);
+    const Dataflow df =
+        makeLayeredDataflow(2 + s % 3, 2 + s % 2, 2, rng);
+    ExperimentConfig cfg;
+    cfg.horizon_s = 12.0 * 60.0;
+    cfg.seed = 500 + s;
+    cfg.workload.mean_rate = 8.0 + static_cast<double>(s);
+    cfg.workload.profile = ProfileKind::PeriodicWave;
+    cfg.workload.infra_variability = true;
+    if (s % 2 == 1) {
+      // A fault model collapses monitoring validity windows to the query
+      // instant: the cached kernel must re-walk everything per interval
+      // in the reference order.
+      cfg.faults.straggler_mtbf_hours = 0.2;
+      cfg.faults.partition_mtbf_hours = 0.3;
+    }
+    if (s % 3 == 0) {
+      cfg.elasticity.provisioning_delay_s = 120.0;
+      cfg.elasticity.spot_discount = 0.6;
+      cfg.elasticity.spot_preemption_mtbf_h = 0.3;
+      cfg.elasticity.pe_state_mb = 20.0;
+    }
+    const SchedulerKind kind = (s % 2 == 0) ? SchedulerKind::GlobalAdaptive
+                                            : SchedulerKind::LocalAdaptive;
+    expectIdenticalRuns(df, cfg, kind, "seed " + std::to_string(s));
+  }
+}
+
+TEST(FluidIdentity, PaperGraphStaticAndAdaptive) {
+  const Dataflow df = makePaperDataflow();
+  ExperimentConfig cfg;
+  cfg.horizon_s = 20.0 * 60.0;
+  cfg.seed = 4242;
+  cfg.workload.mean_rate = 12.0;
+  cfg.workload.profile = ProfileKind::RandomWalk;
+  cfg.workload.infra_variability = true;
+  expectIdenticalRuns(df, cfg, SchedulerKind::GlobalStatic, "static");
+  expectIdenticalRuns(df, cfg, SchedulerKind::GlobalAdaptive, "adaptive");
+}
+
+// --- golden engine traces --------------------------------------------------
+
+std::string fixturePath(const std::string& name) {
+  return std::string(DDS_SIM_TESTDATA) + "/" + name;
+}
+
+std::string readFixture(const std::string& name) {
+  std::ifstream in(fixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << fixturePath(name);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Compare against the committed fixture, or rewrite it when the regen
+/// env var is set (then fail, so a regen run is never mistaken for green).
+void expectMatchesFixture(const std::string& actual,
+                          const std::string& name) {
+  if (std::getenv("DDS_REGEN_FLUID_FIXTURES") != nullptr) {
+    std::ofstream out(fixturePath(name), std::ios::binary);
+    out << actual;
+    FAIL() << "regenerated " << name << " — rerun without "
+           << "DDS_REGEN_FLUID_FIXTURES";
+  }
+  EXPECT_EQ(actual, readFixture(name));
+}
+
+ExperimentConfig forecastOnConfig() {
+  ExperimentConfig cfg;
+  cfg.horizon_s = 30.0 * 60.0;
+  cfg.seed = 77;
+  cfg.workload.mean_rate = 10.0;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
+  cfg.forecast.model = ForecastModel::Ewma;
+  cfg.elasticity.provisioning_delay_s = 120.0;
+  return cfg;
+}
+
+ExperimentConfig elasticityOnConfig() {
+  ExperimentConfig cfg;
+  cfg.horizon_s = 30.0 * 60.0;
+  cfg.seed = 99;
+  cfg.workload.mean_rate = 10.0;
+  cfg.workload.profile = ProfileKind::PeriodicWave;
+  cfg.workload.infra_variability = true;
+  cfg.elasticity.provisioning_delay_s = 180.0;
+  cfg.elasticity.spot_discount = 0.6;
+  cfg.elasticity.spot_preemption_mtbf_h = 0.3;
+  cfg.elasticity.spot_notice_s = 120.0;
+  cfg.elasticity.pe_state_mb = 50.0;
+  return cfg;
+}
+
+TEST(FluidGolden, ForecastOnCachedTraceByteIdentical) {
+  const TracedRun run =
+      runTracedFluid(makePaperDataflow(), forecastOnConfig(),
+                     SchedulerKind::GlobalPredictive, false);
+  expectMatchesFixture(run.trace, "golden_fluid_forecast_trace.jsonl");
+}
+
+TEST(FluidGolden, ForecastOnReferenceTraceByteIdentical) {
+  // Same fixture on purpose: the two kernels must emit the same bytes.
+  const TracedRun run =
+      runTracedFluid(makePaperDataflow(), forecastOnConfig(),
+                     SchedulerKind::GlobalPredictive, true);
+  expectMatchesFixture(run.trace, "golden_fluid_forecast_trace.jsonl");
+}
+
+TEST(FluidGolden, ElasticityOnCachedTraceByteIdentical) {
+  const TracedRun run =
+      runTracedFluid(makePaperDataflow(), elasticityOnConfig(),
+                     SchedulerKind::GlobalAdaptive, false);
+  expectMatchesFixture(run.trace, "golden_fluid_elasticity_trace.jsonl");
+}
+
+TEST(FluidGolden, ElasticityOnReferenceTraceByteIdentical) {
+  const TracedRun run =
+      runTracedFluid(makePaperDataflow(), elasticityOnConfig(),
+                     SchedulerKind::GlobalAdaptive, true);
+  expectMatchesFixture(run.trace, "golden_fluid_elasticity_trace.jsonl");
+}
+
+// --- rebuild accounting ----------------------------------------------------
+
+/// Two-stage pipeline: src (cost 0.1, sel 1) -> sink (cost 0.1, sel 1).
+Dataflow makePipeline() {
+  DataflowBuilder b("pipe");
+  const PeId a = b.addPe("src", {{"src", 1.0, 0.1, 1.0}});
+  const PeId c = b.addPe("sink", {{"sink", 1.0, 0.1, 1.0}});
+  b.addEdge(a, c);
+  return std::move(b).build();
+}
+
+struct Fixture {
+  explicit Fixture(Dataflow graph) : df(std::move(graph)) {}
+  Dataflow df;
+  CloudProvider cloud{awsCatalog2013()};
+  TraceReplayer replayer = TraceReplayer::ideal();
+  MonitoringService mon{cloud, replayer};
+
+  void giveSmallCores(PeId pe, int n) {
+    for (int i = 0; i < n; ++i) {
+      const VmId vm = cloud.acquire(ResourceClassId(0), 0.0);
+      cloud.instance(vm).allocateCore(pe);
+    }
+  }
+};
+
+TEST(FluidKernelRebuilds, CachedRebuildsOnlyOnLedgerChange) {
+  Fixture f(makePipeline());
+  f.giveSmallCores(PeId(0), 1);
+  f.giveSmallCores(PeId(1), 1);
+  Deployment dep(f.df);
+  DataflowSimulator sim(f.df, f.cloud, f.mon, {});
+  (void)sim.step(0, 5.0, dep);
+  (void)sim.step(1, 5.0, dep);
+  (void)sim.step(2, 5.0, dep);
+  EXPECT_EQ(sim.kernelRebuilds(), 1u);
+  // Any ledger mutation bumps the generation and forces one rebuild.
+  f.giveSmallCores(PeId(1), 1);
+  (void)sim.step(3, 5.0, dep);
+  (void)sim.step(4, 5.0, dep);
+  EXPECT_EQ(sim.kernelRebuilds(), 2u);
+}
+
+TEST(FluidKernelRebuilds, ReferenceSnapshotsEveryInterval) {
+  Fixture f(makePipeline());
+  f.giveSmallCores(PeId(0), 1);
+  Deployment dep(f.df);
+  SimConfig cfg;
+  cfg.engine = SimConfig::Engine::Reference;
+  DataflowSimulator sim(f.df, f.cloud, f.mon, cfg);
+  for (IntervalIndex i = 0; i < 4; ++i) (void)sim.step(i, 5.0, dep);
+  EXPECT_EQ(sim.kernelRebuilds(), 4u);
+}
+
+TEST(FluidKernelRebuilds, MigrationAndPauseComposeIdentically) {
+  // Mid-run queue surgery (what spot drains and scale-in do) must leave
+  // both kernels in identical states.
+  auto run = [](SimConfig::Engine engine) {
+    Fixture f(makePipeline());
+    f.giveSmallCores(PeId(0), 1);
+    f.giveSmallCores(PeId(1), 1);
+    Deployment dep(f.df);
+    SimConfig cfg;
+    cfg.engine = engine;
+    DataflowSimulator sim(f.df, f.cloud, f.mon, cfg);
+    (void)sim.step(0, 20.0, dep);
+    sim.migrateBacklog(PeId(0), 0.5);
+    sim.pauseService(PeId(0), 45.0);
+    const IntervalMetrics a = sim.step(1, 20.0, dep);
+    const IntervalMetrics b = sim.step(2, 5.0, dep);
+    return std::pair{a, b};
+  };
+  const auto ref = run(SimConfig::Engine::Reference);
+  const auto cached = run(SimConfig::Engine::Cached);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const PeIntervalStats& r =
+        (i == 0 ? ref.first : ref.second).pe_stats[0];
+    const PeIntervalStats& c =
+        (i == 0 ? cached.first : cached.second).pe_stats[0];
+    EXPECT_EQ(c.processed_rate, r.processed_rate);
+    EXPECT_EQ(c.backlog_msgs, r.backlog_msgs);
+    EXPECT_EQ(c.output_rate, r.output_rate);
+  }
+  EXPECT_EQ(cached.second.omega, ref.second.omega);
+}
+
+}  // namespace
+}  // namespace dds

@@ -8,6 +8,10 @@
 //              byte identity (proves the reader/writer round-trip and
 //              that the file is a faithful dds trace). Exit 1 on the
 //              first mismatching line.
+//   --metrics  treat the input as campaign JSON (saveCampaignJson /
+//              BENCH_*.json) instead of a trace and print the per-run
+//              fluid-kernel table: interval throughput, kernel rebuilds,
+//              and rebuilds amortized per interval.
 //   --help     print usage and exit.
 //
 // Default output: the run header, a per-interval timeline table
@@ -17,10 +21,12 @@
 // the trace alone.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "dds/common/error.hpp"
+#include "dds/common/json_value.hpp"
 #include "dds/common/table.hpp"
 #include "dds/obs/jsonl_sink.hpp"
 #include "dds/obs/timeline.hpp"
@@ -33,14 +39,18 @@ using namespace dds;
 struct CliOptions {
   std::string trace_path;
   bool check = false;
+  bool metrics = false;
   bool help = false;
 };
 
 void printUsage(std::ostream& out) {
-  out << "usage: ddtrace [options] <trace.jsonl>\n"
-         "  --check  verify every line re-serializes byte-identically\n"
-         "  --help   show this message\n"
-         "traces come from `ddsim --trace FILE <config>`\n";
+  out << "usage: ddtrace [options] <trace.jsonl | campaign.json>\n"
+         "  --check    verify every line re-serializes byte-identically\n"
+         "  --metrics  input is campaign JSON; print the per-run\n"
+         "             fluid-kernel table (throughput, rebuilds)\n"
+         "  --help     show this message\n"
+         "traces come from `ddsim --trace FILE <config>`; campaign JSON\n"
+         "from saveCampaignJson (the BENCH_*.json files)\n";
 }
 
 CliOptions parseArgs(int argc, char** argv) {
@@ -51,6 +61,8 @@ CliOptions parseArgs(int argc, char** argv) {
       opts.help = true;
     } else if (arg == "--check") {
       opts.check = true;
+    } else if (arg == "--metrics") {
+      opts.metrics = true;
     } else if (!arg.empty() && arg[0] == '-') {
       throw PreconditionError("unknown option: '" + arg + "'");
     } else if (opts.trace_path.empty()) {
@@ -81,6 +93,80 @@ std::size_t checkRoundTrip(std::istream& in) {
     ++checked;
   }
   return checked;
+}
+
+/// `obj[key]` as a double, or `fallback` when absent / not a number.
+double numberOr(const JsonObject& obj, const std::string& key,
+                double fallback) {
+  const JsonValue* v = jsonFind(obj, key);
+  if (v == nullptr) return fallback;
+  const double* n = v->asNumber();
+  return n == nullptr ? fallback : *n;
+}
+
+/// Campaign-JSON mode: one row per run with the fluid-kernel counters.
+/// Runs without fluid metrics (event-backend jobs, timing-stripped
+/// documents) render as "-" rather than being dropped.
+void printCampaignMetrics(const std::string& text) {
+  const JsonValue root = parseJson(text);
+  const JsonObject* top = root.asObject();
+  if (top == nullptr) throw IoError("campaign JSON: top level not an object");
+  if (const JsonValue* name = jsonFind(*top, "name")) {
+    if (const std::string* s = name->asString()) {
+      std::cout << "campaign: " << *s << '\n';
+    }
+  }
+  const JsonValue* runs = jsonFind(*top, "runs");
+  const JsonArray* arr = runs == nullptr ? nullptr : runs->asArray();
+  if (arr == nullptr) throw IoError("campaign JSON: no 'runs' array");
+
+  TextTable table({"label", "scheduler", "seed", "ok", "intervals", "omega",
+                   "ivals/s", "rebuilds", "reb/ival"});
+  for (const JsonValue& run : *arr) {
+    const JsonObject* r = run.asObject();
+    if (r == nullptr) continue;
+    std::string label = "?";
+    std::string scheduler = "?";
+    if (const JsonValue* v = jsonFind(*r, "label")) {
+      if (const std::string* s = v->asString()) label = *s;
+    }
+    if (const JsonValue* v = jsonFind(*r, "scheduler")) {
+      if (const std::string* s = v->asString()) scheduler = *s;
+    }
+    const double seed = numberOr(*r, "seed", 0.0);
+    const JsonValue* okv = jsonFind(*r, "ok");
+    const bool ok = okv != nullptr && okv->asBool() != nullptr &&
+                    *okv->asBool();
+    const double intervals = numberOr(*r, "intervals", 0.0);
+    const double omega = numberOr(*r, "omega", 0.0);
+
+    double per_s = -1.0;
+    double rebuilds = -1.0;
+    if (const JsonValue* mv = jsonFind(*r, "metrics")) {
+      if (const JsonObject* metrics = mv->asObject()) {
+        if (const JsonValue* g = jsonFind(*metrics, "fluid.intervals_per_s")) {
+          if (const JsonObject* go = g->asObject()) {
+            per_s = numberOr(*go, "value", -1.0);
+          }
+        }
+        if (const JsonValue* c = jsonFind(*metrics, "fluid.kernel_rebuilds")) {
+          if (const JsonObject* co = c->asObject()) {
+            rebuilds = numberOr(*co, "count", -1.0);
+          }
+        }
+      }
+    }
+    table.addRow(
+        {label, scheduler, TextTable::num(seed, 0), ok ? "yes" : "no",
+         TextTable::num(intervals, 0),
+         ok ? TextTable::num(omega, 3) : "-",
+         per_s >= 0.0 ? TextTable::num(per_s, 0) : "-",
+         rebuilds >= 0.0 ? TextTable::num(rebuilds, 0) : "-",
+         rebuilds >= 0.0 && intervals > 0.0
+             ? TextTable::num(rebuilds / intervals, 3)
+             : "-"});
+  }
+  std::cout << table.render();
 }
 
 void printAnalysis(const obs::TraceAnalysis& a) {
@@ -226,6 +312,13 @@ int main(int argc, char** argv) {
     if (opts.check) {
       const std::size_t n = checkRoundTrip(in);
       std::cout << "ok: " << n << " events round-trip byte-identically\n";
+      return 0;
+    }
+
+    if (opts.metrics) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      printCampaignMetrics(buf.str());
       return 0;
     }
 
